@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the protocol-level costs behind the paper's
+//! per-transaction claims: 1.5-RTT ownership acquisition, single-round-trip
+//! pipelined reliable commit, message-free read-only transactions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zeus_core::{NodeId, ObjectId, SimCluster, ZeusConfig};
+
+fn setup(objects: u64) -> SimCluster {
+    let mut cluster = SimCluster::new(ZeusConfig::with_nodes(3));
+    for i in 0..objects {
+        cluster.create_object(ObjectId(i), vec![0u8; 64], NodeId(0));
+    }
+    cluster
+}
+
+fn bench_local_write(c: &mut Criterion) {
+    let mut cluster = setup(16);
+    c.bench_function("local_write_commit_pipelined", |b| {
+        b.iter(|| {
+            cluster
+                .execute_write(NodeId(0), |tx| tx.update(ObjectId(1), |old| old.to_vec()))
+                .unwrap();
+        })
+    });
+}
+
+fn bench_read_only(c: &mut Criterion) {
+    let mut cluster = setup(16);
+    cluster
+        .execute_write(NodeId(0), |tx| tx.write(ObjectId(2), vec![1u8; 64]))
+        .unwrap();
+    cluster.run_until_quiescent(10_000);
+    c.bench_function("read_only_tx_any_replica", |b| {
+        b.iter(|| {
+            cluster
+                .execute_read(NodeId(1), |tx| tx.read(ObjectId(2)))
+                .unwrap();
+        })
+    });
+}
+
+fn bench_ownership_migration(c: &mut Criterion) {
+    let mut cluster = setup(4096);
+    let mut next = 0u64;
+    c.bench_function("ownership_migration_reader_to_owner", |b| {
+        b.iter(|| {
+            let object = ObjectId(next % 4096);
+            let target = NodeId(((next % 2) + 1) as u16);
+            next += 1;
+            cluster.migrate(object, target).unwrap();
+        })
+    });
+}
+
+fn bench_wire_encoding(c: &mut Criterion) {
+    use zeus_proto::wire::encode_to_vec;
+    use zeus_proto::{CommitMsg, Epoch, ObjectUpdate, PipelineId, TxId};
+    let msg = CommitMsg::RInv {
+        tx_id: TxId::new(PipelineId::new(NodeId(0), 0), 42),
+        epoch: Epoch(1),
+        followers: vec![NodeId(1), NodeId(2)],
+        prev_val: true,
+        updates: vec![ObjectUpdate::new(ObjectId(7), 3, vec![0u8; 400])],
+    };
+    c.bench_function("wire_encode_rinv_400B", |b| {
+        b.iter(|| encode_to_vec(&msg))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_local_write,
+    bench_read_only,
+    bench_ownership_migration,
+    bench_wire_encoding
+);
+criterion_main!(benches);

@@ -1,0 +1,259 @@
+//! Shared measurement plumbing for the figure harnesses.
+//!
+//! Two kinds of numbers are produced, mirroring DESIGN.md:
+//!
+//! * **Measured** numbers come from running a workload against the real Zeus
+//!   implementation ([`zeus_core::ThreadedCluster`] or
+//!   [`zeus_core::SimCluster`]) on this machine, with populations scaled down
+//!   so a figure regenerates in seconds.
+//! * **Modelled** numbers come from the per-transaction cost model in
+//!   [`zeus_baseline::model`], which is how the FaRM/FaSST/DrTM comparison
+//!   lines (published-hardware numbers in the paper) are reproduced.
+
+use std::time::{Duration, Instant};
+
+use zeus_baseline::model::{BaselineKind, CostModel, TxProfile};
+use zeus_core::{LoadBalancer, ThreadedCluster, ZeusConfig};
+use zeus_core::balancer::PlacementPolicy;
+use zeus_workloads::{Operation, Workload};
+
+/// Result of one measured run.
+#[derive(Debug, Clone)]
+pub struct MeasuredRun {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Wall-clock duration of the measurement window.
+    pub elapsed: Duration,
+}
+
+impl MeasuredRun {
+    /// Throughput in transactions per second.
+    pub fn tps(&self) -> f64 {
+        self.committed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Throughput in millions of transactions per second.
+    pub fn mtps(&self) -> f64 {
+        self.tps() / 1.0e6
+    }
+}
+
+/// Loads a workload's objects into a threaded cluster, spreading home keys
+/// over nodes with the load balancer, and returns the balancer.
+pub fn load_workload(cluster: &ThreadedCluster, workload: &impl Workload) -> LoadBalancer {
+    let balancer = LoadBalancer::new(cluster.config().nodes, PlacementPolicy::Hash);
+    for obj in workload.initial_objects() {
+        let home = balancer.route(obj.home_key);
+        cluster.create_object(obj.id, vec![0u8; obj.size], home);
+    }
+    balancer
+}
+
+/// Executes `op` against the cluster node chosen by the balancer, returning
+/// whether it committed.
+pub fn execute_operation(
+    cluster: &ThreadedCluster,
+    balancer: &LoadBalancer,
+    op: &Operation,
+) -> bool {
+    let node = balancer.route(op.routing_key);
+    let handle = cluster.handle(node);
+    if op.read_only {
+        let reads = op.reads.clone();
+        handle
+            .execute_read(move |tx| {
+                let mut total = 0usize;
+                for &o in &reads {
+                    total += tx.read(o)?.len();
+                }
+                Ok(total.to_le_bytes().to_vec())
+            })
+            .is_ok()
+    } else {
+        let reads = op.reads.clone();
+        let writes = op.writes.clone();
+        handle
+            .execute_write(move |tx| {
+                for &o in &reads {
+                    let _ = tx.read(o)?;
+                }
+                for &(o, size) in &writes {
+                    tx.update(o, |old| {
+                        let mut v = old.to_vec();
+                        v.resize(size, 0);
+                        v[0] = v[0].wrapping_add(1);
+                        v
+                    })?;
+                }
+                Ok(Vec::new())
+            })
+            .is_ok()
+    }
+}
+
+/// Runs `workload` against a fresh threaded cluster of `nodes` nodes for
+/// `duration`, using one client thread per node, and returns the measured
+/// aggregate throughput.
+pub fn run_measured(
+    nodes: usize,
+    mut workload: impl Workload,
+    duration: Duration,
+) -> MeasuredRun {
+    let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(nodes));
+    let balancer = load_workload(&cluster, &workload);
+    // Pre-generate a batch of operations so generation cost stays out of the
+    // measured loop; clients replay the batch round-robin.
+    let ops: Vec<Operation> = (0..20_000).map(|_| workload.next_operation()).collect();
+    let start = Instant::now();
+    let mut committed = 0u64;
+    let mut i = 0usize;
+    while start.elapsed() < duration {
+        let op = &ops[i % ops.len()];
+        if execute_operation(&cluster, &balancer, op) {
+            committed += 1;
+        }
+        i += 1;
+    }
+    let elapsed = start.elapsed();
+    cluster.shutdown();
+    MeasuredRun { committed, elapsed }
+}
+
+/// Builds the Smallbank transaction mix as cost-model profiles, with the
+/// given ownership-change / remote fraction applied to write transactions.
+pub fn smallbank_mix(remote: f64, replication: usize) -> Vec<(f64, TxProfile)> {
+    vec![
+        (
+            0.15,
+            TxProfile::new(3, 0, 0, true).with_replication(replication),
+        ),
+        (
+            0.30,
+            TxProfile::new(0, 1, 64, false)
+                .with_remote(remote)
+                .with_replication(replication),
+        ),
+        (
+            0.25,
+            TxProfile::new(1, 1, 64, false)
+                .with_remote(remote)
+                .with_replication(replication),
+        ),
+        (
+            0.30,
+            TxProfile::new(0, 3, 192, false)
+                .with_remote(remote)
+                .with_replication(replication),
+        ),
+    ]
+}
+
+/// Builds the TATP transaction mix as cost-model profiles.
+pub fn tatp_mix(remote_write: f64, replication: usize) -> Vec<(f64, TxProfile)> {
+    vec![
+        (
+            0.80,
+            TxProfile::new(1, 0, 0, true).with_replication(replication),
+        ),
+        (
+            0.16,
+            TxProfile::new(0, 1, 100, false)
+                .with_remote(remote_write)
+                .with_replication(replication),
+        ),
+        (
+            0.04,
+            TxProfile::new(1, 2, 148, false)
+                .with_remote(remote_write)
+                .with_replication(replication),
+        ),
+    ]
+}
+
+/// Builds the Handovers mix (all writes, ~400 B contexts).
+pub fn handover_mix(handover_fraction: f64, remote_handover: f64, replication: usize) -> Vec<(f64, TxProfile)> {
+    vec![
+        (
+            1.0 - handover_fraction,
+            TxProfile::new(0, 2, 528, false)
+                .with_remote(0.0)
+                .with_replication(replication),
+        ),
+        (
+            handover_fraction,
+            TxProfile::new(0, 3, 656, false)
+                .with_remote(remote_handover)
+                .with_replication(replication),
+        ),
+    ]
+}
+
+/// Modelled per-node throughput for a system over a mix.
+pub fn modelled_mtps_per_node(kind: BaselineKind, mix: &[(f64, TxProfile)]) -> f64 {
+    kind.throughput_per_node(&CostModel::default(), mix) / 1.0e6
+}
+
+/// Prints a CSV header + rows helper.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("# {title}");
+    println!("{}", header.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+    println!();
+}
+
+/// Parses a `--quick` flag (used by CI / the test-suite smoke checks to keep
+/// measured runs very short).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Measurement window: 2 s normally, 200 ms with `--quick`.
+pub fn measure_window() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_secs(2)
+    }
+}
+
+/// The cluster sizes evaluated in the paper.
+pub const PAPER_NODE_COUNTS: [usize; 2] = [3, 6];
+
+/// Default replication degree used throughout the evaluation.
+pub const REPLICATION: usize = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_workloads::SmallbankWorkload;
+
+    #[test]
+    fn measured_run_computes_rates() {
+        let run = MeasuredRun {
+            committed: 1_000,
+            elapsed: Duration::from_millis(500),
+        };
+        assert!((run.tps() - 2_000.0).abs() < 1.0);
+        assert!(run.mtps() < 0.01);
+    }
+
+    #[test]
+    fn modelled_mixes_are_positive_and_ordered() {
+        let zeus = modelled_mtps_per_node(BaselineKind::Zeus, &smallbank_mix(0.003, 3));
+        let fasst = modelled_mtps_per_node(BaselineKind::FasstLike, &smallbank_mix(0.3, 3));
+        assert!(zeus > 0.0 && fasst > 0.0);
+        assert!(zeus > fasst);
+    }
+
+    #[test]
+    fn tiny_measured_run_commits_transactions() {
+        let run = run_measured(
+            3,
+            SmallbankWorkload::new(200, 30, 0.0, 7),
+            Duration::from_millis(150),
+        );
+        assert!(run.committed > 0, "no transactions committed");
+    }
+}

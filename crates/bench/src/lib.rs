@@ -1,0 +1,8 @@
+//! Benchmark harnesses regenerating every table and figure of the paper's
+//! evaluation (§8). Each figure has a dedicated binary under `src/bin/`;
+//! shared measurement plumbing lives in [`harness`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;

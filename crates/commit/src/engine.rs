@@ -1,0 +1,962 @@
+//! The sans-io reliable-commit state machine.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use zeus_proto::{CommitMsg, Epoch, NodeId, ObjectId, ObjectUpdate, PipelineId, TxId};
+
+use crate::pipeline::ClearedTracker;
+use crate::stats::CommitStats;
+
+/// Outputs of the commit engine, applied by the hosting runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommitAction {
+    /// Send a protocol message.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: CommitMsg,
+    },
+    /// Coordinator side: the transaction is now reliably committed (every
+    /// follower acknowledged). The host validates the listed objects at the
+    /// listed versions (`t_state := Valid`, pending count decremented).
+    ReliablyCommitted {
+        /// The committed transaction.
+        tx_id: TxId,
+        /// `(object, version)` pairs to validate locally.
+        objects: Vec<(ObjectId, u64)>,
+    },
+    /// Follower side: install these updates (newer data, `t_state :=
+    /// Invalid`) in the local store.
+    ApplyUpdates {
+        /// The transaction the updates belong to.
+        tx_id: TxId,
+        /// Updated objects.
+        updates: Vec<ObjectUpdate>,
+    },
+    /// Follower side: validate these objects at these versions (`t_state :=
+    /// Valid` iff the version still matches).
+    ValidateUpdates {
+        /// The transaction being validated.
+        tx_id: TxId,
+        /// `(object, version)` pairs to validate.
+        objects: Vec<(ObjectId, u64)>,
+    },
+    /// Failure recovery for the current epoch has finished on this node (no
+    /// pending reliable commits from dead coordinators remain). The host
+    /// reports this to the membership service (§5.1).
+    RecoveryFinished {
+        /// The epoch whose recovery finished.
+        epoch: Epoch,
+    },
+}
+
+/// Coordinator-side record of an in-flight reliable commit (the locally
+/// stored R-INV of §5.1).
+#[derive(Debug, Clone)]
+struct Outstanding {
+    followers: Vec<NodeId>,
+    /// Extra nodes to include in the R-VAL broadcast: followers of the next
+    /// slot that were not followers of this one (§5.2).
+    extra_val_targets: Vec<NodeId>,
+    acks: HashSet<NodeId>,
+    updates: Vec<ObjectUpdate>,
+    prev_val: bool,
+    /// True when this entry is a failure-recovery replay of another
+    /// coordinator's commit (validation then happens via ValidateUpdates
+    /// rather than ReliablyCommitted).
+    is_replay: bool,
+}
+
+impl Outstanding {
+    fn object_versions(&self) -> Vec<(ObjectId, u64)> {
+        self.updates.iter().map(|u| (u.object, u.version)).collect()
+    }
+}
+
+/// Follower-side record of a stored (applied but not yet validated) R-INV.
+#[derive(Debug, Clone)]
+struct StoredRInv {
+    followers: Vec<NodeId>,
+    updates: Vec<ObjectUpdate>,
+}
+
+/// A buffered R-INV waiting for pipeline order.
+#[derive(Debug, Clone)]
+struct BufferedRInv {
+    from: NodeId,
+    followers: Vec<NodeId>,
+    updates: Vec<ObjectUpdate>,
+}
+
+/// The per-node reliable-commit engine (coordinator and follower roles).
+#[derive(Debug)]
+pub struct CommitEngine {
+    local: NodeId,
+    epoch: Epoch,
+    live: Vec<NodeId>,
+    /// Next `local_tx_id` per worker thread of this node.
+    next_local: HashMap<u16, u64>,
+    /// Coordinator-side in-flight commits (own transactions and replays).
+    outstanding: HashMap<TxId, Outstanding>,
+    /// Follower-side stored R-INVs awaiting R-VAL.
+    stored: HashMap<TxId, StoredRInv>,
+    /// Follower-side cleared-slot tracking per pipeline.
+    cleared: HashMap<PipelineId, ClearedTracker>,
+    /// Follower-side R-INVs buffered for pipeline order.
+    buffered: HashMap<PipelineId, BTreeMap<u64, BufferedRInv>>,
+    /// Set when a view change started a recovery that has not yet finished.
+    recovering: bool,
+    stats: CommitStats,
+}
+
+impl CommitEngine {
+    /// Creates the engine for node `local` in a cluster of `cluster_size`
+    /// nodes.
+    pub fn new(local: NodeId, cluster_size: usize) -> Self {
+        CommitEngine {
+            local,
+            epoch: Epoch::ZERO,
+            live: (0..cluster_size as u16).map(NodeId).collect(),
+            next_local: HashMap::new(),
+            outstanding: HashMap::new(),
+            stored: HashMap::new(),
+            cleared: HashMap::new(),
+            buffered: HashMap::new(),
+            recovering: false,
+            stats: CommitStats::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn local(&self) -> NodeId {
+        self.local
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> &CommitStats {
+        &self.stats
+    }
+
+    /// Number of reliable commits this node coordinates that are still in
+    /// flight.
+    pub fn outstanding_commits(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Number of R-INVs stored as a follower awaiting validation.
+    pub fn stored_rinvs(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Whether `object` appears in any commit this node is still propagating
+    /// (the ownership protocol NACKs migrations of such objects, §4.1).
+    pub fn object_has_pending_commit(&self, object: ObjectId) -> bool {
+        self.outstanding
+            .values()
+            .any(|o| o.updates.iter().any(|u| u.object == object))
+    }
+
+    /// Starts the reliable commit of a locally committed transaction executed
+    /// by worker `thread`. `updates` are the modified objects with their new
+    /// versions and data; `followers` are the reader replicas of those
+    /// objects. Returns the transaction id and the actions to apply.
+    pub fn begin_commit(
+        &mut self,
+        thread: u16,
+        updates: Vec<ObjectUpdate>,
+        followers: Vec<NodeId>,
+    ) -> (TxId, Vec<CommitAction>) {
+        let pipeline = PipelineId::new(self.local, thread);
+        let local = self.next_local.entry(thread).or_insert(0);
+        let tx_id = TxId::new(pipeline, *local);
+        *local += 1;
+        self.stats.commits_started += 1;
+
+        let followers: Vec<NodeId> = followers
+            .into_iter()
+            .filter(|f| *f != self.local && self.live.contains(f))
+            .collect();
+
+        // Pipelining bookkeeping: is the previous slot already validated?
+        let prev_val = match tx_id.prev() {
+            None => true,
+            Some(prev) => !self.outstanding.contains_key(&prev),
+        };
+        if !prev_val {
+            let prev = tx_id.prev().expect("non-first slot has a predecessor");
+            let extra: Vec<NodeId> = {
+                let prev_entry = self.outstanding.get(&prev).expect("prev outstanding");
+                followers
+                    .iter()
+                    .copied()
+                    .filter(|f| !prev_entry.followers.contains(f))
+                    .collect()
+            };
+            if let Some(prev_entry) = self.outstanding.get_mut(&prev) {
+                for f in extra {
+                    if !prev_entry.extra_val_targets.contains(&f) {
+                        prev_entry.extra_val_targets.push(f);
+                    }
+                }
+            }
+        }
+
+        if followers.is_empty() {
+            // Replication degree 1 (or all replicas dead): the local commit
+            // is immediately reliable.
+            self.stats.commits_completed += 1;
+            let objects = updates.iter().map(|u| (u.object, u.version)).collect();
+            return (
+                tx_id,
+                vec![CommitAction::ReliablyCommitted { tx_id, objects }],
+            );
+        }
+
+        let entry = Outstanding {
+            followers: followers.clone(),
+            extra_val_targets: Vec::new(),
+            acks: HashSet::new(),
+            updates: updates.clone(),
+            prev_val,
+            is_replay: false,
+        };
+        self.outstanding.insert(tx_id, entry);
+
+        let actions = followers
+            .iter()
+            .map(|&to| CommitAction::Send {
+                to,
+                msg: CommitMsg::RInv {
+                    tx_id,
+                    epoch: self.epoch,
+                    followers: followers.clone(),
+                    prev_val,
+                    updates: updates.clone(),
+                },
+            })
+            .collect();
+        (tx_id, actions)
+    }
+
+    /// Handles an incoming protocol message.
+    pub fn handle_message(&mut self, from: NodeId, msg: CommitMsg) -> Vec<CommitAction> {
+        match msg {
+            CommitMsg::RInv {
+                tx_id,
+                epoch,
+                followers,
+                prev_val,
+                updates,
+            } => self.on_rinv(from, tx_id, epoch, followers, prev_val, updates),
+            CommitMsg::RAck { tx_id, from: acker, epoch } => self.on_rack(tx_id, acker, epoch),
+            CommitMsg::RVal { tx_id, epoch } => self.on_rval(tx_id, epoch),
+        }
+    }
+
+    /// Installs a new membership view: bumps the epoch, prunes dead
+    /// followers from in-flight commits and replays pending commits of dead
+    /// coordinators (§5.1). Emits `RecoveryFinished` once nothing remains.
+    pub fn on_view_change(&mut self, epoch: Epoch, live: Vec<NodeId>) -> Vec<CommitAction> {
+        if epoch < self.epoch {
+            return Vec::new();
+        }
+        self.epoch = epoch;
+        self.live = live;
+        self.recovering = true;
+        let mut actions = Vec::new();
+
+        // 1. Coordinator side: drop dead followers and re-send our own
+        //    pending R-INVs with the new epoch.
+        let own: Vec<TxId> = self.outstanding.keys().copied().collect();
+        for tx_id in own {
+            let (resend, completed) = {
+                let entry = self.outstanding.get_mut(&tx_id).expect("outstanding");
+                entry.followers.retain(|f| self.live.contains(f));
+                entry.extra_val_targets.retain(|f| self.live.contains(f));
+                entry.acks.retain(|f| self.live.contains(f));
+                let completed = entry.followers.iter().all(|f| entry.acks.contains(f));
+                let resend: Vec<CommitAction> = entry
+                    .followers
+                    .iter()
+                    .filter(|f| !entry.acks.contains(f))
+                    .map(|&to| CommitAction::Send {
+                        to,
+                        msg: CommitMsg::RInv {
+                            tx_id,
+                            epoch: self.epoch,
+                            followers: entry.followers.clone(),
+                            prev_val: entry.prev_val,
+                            updates: entry.updates.clone(),
+                        },
+                    })
+                    .collect();
+                (resend, completed)
+            };
+            self.stats.replays += 1;
+            if completed {
+                actions.extend(self.complete_outstanding(tx_id));
+            } else {
+                actions.extend(resend);
+            }
+        }
+
+        // 2. Follower side: replay stored R-INVs whose coordinator died.
+        let dead_coordinators: Vec<TxId> = self
+            .stored
+            .keys()
+            .copied()
+            .filter(|tx| !self.live.contains(&tx.pipeline.node))
+            .collect();
+        for tx_id in dead_coordinators {
+            let stored = self.stored.get(&tx_id).expect("stored").clone();
+            self.stats.replays += 1;
+            let followers: Vec<NodeId> = stored
+                .followers
+                .iter()
+                .copied()
+                .filter(|f| *f != self.local && self.live.contains(f))
+                .collect();
+            if followers.is_empty() {
+                // We are the only surviving replica: validate immediately.
+                actions.push(CommitAction::ValidateUpdates {
+                    tx_id,
+                    objects: stored
+                        .updates
+                        .iter()
+                        .map(|u| (u.object, u.version))
+                        .collect(),
+                });
+                self.stored.remove(&tx_id);
+                continue;
+            }
+            let entry = Outstanding {
+                followers: followers.clone(),
+                extra_val_targets: Vec::new(),
+                acks: HashSet::new(),
+                updates: stored.updates.clone(),
+                prev_val: true,
+                is_replay: true,
+            };
+            self.outstanding.insert(tx_id, entry);
+            for to in followers.iter().copied() {
+                actions.push(CommitAction::Send {
+                    to,
+                    msg: CommitMsg::RInv {
+                        tx_id,
+                        epoch: self.epoch,
+                        followers: followers.clone(),
+                        prev_val: true,
+                        updates: stored.updates.clone(),
+                    },
+                });
+            }
+        }
+
+        actions.extend(self.check_recovery_finished());
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Follower side
+    // ------------------------------------------------------------------
+
+    fn on_rinv(
+        &mut self,
+        from: NodeId,
+        tx_id: TxId,
+        epoch: Epoch,
+        followers: Vec<NodeId>,
+        prev_val: bool,
+        updates: Vec<ObjectUpdate>,
+    ) -> Vec<CommitAction> {
+        if epoch != self.epoch {
+            return Vec::new();
+        }
+        // Already stored (duplicate or replay): just acknowledge (§5.1).
+        if self.stored.contains_key(&tx_id) {
+            return vec![self.rack(from, tx_id)];
+        }
+        // Already validated in the past: the cleared tracker knows; ack.
+        if self
+            .cleared
+            .get(&tx_id.pipeline)
+            .is_some_and(|t| t.is_cleared(tx_id.local))
+        {
+            return vec![self.rack(from, tx_id)];
+        }
+
+        let in_order = tx_id.local == 0
+            || prev_val
+            || self
+                .cleared
+                .get(&tx_id.pipeline)
+                .is_some_and(|t| t.is_cleared(tx_id.local - 1));
+        if !in_order {
+            self.stats.rinvs_buffered += 1;
+            self.buffered
+                .entry(tx_id.pipeline)
+                .or_default()
+                .insert(tx_id.local, BufferedRInv { from, followers, updates });
+            return Vec::new();
+        }
+
+        let mut actions = self.apply_rinv(from, tx_id, followers, updates);
+        actions.extend(self.drain_buffered(tx_id.pipeline));
+        actions
+    }
+
+    fn apply_rinv(
+        &mut self,
+        from: NodeId,
+        tx_id: TxId,
+        followers: Vec<NodeId>,
+        updates: Vec<ObjectUpdate>,
+    ) -> Vec<CommitAction> {
+        self.stats.rinvs_applied += 1;
+        self.cleared
+            .entry(tx_id.pipeline)
+            .or_default()
+            .mark(tx_id.local);
+        self.stored.insert(
+            tx_id,
+            StoredRInv {
+                followers,
+                updates: updates.clone(),
+            },
+        );
+        vec![
+            CommitAction::ApplyUpdates { tx_id, updates },
+            self.rack(from, tx_id),
+        ]
+    }
+
+    fn drain_buffered(&mut self, pipeline: PipelineId) -> Vec<CommitAction> {
+        let mut actions = Vec::new();
+        loop {
+            let next_ready = {
+                let Some(buf) = self.buffered.get(&pipeline) else {
+                    break;
+                };
+                let tracker = self.cleared.entry(pipeline).or_default();
+                buf.keys()
+                    .copied()
+                    .find(|&slot| slot == 0 || tracker.is_cleared(slot - 1))
+            };
+            let Some(slot) = next_ready else { break };
+            let item = self
+                .buffered
+                .get_mut(&pipeline)
+                .and_then(|b| b.remove(&slot))
+                .expect("buffered item exists");
+            let tx_id = TxId::new(pipeline, slot);
+            actions.extend(self.apply_rinv(item.from, tx_id, item.followers, item.updates));
+        }
+        actions
+    }
+
+    fn on_rval(&mut self, tx_id: TxId, epoch: Epoch) -> Vec<CommitAction> {
+        if epoch != self.epoch {
+            return Vec::new();
+        }
+        // R-VAL clears the slot even if we never saw its R-INV (partial
+        // pipeline streams, §5.2).
+        self.cleared
+            .entry(tx_id.pipeline)
+            .or_default()
+            .mark(tx_id.local);
+        let mut actions = Vec::new();
+        if let Some(stored) = self.stored.remove(&tx_id) {
+            self.stats.rvals_applied += 1;
+            actions.push(CommitAction::ValidateUpdates {
+                tx_id,
+                objects: stored
+                    .updates
+                    .iter()
+                    .map(|u| (u.object, u.version))
+                    .collect(),
+            });
+        }
+        actions.extend(self.drain_buffered(tx_id.pipeline));
+        actions.extend(self.check_recovery_finished());
+        actions
+    }
+
+    fn rack(&self, to: NodeId, tx_id: TxId) -> CommitAction {
+        CommitAction::Send {
+            to,
+            msg: CommitMsg::RAck {
+                tx_id,
+                from: self.local,
+                epoch: self.epoch,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Coordinator side
+    // ------------------------------------------------------------------
+
+    fn on_rack(&mut self, tx_id: TxId, acker: NodeId, epoch: Epoch) -> Vec<CommitAction> {
+        if epoch != self.epoch {
+            return Vec::new();
+        }
+        // R-ACKs are cumulative within a pipeline (§5.2): acknowledging slot
+        // `n` implies every earlier slot from the same pipeline was received
+        // and processed by that follower.
+        let implied: Vec<TxId> = self
+            .outstanding
+            .keys()
+            .copied()
+            .filter(|t| t.pipeline == tx_id.pipeline && t.local <= tx_id.local)
+            .collect();
+        let mut completed = Vec::new();
+        for t in implied {
+            let entry = self.outstanding.get_mut(&t).expect("outstanding");
+            if entry.followers.contains(&acker) {
+                entry.acks.insert(acker);
+            }
+            if entry.followers.iter().all(|f| entry.acks.contains(f)) {
+                completed.push(t);
+            }
+        }
+        completed.sort();
+        let mut actions = Vec::new();
+        for t in completed {
+            actions.extend(self.complete_outstanding(t));
+        }
+        actions
+    }
+
+    /// Finishes an outstanding commit: emit the local completion, broadcast
+    /// R-VALs and discard the stored R-INV.
+    fn complete_outstanding(&mut self, tx_id: TxId) -> Vec<CommitAction> {
+        let Some(entry) = self.outstanding.remove(&tx_id) else {
+            return Vec::new();
+        };
+        let mut actions = Vec::new();
+        if entry.is_replay {
+            // Validate our own (follower) copy of the replayed commit.
+            self.stored.remove(&tx_id);
+            self.cleared
+                .entry(tx_id.pipeline)
+                .or_default()
+                .mark(tx_id.local);
+            actions.push(CommitAction::ValidateUpdates {
+                tx_id,
+                objects: entry.object_versions(),
+            });
+        } else {
+            self.stats.commits_completed += 1;
+            actions.push(CommitAction::ReliablyCommitted {
+                tx_id,
+                objects: entry.object_versions(),
+            });
+        }
+        let mut targets = entry.followers.clone();
+        for extra in entry.extra_val_targets {
+            if !targets.contains(&extra) {
+                targets.push(extra);
+            }
+        }
+        for to in targets {
+            actions.push(CommitAction::Send {
+                to,
+                msg: CommitMsg::RVal {
+                    tx_id,
+                    epoch: self.epoch,
+                },
+            });
+        }
+        actions.extend(self.check_recovery_finished());
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery bookkeeping
+    // ------------------------------------------------------------------
+
+    fn check_recovery_finished(&mut self) -> Vec<CommitAction> {
+        if !self.recovering {
+            return Vec::new();
+        }
+        let pending_replays = self.outstanding.values().any(|o| o.is_replay);
+        let pending_dead_stored = self
+            .stored
+            .keys()
+            .any(|tx| !self.live.contains(&tx.pipeline.node));
+        if pending_replays || pending_dead_stored {
+            return Vec::new();
+        }
+        self.recovering = false;
+        vec![CommitAction::RecoveryFinished { epoch: self.epoch }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn upd(object: u64, version: u64) -> ObjectUpdate {
+        ObjectUpdate::new(ObjectId(object), version, Bytes::from(vec![version as u8; 16]))
+    }
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Routes messages between engines until quiescence, returning all
+    /// non-Send actions per node.
+    struct Cluster {
+        engines: Vec<CommitEngine>,
+        queue: std::collections::VecDeque<(NodeId, NodeId, CommitMsg)>,
+        events: Vec<Vec<CommitAction>>,
+        crashed: HashSet<NodeId>,
+    }
+
+    impl Cluster {
+        fn new(size: usize) -> Self {
+            Cluster {
+                engines: (0..size as u16)
+                    .map(|i| CommitEngine::new(NodeId(i), size))
+                    .collect(),
+                queue: Default::default(),
+                events: vec![Vec::new(); size],
+                crashed: HashSet::new(),
+            }
+        }
+
+        fn apply(&mut self, node: NodeId, actions: Vec<CommitAction>) {
+            for a in actions {
+                match a {
+                    CommitAction::Send { to, msg } => self.queue.push_back((to, node, msg)),
+                    other => self.events[node.index()].push(other),
+                }
+            }
+        }
+
+        fn begin(&mut self, node: NodeId, thread: u16, updates: Vec<ObjectUpdate>, followers: Vec<NodeId>) -> TxId {
+            let (tx, actions) = self.engines[node.index()].begin_commit(thread, updates, followers);
+            self.apply(node, actions);
+            tx
+        }
+
+        fn run(&mut self) {
+            let mut steps = 0;
+            while let Some((to, from, msg)) = self.queue.pop_front() {
+                steps += 1;
+                assert!(steps < 100_000, "commit protocol did not quiesce");
+                if self.crashed.contains(&to) || self.crashed.contains(&from) {
+                    continue;
+                }
+                let actions = self.engines[to.index()].handle_message(from, msg);
+                self.apply(to, actions);
+            }
+        }
+
+        fn committed(&self, node: NodeId) -> Vec<TxId> {
+            self.events[node.index()]
+                .iter()
+                .filter_map(|a| match a {
+                    CommitAction::ReliablyCommitted { tx_id, .. } => Some(*tx_id),
+                    _ => None,
+                })
+                .collect()
+        }
+
+        fn validated(&self, node: NodeId) -> Vec<TxId> {
+            self.events[node.index()]
+                .iter()
+                .filter_map(|a| match a {
+                    CommitAction::ValidateUpdates { tx_id, .. } => Some(*tx_id),
+                    _ => None,
+                })
+                .collect()
+        }
+
+        fn applied(&self, node: NodeId) -> Vec<TxId> {
+            self.events[node.index()]
+                .iter()
+                .filter_map(|a| match a {
+                    CommitAction::ApplyUpdates { tx_id, .. } => Some(*tx_id),
+                    _ => None,
+                })
+                .collect()
+        }
+
+        fn view_change(&mut self) {
+            let live: Vec<NodeId> = (0..self.engines.len() as u16)
+                .map(NodeId)
+                .filter(|x| !self.crashed.contains(x))
+                .collect();
+            let epoch = self.engines[live[0].index()].epoch().next();
+            for node in live.clone() {
+                let actions = self.engines[node.index()].on_view_change(epoch, live.clone());
+                self.apply(node, actions);
+            }
+        }
+    }
+
+    #[test]
+    fn basic_commit_completes_with_single_round_trip_plus_val() {
+        let mut c = Cluster::new(3);
+        let tx = c.begin(n(0), 0, vec![upd(1, 1), upd(2, 1)], vec![n(1), n(2)]);
+        c.run();
+        assert_eq!(c.committed(n(0)), vec![tx]);
+        assert_eq!(c.applied(n(1)), vec![tx]);
+        assert_eq!(c.applied(n(2)), vec![tx]);
+        assert_eq!(c.validated(n(1)), vec![tx]);
+        assert_eq!(c.validated(n(2)), vec![tx]);
+        assert_eq!(c.engines[0].outstanding_commits(), 0);
+        assert_eq!(c.engines[1].stored_rinvs(), 0);
+    }
+
+    #[test]
+    fn no_followers_commits_immediately() {
+        let mut c = Cluster::new(1);
+        let tx = c.begin(n(0), 0, vec![upd(1, 1)], vec![]);
+        c.run();
+        assert_eq!(c.committed(n(0)), vec![tx]);
+    }
+
+    #[test]
+    fn pipelined_commits_are_applied_in_slot_order() {
+        let mut c = Cluster::new(2);
+        // Issue three pipelined commits before any R-ACK comes back.
+        let t0 = c.begin(n(0), 0, vec![upd(1, 1)], vec![n(1)]);
+        let t1 = c.begin(n(0), 0, vec![upd(1, 2)], vec![n(1)]);
+        let t2 = c.begin(n(0), 0, vec![upd(2, 1)], vec![n(1)]);
+        assert_eq!(c.engines[0].outstanding_commits(), 3);
+        c.run();
+        assert_eq!(c.committed(n(0)), vec![t0, t1, t2]);
+        assert_eq!(c.applied(n(1)), vec![t0, t1, t2], "slot order respected");
+    }
+
+    #[test]
+    fn out_of_order_rinv_is_buffered_until_predecessor() {
+        let mut e = CommitEngine::new(n(1), 2);
+        let p = PipelineId::new(n(0), 0);
+        // Slot 1 arrives before slot 0 and without the prev-VAL bit.
+        let a1 = e.handle_message(
+            n(0),
+            CommitMsg::RInv {
+                tx_id: TxId::new(p, 1),
+                epoch: Epoch::ZERO,
+                followers: vec![n(1)],
+                prev_val: false,
+                updates: vec![upd(5, 2)],
+            },
+        );
+        assert!(a1.is_empty(), "buffered, no ack yet");
+        let a0 = e.handle_message(
+            n(0),
+            CommitMsg::RInv {
+                tx_id: TxId::new(p, 0),
+                epoch: Epoch::ZERO,
+                followers: vec![n(1)],
+                prev_val: false,
+                updates: vec![upd(5, 1)],
+            },
+        );
+        // Both slots now apply, in order.
+        let applied: Vec<TxId> = a0
+            .iter()
+            .filter_map(|a| match a {
+                CommitAction::ApplyUpdates { tx_id, .. } => Some(*tx_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(applied, vec![TxId::new(p, 0), TxId::new(p, 1)]);
+        assert_eq!(e.stats().rinvs_buffered, 1);
+    }
+
+    #[test]
+    fn prev_val_bit_lets_partial_stream_follower_apply() {
+        let mut e = CommitEngine::new(n(1), 2);
+        let p = PipelineId::new(n(0), 0);
+        let actions = e.handle_message(
+            n(0),
+            CommitMsg::RInv {
+                tx_id: TxId::new(p, 7),
+                epoch: Epoch::ZERO,
+                followers: vec![n(1)],
+                prev_val: true,
+                updates: vec![upd(9, 3)],
+            },
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, CommitAction::ApplyUpdates { .. })));
+    }
+
+    #[test]
+    fn rval_for_unseen_slot_clears_the_pipeline_gap() {
+        let mut e = CommitEngine::new(n(1), 3);
+        let p = PipelineId::new(n(0), 0);
+        // Slot 4 arrives, not in order and no prev-VAL: buffered.
+        assert!(e
+            .handle_message(
+                n(0),
+                CommitMsg::RInv {
+                    tx_id: TxId::new(p, 4),
+                    epoch: Epoch::ZERO,
+                    followers: vec![n(1)],
+                    prev_val: false,
+                    updates: vec![upd(2, 2)],
+                },
+            )
+            .is_empty());
+        // The coordinator includes us in the R-VAL broadcast of slot 3.
+        let actions = e.handle_message(
+            n(0),
+            CommitMsg::RVal {
+                tx_id: TxId::new(p, 3),
+                epoch: Epoch::ZERO,
+            },
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, CommitAction::ApplyUpdates { tx_id, .. } if tx_id.local == 4)));
+    }
+
+    #[test]
+    fn duplicate_rinv_is_acked_but_not_reapplied() {
+        let mut c = Cluster::new(2);
+        let tx = c.begin(n(0), 0, vec![upd(1, 1)], vec![n(1)]);
+        c.run();
+        // Replay the same R-INV.
+        let actions = c.engines[1].handle_message(
+            n(0),
+            CommitMsg::RInv {
+                tx_id: tx,
+                epoch: Epoch::ZERO,
+                followers: vec![n(1)],
+                prev_val: true,
+                updates: vec![upd(1, 1)],
+            },
+        );
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            CommitAction::Send {
+                msg: CommitMsg::RAck { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stale_epoch_messages_are_ignored() {
+        let mut e = CommitEngine::new(n(1), 2);
+        e.on_view_change(Epoch(3), vec![n(0), n(1)]);
+        let actions = e.handle_message(
+            n(0),
+            CommitMsg::RInv {
+                tx_id: TxId::new(PipelineId::new(n(0), 0), 0),
+                epoch: Epoch(1),
+                followers: vec![n(1)],
+                prev_val: true,
+                updates: vec![upd(1, 1)],
+            },
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn coordinator_failure_is_replayed_by_follower() {
+        let mut c = Cluster::new(3);
+        let tx = c.begin(n(0), 0, vec![upd(7, 1)], vec![n(1), n(2)]);
+        // Deliver the R-INVs but crash the coordinator before R-ACKs return,
+        // so followers hold the data invalidated.
+        // First deliver only R-INV messages:
+        let mut rinvs = Vec::new();
+        while let Some((to, from, msg)) = c.queue.pop_front() {
+            if matches!(msg, CommitMsg::RInv { .. }) {
+                rinvs.push((to, from, msg));
+            }
+        }
+        for (to, from, msg) in rinvs {
+            let actions = c.engines[to.index()].handle_message(from, msg);
+            // Drop the resulting R-ACKs (coordinator is about to die).
+            for a in actions {
+                if let CommitAction::Send { .. } = a {
+                    continue;
+                }
+                c.events[to.index()].push(a);
+            }
+        }
+        assert_eq!(c.applied(n(1)), vec![tx]);
+        assert!(c.validated(n(1)).is_empty(), "not yet validated");
+
+        c.crashed.insert(n(0));
+        c.view_change();
+        c.run();
+        // Both surviving followers validated the replayed transaction.
+        assert_eq!(c.validated(n(1)), vec![tx]);
+        assert_eq!(c.validated(n(2)), vec![tx]);
+        // Recovery completes on both.
+        for node in [n(1), n(2)] {
+            assert!(
+                c.events[node.index()]
+                    .iter()
+                    .any(|a| matches!(a, CommitAction::RecoveryFinished { .. })),
+                "{node} must finish recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn follower_failure_lets_coordinator_finish_with_survivors() {
+        let mut c = Cluster::new(3);
+        let tx = c.begin(n(0), 0, vec![upd(3, 1)], vec![n(1), n(2)]);
+        // Node 2 dies before receiving anything.
+        c.crashed.insert(n(2));
+        c.run();
+        assert!(c.committed(n(0)).is_empty(), "missing ack from dead node");
+        c.view_change();
+        c.run();
+        assert_eq!(c.committed(n(0)), vec![tx]);
+        assert_eq!(c.validated(n(1)), vec![tx]);
+    }
+
+    #[test]
+    fn pending_commit_visibility_for_ownership() {
+        let mut c = Cluster::new(2);
+        let _ = c.begin(n(0), 0, vec![upd(42, 1)], vec![n(1)]);
+        assert!(c.engines[0].object_has_pending_commit(ObjectId(42)));
+        assert!(!c.engines[0].object_has_pending_commit(ObjectId(43)));
+        c.run();
+        assert!(!c.engines[0].object_has_pending_commit(ObjectId(42)));
+    }
+
+    #[test]
+    fn per_thread_pipelines_are_independent() {
+        let mut c = Cluster::new(2);
+        let t_a = c.begin(n(0), 0, vec![upd(1, 1)], vec![n(1)]);
+        let t_b = c.begin(n(0), 1, vec![upd(2, 1)], vec![n(1)]);
+        assert_eq!(t_a.pipeline.thread, 0);
+        assert_eq!(t_b.pipeline.thread, 1);
+        assert_eq!(t_a.local, 0);
+        assert_eq!(t_b.local, 0, "each thread has its own slot counter");
+        c.run();
+        assert_eq!(c.committed(n(0)).len(), 2);
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let mut c = Cluster::new(2);
+        c.begin(n(0), 0, vec![upd(1, 1)], vec![n(1)]);
+        c.begin(n(0), 0, vec![upd(1, 2)], vec![n(1)]);
+        c.run();
+        assert_eq!(c.engines[0].stats().commits_started, 2);
+        assert_eq!(c.engines[0].stats().commits_completed, 2);
+        assert_eq!(c.engines[1].stats().rinvs_applied, 2);
+        assert_eq!(c.engines[1].stats().rvals_applied, 2);
+    }
+}

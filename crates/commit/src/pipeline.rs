@@ -1,0 +1,97 @@
+//! Per-pipeline slot tracking on the follower side.
+
+use std::collections::BTreeSet;
+
+/// Tracks which slots of one pipeline a follower has *cleared* — i.e. has
+/// either applied the slot's R-INV or received its R-VAL (§5.2).
+///
+/// A follower may observe only a partial stream of a pipeline (it is a
+/// follower per transaction, not per pipeline), so cleared slots are not
+/// necessarily contiguous. The tracker keeps a dense prefix plus a sparse
+/// set above it, so memory stays proportional to the number of gaps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClearedTracker {
+    /// Every slot `< prefix` is cleared.
+    prefix: u64,
+    /// Cleared slots `>= prefix` (non-contiguous).
+    sparse: BTreeSet<u64>,
+}
+
+impl ClearedTracker {
+    /// Creates an empty tracker (no slot cleared).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `slot` as cleared.
+    pub fn mark(&mut self, slot: u64) {
+        if slot < self.prefix {
+            return;
+        }
+        self.sparse.insert(slot);
+        while self.sparse.remove(&self.prefix) {
+            self.prefix += 1;
+        }
+    }
+
+    /// Whether `slot` is cleared.
+    pub fn is_cleared(&self, slot: u64) -> bool {
+        slot < self.prefix || self.sparse.contains(&slot)
+    }
+
+    /// The dense cleared prefix (all slots below this are cleared).
+    pub fn prefix(&self) -> u64 {
+        self.prefix
+    }
+
+    /// Number of cleared slots tracked sparsely above the prefix.
+    pub fn sparse_len(&self) -> usize {
+        self.sparse.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_marks_advance_prefix() {
+        let mut t = ClearedTracker::new();
+        assert!(!t.is_cleared(0));
+        t.mark(0);
+        t.mark(1);
+        t.mark(2);
+        assert_eq!(t.prefix(), 3);
+        assert_eq!(t.sparse_len(), 0);
+        assert!(t.is_cleared(2));
+        assert!(!t.is_cleared(3));
+    }
+
+    #[test]
+    fn gaps_stay_sparse_until_filled() {
+        let mut t = ClearedTracker::new();
+        t.mark(0);
+        t.mark(2);
+        t.mark(4);
+        assert_eq!(t.prefix(), 1);
+        assert_eq!(t.sparse_len(), 2);
+        assert!(t.is_cleared(2));
+        assert!(!t.is_cleared(1));
+        t.mark(1);
+        assert_eq!(t.prefix(), 3);
+        t.mark(3);
+        assert_eq!(t.prefix(), 5);
+        assert_eq!(t.sparse_len(), 0);
+    }
+
+    #[test]
+    fn double_mark_is_idempotent() {
+        let mut t = ClearedTracker::new();
+        t.mark(0);
+        t.mark(0);
+        assert_eq!(t.prefix(), 1);
+        t.mark(5);
+        t.mark(5);
+        assert_eq!(t.sparse_len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Reliable-commit protocol counters.
+
+/// Counters describing the reliable-commit traffic a node has processed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Write transactions this node started reliable commits for
+    /// (as coordinator).
+    pub commits_started: u64,
+    /// Reliable commits completed at this node (as coordinator).
+    pub commits_completed: u64,
+    /// R-INV messages applied as a follower.
+    pub rinvs_applied: u64,
+    /// R-INV messages buffered waiting for pipeline order.
+    pub rinvs_buffered: u64,
+    /// R-VAL messages applied as a follower.
+    pub rvals_applied: u64,
+    /// Pending reliable commits replayed during failure recovery.
+    pub replays: u64,
+}
+
+impl CommitStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &CommitStats) {
+        self.commits_started += other.commits_started;
+        self.commits_completed += other.commits_completed;
+        self.rinvs_applied += other.rinvs_applied;
+        self.rinvs_buffered += other.rinvs_buffered;
+        self.rvals_applied += other.rvals_applied;
+        self.replays += other.replays;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CommitStats::new();
+        a.commits_started = 1;
+        let mut b = CommitStats::new();
+        b.commits_started = 2;
+        b.replays = 3;
+        a.merge(&b);
+        assert_eq!(a.commits_started, 3);
+        assert_eq!(a.replays, 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Application-level load balancer (§3.1).
+//!
+//! Zeus relies on request locality being *enforced* at the ingress: a simple
+//! replicated key→node map forwards every request carrying the same key to
+//! the same Zeus node, so that after the first ownership migration all later
+//! transactions on that key's objects run locally. On a miss the balancer
+//! picks a destination (round-robin by default, or the key's home shard) and
+//! remembers it. The paper implements this over a Hermes-replicated
+//! key-value store; here the map is process-local and shared by reference,
+//! which preserves the routing behaviour the experiments depend on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use zeus_proto::NodeId;
+
+/// How the balancer picks a destination for a previously unseen key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Spread new keys across nodes round-robin (the paper's "pick a random
+    /// destination" with better determinism for reproducible benches).
+    RoundRobin,
+    /// Hash the key onto a node (static-sharding-like initial placement).
+    Hash,
+}
+
+/// A cloneable, thread-safe key→node affinity map.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    nodes: usize,
+    policy: PlacementPolicy,
+    inner: Arc<RwLock<HashMap<u64, NodeId>>>,
+    next: Arc<RwLock<usize>>,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer over `nodes` nodes.
+    pub fn new(nodes: usize, policy: PlacementPolicy) -> Self {
+        assert!(nodes > 0, "balancer needs at least one node");
+        LoadBalancer {
+            nodes,
+            policy,
+            inner: Arc::new(RwLock::new(HashMap::new())),
+            next: Arc::new(RwLock::new(0)),
+        }
+    }
+
+    /// Number of nodes the balancer spreads load over.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Routes `key`, creating an affinity on first sight.
+    pub fn route(&self, key: u64) -> NodeId {
+        if let Some(&node) = self.inner.read().get(&key) {
+            return node;
+        }
+        let mut map = self.inner.write();
+        // Double-checked: another thread may have inserted meanwhile.
+        if let Some(&node) = map.get(&key) {
+            return node;
+        }
+        let node = match self.policy {
+            PlacementPolicy::Hash => NodeId((key % self.nodes as u64) as u16),
+            PlacementPolicy::RoundRobin => {
+                let mut next = self.next.write();
+                let node = NodeId((*next % self.nodes) as u16);
+                *next += 1;
+                node
+            }
+        };
+        map.insert(key, node);
+        node
+    }
+
+    /// Returns the current affinity of `key`, if any (no side effects).
+    pub fn lookup(&self, key: u64) -> Option<NodeId> {
+        self.inner.read().get(&key).copied()
+    }
+
+    /// Re-pins `key` to `node` (used when an operator or the workload shifts
+    /// locality, e.g. the Voter hot-object migrations).
+    pub fn pin(&self, key: u64, node: NodeId) {
+        self.inner.write().insert(key, node);
+    }
+
+    /// Forgets every affinity pointing at `node` (scale-in: its keys will be
+    /// re-routed on next access).
+    pub fn evict_node(&self, node: NodeId) {
+        self.inner.write().retain(|_, n| *n != node);
+    }
+
+    /// Number of keys with an affinity.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether no key has an affinity yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Per-node key counts (load-spread diagnostics).
+    pub fn distribution(&self) -> HashMap<NodeId, usize> {
+        let mut out = HashMap::new();
+        for &node in self.inner.read().values() {
+            *out.entry(node).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_always_routes_to_same_node() {
+        let lb = LoadBalancer::new(3, PlacementPolicy::RoundRobin);
+        let first = lb.route(42);
+        for _ in 0..10 {
+            assert_eq!(lb.route(42), first);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_new_keys() {
+        let lb = LoadBalancer::new(3, PlacementPolicy::RoundRobin);
+        for k in 0..300 {
+            lb.route(k);
+        }
+        let dist = lb.distribution();
+        assert_eq!(dist.len(), 3);
+        for (_, count) in dist {
+            assert_eq!(count, 100);
+        }
+    }
+
+    #[test]
+    fn hash_policy_is_deterministic() {
+        let lb1 = LoadBalancer::new(4, PlacementPolicy::Hash);
+        let lb2 = LoadBalancer::new(4, PlacementPolicy::Hash);
+        for k in 0..100 {
+            assert_eq!(lb1.route(k), lb2.route(k));
+        }
+    }
+
+    #[test]
+    fn pin_and_evict_change_affinity() {
+        let lb = LoadBalancer::new(3, PlacementPolicy::Hash);
+        lb.route(7);
+        lb.pin(7, NodeId(2));
+        assert_eq!(lb.lookup(7), Some(NodeId(2)));
+        lb.evict_node(NodeId(2));
+        assert_eq!(lb.lookup(7), None);
+        assert!(lb.is_empty());
+    }
+
+    #[test]
+    fn concurrent_routing_is_consistent() {
+        use std::thread;
+        let lb = LoadBalancer::new(3, PlacementPolicy::RoundRobin);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lb = lb.clone();
+            handles.push(thread::spawn(move || {
+                (0..100u64).map(|k| (k, lb.route(k))).collect::<Vec<_>>()
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for window in results.windows(2) {
+            assert_eq!(window[0], window[1], "all threads see the same affinity");
+        }
+    }
+}

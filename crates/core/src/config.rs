@@ -1,0 +1,128 @@
+//! Cluster configuration.
+
+use zeus_proto::NodeId;
+
+/// Configuration of a Zeus deployment.
+#[derive(Debug, Clone)]
+pub struct ZeusConfig {
+    /// Number of nodes in the deployment (the paper evaluates 3 and 6).
+    pub nodes: usize,
+    /// Number of directory replicas holding ownership metadata (the paper
+    /// uses 3 regardless of deployment size, §4).
+    pub directory_replicas: usize,
+    /// Default replication degree of objects (owner + readers). The paper's
+    /// evaluation uses 3-way replication (§8).
+    pub replication_degree: usize,
+    /// Number of store shards per node.
+    pub store_shards: usize,
+    /// Worker threads per node in the threaded runtime (each worker owns a
+    /// commit pipeline, §5.2/§7).
+    pub worker_threads: usize,
+    /// Lease duration (in ticks) for the membership failure detector.
+    pub lease_ticks: u64,
+    /// Maximum times a transaction retries ownership acquisition before
+    /// aborting with back-off (§6.2 deadlock avoidance).
+    pub max_ownership_retries: usize,
+}
+
+impl Default for ZeusConfig {
+    fn default() -> Self {
+        ZeusConfig {
+            nodes: 3,
+            directory_replicas: 3,
+            replication_degree: 3,
+            store_shards: 64,
+            worker_threads: 1,
+            lease_ticks: 10_000,
+            max_ownership_retries: 256,
+        }
+    }
+}
+
+impl ZeusConfig {
+    /// A configuration with `nodes` nodes and the paper's defaults otherwise.
+    pub fn with_nodes(nodes: usize) -> Self {
+        ZeusConfig {
+            nodes,
+            directory_replicas: 3.min(nodes),
+            replication_degree: 3.min(nodes),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the replication degree (clamped to the deployment size).
+    #[must_use]
+    pub fn replication(mut self, degree: usize) -> Self {
+        self.replication_degree = degree.clamp(1, self.nodes);
+        self
+    }
+
+    /// Sets the number of worker threads per node.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.worker_threads = workers.max(1);
+        self
+    }
+
+    /// The directory replica set: the first `directory_replicas` nodes.
+    pub fn directory(&self) -> Vec<NodeId> {
+        (0..self.directory_replicas.min(self.nodes) as u16)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// All node ids of the deployment.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes as u16).map(NodeId).collect()
+    }
+
+    /// The default replica set for a fresh object whose owner is `owner`:
+    /// the owner plus the next `replication_degree - 1` nodes in ring order.
+    pub fn default_replicas(&self, owner: NodeId) -> zeus_proto::ReplicaSet {
+        let readers = (1..self.replication_degree as u16)
+            .map(|i| NodeId((owner.0 + i) % self.nodes as u16))
+            .collect::<Vec<_>>();
+        zeus_proto::ReplicaSet::new(owner, readers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = ZeusConfig::default();
+        assert_eq!(c.nodes, 3);
+        assert_eq!(c.directory_replicas, 3);
+        assert_eq!(c.replication_degree, 3);
+    }
+
+    #[test]
+    fn with_nodes_clamps_directory_and_replication() {
+        let c = ZeusConfig::with_nodes(2);
+        assert_eq!(c.directory_replicas, 2);
+        assert_eq!(c.replication_degree, 2);
+        let c6 = ZeusConfig::with_nodes(6);
+        assert_eq!(c6.directory_replicas, 3);
+        assert_eq!(c6.directory(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(c6.all_nodes().len(), 6);
+    }
+
+    #[test]
+    fn replication_builder_clamps() {
+        let c = ZeusConfig::with_nodes(3).replication(5);
+        assert_eq!(c.replication_degree, 3);
+        let c = ZeusConfig::with_nodes(3).replication(0);
+        assert_eq!(c.replication_degree, 1);
+    }
+
+    #[test]
+    fn default_replicas_wrap_around_ring() {
+        let c = ZeusConfig::with_nodes(3);
+        let rs = c.default_replicas(NodeId(2));
+        assert_eq!(rs.owner, Some(NodeId(2)));
+        assert_eq!(rs.readers, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(rs.replication_degree(), 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Zeus: a locality-aware, strongly-consistent, replicated in-memory
+//! transactional datastore (EuroSys '21 reproduction).
+//!
+//! Zeus departs from conventional distributed commit: instead of executing a
+//! transaction across nodes, it *localises* the transaction — the coordinator
+//! acquires ownership of every object the transaction touches (via the
+//! [`zeus_ownership`] protocol), executes and commits locally, and then
+//! replicates the updates asynchronously with the pipelined
+//! [`zeus_commit`] protocol. Repeated transactions over the same objects run
+//! entirely locally, which is where workloads with access locality win.
+//!
+//! This crate assembles the full node and cluster:
+//!
+//! * [`node::ZeusNode`] — one Zeus server: object store, ownership engine,
+//!   reliable-commit engine, membership engine and the transaction layer
+//!   (write transactions with opacity, pipelined replication, and local
+//!   strictly-serializable read-only transactions from any replica).
+//! * [`txn`] — the transactional-memory-style API surface
+//!   (read/write/abort inside closures, as in the paper's
+//!   `tr_open_read`/`tr_open_write`, §7).
+//! * [`sim::SimCluster`] — a deterministic multi-node harness over the
+//!   simulated network, used by tests, fault injection and the bounded
+//!   model-checking harness.
+//! * [`runtime::ThreadedCluster`] — one OS thread per node, used by the
+//!   throughput experiments (Figures 7–15).
+//! * [`balancer::LoadBalancer`] — the application-level load balancer that
+//!   steers requests with the same key to the same node (§3.1).
+//! * [`stats`] — latency histograms and per-node statistics backing the
+//!   evaluation figures.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod balancer;
+pub mod config;
+pub mod message;
+pub mod node;
+pub mod runtime;
+pub mod sim;
+pub mod stats;
+pub mod txn;
+
+pub use balancer::LoadBalancer;
+pub use config::ZeusConfig;
+pub use message::Message;
+pub use node::ZeusNode;
+pub use runtime::ThreadedCluster;
+pub use sim::SimCluster;
+pub use stats::{LatencyHistogram, NodeStats};
+pub use txn::{ReadOutcome, TxCtx, TxError, WriteOutcome};
+
+pub use zeus_proto::{AccessLevel, NodeId, ObjectId};

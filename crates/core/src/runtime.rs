@@ -1,0 +1,558 @@
+//! Threaded runtime: one OS thread per Zeus node.
+//!
+//! This is the runtime the throughput experiments use. Each node runs an
+//! event loop on its own thread (network messages, client commands, parked
+//! transactions waiting for ownership); application threads interact with a
+//! node through a cloneable [`ZeusHandle`], whose `execute_write` blocks only
+//! while ownership is being acquired — exactly the blocking model of the
+//! paper (§3.2): transactions pipeline, ownership requests stall.
+
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use bytes::Bytes;
+use zeus_net::{NodeMailbox, ThreadedNet};
+use zeus_proto::{NodeId, ObjectId, OwnershipRequestKind, ReplicaSet, RequestId};
+
+use crate::config::ZeusConfig;
+use crate::message::Message;
+use crate::node::{RequestState, ZeusNode};
+use crate::stats::{LatencyHistogram, NodeStats};
+use crate::txn::{ReadOutcome, TxCtx, TxError, WriteOutcome};
+
+/// A transaction closure executed on the node thread. The result payload is
+/// an opaque byte vector so the command channel stays object-safe.
+pub type TxFn = Box<dyn FnMut(&mut TxCtx<'_>) -> Result<Vec<u8>, TxError> + Send>;
+
+enum Command {
+    Write {
+        tx: TxFn,
+        reply: Sender<Result<Vec<u8>, TxError>>,
+    },
+    Read {
+        tx: TxFn,
+        reply: Sender<Result<Vec<u8>, TxError>>,
+    },
+    Acquire {
+        object: ObjectId,
+        kind: OwnershipRequestKind,
+        reply: Sender<Result<(), TxError>>,
+    },
+    CreateObject {
+        object: ObjectId,
+        data: Bytes,
+        replicas: ReplicaSet,
+    },
+    Stats {
+        reply: Sender<(NodeStats, LatencyHistogram)>,
+    },
+    Shutdown,
+}
+
+struct Parked {
+    tx: TxFn,
+    requests: Vec<RequestId>,
+    reply: Sender<Result<Vec<u8>, TxError>>,
+    attempts: usize,
+    /// Exponential back-off deadline: do not re-execute before this instant
+    /// (the paper's deadlock/contention avoidance, §6.2).
+    not_before: Instant,
+}
+
+struct AcquireWait {
+    request: RequestId,
+    reply: Sender<Result<(), TxError>>,
+}
+
+/// Client handle to one node of a [`ThreadedCluster`]. Cloneable; all
+/// methods block until the node thread answers.
+#[derive(Clone)]
+pub struct ZeusHandle {
+    node: NodeId,
+    commands: Sender<Command>,
+}
+
+impl ZeusHandle {
+    /// The node this handle talks to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Executes a write transaction, blocking while ownership is acquired.
+    pub fn execute_write(
+        &self,
+        tx: impl FnMut(&mut TxCtx<'_>) -> Result<Vec<u8>, TxError> + Send + 'static,
+    ) -> Result<Vec<u8>, TxError> {
+        let (reply, rx) = bounded(1);
+        self.commands
+            .send(Command::Write {
+                tx: Box::new(tx),
+                reply,
+            })
+            .map_err(|_| TxError::RetriesExhausted)?;
+        rx.recv().unwrap_or(Err(TxError::RetriesExhausted))
+    }
+
+    /// Executes a local read-only transaction.
+    pub fn execute_read(
+        &self,
+        tx: impl FnMut(&mut TxCtx<'_>) -> Result<Vec<u8>, TxError> + Send + 'static,
+    ) -> Result<Vec<u8>, TxError> {
+        let (reply, rx) = bounded(1);
+        self.commands
+            .send(Command::Read {
+                tx: Box::new(tx),
+                reply,
+            })
+            .map_err(|_| TxError::RetriesExhausted)?;
+        rx.recv().unwrap_or(Err(TxError::RetriesExhausted))
+    }
+
+    /// Explicitly migrates an object to this node (Figures 10–11).
+    pub fn acquire(&self, object: ObjectId, kind: OwnershipRequestKind) -> Result<(), TxError> {
+        let (reply, rx) = bounded(1);
+        self.commands
+            .send(Command::Acquire {
+                object,
+                kind,
+                reply,
+            })
+            .map_err(|_| TxError::RetriesExhausted)?;
+        rx.recv().unwrap_or(Err(TxError::RetriesExhausted))
+    }
+
+    /// Creates an object on this node (the cluster calls this on every node).
+    fn create_object(&self, object: ObjectId, data: Bytes, replicas: ReplicaSet) {
+        let _ = self.commands.send(Command::CreateObject {
+            object,
+            data,
+            replicas,
+        });
+    }
+
+    /// Fetches this node's statistics and ownership-latency histogram.
+    pub fn stats(&self) -> (NodeStats, LatencyHistogram) {
+        let (reply, rx) = bounded(1);
+        if self.commands.send(Command::Stats { reply }).is_err() {
+            return (NodeStats::default(), LatencyHistogram::default());
+        }
+        rx.recv()
+            .unwrap_or((NodeStats::default(), LatencyHistogram::default()))
+    }
+}
+
+/// A Zeus cluster where every node runs on its own OS thread.
+pub struct ThreadedCluster {
+    config: ZeusConfig,
+    handles: Vec<ZeusHandle>,
+    threads: Vec<JoinHandle<()>>,
+    shutdown: Vec<Sender<Command>>,
+}
+
+impl ThreadedCluster {
+    /// Starts a cluster with the given configuration.
+    pub fn start(config: ZeusConfig) -> Self {
+        let net: ThreadedNet<Message> = ThreadedNet::new(config.nodes);
+        let mut handles = Vec::new();
+        let mut threads = Vec::new();
+        let mut shutdown = Vec::new();
+        for i in 0..config.nodes as u16 {
+            let id = NodeId(i);
+            let mailbox = net.mailbox(id);
+            let (cmd_tx, cmd_rx) = unbounded();
+            handles.push(ZeusHandle {
+                node: id,
+                commands: cmd_tx.clone(),
+            });
+            shutdown.push(cmd_tx);
+            let node_config = config.clone();
+            threads.push(std::thread::spawn(move || {
+                node_loop(ZeusNode::new(id, node_config), mailbox, cmd_rx);
+            }));
+        }
+        ThreadedCluster {
+            config,
+            handles,
+            threads,
+            shutdown,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &ZeusConfig {
+        &self.config
+    }
+
+    /// A client handle to node `id`.
+    pub fn handle(&self, id: NodeId) -> ZeusHandle {
+        self.handles[id.index()].clone()
+    }
+
+    /// Creates an object on every node with its home placement.
+    pub fn create_object(&self, object: ObjectId, data: impl Into<Bytes>, owner: NodeId) {
+        let data = data.into();
+        let replicas = self.config.default_replicas(owner);
+        for handle in &self.handles {
+            handle.create_object(object, data.clone(), replicas.clone());
+        }
+    }
+
+    /// Aggregated statistics over all nodes.
+    pub fn aggregate_stats(&self) -> NodeStats {
+        let mut total = NodeStats::default();
+        for handle in &self.handles {
+            total.merge(&handle.stats().0);
+        }
+        total
+    }
+
+    /// Stops all node threads and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for tx in &self.shutdown {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ThreadedCluster {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// The per-node event loop.
+fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiver<Command>) {
+    let started = Instant::now();
+    let mut parked: Vec<Parked> = Vec::new();
+    let mut acquiring: Vec<AcquireWait> = Vec::new();
+    let max_attempts = node.config().max_ownership_retries;
+    loop {
+        let mut did_work = false;
+
+        // 1. Network traffic.
+        for _ in 0..256 {
+            match mailbox.try_recv() {
+                Some(env) => {
+                    node.handle_message(env.from, env.msg);
+                    did_work = true;
+                    // If an ownership acquisition just completed for a parked
+                    // transaction, run it before processing more messages —
+                    // otherwise a competing node's request in the same batch
+                    // could steal the object back before the transaction ever
+                    // executes (ownership ping-pong under heavy contention).
+                    if parked
+                        .iter()
+                        .any(|p| matches!(requests_state(&node, &p.requests), Some(Ok(()))))
+                    {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+
+        // 2. Client commands.
+        for _ in 0..64 {
+            match commands.try_recv() {
+                Ok(Command::Write { mut tx, reply }) => {
+                    did_work = true;
+                    match attempt_write(&mut node, tx.as_mut()) {
+                        AttemptResult::Done(result) => {
+                            let _ = reply.send(result);
+                        }
+                        AttemptResult::Park(requests) => parked.push(Parked {
+                            tx,
+                            requests,
+                            reply,
+                            attempts: 0,
+                            not_before: Instant::now(),
+                        }),
+                    }
+                }
+                Ok(Command::Read { mut tx, reply }) => {
+                    did_work = true;
+                    // Read-only transactions abort on in-flight reliable
+                    // commits (§5.3); retry locally after letting the commit
+                    // traffic drain.
+                    let mut result = Err(TxError::RetriesExhausted);
+                    for _ in 0..256 {
+                        match node.execute_read(|ctx| tx(ctx)) {
+                            ReadOutcome::Committed { value } => {
+                                result = Ok(value);
+                                break;
+                            }
+                            ReadOutcome::Aborted {
+                                error: TxError::ReadConflict,
+                            } => {
+                                // Process protocol traffic and try again.
+                                while let Some(env) = mailbox.try_recv() {
+                                    node.handle_message(env.from, env.msg);
+                                }
+                                for (to, msg) in node.drain_outbox() {
+                                    let bytes = msg.payload_bytes();
+                                    mailbox.send(to, msg, bytes);
+                                }
+                            }
+                            ReadOutcome::Aborted { error } => {
+                                result = Err(error);
+                                break;
+                            }
+                        }
+                    }
+                    let _ = reply.send(result);
+                }
+                Ok(Command::Acquire {
+                    object,
+                    kind,
+                    reply,
+                }) => {
+                    did_work = true;
+                    let request = node.acquire(object, kind);
+                    acquiring.push(AcquireWait { request, reply });
+                }
+                Ok(Command::CreateObject {
+                    object,
+                    data,
+                    replicas,
+                }) => {
+                    did_work = true;
+                    node.create_object(object, data, replicas);
+                }
+                Ok(Command::Stats { reply }) => {
+                    let _ = reply.send((node.stats(), node.ownership_latency().clone()));
+                }
+                Ok(Command::Shutdown) => return,
+                Err(_) => break,
+            }
+        }
+
+        // 3. Parked transactions whose ownership requests finished.
+        let mut still_parked = Vec::new();
+        for mut p in parked.drain(..) {
+            if Instant::now() < p.not_before {
+                still_parked.push(p);
+                continue;
+            }
+            let state = requests_state(&node, &p.requests);
+            let retry_now = match &state {
+                Some(Ok(())) => true,
+                // Losing an ownership arbitration is transient: re-execute
+                // the transaction, which re-issues the acquisition (§6.2).
+                Some(Err(TxError::OwnershipFailed {
+                    reason: zeus_proto::messages::NackReason::LostArbitration,
+                    ..
+                })) => true,
+                Some(Err(_)) => false,
+                None => {
+                    still_parked.push(p);
+                    continue;
+                }
+            };
+            did_work = true;
+            if !retry_now {
+                let _ = p
+                    .reply
+                    .send(Err(state.expect("checked above").unwrap_err()));
+                continue;
+            }
+            p.attempts += 1;
+            if p.attempts > max_attempts {
+                let _ = p.reply.send(Err(TxError::RetriesExhausted));
+                continue;
+            }
+            match attempt_write(&mut node, p.tx.as_mut()) {
+                AttemptResult::Done(result) => {
+                    let _ = p.reply.send(result);
+                }
+                AttemptResult::Park(requests) => {
+                    // Exponential back-off, capped at ~6 ms, so contending
+                    // coordinators stop ping-ponging ownership.
+                    let backoff = Duration::from_micros(100 << p.attempts.min(6));
+                    still_parked.push(Parked {
+                        tx: p.tx,
+                        requests,
+                        reply: p.reply,
+                        attempts: p.attempts,
+                        not_before: Instant::now() + backoff,
+                    });
+                }
+            }
+        }
+        parked = still_parked;
+
+        // 4. Explicit acquisitions.
+        let mut still_acquiring = Vec::new();
+        for a in acquiring.drain(..) {
+            match node.request_state(a.request) {
+                RequestState::Completed => {
+                    did_work = true;
+                    let _ = a.reply.send(Ok(()));
+                }
+                RequestState::Failed(reason) => {
+                    did_work = true;
+                    let _ = a.reply.send(Err(TxError::OwnershipFailed {
+                        object: ObjectId(0),
+                        reason,
+                    }));
+                }
+                RequestState::Pending => still_acquiring.push(a),
+            }
+        }
+        acquiring = still_acquiring;
+
+        // 5. Ship outgoing traffic and advance the clock.
+        for (to, msg) in node.drain_outbox() {
+            let bytes = msg.payload_bytes();
+            mailbox.send(to, msg, bytes);
+        }
+        node.tick(started.elapsed().as_micros() as u64);
+
+        if !did_work {
+            // Nothing to do right now: yield briefly instead of burning CPU.
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+/// Result of one synchronous write attempt on the node thread.
+enum AttemptResult {
+    /// The transaction finished (committed or terminally aborted).
+    Done(Result<Vec<u8>, TxError>),
+    /// Ownership is being acquired for these requests; park the closure.
+    Park(Vec<RequestId>),
+}
+
+/// Executes a write transaction, retrying transient local aborts (lock or
+/// validation conflicts between worker threads) in place.
+fn attempt_write(
+    node: &mut ZeusNode,
+    tx: &mut (dyn FnMut(&mut TxCtx<'_>) -> Result<Vec<u8>, TxError> + Send),
+) -> AttemptResult {
+    for _ in 0..64 {
+        match node.execute_write(0, |ctx| tx(ctx)) {
+            WriteOutcome::Committed { value, .. } => return AttemptResult::Done(Ok(value)),
+            WriteOutcome::OwnershipPending { requests } => return AttemptResult::Park(requests),
+            WriteOutcome::Aborted { error } => match error {
+                TxError::LockConflict | TxError::ValidationFailed | TxError::ReadConflict => {
+                    continue
+                }
+                other => return AttemptResult::Done(Err(other)),
+            },
+        }
+    }
+    AttemptResult::Done(Err(TxError::RetriesExhausted))
+}
+
+fn requests_state(node: &ZeusNode, requests: &[RequestId]) -> Option<Result<(), TxError>> {
+    let mut all_done = true;
+    for &req in requests {
+        match node.request_state(req) {
+            RequestState::Completed => {}
+            RequestState::Pending => all_done = false,
+            RequestState::Failed(reason) => {
+                return Some(Err(TxError::OwnershipFailed {
+                    object: ObjectId(0),
+                    reason,
+                }))
+            }
+        }
+    }
+    if all_done {
+        Some(Ok(()))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_cluster_commits_local_and_remote_writes() {
+        let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
+        let object = ObjectId(1);
+        cluster.create_object(object, Bytes::from_static(b"0"), NodeId(0));
+
+        // Local write on the owner.
+        let h0 = cluster.handle(NodeId(0));
+        let r = h0.execute_write(move |tx| {
+            tx.write(object, Bytes::from_static(b"a"))?;
+            Ok(vec![1])
+        });
+        assert_eq!(r.unwrap(), vec![1]);
+
+        // Remote write: node 2 must first acquire ownership (blocking).
+        let h2 = cluster.handle(NodeId(2));
+        let r = h2.execute_write(move |tx| {
+            tx.write(object, Bytes::from_static(b"b"))?;
+            Ok(vec![2])
+        });
+        assert_eq!(r.unwrap(), vec![2]);
+
+        // Read back from node 2 (now the owner).
+        let value = h2.execute_read(move |tx| Ok(tx.read(object)?.to_vec())).unwrap();
+        assert_eq!(value, b"b");
+
+        let stats = cluster.aggregate_stats();
+        assert!(stats.write_txs_committed >= 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn explicit_acquire_moves_ownership() {
+        let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
+        let object = ObjectId(9);
+        cluster.create_object(object, Bytes::from_static(b"x"), NodeId(0));
+        let h1 = cluster.handle(NodeId(1));
+        h1.acquire(object, OwnershipRequestKind::AcquireOwner)
+            .unwrap();
+        let (stats, latency) = h1.stats();
+        assert_eq!(stats.ownership_completed, 1);
+        assert_eq!(latency.count(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn many_clients_many_objects_in_parallel() {
+        let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
+        for i in 0..30u64 {
+            cluster.create_object(ObjectId(i), Bytes::from_static(b"0"), NodeId((i % 3) as u16));
+        }
+        let mut clients = Vec::new();
+        for c in 0..3u16 {
+            let handle = cluster.handle(NodeId(c));
+            clients.push(std::thread::spawn(move || {
+                let mut committed = 0;
+                for i in 0..30u64 {
+                    let object = ObjectId(i);
+                    let r = handle.execute_write(move |tx| {
+                        tx.update(object, |old| {
+                            let mut v = old.to_vec();
+                            v.push(1);
+                            v
+                        })?;
+                        Ok(Vec::new())
+                    });
+                    if r.is_ok() {
+                        committed += 1;
+                    }
+                }
+                committed
+            }));
+        }
+        let total: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 90, "every write must eventually commit");
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,383 @@
+//! Transaction API: contexts, outcomes and errors.
+//!
+//! The surface mirrors the paper's transactional-memory API (§7): a
+//! transaction is arbitrary code that opens objects for reading or writing
+//! through a [`TxCtx`]; Zeus verifies the required access level on each open
+//! and acquires ownership on demand. Write transactions enjoy *opacity*
+//! (§6.2): every read is validated against the versions observed, even if the
+//! transaction ultimately aborts.
+
+use bytes::Bytes;
+use zeus_proto::messages::NackReason;
+use zeus_proto::{ObjectId, OwnershipRequestKind, RequestId, TxId};
+use zeus_store::{Store, TxWorkspace};
+
+/// Why a transaction could not commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// The node lacks the access level needed for `object`; ownership is
+    /// being (or must be) acquired. Write transactions surface this through
+    /// [`WriteOutcome::OwnershipPending`] rather than an abort.
+    NeedsOwnership {
+        /// The object that must be acquired.
+        object: ObjectId,
+        /// The level to acquire.
+        kind: OwnershipRequestKind,
+    },
+    /// A read-only transaction touched an object this node does not
+    /// replicate; route it to a replica instead (§5.3).
+    NotReplicated {
+        /// The missing object.
+        object: ObjectId,
+    },
+    /// A read-only transaction hit an invalidated object or a version change
+    /// (a conflicting reliable commit is in flight); retry locally.
+    ReadConflict,
+    /// Opacity validation failed at local commit (a concurrent local
+    /// transaction or incoming migration changed a read object).
+    ValidationFailed,
+    /// Another worker thread of the same node holds the local lock of an
+    /// object in the write set (§7 multi-threaded local commit).
+    LockConflict,
+    /// A read-only transaction attempted a write.
+    WriteInReadOnly,
+    /// The application aborted the transaction.
+    UserAbort,
+    /// An ownership acquisition failed terminally.
+    OwnershipFailed {
+        /// The object whose acquisition failed.
+        object: ObjectId,
+        /// The protocol-level reason.
+        reason: NackReason,
+    },
+    /// The transaction exhausted its ownership-retry budget (back-off
+    /// deadlock avoidance, §6.2).
+    RetriesExhausted,
+}
+
+/// Outcome of a write-transaction execution attempt on a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteOutcome<R> {
+    /// The transaction committed locally; its reliable commit is pipelined.
+    Committed {
+        /// The transaction id assigned by the commit pipeline.
+        tx_id: TxId,
+        /// The value returned by the transaction closure.
+        value: R,
+    },
+    /// The transaction touched objects this node does not hold at the
+    /// required level. Ownership requests were issued; re-execute the
+    /// transaction once they complete (the application thread blocks here in
+    /// the paper, §3.2).
+    OwnershipPending {
+        /// The outstanding ownership requests.
+        requests: Vec<RequestId>,
+    },
+    /// The transaction aborted.
+    Aborted {
+        /// Why it aborted.
+        error: TxError,
+    },
+}
+
+impl<R> WriteOutcome<R> {
+    /// Returns the committed value, panicking otherwise (test helper).
+    pub fn unwrap_committed(self) -> R {
+        match self {
+            WriteOutcome::Committed { value, .. } => value,
+            other => panic!("expected Committed, got {:?}", discriminant_name(&other)),
+        }
+    }
+
+    /// Whether the outcome is `Committed`.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, WriteOutcome::Committed { .. })
+    }
+}
+
+fn discriminant_name<R>(o: &WriteOutcome<R>) -> &'static str {
+    match o {
+        WriteOutcome::Committed { .. } => "Committed",
+        WriteOutcome::OwnershipPending { .. } => "OwnershipPending",
+        WriteOutcome::Aborted { .. } => "Aborted",
+    }
+}
+
+/// Outcome of a read-only transaction (§5.3): it either commits after its
+/// local validation or aborts (no network traffic either way).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadOutcome<R> {
+    /// The transaction observed a consistent, reliably committed snapshot.
+    Committed {
+        /// The value returned by the transaction closure.
+        value: R,
+    },
+    /// The transaction aborted (conflict or missing replica).
+    Aborted {
+        /// Why it aborted.
+        error: TxError,
+    },
+}
+
+impl<R> ReadOutcome<R> {
+    /// Returns the committed value, panicking otherwise (test helper).
+    pub fn unwrap_committed(self) -> R {
+        match self {
+            ReadOutcome::Committed { value } => value,
+            ReadOutcome::Aborted { error } => panic!("read-only tx aborted: {error:?}"),
+        }
+    }
+
+    /// Whether the outcome is `Committed`.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, ReadOutcome::Committed { .. })
+    }
+}
+
+/// Execution context handed to transaction closures.
+///
+/// The context records the read and write sets, serves reads from the
+/// transaction's private copies (write-your-own-read), and accumulates the
+/// access levels that are missing so the node can acquire them.
+#[derive(Debug)]
+pub struct TxCtx<'a> {
+    store: &'a Store,
+    read_only: bool,
+    ws: TxWorkspace,
+    missing: Vec<(ObjectId, OwnershipRequestKind)>,
+}
+
+impl<'a> TxCtx<'a> {
+    /// Creates a context for a write transaction.
+    pub(crate) fn write_tx(store: &'a Store) -> Self {
+        TxCtx {
+            store,
+            read_only: false,
+            ws: TxWorkspace::new(),
+            missing: Vec::new(),
+        }
+    }
+
+    /// Creates a context for a read-only transaction.
+    pub(crate) fn read_tx(store: &'a Store) -> Self {
+        TxCtx {
+            store,
+            read_only: true,
+            ws: TxWorkspace::new(),
+            missing: Vec::new(),
+        }
+    }
+
+    /// Opens `object` for reading and returns its data
+    /// (`tr_open_read`, §7).
+    pub fn read(&mut self, object: ObjectId) -> Result<Bytes, TxError> {
+        if let Some(private) = self.ws.written(object) {
+            return Ok(private.clone());
+        }
+        match self.store.get(object) {
+            Some(entry) if entry.level.can_read() => {
+                if self.read_only && !entry.t_state.readable() {
+                    // A reliable commit is in flight: the replica may return
+                    // neither the old nor the new value (§5.3).
+                    return Err(TxError::ReadConflict);
+                }
+                self.ws.record_read(object, entry.version);
+                Ok(entry.data)
+            }
+            Some(_) | None if self.read_only => Err(TxError::NotReplicated { object }),
+            _ => {
+                let kind = OwnershipRequestKind::AcquireReader;
+                self.missing.push((object, kind));
+                Err(TxError::NeedsOwnership { object, kind })
+            }
+        }
+    }
+
+    /// Opens `object` for writing and installs `data` as its new value in the
+    /// transaction's private copy (`tr_open_write`, §7).
+    pub fn write(&mut self, object: ObjectId, data: impl Into<Bytes>) -> Result<(), TxError> {
+        if self.read_only {
+            return Err(TxError::WriteInReadOnly);
+        }
+        match self.store.get(object) {
+            Some(entry) if entry.level.can_write() => {
+                self.ws.record_read(object, entry.version);
+                self.ws.record_write(object, data.into());
+                Ok(())
+            }
+            _ => {
+                let kind = OwnershipRequestKind::AcquireOwner;
+                self.missing.push((object, kind));
+                Err(TxError::NeedsOwnership { object, kind })
+            }
+        }
+    }
+
+    /// Reads `object`, applies `f` to its value and writes the result back —
+    /// the common read-modify-write shape of the OLTP benchmarks.
+    pub fn update(
+        &mut self,
+        object: ObjectId,
+        f: impl FnOnce(&[u8]) -> Vec<u8>,
+    ) -> Result<(), TxError> {
+        // A write will be needed: make sure we have (or request) write access
+        // before reading, so a single ownership round-trip suffices.
+        if !self.read_only {
+            match self.store.get(object) {
+                Some(entry) if entry.level.can_write() => {}
+                _ => {
+                    let kind = OwnershipRequestKind::AcquireOwner;
+                    self.missing.push((object, kind));
+                    return Err(TxError::NeedsOwnership { object, kind });
+                }
+            }
+        }
+        let current = self.read(object)?;
+        let new = f(&current);
+        self.write(object, new)
+    }
+
+    /// Marks the transaction as aborted by the application.
+    pub fn abort<T>(&self) -> Result<T, TxError> {
+        Err(TxError::UserAbort)
+    }
+
+    /// Number of objects read so far.
+    pub fn reads(&self) -> usize {
+        self.ws.read_count()
+    }
+
+    /// Number of objects written so far.
+    pub fn writes(&self) -> usize {
+        self.ws.write_count()
+    }
+
+    /// Consumes the context, returning the workspace and the missing access
+    /// levels (deduplicated, strongest level wins).
+    pub(crate) fn into_parts(self) -> (TxWorkspace, Vec<(ObjectId, OwnershipRequestKind)>) {
+        let mut missing: Vec<(ObjectId, OwnershipRequestKind)> = Vec::new();
+        for (object, kind) in self.missing {
+            if let Some(existing) = missing.iter_mut().find(|(o, _)| *o == object) {
+                if kind == OwnershipRequestKind::AcquireOwner {
+                    existing.1 = OwnershipRequestKind::AcquireOwner;
+                }
+            } else {
+                missing.push((object, kind));
+            }
+        }
+        (self.ws, missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_proto::{AccessLevel, NodeId, ReplicaSet};
+
+    fn store_with(level: AccessLevel) -> Store {
+        let store = Store::new(4);
+        store.create(
+            ObjectId(1),
+            Bytes::from_static(b"v1"),
+            level,
+            ReplicaSet::new(NodeId(0), [NodeId(1)]),
+        );
+        store
+    }
+
+    #[test]
+    fn write_tx_reads_and_writes_owned_object() {
+        let store = store_with(AccessLevel::Owner);
+        let mut ctx = TxCtx::write_tx(&store);
+        assert_eq!(ctx.read(ObjectId(1)).unwrap(), Bytes::from_static(b"v1"));
+        ctx.write(ObjectId(1), Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(ctx.read(ObjectId(1)).unwrap(), Bytes::from_static(b"v2"));
+        let (ws, missing) = ctx.into_parts();
+        assert!(missing.is_empty());
+        assert_eq!(ws.write_count(), 1);
+    }
+
+    #[test]
+    fn write_to_reader_object_requests_ownership() {
+        let store = store_with(AccessLevel::Reader);
+        let mut ctx = TxCtx::write_tx(&store);
+        let err = ctx.write(ObjectId(1), Bytes::new()).unwrap_err();
+        assert!(matches!(err, TxError::NeedsOwnership { .. }));
+        let (_, missing) = ctx.into_parts();
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].1, OwnershipRequestKind::AcquireOwner);
+    }
+
+    #[test]
+    fn read_of_unknown_object_requests_reader_level() {
+        let store = Store::new(4);
+        let mut ctx = TxCtx::write_tx(&store);
+        assert!(ctx.read(ObjectId(9)).is_err());
+        let (_, missing) = ctx.into_parts();
+        assert_eq!(missing[0].1, OwnershipRequestKind::AcquireReader);
+    }
+
+    #[test]
+    fn missing_levels_deduplicate_to_strongest() {
+        let store = Store::new(4);
+        let mut ctx = TxCtx::write_tx(&store);
+        let _ = ctx.read(ObjectId(5));
+        let _ = ctx.write(ObjectId(5), Bytes::new());
+        let (_, missing) = ctx.into_parts();
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].1, OwnershipRequestKind::AcquireOwner);
+    }
+
+    #[test]
+    fn read_only_tx_rejects_writes_and_missing_replicas() {
+        let store = store_with(AccessLevel::Reader);
+        let mut ctx = TxCtx::read_tx(&store);
+        assert_eq!(ctx.read(ObjectId(1)).unwrap(), Bytes::from_static(b"v1"));
+        assert_eq!(
+            ctx.write(ObjectId(1), Bytes::new()).unwrap_err(),
+            TxError::WriteInReadOnly
+        );
+        assert!(matches!(
+            ctx.read(ObjectId(99)).unwrap_err(),
+            TxError::NotReplicated { .. }
+        ));
+    }
+
+    #[test]
+    fn read_only_tx_aborts_on_invalidated_object() {
+        let store = store_with(AccessLevel::Reader);
+        store
+            .with_mut(ObjectId(1), |e| {
+                e.apply_follower_update(5, Bytes::from_static(b"new"));
+            })
+            .unwrap();
+        let mut ctx = TxCtx::read_tx(&store);
+        assert_eq!(ctx.read(ObjectId(1)).unwrap_err(), TxError::ReadConflict);
+    }
+
+    #[test]
+    fn update_helper_does_read_modify_write() {
+        let store = store_with(AccessLevel::Owner);
+        let mut ctx = TxCtx::write_tx(&store);
+        ctx.update(ObjectId(1), |old| {
+            let mut v = old.to_vec();
+            v.push(b'!');
+            v
+        })
+        .unwrap();
+        assert_eq!(ctx.read(ObjectId(1)).unwrap(), Bytes::from_static(b"v1!"));
+    }
+
+    #[test]
+    fn unwrap_helpers_behave() {
+        let ok: WriteOutcome<u32> = WriteOutcome::Committed {
+            tx_id: Default::default(),
+            value: 7,
+        };
+        assert!(ok.is_committed());
+        assert_eq!(ok.unwrap_committed(), 7);
+        let ro: ReadOutcome<u32> = ReadOutcome::Committed { value: 9 };
+        assert!(ro.is_committed());
+        assert_eq!(ro.unwrap_committed(), 9);
+    }
+}

@@ -1,0 +1,420 @@
+//! Per-node membership state machine.
+
+use std::collections::HashSet;
+
+use zeus_proto::{Epoch, MembershipMsg, NodeId};
+
+use crate::lease::LeaseTable;
+use crate::view::View;
+
+/// Outputs of the membership engine, applied by the hosting runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MembershipEvent {
+    /// Broadcast this membership message to all live peers.
+    Broadcast(MembershipMsg),
+    /// A new view has been installed locally. The hosting node must notify
+    /// the ownership and commit protocols (epoch bump, replay, recovery).
+    ViewInstalled(View),
+    /// All live nodes (including this one) have finished replaying pending
+    /// reliable commits for the current epoch; the ownership protocol may
+    /// resume accepting requests (§5.1).
+    RecoveryComplete(Epoch),
+}
+
+/// The membership role of this reproduction: the lowest-id live node acts as
+/// the view manager (standing in for the paper's ZooKeeper-like service). It
+/// suspects peers whose leases expired, waits out the grace period, then
+/// installs and broadcasts the next view. Other nodes only adopt views
+/// received from the manager with a strictly larger epoch.
+#[derive(Debug)]
+pub struct MembershipEngine {
+    local: NodeId,
+    view: View,
+    leases: LeaseTable,
+    heartbeat_interval: u64,
+    grace: u64,
+    last_heartbeat_at: Option<u64>,
+    /// Nodes that announced recovery completion for the current epoch.
+    recovered: HashSet<NodeId>,
+    /// Whether recovery for the current epoch has already been reported.
+    recovery_announced: bool,
+    /// Whether the ownership protocol is currently allowed to make progress.
+    ownership_enabled: bool,
+}
+
+impl MembershipEngine {
+    /// Creates the engine for `local` in a cluster of `n` nodes.
+    ///
+    /// `lease_ticks` is the lease duration; heartbeats are sent every
+    /// `lease_ticks / 4`; views are installed after the lease plus an equal
+    /// grace period has elapsed without a heartbeat.
+    pub fn new(local: NodeId, n: usize, lease_ticks: u64) -> Self {
+        let view = View::initial(n);
+        let peers = view.live.iter().copied().filter(|&p| p != local);
+        MembershipEngine {
+            local,
+            leases: LeaseTable::new(lease_ticks, peers),
+            view,
+            heartbeat_interval: (lease_ticks / 4).max(1),
+            grace: lease_ticks,
+            last_heartbeat_at: None,
+            recovered: HashSet::new(),
+            recovery_announced: false,
+            ownership_enabled: true,
+        }
+    }
+
+    /// The node this engine belongs to.
+    pub fn local(&self) -> NodeId {
+        self.local
+    }
+
+    /// The currently installed view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.view.epoch
+    }
+
+    /// Whether the ownership protocol may accept new requests (it is paused
+    /// between a view change and the completion of commit recovery, §5.1).
+    pub fn ownership_enabled(&self) -> bool {
+        self.ownership_enabled
+    }
+
+    /// Whether this node currently acts as the view manager.
+    pub fn is_manager(&self) -> bool {
+        self.view.live.first() == Some(&self.local)
+    }
+
+    /// Whether `node` is live in the current view.
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.view.is_live(node)
+    }
+
+    /// Called by the hosting node when *its own* commit recovery for the
+    /// current epoch has finished. Returns events to broadcast/apply.
+    pub fn local_recovery_done(&mut self) -> Vec<MembershipEvent> {
+        let mut events = vec![MembershipEvent::Broadcast(MembershipMsg::RecoveryDone {
+            from: self.local,
+            epoch: self.view.epoch,
+        })];
+        self.recovered.insert(self.local);
+        events.extend(self.maybe_complete_recovery());
+        events
+    }
+
+    /// Periodic driver: renews our own liveness by broadcasting heartbeats
+    /// and, if we are the manager, checks lease expirations.
+    pub fn tick(&mut self, now: u64) -> Vec<MembershipEvent> {
+        let mut events = Vec::new();
+        let due = match self.last_heartbeat_at {
+            None => true,
+            Some(t) => now.saturating_sub(t) >= self.heartbeat_interval,
+        };
+        if due {
+            self.last_heartbeat_at = Some(now);
+            events.push(MembershipEvent::Broadcast(MembershipMsg::Heartbeat {
+                from: self.local,
+                epoch: self.view.epoch,
+            }));
+            // While the epoch's recovery barrier is still open, keep
+            // re-announcing our own completion: a peer may have missed the
+            // first announcement if it arrived before the peer installed the
+            // view (or was lost), and without it the peer would never
+            // re-enable the ownership protocol.
+            if !self.ownership_enabled && self.recovered.contains(&self.local) {
+                events.push(MembershipEvent::Broadcast(MembershipMsg::RecoveryDone {
+                    from: self.local,
+                    epoch: self.view.epoch,
+                }));
+            }
+        }
+        if self.is_manager() {
+            let dead: Vec<NodeId> = self
+                .leases
+                .expired(now, self.grace)
+                .into_iter()
+                .filter(|n| self.view.is_live(*n))
+                .collect();
+            if !dead.is_empty() {
+                let new_view = self.view.without(&dead);
+                // The ViewChange broadcast must precede the local
+                // ViewInstalled event: processing ViewInstalled triggers
+                // recovery traffic tagged with the new epoch, which peers
+                // would ignore if they had not yet learnt of the view.
+                events.push(MembershipEvent::Broadcast(MembershipMsg::ViewChange {
+                    epoch: new_view.epoch,
+                    live: new_view.live.clone(),
+                }));
+                events.extend(self.install_view(new_view));
+            }
+        }
+        events
+    }
+
+    /// Handles an incoming membership message.
+    pub fn on_message(&mut self, msg: MembershipMsg, now: u64) -> Vec<MembershipEvent> {
+        match msg {
+            MembershipMsg::Heartbeat { from, .. } => {
+                self.leases.renew(from, now);
+                Vec::new()
+            }
+            MembershipMsg::ViewChange { epoch, live } => {
+                if epoch > self.view.epoch {
+                    self.install_view(View::new(epoch, live))
+                } else {
+                    Vec::new()
+                }
+            }
+            MembershipMsg::RecoveryDone { from, epoch } => {
+                if epoch == self.view.epoch {
+                    self.recovered.insert(from);
+                    self.maybe_complete_recovery()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Administratively removes a node (used by tests and by the harness to
+    /// model an operator-initiated scale-in). Only meaningful on the manager.
+    pub fn force_remove(&mut self, node: NodeId) -> Vec<MembershipEvent> {
+        if !self.view.is_live(node) {
+            return Vec::new();
+        }
+        let new_view = self.view.without(&[node]);
+        let mut events = vec![MembershipEvent::Broadcast(MembershipMsg::ViewChange {
+            epoch: new_view.epoch,
+            live: new_view.live.clone(),
+        })];
+        events.extend(self.install_view(new_view));
+        events
+    }
+
+    /// Administratively adds a node (scale-out).
+    pub fn force_add(&mut self, node: NodeId, now: u64) -> Vec<MembershipEvent> {
+        if self.view.is_live(node) {
+            return Vec::new();
+        }
+        self.leases.insert(node, now);
+        let new_view = self.view.with(&[node]);
+        let mut events = vec![MembershipEvent::Broadcast(MembershipMsg::ViewChange {
+            epoch: new_view.epoch,
+            live: new_view.live.clone(),
+        })];
+        events.extend(self.install_view(new_view));
+        events
+    }
+
+    fn install_view(&mut self, view: View) -> Vec<MembershipEvent> {
+        debug_assert!(view.epoch > self.view.epoch);
+        for dead in self
+            .view
+            .live
+            .iter()
+            .filter(|n| !view.is_live(**n))
+            .copied()
+            .collect::<Vec<_>>()
+        {
+            self.leases.remove(dead);
+        }
+        self.view = view.clone();
+        self.recovered.clear();
+        self.recovery_announced = false;
+        self.ownership_enabled = false;
+        vec![MembershipEvent::ViewInstalled(view)]
+    }
+
+    fn maybe_complete_recovery(&mut self) -> Vec<MembershipEvent> {
+        if self.recovery_announced {
+            return Vec::new();
+        }
+        let all = self
+            .view
+            .live
+            .iter()
+            .all(|n| self.recovered.contains(n));
+        if all && !self.view.is_empty() {
+            self.recovery_announced = true;
+            self.ownership_enabled = true;
+            vec![MembershipEvent::RecoveryComplete(self.view.epoch)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heartbeat_from(events: &[MembershipEvent]) -> bool {
+        events
+            .iter()
+            .any(|e| matches!(e, MembershipEvent::Broadcast(MembershipMsg::Heartbeat { .. })))
+    }
+
+    #[test]
+    fn heartbeats_are_emitted_periodically() {
+        let mut m = MembershipEngine::new(NodeId(1), 3, 100);
+        assert!(heartbeat_from(&m.tick(0)));
+        assert!(!heartbeat_from(&m.tick(10)));
+        assert!(heartbeat_from(&m.tick(25)));
+    }
+
+    #[test]
+    fn manager_is_lowest_live_node() {
+        let m0 = MembershipEngine::new(NodeId(0), 3, 100);
+        let m1 = MembershipEngine::new(NodeId(1), 3, 100);
+        assert!(m0.is_manager());
+        assert!(!m1.is_manager());
+    }
+
+    #[test]
+    fn manager_detects_failure_and_installs_view() {
+        let mut m = MembershipEngine::new(NodeId(0), 3, 100);
+        // Node 2 heartbeats, node 1 stays silent.
+        for t in (0..400).step_by(20) {
+            m.on_message(
+                MembershipMsg::Heartbeat {
+                    from: NodeId(2),
+                    epoch: Epoch::ZERO,
+                },
+                t,
+            );
+        }
+        let events = m.tick(400);
+        let installed = events
+            .iter()
+            .find_map(|e| match e {
+                MembershipEvent::ViewInstalled(v) => Some(v.clone()),
+                _ => None,
+            })
+            .expect("view installed");
+        assert_eq!(installed.epoch, Epoch(1));
+        assert!(!installed.is_live(NodeId(1)));
+        assert!(installed.is_live(NodeId(2)));
+        assert!(!m.ownership_enabled(), "ownership paused until recovery");
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                MembershipEvent::Broadcast(MembershipMsg::ViewChange { .. })
+            )),
+            "view change must be broadcast"
+        );
+    }
+
+    #[test]
+    fn non_manager_never_installs_view_on_its_own() {
+        let mut m = MembershipEngine::new(NodeId(1), 3, 100);
+        let events = m.tick(10_000);
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, MembershipEvent::ViewInstalled(_))));
+    }
+
+    #[test]
+    fn follower_adopts_view_change_with_higher_epoch_only() {
+        let mut m = MembershipEngine::new(NodeId(2), 3, 100);
+        let events = m.on_message(
+            MembershipMsg::ViewChange {
+                epoch: Epoch(2),
+                live: vec![NodeId(0), NodeId(2)],
+            },
+            50,
+        );
+        assert!(matches!(events[0], MembershipEvent::ViewInstalled(_)));
+        assert_eq!(m.epoch(), Epoch(2));
+        // A stale (equal-epoch) view is ignored.
+        let events = m.on_message(
+            MembershipMsg::ViewChange {
+                epoch: Epoch(2),
+                live: vec![NodeId(2)],
+            },
+            60,
+        );
+        assert!(events.is_empty());
+        assert_eq!(m.view().len(), 2);
+    }
+
+    #[test]
+    fn recovery_barrier_requires_all_live_nodes() {
+        let mut m = MembershipEngine::new(NodeId(0), 3, 100);
+        let events = m.force_remove(NodeId(1));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MembershipEvent::ViewInstalled(_))));
+        assert!(!m.ownership_enabled());
+
+        let events = m.local_recovery_done();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MembershipEvent::Broadcast(MembershipMsg::RecoveryDone { .. }))));
+        assert!(!m.ownership_enabled(), "node 2 not recovered yet");
+
+        let events = m.on_message(
+            MembershipMsg::RecoveryDone {
+                from: NodeId(2),
+                epoch: m.epoch(),
+            },
+            10,
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MembershipEvent::RecoveryComplete(_))));
+        assert!(m.ownership_enabled());
+    }
+
+    #[test]
+    fn stale_recovery_done_is_ignored() {
+        let mut m = MembershipEngine::new(NodeId(0), 2, 100);
+        m.force_remove(NodeId(1));
+        let events = m.on_message(
+            MembershipMsg::RecoveryDone {
+                from: NodeId(1),
+                epoch: Epoch::ZERO,
+            },
+            10,
+        );
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn force_add_rejoins_node_with_new_epoch() {
+        let mut m = MembershipEngine::new(NodeId(0), 2, 100);
+        m.force_remove(NodeId(1));
+        assert_eq!(m.view().len(), 1);
+        let events = m.force_add(NodeId(1), 500);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MembershipEvent::ViewInstalled(_))));
+        assert_eq!(m.epoch(), Epoch(2));
+        assert!(m.is_live(NodeId(1)));
+    }
+
+    #[test]
+    fn heartbeats_keep_all_nodes_live_forever() {
+        let mut m = MembershipEngine::new(NodeId(0), 3, 100);
+        for t in (0..10_000u64).step_by(25) {
+            for peer in [NodeId(1), NodeId(2)] {
+                m.on_message(
+                    MembershipMsg::Heartbeat {
+                        from: peer,
+                        epoch: Epoch::ZERO,
+                    },
+                    t,
+                );
+            }
+            let events = m.tick(t);
+            assert!(!events
+                .iter()
+                .any(|e| matches!(e, MembershipEvent::ViewInstalled(_))));
+        }
+        assert_eq!(m.epoch(), Epoch::ZERO);
+    }
+}

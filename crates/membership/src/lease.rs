@@ -1,0 +1,120 @@
+//! Per-node lease tracking driven by heartbeats.
+
+use std::collections::HashMap;
+
+use zeus_proto::NodeId;
+
+/// Tracks, for every peer, when its lease was last renewed (by a heartbeat)
+/// and reports which peers' leases have expired.
+///
+/// A peer whose lease expired is *suspected*; the membership engine installs
+/// a new view only after the suspicion has persisted for a full additional
+/// lease period, modelling the paper's "membership update ... performed
+/// across the deployment only after all node leases have expired" (§3.1).
+#[derive(Debug, Clone)]
+pub struct LeaseTable {
+    lease_ticks: u64,
+    last_renewal: HashMap<NodeId, u64>,
+}
+
+impl LeaseTable {
+    /// Creates a table with the given lease duration (in ticks) covering the
+    /// given peers, all leases freshly renewed at time 0.
+    pub fn new(lease_ticks: u64, peers: impl IntoIterator<Item = NodeId>) -> Self {
+        LeaseTable {
+            lease_ticks,
+            last_renewal: peers.into_iter().map(|p| (p, 0)).collect(),
+        }
+    }
+
+    /// Lease duration in ticks.
+    pub fn lease_ticks(&self) -> u64 {
+        self.lease_ticks
+    }
+
+    /// Renews the lease of `peer` at time `now` (heartbeat received).
+    pub fn renew(&mut self, peer: NodeId, now: u64) {
+        if let Some(entry) = self.last_renewal.get_mut(&peer) {
+            *entry = (*entry).max(now);
+        }
+    }
+
+    /// Stops tracking `peer` (it has been declared dead in a new view).
+    pub fn remove(&mut self, peer: NodeId) {
+        self.last_renewal.remove(&peer);
+    }
+
+    /// Starts tracking `peer` (it joined in a new view), lease renewed `now`.
+    pub fn insert(&mut self, peer: NodeId, now: u64) {
+        self.last_renewal.insert(peer, now);
+    }
+
+    /// Peers whose lease has been expired for at least `grace` additional
+    /// ticks at time `now`, sorted by id.
+    pub fn expired(&self, now: u64, grace: u64) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .last_renewal
+            .iter()
+            .filter(|(_, &last)| now.saturating_sub(last) >= self.lease_ticks + grace)
+            .map(|(&p, _)| p)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether `peer` currently holds an unexpired lease.
+    pub fn is_fresh(&self, peer: NodeId, now: u64) -> bool {
+        self.last_renewal
+            .get(&peer)
+            .is_some_and(|&last| now.saturating_sub(last) < self.lease_ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_until_lease_expires() {
+        let mut t = LeaseTable::new(100, [NodeId(1), NodeId(2)]);
+        assert!(t.is_fresh(NodeId(1), 50));
+        assert!(!t.is_fresh(NodeId(1), 100));
+        t.renew(NodeId(1), 80);
+        assert!(t.is_fresh(NodeId(1), 150));
+        assert!(!t.is_fresh(NodeId(2), 150));
+    }
+
+    #[test]
+    fn renew_never_moves_backwards() {
+        let mut t = LeaseTable::new(100, [NodeId(1)]);
+        t.renew(NodeId(1), 80);
+        t.renew(NodeId(1), 40);
+        assert!(t.is_fresh(NodeId(1), 150));
+    }
+
+    #[test]
+    fn expired_respects_grace_period() {
+        let mut t = LeaseTable::new(100, [NodeId(1), NodeId(2)]);
+        t.renew(NodeId(2), 50);
+        assert!(t.expired(100, 50).is_empty());
+        assert_eq!(t.expired(150, 50), vec![NodeId(1)]);
+        assert_eq!(t.expired(200, 50), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn removed_peer_never_expires() {
+        let mut t = LeaseTable::new(100, [NodeId(1)]);
+        t.remove(NodeId(1));
+        assert!(t.expired(10_000, 0).is_empty());
+        assert!(!t.is_fresh(NodeId(1), 0));
+        t.insert(NodeId(1), 10_000);
+        assert!(t.is_fresh(NodeId(1), 10_050));
+    }
+
+    #[test]
+    fn unknown_peer_renew_is_ignored() {
+        let mut t = LeaseTable::new(100, [NodeId(1)]);
+        t.renew(NodeId(9), 50);
+        assert!(!t.is_fresh(NodeId(9), 60));
+    }
+}

@@ -1,0 +1,109 @@
+//! Epoch-stamped membership views.
+
+use zeus_proto::{Epoch, NodeId};
+
+/// A membership view: the set of live nodes at a given epoch.
+///
+/// Views are totally ordered by epoch; a node only ever installs views with
+/// strictly increasing epochs, which gives every node the same sequence of
+/// views (the paper compares this to ZooKeeper with leases, §3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    /// Epoch id of this view (`e_id`).
+    pub epoch: Epoch,
+    /// Live nodes, sorted by id.
+    pub live: Vec<NodeId>,
+}
+
+impl View {
+    /// Creates the initial view containing nodes `0..n`, at epoch 0.
+    pub fn initial(n: usize) -> Self {
+        View {
+            epoch: Epoch::ZERO,
+            live: (0..n as u16).map(NodeId).collect(),
+        }
+    }
+
+    /// Creates a view from an explicit node list (sorted and deduplicated).
+    pub fn new(epoch: Epoch, mut live: Vec<NodeId>) -> Self {
+        live.sort_unstable();
+        live.dedup();
+        View { epoch, live }
+    }
+
+    /// Whether `node` is live in this view.
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.live.binary_search(&node).is_ok()
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether the view is empty (no live nodes).
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// The view obtained by removing `dead` nodes and bumping the epoch.
+    #[must_use]
+    pub fn without(&self, dead: &[NodeId]) -> View {
+        View {
+            epoch: self.epoch.next(),
+            live: self
+                .live
+                .iter()
+                .copied()
+                .filter(|n| !dead.contains(n))
+                .collect(),
+        }
+    }
+
+    /// The view obtained by adding `nodes` (a re-join / scale-out) and
+    /// bumping the epoch.
+    #[must_use]
+    pub fn with(&self, nodes: &[NodeId]) -> View {
+        let mut live = self.live.clone();
+        live.extend_from_slice(nodes);
+        View::new(self.epoch.next(), live)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_view_contains_all_nodes_at_epoch_zero() {
+        let v = View::initial(3);
+        assert_eq!(v.epoch, Epoch::ZERO);
+        assert_eq!(v.len(), 3);
+        assert!(v.is_live(NodeId(0)));
+        assert!(v.is_live(NodeId(2)));
+        assert!(!v.is_live(NodeId(3)));
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let v = View::new(Epoch(1), vec![NodeId(2), NodeId(0), NodeId(2)]);
+        assert_eq!(v.live, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn without_removes_nodes_and_bumps_epoch() {
+        let v = View::initial(3);
+        let v2 = v.without(&[NodeId(1)]);
+        assert_eq!(v2.epoch, Epoch(1));
+        assert_eq!(v2.live, vec![NodeId(0), NodeId(2)]);
+        assert!(!v2.is_empty());
+    }
+
+    #[test]
+    fn with_adds_nodes_and_bumps_epoch() {
+        let v = View::initial(2).without(&[NodeId(1)]);
+        let v2 = v.with(&[NodeId(1), NodeId(5)]);
+        assert_eq!(v2.epoch, Epoch(2));
+        assert_eq!(v2.live, vec![NodeId(0), NodeId(1), NodeId(5)]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Cluster transport substrate for the Zeus reproduction.
+//!
+//! The paper runs Zeus over a custom reliable messaging library built on DPDK
+//! (§7). This crate provides the equivalent substrate for a single-box
+//! reproduction:
+//!
+//! * [`sim::SimNetwork`] — a deterministic, seeded, discrete-time network
+//!   simulator with configurable latency, message loss, duplication,
+//!   reordering and node partitions. All protocol tests and the bounded
+//!   model-checking harness run on top of it, so faulty executions are
+//!   reproducible from a seed.
+//! * [`reliable`] — a sequence-numbered, cumulative-ack, retransmitting
+//!   link layer that turns the lossy simulated transport into the reliable,
+//!   in-order channel the Zeus protocols assume (mirroring the paper's
+//!   "reliable messaging protocol with low-level retransmission", §3.1).
+//! * [`threaded::ThreadedNet`] — a crossbeam-channel transport with one
+//!   mailbox per node, used by the throughput experiments where each node
+//!   runs on its own OS thread.
+//! * [`stats::NetStats`] — message and byte accounting used by the
+//!   bandwidth-related claims of the evaluation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod envelope;
+pub mod reliable;
+pub mod sim;
+pub mod stats;
+pub mod threaded;
+
+pub use envelope::Envelope;
+pub use reliable::{ReliableEndpoint, ReliableMsg};
+pub use sim::{FaultPlan, NetConfig, SimNetwork};
+pub use stats::NetStats;
+pub use threaded::{NodeMailbox, ThreadedNet};

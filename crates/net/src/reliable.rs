@@ -1,0 +1,314 @@
+//! Reliable, in-order link layer over an unreliable transport.
+//!
+//! Mirrors the paper's low-level reliable messaging (§3.1): every payload is
+//! tagged with a per-link sequence number, receivers deliver in order and
+//! return cumulative acknowledgements, and senders retransmit unacknowledged
+//! messages after a timeout. Duplicates (from retransmission or the network)
+//! are filtered by the sequence number.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use zeus_proto::NodeId;
+
+use crate::envelope::Envelope;
+
+/// Wrapper protocol carried on the wire by the reliable layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReliableMsg<M> {
+    /// An application payload with its per-link sequence number.
+    Data {
+        /// Sequence number, starting at 0 and increasing by 1 per message on
+        /// the `(sender, receiver)` link.
+        seq: u64,
+        /// The application payload.
+        payload: M,
+    },
+    /// Cumulative acknowledgement: every sequence number `< next_expected`
+    /// has been received and delivered in order.
+    Ack {
+        /// The receiver's next expected sequence number.
+        next_expected: u64,
+    },
+}
+
+/// Per-destination sender state.
+#[derive(Debug)]
+struct SendLink<M> {
+    next_seq: u64,
+    /// Unacknowledged messages, keyed by sequence number, with the tick at
+    /// which they were last (re)transmitted and their wire size.
+    unacked: BTreeMap<u64, (M, u64, usize)>,
+}
+
+impl<M> Default for SendLink<M> {
+    fn default() -> Self {
+        SendLink {
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+        }
+    }
+}
+
+/// Per-source receiver state.
+#[derive(Debug)]
+struct RecvLink<M> {
+    next_expected: u64,
+    /// Out-of-order messages buffered until the gap fills.
+    buffered: BTreeMap<u64, M>,
+}
+
+impl<M> Default for RecvLink<M> {
+    fn default() -> Self {
+        RecvLink {
+            next_expected: 0,
+            buffered: BTreeMap::new(),
+        }
+    }
+}
+
+/// Reliable messaging endpoint for one node.
+///
+/// The endpoint is transport-agnostic: [`ReliableEndpoint::send`],
+/// [`ReliableEndpoint::on_receive`] and [`ReliableEndpoint::tick`] produce
+/// wire envelopes that the caller pushes into whichever transport is in use
+/// (the simulator in tests, threads in the throughput harness).
+#[derive(Debug)]
+pub struct ReliableEndpoint<M> {
+    local: NodeId,
+    retransmit_after: u64,
+    send_links: HashMap<NodeId, SendLink<M>>,
+    recv_links: HashMap<NodeId, RecvLink<M>>,
+    /// Payloads delivered in order, ready for the protocol layer.
+    delivered: VecDeque<(NodeId, M)>,
+    /// Outgoing wire messages produced by the last operation.
+    outbox: Vec<Envelope<ReliableMsg<M>>>,
+}
+
+impl<M: Clone> ReliableEndpoint<M> {
+    /// Creates an endpoint for node `local` that retransmits unacknowledged
+    /// messages after `retransmit_after` ticks.
+    pub fn new(local: NodeId, retransmit_after: u64) -> Self {
+        ReliableEndpoint {
+            local,
+            retransmit_after,
+            send_links: HashMap::new(),
+            recv_links: HashMap::new(),
+            delivered: VecDeque::new(),
+            outbox: Vec::new(),
+        }
+    }
+
+    /// The node this endpoint belongs to.
+    pub fn local(&self) -> NodeId {
+        self.local
+    }
+
+    /// Number of messages sent but not yet acknowledged (across all links).
+    pub fn unacked_len(&self) -> usize {
+        self.send_links.values().map(|l| l.unacked.len()).sum()
+    }
+
+    /// Queues `payload` for reliable delivery to `to`.
+    ///
+    /// `payload_bytes` is the application payload size used for accounting.
+    pub fn send(&mut self, to: NodeId, payload: M, payload_bytes: usize, now: u64) {
+        let link = self.send_links.entry(to).or_default();
+        let seq = link.next_seq;
+        link.next_seq += 1;
+        link.unacked.insert(seq, (payload.clone(), now, payload_bytes));
+        self.outbox.push(Envelope::with_payload_bytes(
+            self.local,
+            to,
+            ReliableMsg::Data { seq, payload },
+            payload_bytes + 8,
+        ));
+    }
+
+    /// Processes an incoming wire message, buffering/reordering as needed.
+    pub fn on_receive(&mut self, from: NodeId, msg: ReliableMsg<M>, now: u64) {
+        let _ = now;
+        match msg {
+            ReliableMsg::Data { seq, payload } => {
+                let link = self.recv_links.entry(from).or_default();
+                if seq >= link.next_expected {
+                    link.buffered.entry(seq).or_insert(payload);
+                    // Drain any now-contiguous prefix.
+                    while let Some(p) = link.buffered.remove(&link.next_expected) {
+                        self.delivered.push_back((from, p));
+                        link.next_expected += 1;
+                    }
+                }
+                // Always (re)send a cumulative ack so lost acks recover.
+                let next_expected = link.next_expected;
+                self.outbox.push(Envelope::with_payload_bytes(
+                    self.local,
+                    from,
+                    ReliableMsg::Ack { next_expected },
+                    16,
+                ));
+            }
+            ReliableMsg::Ack { next_expected } => {
+                if let Some(link) = self.send_links.get_mut(&from) {
+                    link.unacked.retain(|&seq, _| seq >= next_expected);
+                }
+            }
+        }
+    }
+
+    /// Retransmits every message that has been unacknowledged for longer
+    /// than the configured timeout.
+    pub fn tick(&mut self, now: u64) {
+        for (&to, link) in &mut self.send_links {
+            for (&seq, (payload, last_sent, bytes)) in &mut link.unacked {
+                if now.saturating_sub(*last_sent) >= self.retransmit_after {
+                    *last_sent = now;
+                    self.outbox.push(Envelope::with_payload_bytes(
+                        self.local,
+                        to,
+                        ReliableMsg::Data {
+                            seq,
+                            payload: payload.clone(),
+                        },
+                        *bytes + 8,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Drains the wire messages produced since the last call.
+    pub fn take_outgoing(&mut self) -> Vec<Envelope<ReliableMsg<M>>> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains the application payloads delivered in order.
+    pub fn take_delivered(&mut self) -> Vec<(NodeId, M)> {
+        self.delivered.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{NetConfig, SimNetwork};
+
+    /// Runs two endpoints over a simulated network until quiescence and
+    /// returns what `b` delivered.
+    fn run_pair(
+        net_config: NetConfig,
+        messages: Vec<u32>,
+        max_ticks: u64,
+    ) -> Vec<u32> {
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let mut net: SimNetwork<ReliableMsg<u32>> = SimNetwork::new(net_config);
+        let mut ep_a: ReliableEndpoint<u32> = ReliableEndpoint::new(a, 20);
+        let mut ep_b: ReliableEndpoint<u32> = ReliableEndpoint::new(b, 20);
+        for (i, m) in messages.iter().enumerate() {
+            ep_a.send(b, *m, 4, i as u64);
+        }
+        let mut received = Vec::new();
+        for _ in 0..max_ticks {
+            for env in ep_a.take_outgoing() {
+                net.send(env);
+            }
+            for env in ep_b.take_outgoing() {
+                net.send(env);
+            }
+            // If nothing is in flight (e.g. everything got dropped), let time
+            // pass so the retransmission timeout can fire.
+            if net.next_delivery_time().is_none() {
+                net.advance_by(25);
+            }
+            let now = net.now();
+            ep_a.tick(now);
+            ep_b.tick(now);
+            for env in net.step() {
+                if env.to == a {
+                    ep_a.on_receive(env.from, env.msg, now);
+                } else {
+                    ep_b.on_receive(env.from, env.msg, now);
+                }
+            }
+            received.extend(ep_b.take_delivered().into_iter().map(|(_, m)| m));
+            if received.len() == messages.len() && ep_a.unacked_len() == 0 {
+                break;
+            }
+        }
+        received
+    }
+
+    #[test]
+    fn delivers_in_order_over_reliable_network() {
+        let msgs: Vec<u32> = (0..50).collect();
+        let got = run_pair(NetConfig::reliable(2), msgs.clone(), 1_000);
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn delivers_in_order_despite_reordering() {
+        let config = NetConfig {
+            min_delay: 1,
+            max_delay: 30,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            seed: 11,
+        };
+        let msgs: Vec<u32> = (0..100).collect();
+        let got = run_pair(config, msgs.clone(), 10_000);
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn recovers_from_heavy_loss_and_duplication() {
+        let config = NetConfig::lossy(3, 0.3, 0.3);
+        let msgs: Vec<u32> = (0..80).collect();
+        let got = run_pair(config, msgs.clone(), 50_000);
+        assert_eq!(got, msgs, "retransmission must mask loss; dedup must mask dup");
+    }
+
+    #[test]
+    fn duplicates_are_filtered() {
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(1), 10);
+        ep.on_receive(NodeId(0), ReliableMsg::Data { seq: 0, payload: 7 }, 0);
+        ep.on_receive(NodeId(0), ReliableMsg::Data { seq: 0, payload: 7 }, 1);
+        let delivered = ep.take_delivered();
+        assert_eq!(delivered, vec![(NodeId(0), 7)]);
+    }
+
+    #[test]
+    fn out_of_order_data_is_buffered_until_gap_fills() {
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(1), 10);
+        ep.on_receive(NodeId(0), ReliableMsg::Data { seq: 2, payload: 2 }, 0);
+        ep.on_receive(NodeId(0), ReliableMsg::Data { seq: 1, payload: 1 }, 0);
+        assert!(ep.take_delivered().is_empty());
+        ep.on_receive(NodeId(0), ReliableMsg::Data { seq: 0, payload: 0 }, 0);
+        let delivered: Vec<u32> = ep.take_delivered().into_iter().map(|(_, m)| m).collect();
+        assert_eq!(delivered, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn acks_clear_unacked_buffer() {
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(0), 10);
+        ep.send(NodeId(1), 1, 4, 0);
+        ep.send(NodeId(1), 2, 4, 0);
+        assert_eq!(ep.unacked_len(), 2);
+        ep.on_receive(NodeId(1), ReliableMsg::Ack { next_expected: 1 }, 5);
+        assert_eq!(ep.unacked_len(), 1);
+        ep.on_receive(NodeId(1), ReliableMsg::Ack { next_expected: 2 }, 5);
+        assert_eq!(ep.unacked_len(), 0);
+    }
+
+    #[test]
+    fn tick_retransmits_only_after_timeout() {
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(0), 10);
+        ep.send(NodeId(1), 1, 4, 0);
+        ep.take_outgoing();
+        ep.tick(5);
+        assert!(ep.take_outgoing().is_empty(), "too early to retransmit");
+        ep.tick(10);
+        let out = ep.take_outgoing();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].msg, ReliableMsg::Data { seq: 0, .. }));
+    }
+}

@@ -1,0 +1,445 @@
+//! Deterministic discrete-time network simulator with fault injection.
+//!
+//! The simulator keeps a priority queue of in-flight messages keyed by
+//! delivery time (in abstract "ticks"; the Zeus harness interprets one tick
+//! as one microsecond). Latency, loss, duplication and reordering are drawn
+//! from a seeded RNG, so every faulty execution is reproducible.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zeus_proto::NodeId;
+
+use crate::envelope::Envelope;
+use crate::stats::NetStats;
+
+/// Network behaviour configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Minimum one-way latency in ticks.
+    pub min_delay: u64,
+    /// Maximum one-way latency in ticks. With `max_delay > min_delay` the
+    /// network naturally reorders messages.
+    pub max_delay: u64,
+    /// Probability that a message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability that a message is duplicated (delivered twice).
+    pub duplicate_probability: f64,
+    /// RNG seed; identical seeds give identical executions.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            min_delay: 2,
+            max_delay: 5,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A perfectly reliable, fixed-latency network (useful for protocol unit
+    /// tests where faults are injected explicitly).
+    pub fn reliable(delay: u64) -> Self {
+        NetConfig {
+            min_delay: delay,
+            max_delay: delay,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            seed: 7,
+        }
+    }
+
+    /// A lossy, reordering network used by fault-injection tests.
+    pub fn lossy(seed: u64, drop_probability: f64, duplicate_probability: f64) -> Self {
+        NetConfig {
+            min_delay: 1,
+            max_delay: 10,
+            drop_probability,
+            duplicate_probability,
+            seed,
+        }
+    }
+}
+
+/// Additional, deterministic fault plan applied on top of probabilistic
+/// faults: crashed nodes and (directed) link partitions.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Nodes that have crashed: all traffic to and from them is dropped.
+    pub crashed: HashSet<NodeId>,
+    /// Directed links that are cut (`(from, to)` pairs).
+    pub cut_links: HashSet<(NodeId, NodeId)>,
+}
+
+impl FaultPlan {
+    /// Returns `true` if a message from `from` to `to` must be dropped.
+    pub fn blocks(&self, from: NodeId, to: NodeId) -> bool {
+        self.crashed.contains(&from)
+            || self.crashed.contains(&to)
+            || self.cut_links.contains(&(from, to))
+    }
+
+    /// Marks a node as crashed.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Revives a crashed node (e.g. after it rejoins in a later epoch).
+    pub fn revive(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+    }
+
+    /// Cuts the directed link `from → to`.
+    pub fn cut(&mut self, from: NodeId, to: NodeId) {
+        self.cut_links.insert((from, to));
+    }
+
+    /// Cuts both directions between two nodes.
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.cut_links.insert((a, b));
+        self.cut_links.insert((b, a));
+    }
+
+    /// Heals every cut link.
+    pub fn heal_links(&mut self) {
+        self.cut_links.clear();
+    }
+}
+
+#[derive(Debug)]
+struct InFlight<M> {
+    deliver_at: u64,
+    seq: u64,
+    envelope: Envelope<M>,
+}
+
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for InFlight<M> {}
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+/// Deterministic discrete-time network simulator.
+#[derive(Debug)]
+pub struct SimNetwork<M> {
+    config: NetConfig,
+    faults: FaultPlan,
+    now: u64,
+    next_seq: u64,
+    in_flight: BinaryHeap<Reverse<InFlight<M>>>,
+    rng: StdRng,
+    stats: NetStats,
+}
+
+impl<M> SimNetwork<M> {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: NetConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        SimNetwork {
+            config,
+            faults: FaultPlan::default(),
+            now: 0,
+            next_seq: 0,
+            in_flight: BinaryHeap::new(),
+            rng,
+            stats: NetStats::new(),
+        }
+    }
+
+    /// Current simulated time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Mutable access to the deterministic fault plan.
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    /// Read access to the fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Submits a message for delivery.
+    ///
+    /// The message may be dropped or duplicated according to the configured
+    /// probabilities, and is always dropped if the fault plan blocks the
+    /// link or either endpoint crashed.
+    pub fn send(&mut self, envelope: Envelope<M>)
+    where
+        M: Clone,
+    {
+        self.stats.record_send(envelope.from, envelope.wire_bytes);
+        if self.faults.blocks(envelope.from, envelope.to) {
+            self.stats.record_drop();
+            return;
+        }
+        if self.config.drop_probability > 0.0
+            && self.rng.gen_bool(self.config.drop_probability.min(1.0))
+        {
+            self.stats.record_drop();
+            return;
+        }
+        let copies = if self.config.duplicate_probability > 0.0
+            && self
+                .rng
+                .gen_bool(self.config.duplicate_probability.min(1.0))
+        {
+            self.stats.record_duplicate();
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let delay = if self.config.max_delay > self.config.min_delay {
+                self.rng
+                    .gen_range(self.config.min_delay..=self.config.max_delay)
+            } else {
+                self.config.min_delay
+            };
+            let item = InFlight {
+                deliver_at: self.now + delay.max(1),
+                seq: self.next_seq,
+                envelope: envelope.clone(),
+            };
+            self.next_seq += 1;
+            self.in_flight.push(Reverse(item));
+        }
+    }
+
+    /// Delivery time of the earliest in-flight message, if any.
+    pub fn next_delivery_time(&self) -> Option<u64> {
+        self.in_flight.peek().map(|Reverse(i)| i.deliver_at)
+    }
+
+    /// Advances time to the next delivery and returns every message due at
+    /// that instant. Returns an empty vector when nothing is in flight.
+    ///
+    /// Messages addressed to nodes that crashed while the message was in
+    /// flight are discarded at delivery time.
+    pub fn step(&mut self) -> Vec<Envelope<M>> {
+        let Some(t) = self.next_delivery_time() else {
+            return Vec::new();
+        };
+        self.advance_to(t)
+    }
+
+    /// Advances time to `t` (if later than now) and returns all messages due
+    /// at or before `t`, in delivery order.
+    pub fn advance_to(&mut self, t: u64) -> Vec<Envelope<M>> {
+        if t > self.now {
+            self.now = t;
+        }
+        let mut delivered = Vec::new();
+        while let Some(Reverse(head)) = self.in_flight.peek() {
+            if head.deliver_at > self.now {
+                break;
+            }
+            let Reverse(item) = self.in_flight.pop().expect("peeked");
+            if self.faults.blocks(item.envelope.from, item.envelope.to) {
+                self.stats.record_drop();
+                continue;
+            }
+            self.stats.record_delivery(item.envelope.wire_bytes);
+            delivered.push(item.envelope);
+        }
+        delivered
+    }
+
+    /// Advances time by `dt` ticks and returns everything due.
+    pub fn advance_by(&mut self, dt: u64) -> Vec<Envelope<M>> {
+        self.advance_to(self.now + dt)
+    }
+
+    /// Drops every in-flight message (used to model a full network blip).
+    pub fn drop_all_in_flight(&mut self) {
+        let n = self.in_flight.len() as u64;
+        self.stats.messages_dropped += n;
+        self.in_flight.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(from: u16, to: u16, msg: u32) -> Envelope<u32> {
+        Envelope::with_payload_bytes(NodeId(from), NodeId(to), msg, 8)
+    }
+
+    #[test]
+    fn reliable_network_delivers_in_order() {
+        let mut net = SimNetwork::new(NetConfig::reliable(3));
+        net.send(env(0, 1, 1));
+        net.send(env(0, 1, 2));
+        net.send(env(0, 1, 3));
+        let delivered = net.step();
+        assert_eq!(delivered.len(), 3);
+        assert_eq!(
+            delivered.iter().map(|e| e.msg).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(net.now(), 3);
+        assert_eq!(net.stats().messages_delivered, 3);
+    }
+
+    #[test]
+    fn step_on_empty_network_returns_nothing() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(NetConfig::reliable(1));
+        assert!(net.step().is_empty());
+        assert_eq!(net.next_delivery_time(), None);
+    }
+
+    #[test]
+    fn drop_probability_one_drops_everything() {
+        let mut net = SimNetwork::new(NetConfig::lossy(1, 1.0, 0.0));
+        for i in 0..10 {
+            net.send(env(0, 1, i));
+        }
+        assert_eq!(net.in_flight_len(), 0);
+        assert_eq!(net.stats().messages_dropped, 10);
+    }
+
+    #[test]
+    fn duplicate_probability_one_duplicates_everything() {
+        let mut net = SimNetwork::new(NetConfig::lossy(1, 0.0, 1.0));
+        net.send(env(0, 1, 7));
+        let mut total = 0;
+        while net.in_flight_len() > 0 {
+            total += net.step().len();
+        }
+        assert_eq!(total, 2);
+        assert_eq!(net.stats().messages_duplicated, 1);
+    }
+
+    #[test]
+    fn variable_latency_reorders_messages() {
+        let config = NetConfig {
+            min_delay: 1,
+            max_delay: 50,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            seed: 42,
+        };
+        let mut net = SimNetwork::new(config);
+        for i in 0..100u32 {
+            net.send(env(0, 1, i));
+        }
+        let mut order = Vec::new();
+        loop {
+            let batch = net.step();
+            if batch.is_empty() {
+                break;
+            }
+            order.extend(batch.into_iter().map(|e| e.msg));
+        }
+        assert_eq!(order.len(), 100);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_ne!(order, sorted, "expected at least one reordering");
+    }
+
+    #[test]
+    fn crashed_node_receives_and_sends_nothing() {
+        let mut net = SimNetwork::new(NetConfig::reliable(1));
+        net.faults_mut().crash(NodeId(1));
+        net.send(env(0, 1, 1));
+        net.send(env(1, 0, 2));
+        assert_eq!(net.in_flight_len(), 0);
+        net.faults_mut().revive(NodeId(1));
+        net.send(env(0, 1, 3));
+        assert_eq!(net.step().len(), 1);
+    }
+
+    #[test]
+    fn crash_after_send_drops_at_delivery() {
+        let mut net = SimNetwork::new(NetConfig::reliable(5));
+        net.send(env(0, 1, 1));
+        net.faults_mut().crash(NodeId(1));
+        assert!(net.step().is_empty());
+        assert_eq!(net.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut net = SimNetwork::new(NetConfig::reliable(1));
+        net.faults_mut().partition(NodeId(0), NodeId(1));
+        net.send(env(0, 1, 1));
+        net.send(env(1, 0, 2));
+        net.send(env(0, 2, 3));
+        let delivered = net.step();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].msg, 3);
+        net.faults_mut().heal_links();
+        net.send(env(0, 1, 4));
+        assert_eq!(net.step().len(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_execution() {
+        let run = |seed| {
+            let mut net = SimNetwork::new(NetConfig::lossy(seed, 0.3, 0.2));
+            for i in 0..200u32 {
+                net.send(env(0, 1, i));
+            }
+            let mut order = Vec::new();
+            loop {
+                let batch = net.step();
+                if batch.is_empty() {
+                    break;
+                }
+                order.extend(batch.into_iter().map(|e| e.msg));
+            }
+            order
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn advance_by_moves_time_without_messages() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(NetConfig::reliable(1));
+        net.advance_by(100);
+        assert_eq!(net.now(), 100);
+    }
+
+    #[test]
+    fn drop_all_in_flight_clears_queue() {
+        let mut net = SimNetwork::new(NetConfig::reliable(10));
+        net.send(env(0, 1, 1));
+        net.send(env(0, 1, 2));
+        net.drop_all_in_flight();
+        assert_eq!(net.in_flight_len(), 0);
+        assert!(net.step().is_empty());
+        assert_eq!(net.stats().messages_dropped, 2);
+    }
+}

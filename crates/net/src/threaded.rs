@@ -1,0 +1,218 @@
+//! Threaded transport: one mailbox per node over crossbeam channels.
+//!
+//! Used by the throughput experiments, where each Zeus node runs on its own
+//! OS thread. Channels are reliable and FIFO per sender/receiver pair, which
+//! matches what the paper's reliable messaging layer provides to the
+//! protocols, so no retransmission layer is needed here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use zeus_proto::NodeId;
+
+use crate::envelope::Envelope;
+use crate::stats::NetStats;
+
+/// Shared atomic traffic counters for the threaded transport.
+#[derive(Debug, Default)]
+pub struct SharedCounters {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl SharedCounters {
+    fn record(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters as [`NetStats`].
+    pub fn snapshot(&self) -> NetStats {
+        let mut s = NetStats::new();
+        s.messages_sent = self.messages.load(Ordering::Relaxed);
+        s.messages_delivered = s.messages_sent;
+        s.bytes_sent = self.bytes.load(Ordering::Relaxed);
+        s.bytes_delivered = s.bytes_sent;
+        s
+    }
+}
+
+/// A node's connection to the threaded network: its inbox plus senders to
+/// every peer. Cloneable so multiple worker threads of one node can send.
+#[derive(Debug)]
+pub struct NodeMailbox<M> {
+    /// This node's id.
+    pub id: NodeId,
+    inbox: Receiver<Envelope<M>>,
+    peers: Vec<Sender<Envelope<M>>>,
+    counters: Arc<SharedCounters>,
+}
+
+impl<M> Clone for NodeMailbox<M> {
+    fn clone(&self) -> Self {
+        NodeMailbox {
+            id: self.id,
+            inbox: self.inbox.clone(),
+            peers: self.peers.clone(),
+            counters: Arc::clone(&self.counters),
+        }
+    }
+}
+
+impl<M> NodeMailbox<M> {
+    /// Sends `msg` of approximate `payload_bytes` size to `to`.
+    ///
+    /// Returns `false` if the destination's inbox has been closed (its node
+    /// thread exited), which callers treat like a crashed peer.
+    pub fn send(&self, to: NodeId, msg: M, payload_bytes: usize) -> bool {
+        let env = Envelope::with_payload_bytes(self.id, to, msg, payload_bytes);
+        self.counters.record(env.wire_bytes);
+        match self.peers.get(to.index()) {
+            Some(tx) => tx.send(env).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.inbox.try_recv() {
+            Ok(env) => Some(env),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive with a timeout; `None` on timeout or disconnection.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Envelope<M>> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+
+    /// Number of messages waiting in the inbox.
+    pub fn pending(&self) -> usize {
+        self.inbox.len()
+    }
+}
+
+/// The threaded cluster transport: constructs one mailbox per node.
+#[derive(Debug)]
+pub struct ThreadedNet<M> {
+    mailboxes: Vec<NodeMailbox<M>>,
+    counters: Arc<SharedCounters>,
+}
+
+impl<M> ThreadedNet<M> {
+    /// Creates a fully connected transport for `n` nodes with ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        let counters = Arc::new(SharedCounters::default());
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mailboxes = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, inbox)| NodeMailbox {
+                id: NodeId(i as u16),
+                inbox,
+                peers: senders.clone(),
+                counters: Arc::clone(&counters),
+            })
+            .collect();
+        ThreadedNet {
+            mailboxes,
+            counters,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Whether the transport has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.mailboxes.is_empty()
+    }
+
+    /// Takes the mailbox of node `id` (each mailbox is handed to its node
+    /// thread exactly once; it can be cloned afterwards).
+    pub fn mailbox(&self, id: NodeId) -> NodeMailbox<M> {
+        self.mailboxes[id.index()].clone()
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn messages_route_to_destination() {
+        let net: ThreadedNet<u32> = ThreadedNet::new(3);
+        let a = net.mailbox(NodeId(0));
+        let b = net.mailbox(NodeId(1));
+        let c = net.mailbox(NodeId(2));
+        assert!(a.send(NodeId(1), 7, 4));
+        assert!(a.send(NodeId(2), 9, 4));
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().msg, 7);
+        assert_eq!(c.recv_timeout(Duration::from_secs(1)).unwrap().msg, 9);
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn send_to_unknown_node_fails() {
+        let net: ThreadedNet<u32> = ThreadedNet::new(2);
+        let a = net.mailbox(NodeId(0));
+        assert!(!a.send(NodeId(9), 1, 4));
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let net: ThreadedNet<u32> = ThreadedNet::new(2);
+        let a = net.mailbox(NodeId(0));
+        a.send(NodeId(1), 1, 100);
+        a.send(NodeId(1), 2, 50);
+        let stats = net.stats();
+        assert_eq!(stats.messages_sent, 2);
+        assert!(stats.bytes_sent >= 150);
+    }
+
+    #[test]
+    fn cross_thread_delivery_works() {
+        let net: ThreadedNet<u64> = ThreadedNet::new(2);
+        let a = net.mailbox(NodeId(0));
+        let b = net.mailbox(NodeId(1));
+        let handle = std::thread::spawn(move || {
+            let mut sum = 0u64;
+            for _ in 0..100 {
+                if let Some(env) = b.recv_timeout(Duration::from_secs(2)) {
+                    sum += env.msg;
+                }
+            }
+            sum
+        });
+        for i in 1..=100u64 {
+            a.send(NodeId(1), i, 8);
+        }
+        assert_eq!(handle.join().unwrap(), 5050);
+    }
+
+    #[test]
+    fn pending_reports_queue_depth() {
+        let net: ThreadedNet<u32> = ThreadedNet::new(2);
+        let a = net.mailbox(NodeId(0));
+        let b = net.mailbox(NodeId(1));
+        for i in 0..5 {
+            a.send(NodeId(1), i, 4);
+        }
+        assert_eq!(b.pending(), 5);
+    }
+}

@@ -1,0 +1,1583 @@
+//! The sans-io ownership state machine.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+use zeus_proto::{
+    Epoch, NodeId, ObjectId, OState, OwnershipMsg, OwnershipRequestKind, OwnershipTs, ReplicaSet,
+    RequestId,
+};
+use zeus_proto::messages::NackReason;
+
+use crate::stats::OwnershipStats;
+
+/// Interface through which the ownership engine queries node-local state it
+/// does not itself own (the object store and the commit protocol).
+pub trait OwnershipHost {
+    /// Current `(t_version, t_data)` of the object at this node, if this node
+    /// stores a replica. Used by the current owner to ship the value to a
+    /// non-replica requester inside its ACK.
+    fn object_value(&self, object: ObjectId) -> Option<(u64, Bytes)>;
+
+    /// Whether the object has reliable commits in flight at this node. The
+    /// owner rejects ownership requests for such objects (§4.1).
+    fn has_pending_commits(&self, object: ObjectId) -> bool;
+}
+
+/// A host implementation with no objects, useful for directory-only nodes and
+/// unit tests of the arbitration logic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHost;
+
+impl OwnershipHost for NullHost {
+    fn object_value(&self, _object: ObjectId) -> Option<(u64, Bytes)> {
+        None
+    }
+    fn has_pending_commits(&self, _object: ObjectId) -> bool {
+        false
+    }
+}
+
+/// Outputs of the ownership engine, applied by the hosting runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnershipAction {
+    /// Send a protocol message (self-sends are allowed and must be looped
+    /// back by the runtime).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: OwnershipMsg,
+    },
+    /// A request issued by this node completed: the node now holds the
+    /// requested access level. The host must install/upgrade the object in
+    /// its store (using `data` if it was shipped) and unblock the waiting
+    /// application thread.
+    Completed {
+        /// The completed request.
+        req_id: RequestId,
+        /// Object acquired.
+        object: ObjectId,
+        /// What was acquired.
+        kind: OwnershipRequestKind,
+        /// Winning ownership timestamp.
+        o_ts: OwnershipTs,
+        /// Replica placement after the request.
+        new_replicas: ReplicaSet,
+        /// Object value shipped by the previous owner (for non-replica
+        /// requesters).
+        data: Option<(u64, Bytes)>,
+    },
+    /// A request issued by this node failed terminally (the transaction
+    /// layer aborts/retries the transaction with back-off, §6.2).
+    Failed {
+        /// The failed request.
+        req_id: RequestId,
+        /// Object.
+        object: ObjectId,
+        /// Why it failed.
+        reason: NackReason,
+    },
+    /// A request issued by this node was rejected for a transient reason
+    /// (owner has commits in flight, or the cluster is recovering). The host
+    /// should call [`OwnershipEngine::retry_request`] after a back-off.
+    RetryLater {
+        /// The request to retry.
+        req_id: RequestId,
+        /// Object.
+        object: ObjectId,
+        /// The transient reason.
+        reason: NackReason,
+    },
+    /// This node, acting as an arbiter, applied a validated ownership change.
+    /// The host must update the object's access level in its store (e.g. the
+    /// previous owner demotes itself to reader; a removed reader drops the
+    /// object).
+    ApplyReplicaChange {
+        /// Object whose placement changed.
+        object: ObjectId,
+        /// New ownership timestamp.
+        o_ts: OwnershipTs,
+        /// New replica placement.
+        new_replicas: ReplicaSet,
+    },
+}
+
+/// Ownership metadata stored by arbiters (directory nodes and owners).
+#[derive(Debug, Clone, PartialEq)]
+struct MetaEntry {
+    o_ts: OwnershipTs,
+    replicas: ReplicaSet,
+    o_state: OState,
+}
+
+/// An in-flight arbitration observed by this node as an arbiter.
+#[derive(Debug, Clone)]
+struct InflightArb {
+    req_id: RequestId,
+    requester: NodeId,
+    kind: OwnershipRequestKind,
+    o_ts: OwnershipTs,
+    new_replicas: ReplicaSet,
+    old_replicas: ReplicaSet,
+    arbiters: Vec<NodeId>,
+    /// When this node drives ACK collection (original driver keeps false —
+    /// ACKs go to the requester; a recovery driver sets true).
+    collecting_acks: bool,
+    acks: HashSet<NodeId>,
+    data: Option<(u64, Bytes)>,
+}
+
+/// A request issued by this node, waiting for ACKs / RESP.
+#[derive(Debug, Clone)]
+struct PendingRequest {
+    object: ObjectId,
+    kind: OwnershipRequestKind,
+    driver: NodeId,
+    acks: HashSet<NodeId>,
+    arbiters: Option<Vec<NodeId>>,
+    o_ts: Option<OwnershipTs>,
+    new_replicas: Option<ReplicaSet>,
+    data: Option<(u64, Bytes)>,
+}
+
+/// The per-node ownership protocol engine (requester, driver and arbiter
+/// roles combined).
+#[derive(Debug)]
+pub struct OwnershipEngine {
+    local: NodeId,
+    directory: Vec<NodeId>,
+    epoch: Epoch,
+    enabled: bool,
+    live: Vec<NodeId>,
+    next_seq: u64,
+    meta: HashMap<ObjectId, MetaEntry>,
+    inflight: HashMap<ObjectId, InflightArb>,
+    pending: HashMap<RequestId, PendingRequest>,
+    stats: OwnershipStats,
+}
+
+impl OwnershipEngine {
+    /// Creates the engine for node `local` in a cluster of `cluster_size`
+    /// nodes, with the given directory replicas (the paper uses three, §4).
+    pub fn new(local: NodeId, directory: Vec<NodeId>, cluster_size: usize) -> Self {
+        assert!(!directory.is_empty(), "at least one directory node required");
+        OwnershipEngine {
+            local,
+            directory,
+            epoch: Epoch::ZERO,
+            enabled: true,
+            live: (0..cluster_size as u16).map(NodeId).collect(),
+            next_seq: 0,
+            meta: HashMap::new(),
+            inflight: HashMap::new(),
+            pending: HashMap::new(),
+            stats: OwnershipStats::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn local(&self) -> NodeId {
+        self.local
+    }
+
+    /// The directory replica set.
+    pub fn directory(&self) -> &[NodeId] {
+        &self.directory
+    }
+
+    /// Whether this node is a directory replica.
+    pub fn is_directory_node(&self) -> bool {
+        self.directory.contains(&self.local)
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> &OwnershipStats {
+        &self.stats
+    }
+
+    /// Current epoch the engine operates in.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Number of requests issued by this node that are still pending.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of in-flight arbitrations observed by this node.
+    pub fn inflight_arbitrations(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Pauses / resumes acceptance of new requests (driven by the membership
+    /// recovery barrier, §5.1).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether the protocol currently accepts requests.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers ownership metadata for an object this node arbitrates
+    /// (directory replica, or initial owner). Called at object creation.
+    pub fn register_object(&mut self, object: ObjectId, replicas: ReplicaSet) {
+        if self.is_directory_node() || replicas.owner == Some(self.local) {
+            self.meta.entry(object).or_insert(MetaEntry {
+                o_ts: OwnershipTs::default(),
+                replicas,
+                o_state: OState::Valid,
+            });
+        }
+    }
+
+    /// The replica placement this node currently believes for `object`
+    /// (authoritative on directory nodes and the owner).
+    pub fn replicas_of(&self, object: ObjectId) -> Option<&ReplicaSet> {
+        self.meta.get(&object).map(|m| &m.replicas)
+    }
+
+    /// Issues an ownership request for `object` (§4.1). Returns the request
+    /// id the host should wait on, plus the protocol actions to apply.
+    pub fn request_access(
+        &mut self,
+        object: ObjectId,
+        kind: OwnershipRequestKind,
+        _host: &impl OwnershipHost,
+    ) -> (RequestId, Vec<OwnershipAction>) {
+        let req_id = RequestId::new(self.local, self.next_seq);
+        self.next_seq += 1;
+        self.stats.requests_issued += 1;
+
+        // Prefer a co-located directory replica (saves one hop, §4.2);
+        // otherwise spread requests across the live directory replicas.
+        let driver = if self.is_directory_node() {
+            self.local
+        } else {
+            let live_dirs: Vec<NodeId> = self
+                .directory
+                .iter()
+                .copied()
+                .filter(|d| self.live.contains(d))
+                .collect();
+            if live_dirs.is_empty() {
+                self.stats.requests_failed += 1;
+                return (
+                    req_id,
+                    vec![OwnershipAction::Failed {
+                        req_id,
+                        object,
+                        reason: NackReason::Recovering,
+                    }],
+                );
+            }
+            live_dirs[(object.0 as usize ^ req_id.seq as usize) % live_dirs.len()]
+        };
+
+        self.pending.insert(
+            req_id,
+            PendingRequest {
+                object,
+                kind,
+                driver,
+                acks: HashSet::new(),
+                arbiters: None,
+                o_ts: None,
+                new_replicas: None,
+                data: None,
+            },
+        );
+
+        let msg = OwnershipMsg::Req {
+            req_id,
+            object,
+            kind,
+            epoch: self.epoch,
+        };
+        (req_id, vec![OwnershipAction::Send { to: driver, msg }])
+    }
+
+    /// Re-issues a previously NACKed (retryable) request, keeping its id.
+    pub fn retry_request(&mut self, req_id: RequestId) -> Vec<OwnershipAction> {
+        let Some(pending) = self.pending.get_mut(&req_id) else {
+            return Vec::new();
+        };
+        self.stats.requests_retried += 1;
+        pending.acks.clear();
+        pending.arbiters = None;
+        pending.o_ts = None;
+        // Re-pick the driver if the previous one died.
+        if !self.live.contains(&pending.driver) {
+            if let Some(&d) = self
+                .directory
+                .iter()
+                .find(|d| self.live.contains(d))
+            {
+                pending.driver = d;
+            } else {
+                return vec![OwnershipAction::Failed {
+                    req_id,
+                    object: pending.object,
+                    reason: NackReason::Recovering,
+                }];
+            }
+        }
+        let msg = OwnershipMsg::Req {
+            req_id,
+            object: pending.object,
+            kind: pending.kind,
+            epoch: self.epoch,
+        };
+        vec![OwnershipAction::Send {
+            to: pending.driver,
+            msg,
+        }]
+    }
+
+    /// Abandons a pending request (e.g. the transaction was aborted by the
+    /// back-off deadlock avoidance, §6.2).
+    pub fn abandon_request(&mut self, req_id: RequestId) {
+        self.pending.remove(&req_id);
+    }
+
+    /// Handles an incoming protocol message.
+    pub fn handle_message(
+        &mut self,
+        from: NodeId,
+        msg: OwnershipMsg,
+        host: &impl OwnershipHost,
+    ) -> Vec<OwnershipAction> {
+        match msg {
+            OwnershipMsg::Req {
+                req_id,
+                object,
+                kind,
+                epoch,
+            } => self.on_req(req_id, object, kind, epoch, host),
+            OwnershipMsg::Inv {
+                req_id,
+                object,
+                o_ts,
+                kind,
+                new_replicas,
+                old_replicas,
+                epoch,
+                ack_to_driver,
+            } => self.on_inv(
+                from,
+                req_id,
+                object,
+                o_ts,
+                kind,
+                new_replicas,
+                old_replicas,
+                epoch,
+                ack_to_driver,
+                host,
+            ),
+            OwnershipMsg::Ack {
+                req_id,
+                object,
+                o_ts,
+                epoch,
+                data,
+                from: acker,
+                arbiters,
+                new_replicas,
+            } => self.on_ack(req_id, object, o_ts, epoch, data, acker, arbiters, new_replicas, host),
+            OwnershipMsg::Val {
+                req_id: _,
+                object,
+                o_ts,
+                epoch,
+            } => self.on_val(object, o_ts, epoch),
+            OwnershipMsg::Nack {
+                req_id,
+                object,
+                reason,
+                epoch: _,
+                from: _,
+            } => self.on_nack(req_id, object, reason),
+            OwnershipMsg::Resp {
+                req_id,
+                object,
+                o_ts,
+                epoch,
+                data,
+                new_replicas,
+            } => self.on_resp(req_id, object, o_ts, epoch, data, new_replicas),
+        }
+    }
+
+    /// Installs a new membership view: bumps the epoch, prunes dead replicas
+    /// and starts arb-replays for every pending arbitration (§4.1 recovery).
+    pub fn on_view_change(
+        &mut self,
+        epoch: Epoch,
+        live: Vec<NodeId>,
+        host: &impl OwnershipHost,
+    ) -> Vec<OwnershipAction> {
+        if epoch <= self.epoch && !self.live.is_empty() {
+            // Allow re-installation of the same epoch idempotently.
+            if epoch < self.epoch {
+                return Vec::new();
+            }
+        }
+        self.epoch = epoch;
+        self.live = live;
+        self.enabled = false;
+
+        let mut actions = Vec::new();
+        for meta in self.meta.values_mut() {
+            meta.replicas.retain_live(&self.live);
+        }
+
+        // Arb-replay every pending arbitration this node knows about.
+        let objects: Vec<ObjectId> = self.inflight.keys().copied().collect();
+        for object in objects {
+            self.stats.arb_replays += 1;
+            let (arbiters, replay_msgs) = {
+                let inf = self.inflight.get_mut(&object).expect("inflight exists");
+                inf.collecting_acks = true;
+                inf.acks.clear();
+                inf.acks.insert(self.local);
+                let live_arbiters: Vec<NodeId> = inf
+                    .arbiters
+                    .iter()
+                    .copied()
+                    .filter(|n| self.live.contains(n))
+                    .collect();
+                let msgs: Vec<OwnershipAction> = live_arbiters
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != self.local)
+                    .map(|to| OwnershipAction::Send {
+                        to,
+                        msg: OwnershipMsg::Inv {
+                            req_id: inf.req_id,
+                            object,
+                            o_ts: inf.o_ts,
+                            kind: inf.kind,
+                            new_replicas: inf.new_replicas.clone(),
+                            old_replicas: inf.old_replicas.clone(),
+                            epoch: self.epoch,
+                            ack_to_driver: true,
+                        },
+                    })
+                    .collect();
+                (live_arbiters, msgs)
+            };
+            actions.extend(replay_msgs);
+            // If this node is the only live arbiter, the replay completes
+            // immediately.
+            if arbiters.iter().all(|&n| n == self.local) {
+                actions.extend(self.finish_recovery_drive(object, host));
+            }
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Driver side
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn on_req(
+        &mut self,
+        req_id: RequestId,
+        object: ObjectId,
+        kind: OwnershipRequestKind,
+        epoch: Epoch,
+        host: &impl OwnershipHost,
+    ) -> Vec<OwnershipAction> {
+        let requester = req_id.requester;
+        let nack = |reason| {
+            vec![OwnershipAction::Send {
+                to: requester,
+                msg: OwnershipMsg::Nack {
+                    req_id,
+                    object,
+                    reason,
+                    epoch: self.epoch,
+                    from: self.local,
+                },
+            }]
+        };
+
+        if epoch != self.epoch {
+            return nack(NackReason::StaleEpoch);
+        }
+        if !self.enabled {
+            return nack(NackReason::Recovering);
+        }
+        if !self.is_directory_node() {
+            return nack(NackReason::NotDirectory);
+        }
+
+        // Idempotent retry of the request we are already driving.
+        if let Some(inf) = self.inflight.get(&object) {
+            if inf.req_id == req_id {
+                return self.redrive(object, host);
+            }
+            return nack(NackReason::LostArbitration);
+        }
+
+        // First-touch creation: an AcquireOwner request for an object the
+        // directory has never seen creates its metadata with no prior owner.
+        if !self.meta.contains_key(&object) {
+            if kind == OwnershipRequestKind::AcquireOwner {
+                self.meta.insert(
+                    object,
+                    MetaEntry {
+                        o_ts: OwnershipTs::default(),
+                        replicas: ReplicaSet::default(),
+                        o_state: OState::Valid,
+                    },
+                );
+            } else {
+                return nack(NackReason::UnknownObject);
+            }
+        }
+
+        let meta = self.meta.get(&object).expect("meta exists");
+        if meta.o_state != OState::Valid {
+            return nack(NackReason::LostArbitration);
+        }
+        // If this directory node is also the current owner, enforce the
+        // pending-commit rule here.
+        if meta.replicas.owner == Some(self.local) && host.has_pending_commits(object) {
+            return nack(NackReason::PendingCommit);
+        }
+
+        self.stats.requests_driven += 1;
+        let old_replicas = meta.replicas.clone();
+        let o_ts = meta.o_ts.bump(self.local);
+        let new_replicas = Self::apply_kind(&old_replicas, kind, requester);
+        let arbiters = self.arbiter_set(&old_replicas);
+
+        let meta = self.meta.get_mut(&object).expect("meta exists");
+        meta.o_ts = o_ts;
+        meta.o_state = OState::Drive;
+
+        self.inflight.insert(
+            object,
+            InflightArb {
+                req_id,
+                requester,
+                kind,
+                o_ts,
+                new_replicas: new_replicas.clone(),
+                old_replicas: old_replicas.clone(),
+                arbiters: arbiters.clone(),
+                collecting_acks: false,
+                acks: HashSet::new(),
+                data: None,
+            },
+        );
+
+        let mut actions = Vec::new();
+        for &arb in arbiters.iter().filter(|&&n| n != self.local) {
+            actions.push(OwnershipAction::Send {
+                to: arb,
+                msg: OwnershipMsg::Inv {
+                    req_id,
+                    object,
+                    o_ts,
+                    kind,
+                    new_replicas: new_replicas.clone(),
+                    old_replicas: old_replicas.clone(),
+                    epoch: self.epoch,
+                    ack_to_driver: false,
+                },
+            });
+        }
+        // The driver is itself an arbiter: it ACKs the requester directly.
+        let data = self.data_for_requester(object, kind, requester, &old_replicas, host);
+        actions.push(OwnershipAction::Send {
+            to: requester,
+            msg: OwnershipMsg::Ack {
+                req_id,
+                object,
+                o_ts,
+                epoch: self.epoch,
+                data,
+                from: self.local,
+                arbiters,
+                new_replicas,
+            },
+        });
+        actions
+    }
+
+    /// Re-sends the INVs and driver ACK of the arbitration this node drives
+    /// for `object` (idempotent retry path).
+    fn redrive(&mut self, object: ObjectId, host: &impl OwnershipHost) -> Vec<OwnershipAction> {
+        let Some(inf) = self.inflight.get(&object).cloned() else {
+            return Vec::new();
+        };
+        // If this driver is also the owner and still has commits in flight,
+        // keep rejecting the retry.
+        if inf.old_replicas.owner == Some(self.local) && host.has_pending_commits(object) {
+            return vec![OwnershipAction::Send {
+                to: inf.requester,
+                msg: OwnershipMsg::Nack {
+                    req_id: inf.req_id,
+                    object,
+                    reason: NackReason::PendingCommit,
+                    epoch: self.epoch,
+                    from: self.local,
+                },
+            }];
+        }
+        let mut actions = Vec::new();
+        for &arb in inf
+            .arbiters
+            .iter()
+            .filter(|&&n| n != self.local && self.live.contains(&n))
+        {
+            actions.push(OwnershipAction::Send {
+                to: arb,
+                msg: OwnershipMsg::Inv {
+                    req_id: inf.req_id,
+                    object,
+                    o_ts: inf.o_ts,
+                    kind: inf.kind,
+                    new_replicas: inf.new_replicas.clone(),
+                    old_replicas: inf.old_replicas.clone(),
+                    epoch: self.epoch,
+                    ack_to_driver: false,
+                },
+            });
+        }
+        let data =
+            self.data_for_requester(object, inf.kind, inf.requester, &inf.old_replicas, host);
+        actions.push(OwnershipAction::Send {
+            to: inf.requester,
+            msg: OwnershipMsg::Ack {
+                req_id: inf.req_id,
+                object,
+                o_ts: inf.o_ts,
+                epoch: self.epoch,
+                data,
+                from: self.local,
+                arbiters: inf.arbiters.clone(),
+                new_replicas: inf.new_replicas.clone(),
+            },
+        });
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Arbiter side
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_inv(
+        &mut self,
+        from: NodeId,
+        req_id: RequestId,
+        object: ObjectId,
+        o_ts: OwnershipTs,
+        kind: OwnershipRequestKind,
+        new_replicas: ReplicaSet,
+        old_replicas: ReplicaSet,
+        epoch: Epoch,
+        ack_to_driver: bool,
+        host: &impl OwnershipHost,
+    ) -> Vec<OwnershipAction> {
+        if epoch != self.epoch {
+            return Vec::new();
+        }
+        let requester = req_id.requester;
+        let ack_target = if ack_to_driver { from } else { requester };
+
+        // Ensure we have metadata to arbitrate with; a node that is an
+        // arbiter only because it is the current owner may have never seen
+        // this object via the directory.
+        let meta = self.meta.entry(object).or_insert_with(|| MetaEntry {
+            o_ts: OwnershipTs::default(),
+            replicas: old_replicas.clone(),
+            o_state: OState::Valid,
+        });
+
+        // The current owner rejects migrations of objects with commits still
+        // in flight (§4.1).
+        if meta.replicas.owner == Some(self.local)
+            && o_ts > meta.o_ts
+            && host.has_pending_commits(object)
+        {
+            return vec![OwnershipAction::Send {
+                to: requester,
+                msg: OwnershipMsg::Nack {
+                    req_id,
+                    object,
+                    reason: NackReason::PendingCommit,
+                    epoch: self.epoch,
+                    from: self.local,
+                },
+            }];
+        }
+
+        if o_ts < meta.o_ts {
+            // A stale / losing request: tell its requester to give up.
+            return vec![OwnershipAction::Send {
+                to: requester,
+                msg: OwnershipMsg::Nack {
+                    req_id,
+                    object,
+                    reason: NackReason::LostArbitration,
+                    epoch: self.epoch,
+                    from: self.local,
+                },
+            }];
+        }
+
+        let mut actions = Vec::new();
+        if o_ts > meta.o_ts {
+            self.stats.invalidations_processed += 1;
+            // If this node was driving a different, lower-timestamped request
+            // for the object, that request has lost: notify its requester.
+            if let Some(prev) = self.inflight.get(&object) {
+                if prev.req_id != req_id && prev.o_ts.node == self.local {
+                    actions.push(OwnershipAction::Send {
+                        to: prev.requester,
+                        msg: OwnershipMsg::Nack {
+                            req_id: prev.req_id,
+                            object,
+                            reason: NackReason::LostArbitration,
+                            epoch: self.epoch,
+                            from: self.local,
+                        },
+                    });
+                }
+            }
+            meta.o_ts = o_ts;
+            meta.o_state = OState::Invalid;
+            let arbiters = {
+                let owner = old_replicas.owner;
+                let mut set = self.directory.clone();
+                if let Some(o) = owner {
+                    if !set.contains(&o) {
+                        set.push(o);
+                    }
+                }
+                set
+            };
+            self.inflight.insert(
+                object,
+                InflightArb {
+                    req_id,
+                    requester,
+                    kind,
+                    o_ts,
+                    new_replicas: new_replicas.clone(),
+                    old_replicas: old_replicas.clone(),
+                    arbiters,
+                    collecting_acks: false,
+                    acks: HashSet::new(),
+                    data: None,
+                },
+            );
+        }
+        // o_ts == meta.o_ts (replay / duplicate): simply ACK again (§4.1).
+
+        let data = self.data_for_requester(object, kind, requester, &old_replicas, host);
+        actions.push(OwnershipAction::Send {
+            to: ack_target,
+            msg: OwnershipMsg::Ack {
+                req_id,
+                object,
+                o_ts,
+                epoch: self.epoch,
+                data,
+                from: self.local,
+                arbiters: self
+                    .inflight
+                    .get(&object)
+                    .map(|i| i.arbiters.clone())
+                    .unwrap_or_else(|| self.arbiter_set(&old_replicas)),
+                new_replicas,
+            },
+        });
+        actions
+    }
+
+    fn on_val(&mut self, object: ObjectId, o_ts: OwnershipTs, epoch: Epoch) -> Vec<OwnershipAction> {
+        if epoch != self.epoch {
+            return Vec::new();
+        }
+        let Some(inf) = self.inflight.get(&object) else {
+            return Vec::new();
+        };
+        if inf.o_ts != o_ts {
+            return Vec::new();
+        }
+        self.stats.validations_applied += 1;
+        self.apply_arbitration(object)
+    }
+
+    fn on_nack(
+        &mut self,
+        req_id: RequestId,
+        object: ObjectId,
+        reason: NackReason,
+    ) -> Vec<OwnershipAction> {
+        if !self.pending.contains_key(&req_id) {
+            return Vec::new();
+        }
+        match reason {
+            NackReason::PendingCommit | NackReason::Recovering | NackReason::StaleEpoch => {
+                vec![OwnershipAction::RetryLater {
+                    req_id,
+                    object,
+                    reason,
+                }]
+            }
+            NackReason::LostArbitration
+            | NackReason::NotDirectory
+            | NackReason::UnknownObject => {
+                self.pending.remove(&req_id);
+                self.stats.requests_failed += 1;
+                vec![OwnershipAction::Failed {
+                    req_id,
+                    object,
+                    reason,
+                }]
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Requester side
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_ack(
+        &mut self,
+        req_id: RequestId,
+        object: ObjectId,
+        o_ts: OwnershipTs,
+        epoch: Epoch,
+        data: Option<(u64, Bytes)>,
+        acker: NodeId,
+        arbiters: Vec<NodeId>,
+        new_replicas: ReplicaSet,
+        host: &impl OwnershipHost,
+    ) -> Vec<OwnershipAction> {
+        if epoch != self.epoch {
+            return Vec::new();
+        }
+
+        // Recovery drivers collect ACKs for arbitrations they replay.
+        if req_id.requester != self.local {
+            return self.on_recovery_ack(req_id, object, o_ts, data, acker, host);
+        }
+
+        let Some(pending) = self.pending.get_mut(&req_id) else {
+            return Vec::new();
+        };
+        // A newer arbitration (higher o_ts) supersedes a half-collected one
+        // (can happen when a PendingCommit retry restarts arbitration).
+        match pending.o_ts {
+            Some(existing) if existing == o_ts => {}
+            Some(existing) if existing > o_ts => return Vec::new(),
+            _ => {
+                pending.o_ts = Some(o_ts);
+                pending.acks.clear();
+            }
+        }
+        pending.arbiters = Some(arbiters);
+        pending.new_replicas = Some(new_replicas);
+        if data.is_some() {
+            pending.data = data;
+        }
+        pending.acks.insert(acker);
+
+        let complete = pending
+            .arbiters
+            .as_ref()
+            .map(|arbs| {
+                arbs.iter()
+                    .filter(|a| self.live.contains(a))
+                    .all(|a| pending.acks.contains(a))
+            })
+            .unwrap_or(false);
+        if !complete {
+            return Vec::new();
+        }
+        self.complete_request(req_id)
+    }
+
+    fn on_resp(
+        &mut self,
+        req_id: RequestId,
+        object: ObjectId,
+        o_ts: OwnershipTs,
+        epoch: Epoch,
+        data: Option<(u64, Bytes)>,
+        new_replicas: ReplicaSet,
+    ) -> Vec<OwnershipAction> {
+        if epoch != self.epoch {
+            return Vec::new();
+        }
+        let default_arbiters = self.arbiter_set(&ReplicaSet::default());
+        let Some(pending) = self.pending.get_mut(&req_id) else {
+            return Vec::new();
+        };
+        debug_assert_eq!(pending.object, object);
+        pending.o_ts = Some(o_ts);
+        pending.new_replicas = Some(new_replicas);
+        if data.is_some() {
+            pending.data = data;
+        }
+        if pending.arbiters.is_none() {
+            pending.arbiters = Some(default_arbiters);
+        }
+        self.complete_request(req_id)
+    }
+
+    /// Applies a completed request at the requester and validates arbiters.
+    fn complete_request(&mut self, req_id: RequestId) -> Vec<OwnershipAction> {
+        let Some(pending) = self.pending.remove(&req_id) else {
+            return Vec::new();
+        };
+        let object = pending.object;
+        let o_ts = pending.o_ts.expect("completed request has o_ts");
+        let mut new_replicas = pending
+            .new_replicas
+            .clone()
+            .expect("completed request has replica set");
+        new_replicas.retain_live(&self.live);
+        self.stats.requests_completed += 1;
+
+        // The requester applies the request before any arbiter (§4.1): it
+        // now stores authoritative ownership metadata if it became the owner
+        // or is a directory replica.
+        if new_replicas.owner == Some(self.local) || self.is_directory_node() {
+            self.meta.insert(
+                object,
+                MetaEntry {
+                    o_ts,
+                    replicas: new_replicas.clone(),
+                    o_state: OState::Valid,
+                },
+            );
+        } else {
+            self.meta.remove(&object);
+        }
+        self.inflight.remove(&object);
+
+        let mut actions = vec![OwnershipAction::Completed {
+            req_id,
+            object,
+            kind: pending.kind,
+            o_ts,
+            new_replicas: new_replicas.clone(),
+            data: pending.data.clone(),
+        }];
+        let arbiters = pending.arbiters.unwrap_or_default();
+        for arb in arbiters
+            .into_iter()
+            .filter(|a| *a != self.local && self.live.contains(a))
+        {
+            actions.push(OwnershipAction::Send {
+                to: arb,
+                msg: OwnershipMsg::Val {
+                    req_id,
+                    object,
+                    o_ts,
+                    epoch: self.epoch,
+                },
+            });
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery (arb-replay) driver side
+    // ------------------------------------------------------------------
+
+    fn on_recovery_ack(
+        &mut self,
+        req_id: RequestId,
+        object: ObjectId,
+        o_ts: OwnershipTs,
+        data: Option<(u64, Bytes)>,
+        acker: NodeId,
+        host: &impl OwnershipHost,
+    ) -> Vec<OwnershipAction> {
+        let Some(inf) = self.inflight.get_mut(&object) else {
+            return Vec::new();
+        };
+        if !inf.collecting_acks || inf.req_id != req_id || inf.o_ts != o_ts {
+            return Vec::new();
+        }
+        if data.is_some() {
+            inf.data = data;
+        }
+        inf.acks.insert(acker);
+        let done = inf
+            .arbiters
+            .iter()
+            .filter(|a| self.live.contains(a))
+            .all(|a| inf.acks.contains(a));
+        if !done {
+            return Vec::new();
+        }
+        self.finish_recovery_drive(object, host)
+    }
+
+    /// Completes an arb-replay: hand the result to the requester if it is
+    /// alive, otherwise apply and validate among the surviving arbiters.
+    fn finish_recovery_drive(
+        &mut self,
+        object: ObjectId,
+        host: &impl OwnershipHost,
+    ) -> Vec<OwnershipAction> {
+        let Some(inf) = self.inflight.get(&object).cloned() else {
+            return Vec::new();
+        };
+        let mut actions = Vec::new();
+        if self.live.contains(&inf.requester) && inf.requester != self.local {
+            let data = inf
+                .data
+                .clone()
+                .or_else(|| host.object_value(object));
+            actions.push(OwnershipAction::Send {
+                to: inf.requester,
+                msg: OwnershipMsg::Resp {
+                    req_id: inf.req_id,
+                    object,
+                    o_ts: inf.o_ts,
+                    epoch: self.epoch,
+                    data,
+                    new_replicas: inf.new_replicas.clone(),
+                },
+            });
+        } else {
+            // Requester is dead (or is this node): apply locally and unblock
+            // the other live arbiters directly.
+            for &arb in inf
+                .arbiters
+                .iter()
+                .filter(|&&a| a != self.local && self.live.contains(&a))
+            {
+                actions.push(OwnershipAction::Send {
+                    to: arb,
+                    msg: OwnershipMsg::Val {
+                        req_id: inf.req_id,
+                        object,
+                        o_ts: inf.o_ts,
+                        epoch: self.epoch,
+                    },
+                });
+            }
+            actions.extend(self.apply_arbitration(object));
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Shared helpers
+    // ------------------------------------------------------------------
+
+    /// Applies the in-flight arbitration of `object` to the local metadata
+    /// and tells the host to adjust access levels.
+    fn apply_arbitration(&mut self, object: ObjectId) -> Vec<OwnershipAction> {
+        let Some(inf) = self.inflight.remove(&object) else {
+            return Vec::new();
+        };
+        let mut new_replicas = inf.new_replicas;
+        new_replicas.retain_live(&self.live);
+        if self.is_directory_node() || new_replicas.owner == Some(self.local) {
+            self.meta.insert(
+                object,
+                MetaEntry {
+                    o_ts: inf.o_ts,
+                    replicas: new_replicas.clone(),
+                    o_state: OState::Valid,
+                },
+            );
+        } else {
+            self.meta.remove(&object);
+        }
+        vec![OwnershipAction::ApplyReplicaChange {
+            object,
+            o_ts: inf.o_ts,
+            new_replicas,
+        }]
+    }
+
+    /// The arbiter set of a request: the directory replicas plus the current
+    /// owner (§4.1).
+    fn arbiter_set(&self, replicas: &ReplicaSet) -> Vec<NodeId> {
+        let mut set = self.directory.clone();
+        if let Some(owner) = replicas.owner {
+            if !set.contains(&owner) {
+                set.push(owner);
+            }
+        }
+        set.retain(|n| self.live.contains(n));
+        set
+    }
+
+    /// The replica set after applying a request of the given kind.
+    fn apply_kind(
+        old: &ReplicaSet,
+        kind: OwnershipRequestKind,
+        requester: NodeId,
+    ) -> ReplicaSet {
+        let mut new = old.clone();
+        match kind {
+            OwnershipRequestKind::AcquireOwner => new.promote_owner(requester),
+            OwnershipRequestKind::AcquireReader => {
+                if new.owner != Some(requester) && !new.readers.contains(&requester) {
+                    new.readers.push(requester);
+                    new.readers.sort_unstable();
+                }
+            }
+            OwnershipRequestKind::RemoveReader { reader } => new.remove_reader(reader),
+        }
+        new
+    }
+
+    /// Data to ship in an ACK: only the current owner ships it, and only when
+    /// the requester will become a replica but does not yet store one.
+    fn data_for_requester(
+        &self,
+        object: ObjectId,
+        kind: OwnershipRequestKind,
+        requester: NodeId,
+        old_replicas: &ReplicaSet,
+        host: &impl OwnershipHost,
+    ) -> Option<(u64, Bytes)> {
+        if !kind.requester_needs_data() {
+            return None;
+        }
+        if old_replicas.owner != Some(self.local) {
+            return None;
+        }
+        if old_replicas.level_of(requester).is_replica() {
+            return None;
+        }
+        host.object_value(object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Test host backed by a simple map.
+    #[derive(Default)]
+    struct MapHost {
+        values: HashMap<ObjectId, (u64, Bytes)>,
+        pending: HashSet<ObjectId>,
+    }
+
+    impl OwnershipHost for MapHost {
+        fn object_value(&self, object: ObjectId) -> Option<(u64, Bytes)> {
+            self.values.get(&object).cloned()
+        }
+        fn has_pending_commits(&self, object: ObjectId) -> bool {
+            self.pending.contains(&object)
+        }
+    }
+
+    struct Cluster {
+        engines: Vec<OwnershipEngine>,
+        hosts: Vec<MapHost>,
+        /// (to, from, msg)
+        network: VecDeque<(NodeId, NodeId, OwnershipMsg)>,
+        /// Non-send actions collected per node.
+        events: Vec<Vec<OwnershipAction>>,
+        /// Messages currently "lost" because a node is crashed.
+        crashed: HashSet<NodeId>,
+    }
+
+    impl Cluster {
+        fn new(n: usize, dir: usize) -> Self {
+            let directory: Vec<NodeId> = (0..dir as u16).map(NodeId).collect();
+            Cluster {
+                engines: (0..n as u16)
+                    .map(|i| OwnershipEngine::new(NodeId(i), directory.clone(), n))
+                    .collect(),
+                hosts: (0..n).map(|_| MapHost::default()).collect(),
+                network: VecDeque::new(),
+                events: vec![Vec::new(); n],
+                crashed: HashSet::new(),
+            }
+        }
+
+        fn register(&mut self, object: ObjectId, replicas: ReplicaSet, value: &[u8]) {
+            for (i, engine) in self.engines.iter_mut().enumerate() {
+                engine.register_object(object, replicas.clone());
+                if replicas.contains(NodeId(i as u16)) {
+                    self.hosts[i]
+                        .values
+                        .insert(object, (0, Bytes::copy_from_slice(value)));
+                }
+            }
+        }
+
+        fn apply(&mut self, node: NodeId, actions: Vec<OwnershipAction>) {
+            for action in actions {
+                match action {
+                    OwnershipAction::Send { to, msg } => {
+                        self.network.push_back((to, node, msg));
+                    }
+                    other => self.events[node.index()].push(other),
+                }
+            }
+        }
+
+        fn request(&mut self, node: NodeId, object: ObjectId, kind: OwnershipRequestKind) -> RequestId {
+            let host = &self.hosts[node.index()];
+            let (req_id, actions) = self.engines[node.index()].request_access(object, kind, host);
+            self.apply(node, actions);
+            req_id
+        }
+
+        /// Delivers all queued messages until quiescence.
+        fn run(&mut self) {
+            let mut steps = 0;
+            while let Some((to, from, msg)) = self.network.pop_front() {
+                steps += 1;
+                assert!(steps < 100_000, "protocol did not quiesce");
+                if self.crashed.contains(&to) || self.crashed.contains(&from) {
+                    continue;
+                }
+                let host = &self.hosts[to.index()];
+                let actions = self.engines[to.index()].handle_message(from, msg, host);
+                self.apply(to, actions);
+            }
+        }
+
+        fn completed(&self, node: NodeId) -> Vec<&OwnershipAction> {
+            self.events[node.index()]
+                .iter()
+                .filter(|a| matches!(a, OwnershipAction::Completed { .. }))
+                .collect()
+        }
+
+        fn crash(&mut self, node: NodeId) {
+            self.crashed.insert(node);
+        }
+
+        fn view_change(&mut self) {
+            let live: Vec<NodeId> = (0..self.engines.len() as u16)
+                .map(NodeId)
+                .filter(|n| !self.crashed.contains(n))
+                .collect();
+            let epoch = self.engines[live[0].index()].epoch().next();
+            for node in live.clone() {
+                let host = &self.hosts[node.index()];
+                let actions =
+                    self.engines[node.index()].on_view_change(epoch, live.clone(), host);
+                self.apply(node, actions);
+                self.engines[node.index()].set_enabled(true);
+            }
+        }
+    }
+
+    fn obj() -> ObjectId {
+        ObjectId(100)
+    }
+
+    fn initial_replicas() -> ReplicaSet {
+        // Owner node 0, reader node 1 (3-node cluster, directory = 0,1,2).
+        ReplicaSet::new(NodeId(0), [NodeId(1)])
+    }
+
+    #[test]
+    fn reader_acquires_ownership_without_data_transfer() {
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"value");
+        let req = c.request(NodeId(1), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        let done = c.completed(NodeId(1));
+        assert_eq!(done.len(), 1);
+        match done[0] {
+            OwnershipAction::Completed {
+                req_id,
+                new_replicas,
+                data,
+                ..
+            } => {
+                assert_eq!(*req_id, req);
+                assert_eq!(new_replicas.owner, Some(NodeId(1)));
+                assert!(new_replicas.readers.contains(&NodeId(0)));
+                assert!(data.is_none(), "reader already has the data");
+            }
+            _ => unreachable!(),
+        }
+        // Directory agrees on the new owner.
+        for d in 0..3u16 {
+            assert_eq!(
+                c.engines[d as usize].replicas_of(obj()).unwrap().owner,
+                Some(NodeId(1)),
+                "directory node {d} must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn non_replica_acquisition_ships_data() {
+        let mut c = Cluster::new(4, 3);
+        c.register(obj(), initial_replicas(), b"payload");
+        c.request(NodeId(3), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        let done = c.completed(NodeId(3));
+        assert_eq!(done.len(), 1);
+        match done[0] {
+            OwnershipAction::Completed { data, new_replicas, .. } => {
+                let (ver, bytes) = data.as_ref().expect("owner must ship the value");
+                assert_eq!(*ver, 0);
+                assert_eq!(bytes.as_ref(), b"payload");
+                assert_eq!(new_replicas.owner, Some(NodeId(3)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn old_owner_learns_demotion_via_val() {
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        c.request(NodeId(1), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        // Node 0 (old owner) must have applied a replica change demoting it.
+        let change = c.events[0]
+            .iter()
+            .find_map(|a| match a {
+                OwnershipAction::ApplyReplicaChange { new_replicas, .. } => Some(new_replicas),
+                _ => None,
+            })
+            .expect("old owner applies the change");
+        assert_eq!(change.owner, Some(NodeId(1)));
+        assert!(change.readers.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn acquire_reader_adds_replica() {
+        let mut c = Cluster::new(4, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        c.request(NodeId(3), obj(), OwnershipRequestKind::AcquireReader);
+        c.run();
+        let done = c.completed(NodeId(3));
+        assert_eq!(done.len(), 1);
+        match done[0] {
+            OwnershipAction::Completed { new_replicas, data, .. } => {
+                assert_eq!(new_replicas.owner, Some(NodeId(0)));
+                assert!(new_replicas.readers.contains(&NodeId(3)));
+                assert!(data.is_some(), "new reader needs the value");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn remove_reader_shrinks_replica_set() {
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        c.request(
+            NodeId(0),
+            obj(),
+            OwnershipRequestKind::RemoveReader { reader: NodeId(1) },
+        );
+        c.run();
+        assert_eq!(c.completed(NodeId(0)).len(), 1);
+        let rs = c.engines[2].replicas_of(obj()).unwrap();
+        assert_eq!(rs.owner, Some(NodeId(0)));
+        assert!(!rs.readers.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn contending_requests_have_exactly_one_winner() {
+        let mut c = Cluster::new(4, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        // Nodes 2 and 3 race for ownership through different drivers.
+        c.request(NodeId(2), obj(), OwnershipRequestKind::AcquireOwner);
+        c.request(NodeId(3), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        let winners: usize = [NodeId(2), NodeId(3)]
+            .iter()
+            .map(|n| c.completed(*n).len())
+            .sum();
+        let failures: usize = (0..4)
+            .map(|n| {
+                c.events[n]
+                    .iter()
+                    .filter(|a| matches!(a, OwnershipAction::Failed { .. }))
+                    .count()
+            })
+            .sum();
+        assert_eq!(winners, 1, "exactly one contender may win");
+        assert!(failures >= 1, "the loser must be notified");
+        // All directory nodes agree on a single owner.
+        let owner = c.engines[0].replicas_of(obj()).unwrap().owner;
+        assert!(owner == Some(NodeId(2)) || owner == Some(NodeId(3)));
+        for d in 1..3usize {
+            assert_eq!(c.engines[d].replicas_of(obj()).unwrap().owner, owner);
+        }
+    }
+
+    #[test]
+    fn pending_commits_cause_retryable_nack() {
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        // Owner (node 0) has a reliable commit in flight on the object.
+        c.hosts[0].pending.insert(obj());
+        let req = c.request(NodeId(1), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        let retry = c.events[1]
+            .iter()
+            .find(|a| matches!(a, OwnershipAction::RetryLater { .. }));
+        assert!(retry.is_some(), "requester must be told to retry");
+        assert!(c.completed(NodeId(1)).is_empty());
+
+        // Once the commit drains, the retry succeeds with the same req id.
+        c.hosts[0].pending.clear();
+        let actions = c.engines[1].retry_request(req);
+        c.apply(NodeId(1), actions);
+        c.run();
+        assert_eq!(c.completed(NodeId(1)).len(), 1);
+    }
+
+    #[test]
+    fn first_touch_acquire_creates_directory_entry() {
+        let mut c = Cluster::new(3, 3);
+        let fresh = ObjectId(777);
+        c.request(NodeId(2), fresh, OwnershipRequestKind::AcquireOwner);
+        c.run();
+        assert_eq!(c.completed(NodeId(2)).len(), 1);
+        assert_eq!(
+            c.engines[0].replicas_of(fresh).unwrap().owner,
+            Some(NodeId(2))
+        );
+    }
+
+    #[test]
+    fn stale_epoch_request_is_rejected_as_retryable() {
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        // Bump epochs everywhere except the requester's engine view of it.
+        for i in 0..3 {
+            let host = &c.hosts[i];
+            let live: Vec<NodeId> = (0..3).map(NodeId).collect();
+            let actions = c.engines[i].on_view_change(Epoch(1), live, host);
+            c.apply(NodeId(i as u16), actions);
+            c.engines[i].set_enabled(true);
+        }
+        c.network.clear();
+        // Forge a request with the old epoch by temporarily rolling back.
+        let msg = OwnershipMsg::Req {
+            req_id: RequestId::new(NodeId(1), 99),
+            object: obj(),
+            kind: OwnershipRequestKind::AcquireOwner,
+            epoch: Epoch::ZERO,
+        };
+        let host = &c.hosts[0];
+        let actions = c.engines[0].handle_message(NodeId(1), msg, host);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            OwnershipAction::Send {
+                msg: OwnershipMsg::Nack {
+                    reason: NackReason::StaleEpoch,
+                    ..
+                },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn owner_failure_recovers_via_arb_replay() {
+        let mut c = Cluster::new(4, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        // Node 3 (non-replica) requests ownership; the current owner (node 0)
+        // crashes before anything is delivered, so the arbitration hangs.
+        c.request(NodeId(3), obj(), OwnershipRequestKind::AcquireOwner);
+        // Deliver only the REQ (to driver) and the driver's INVs partially:
+        // crash node 0 right away so its ACK never arrives.
+        c.crash(NodeId(0));
+        c.run();
+        assert!(c.completed(NodeId(3)).is_empty(), "request is stuck");
+
+        // Membership reconfigures; live arbiters replay the arbitration.
+        c.view_change();
+        c.run();
+        let done = c.completed(NodeId(3));
+        assert_eq!(done.len(), 1, "arb-replay must complete the request");
+        match done[0] {
+            OwnershipAction::Completed { new_replicas, .. } => {
+                assert_eq!(new_replicas.owner, Some(NodeId(3)));
+                assert!(
+                    !new_replicas.readers.contains(&NodeId(0)),
+                    "dead node pruned from replicas"
+                );
+            }
+            _ => unreachable!(),
+        }
+        // Surviving directory nodes agree.
+        for d in 1..3usize {
+            assert_eq!(
+                c.engines[d].replicas_of(obj()).unwrap().owner,
+                Some(NodeId(3))
+            );
+        }
+    }
+
+    #[test]
+    fn requester_failure_still_unblocks_arbiters() {
+        let mut c = Cluster::new(4, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        c.request(NodeId(3), obj(), OwnershipRequestKind::AcquireOwner);
+        // Let the driver invalidate the arbiters, then the requester dies.
+        c.run();
+        // The request completed (run drains everything), so instead simulate
+        // the crash before the VALs are processed: re-issue a new request and
+        // crash the requester before delivery.
+        let _ = c.request(NodeId(3), obj(), OwnershipRequestKind::AcquireOwner);
+        c.crash(NodeId(3));
+        c.run();
+        c.view_change();
+        c.run();
+        // All live arbiters must be back to a Valid state with no inflight
+        // arbitration.
+        for d in 0..3usize {
+            assert_eq!(
+                c.engines[d].inflight_arbitrations(),
+                0,
+                "node {d} must not be stuck"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_track_protocol_activity() {
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        c.request(NodeId(1), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        assert_eq!(c.engines[1].stats().requests_issued, 1);
+        assert_eq!(c.engines[1].stats().requests_completed, 1);
+        let driven: u64 = c.engines.iter().map(|e| e.stats().requests_driven).sum();
+        assert_eq!(driven, 1);
+    }
+
+    #[test]
+    fn abandon_request_clears_pending_state() {
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        let req = c.request(NodeId(1), obj(), OwnershipRequestKind::AcquireOwner);
+        c.engines[1].abandon_request(req);
+        assert_eq!(c.engines[1].pending_requests(), 0);
+        c.run();
+        assert!(c.completed(NodeId(1)).is_empty());
+    }
+}

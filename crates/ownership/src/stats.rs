@@ -1,0 +1,64 @@
+//! Ownership protocol counters.
+
+/// Counters describing the ownership traffic a node has processed.
+///
+/// The Voter experiments (Figures 10–12) are driven by these: objects moved
+/// per second, and the latency distribution of ownership requests (latency
+/// itself is measured by the hosting runtime, which knows the clock).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OwnershipStats {
+    /// Requests issued by this node (as requester).
+    pub requests_issued: u64,
+    /// Requests completed successfully at this node (as requester).
+    pub requests_completed: u64,
+    /// Requests that failed (lost arbitration or other terminal NACK).
+    pub requests_failed: u64,
+    /// Requests NACKed with a retryable reason (pending commit, recovering).
+    pub requests_retried: u64,
+    /// REQ messages driven by this node (as a directory driver).
+    pub requests_driven: u64,
+    /// INV messages processed as an arbiter.
+    pub invalidations_processed: u64,
+    /// VAL messages applied as an arbiter.
+    pub validations_applied: u64,
+    /// Arb-replays initiated during failure recovery.
+    pub arb_replays: u64,
+}
+
+impl OwnershipStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &OwnershipStats) {
+        self.requests_issued += other.requests_issued;
+        self.requests_completed += other.requests_completed;
+        self.requests_failed += other.requests_failed;
+        self.requests_retried += other.requests_retried;
+        self.requests_driven += other.requests_driven;
+        self.invalidations_processed += other.invalidations_processed;
+        self.validations_applied += other.validations_applied;
+        self.arb_replays += other.arb_replays;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let mut a = OwnershipStats::new();
+        a.requests_issued = 2;
+        a.arb_replays = 1;
+        let mut b = OwnershipStats::new();
+        b.requests_issued = 3;
+        b.requests_completed = 3;
+        a.merge(&b);
+        assert_eq!(a.requests_issued, 5);
+        assert_eq!(a.requests_completed, 3);
+        assert_eq!(a.arb_replays, 1);
+    }
+}

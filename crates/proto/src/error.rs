@@ -1,0 +1,76 @@
+//! Error type for wire decoding.
+
+use core::fmt;
+
+/// Errors produced while decoding the hand-rolled wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer ended before the value was fully decoded.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// An enum discriminant byte did not correspond to any variant.
+    InvalidTag {
+        /// Name of the type being decoded.
+        ty: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A length prefix exceeded the configured sanity limit.
+    LengthTooLarge {
+        /// The decoded length.
+        len: usize,
+        /// The maximum permitted length.
+        max: usize,
+    },
+    /// Trailing bytes remained after a complete value was decoded.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of buffer: needed {needed} bytes, {remaining} remaining"
+            ),
+            ProtoError::InvalidTag { ty, tag } => {
+                write!(f, "invalid tag {tag} while decoding {ty}")
+            }
+            ProtoError::LengthTooLarge { len, max } => {
+                write!(f, "length prefix {len} exceeds maximum {max}")
+            }
+            ProtoError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decoded value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_details() {
+        let e = ProtoError::UnexpectedEof {
+            needed: 4,
+            remaining: 1,
+        };
+        assert!(e.to_string().contains("needed 4"));
+        let e = ProtoError::InvalidTag { ty: "OState", tag: 9 };
+        assert!(e.to_string().contains("OState"));
+        let e = ProtoError::LengthTooLarge { len: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+        let e = ProtoError::TrailingBytes { remaining: 3 };
+        assert!(e.to_string().contains("3"));
+    }
+}

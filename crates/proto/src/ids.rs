@@ -1,0 +1,315 @@
+//! Identifiers and timestamps used throughout the Zeus protocols.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (server) in the deployment.
+///
+/// The paper uses small clusters (3–6 nodes); a `u16` comfortably covers any
+/// realistic deployment while keeping messages small.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Convenience constructor.
+    pub const fn new(id: u16) -> Self {
+        NodeId(id)
+    }
+
+    /// Returns the raw id as a `usize` index, useful for dense per-node tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of an application object (a key in the datastore).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Convenience constructor.
+    pub const fn new(id: u64) -> Self {
+        ObjectId(id)
+    }
+
+    /// Builds an object id from a (table, row) pair, the convention used by
+    /// the OLTP workloads (Smallbank, TATP, Voter, Handovers).
+    ///
+    /// The table tag occupies the top 8 bits so that up to 2^56 rows per
+    /// table can be addressed.
+    pub const fn from_table_row(table: u8, row: u64) -> Self {
+        ObjectId(((table as u64) << 56) | (row & ((1 << 56) - 1)))
+    }
+
+    /// Returns the table tag encoded by [`ObjectId::from_table_row`].
+    pub const fn table(self) -> u8 {
+        (self.0 >> 56) as u8
+    }
+
+    /// Returns the row encoded by [`ObjectId::from_table_row`].
+    pub const fn row(self) -> u64 {
+        self.0 & ((1 << 56) - 1)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{:x}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+/// Membership epoch (`e_id` in the paper).
+///
+/// Each membership reconfiguration produces a strictly larger epoch; protocol
+/// messages tagged with a stale epoch are ignored by receivers (§4.1, §5.1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The initial epoch, before any reconfiguration.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// Returns the next epoch.
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a commit pipeline.
+///
+/// The paper pipelines reliable commits per worker thread (§5.2, §7); a
+/// pipeline is therefore identified by the owning node plus a thread index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PipelineId {
+    /// Node the pipeline belongs to.
+    pub node: NodeId,
+    /// Worker-thread index within the node.
+    pub thread: u16,
+}
+
+impl PipelineId {
+    /// Convenience constructor.
+    pub const fn new(node: NodeId, thread: u16) -> Self {
+        PipelineId { node, thread }
+    }
+}
+
+impl fmt::Display for PipelineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t{}", self.node, self.thread)
+    }
+}
+
+/// Transaction identifier: `tx_id = <local_tx_id, node_id>` (§5).
+///
+/// `local` is monotonically increasing within a pipeline and defines the
+/// order in which followers must apply pending reliable commits.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TxId {
+    /// Pipeline (coordinator node + worker thread) that issued the transaction.
+    pub pipeline: PipelineId,
+    /// Monotonically increasing slot within the pipeline.
+    pub local: u64,
+}
+
+impl TxId {
+    /// Convenience constructor.
+    pub const fn new(pipeline: PipelineId, local: u64) -> Self {
+        TxId { pipeline, local }
+    }
+
+    /// The transaction id occupying the previous slot of the same pipeline,
+    /// or `None` for the first slot.
+    pub fn prev(self) -> Option<TxId> {
+        if self.local == 0 {
+            None
+        } else {
+            Some(TxId {
+                pipeline: self.pipeline,
+                local: self.local - 1,
+            })
+        }
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx({},{})", self.pipeline, self.local)
+    }
+}
+
+/// Identifier of an ownership request, locally unique at the requester (§4.1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId {
+    /// Node that issued the ownership request.
+    pub requester: NodeId,
+    /// Locally unique sequence number at the requester.
+    pub seq: u64,
+}
+
+impl RequestId {
+    /// Convenience constructor.
+    pub const fn new(requester: NodeId, seq: u64) -> Self {
+        RequestId { requester, seq }
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req({},{})", self.requester, self.seq)
+    }
+}
+
+/// Ownership timestamp `o_ts = <obj_ver, node_id>` (§4).
+///
+/// Contending ownership requests for the same object are resolved by
+/// lexicographic comparison of their timestamps: higher `version` wins, ties
+/// broken by the driver's node id. The derived `Ord` implementation performs
+/// exactly this lexicographic comparison because of field order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OwnershipTs {
+    /// Monotonically increasing per-object ownership version.
+    pub version: u64,
+    /// Driver node that created the timestamp (tie breaker).
+    pub node: NodeId,
+}
+
+impl OwnershipTs {
+    /// Convenience constructor.
+    pub const fn new(version: u64, node: NodeId) -> Self {
+        OwnershipTs { version, node }
+    }
+
+    /// Returns the timestamp a driver at `node` would assign when it drives a
+    /// new request over the current timestamp `self` (§4.1: `obj_ver + 1`).
+    #[must_use]
+    pub fn bump(self, node: NodeId) -> OwnershipTs {
+        OwnershipTs {
+            version: self.version + 1,
+            node,
+        }
+    }
+}
+
+impl fmt::Display for OwnershipTs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ots({},{})", self.version, self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_table_row_roundtrip() {
+        let id = ObjectId::from_table_row(3, 123_456_789);
+        assert_eq!(id.table(), 3);
+        assert_eq!(id.row(), 123_456_789);
+    }
+
+    #[test]
+    fn object_id_table_row_extremes() {
+        let id = ObjectId::from_table_row(255, (1 << 56) - 1);
+        assert_eq!(id.table(), 255);
+        assert_eq!(id.row(), (1 << 56) - 1);
+        let id0 = ObjectId::from_table_row(0, 0);
+        assert_eq!(id0.table(), 0);
+        assert_eq!(id0.row(), 0);
+    }
+
+    #[test]
+    fn epoch_next_is_monotonic() {
+        let e = Epoch::ZERO;
+        assert!(e.next() > e);
+        assert_eq!(e.next().0, 1);
+    }
+
+    #[test]
+    fn ownership_ts_ordering_is_lexicographic() {
+        let a = OwnershipTs::new(3, NodeId(5));
+        let b = OwnershipTs::new(4, NodeId(1));
+        let c = OwnershipTs::new(4, NodeId(2));
+        assert!(a < b, "higher version wins regardless of node id");
+        assert!(b < c, "node id breaks ties");
+    }
+
+    #[test]
+    fn ownership_ts_bump_increments_version_and_sets_node() {
+        let a = OwnershipTs::new(7, NodeId(1));
+        let b = a.bump(NodeId(9));
+        assert_eq!(b.version, 8);
+        assert_eq!(b.node, NodeId(9));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn tx_id_prev_walks_pipeline_slots() {
+        let p = PipelineId::new(NodeId(2), 3);
+        let t = TxId::new(p, 5);
+        assert_eq!(t.prev(), Some(TxId::new(p, 4)));
+        assert_eq!(TxId::new(p, 0).prev(), None);
+    }
+
+    #[test]
+    fn tx_id_orders_within_pipeline() {
+        let p = PipelineId::new(NodeId(2), 0);
+        assert!(TxId::new(p, 1) < TxId::new(p, 2));
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(Epoch(2).to_string(), "e2");
+        assert_eq!(ObjectId(255).to_string(), "off");
+        let p = PipelineId::new(NodeId(1), 2);
+        assert_eq!(p.to_string(), "n1t2");
+        assert_eq!(TxId::new(p, 9).to_string(), "tx(n1t2,9)");
+    }
+
+    #[test]
+    fn node_id_index_matches_raw() {
+        assert_eq!(NodeId(42).index(), 42);
+        assert_eq!(NodeId::from(7u16), NodeId(7));
+    }
+}

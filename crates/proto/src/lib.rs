@@ -1,0 +1,30 @@
+//! Shared protocol types for the Zeus reproduction.
+//!
+//! This crate defines the identifiers, timestamps, access levels and wire
+//! message types that the ownership protocol ([`messages::OwnershipMsg`]) and
+//! the reliable-commit protocol ([`messages::CommitMsg`]) exchange between
+//! nodes, together with a compact hand-rolled binary wire format
+//! ([`wire::Wire`]) used for network byte accounting.
+//!
+//! The types mirror the paper's terminology (EuroSys '21, §4–§5):
+//!
+//! * `o_state`, `o_ts`, `o_replicas` — ownership metadata ([`state::OState`],
+//!   [`ids::OwnershipTs`], [`state::ReplicaSet`]),
+//! * `t_state`, `t_version`, `t_data` — per-replica transactional object
+//!   state ([`state::TState`]),
+//! * `tx_id = <local_tx_id, node_id>` — pipeline-ordered transaction ids
+//!   ([`ids::TxId`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod ids;
+pub mod messages;
+pub mod state;
+pub mod wire;
+
+pub use error::ProtoError;
+pub use ids::{Epoch, NodeId, ObjectId, OwnershipTs, PipelineId, RequestId, TxId};
+pub use messages::{CommitMsg, MembershipMsg, ObjectUpdate, OwnershipMsg, OwnershipRequestKind};
+pub use state::{AccessLevel, OState, ReplicaSet, TState};

@@ -1,0 +1,375 @@
+//! Wire message types of the two Zeus protocols plus membership traffic.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Epoch, NodeId, ObjectId, OwnershipTs, RequestId, TxId};
+use crate::state::ReplicaSet;
+
+/// What an ownership request asks for (§4, §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OwnershipRequestKind {
+    /// Acquire exclusive write access (become the owner). Issued by the
+    /// coordinator of a write transaction before its first write to an
+    /// object it does not own.
+    AcquireOwner,
+    /// Acquire read access (become a reader replica). Issued before a
+    /// read within a write transaction on a non-replica object, or to add a
+    /// replica.
+    AcquireReader,
+    /// Reliably remove a reader replica to restore the configured
+    /// replication degree (out-of-critical-path sharding request, §6.2).
+    RemoveReader {
+        /// The reader to be removed from the replica set.
+        reader: NodeId,
+    },
+}
+
+impl OwnershipRequestKind {
+    /// Whether the requester needs the current object value in the owner's
+    /// ACK (only when it will become a replica and does not yet store one).
+    pub fn requester_needs_data(self) -> bool {
+        matches!(
+            self,
+            OwnershipRequestKind::AcquireOwner | OwnershipRequestKind::AcquireReader
+        )
+    }
+}
+
+/// Reason an arbiter or driver rejected an ownership request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NackReason {
+    /// The request lost the `o_ts` arbitration against a concurrent request.
+    LostArbitration,
+    /// The object is involved in a pending reliable commit at its owner
+    /// (§4.1: the owner NACKs requests for objects with in-flight commits).
+    PendingCommit,
+    /// The message carried a stale epoch id.
+    StaleEpoch,
+    /// The receiver is not a directory node for the object.
+    NotDirectory,
+    /// The object is unknown at the receiver.
+    UnknownObject,
+    /// The ownership protocol is paused while commit recovery for a new
+    /// membership epoch is in progress (§5.1).
+    Recovering,
+}
+
+/// Messages of the reliable ownership protocol (§4.1, Figure 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OwnershipMsg {
+    /// `REQ`: requester → an arbitrarily chosen directory node (the driver).
+    Req {
+        /// Locally unique request id (used to match responses).
+        req_id: RequestId,
+        /// Object whose ownership/access level is requested.
+        object: ObjectId,
+        /// What is being requested.
+        kind: OwnershipRequestKind,
+        /// Requester's current epoch.
+        epoch: Epoch,
+    },
+    /// `INV`: driver → remaining arbiters (other directory nodes and the
+    /// current owner). Carries the proposed new ownership metadata.
+    Inv {
+        /// Request id copied from the REQ.
+        req_id: RequestId,
+        /// Object being migrated.
+        object: ObjectId,
+        /// Ownership timestamp assigned by the driver (`<obj_ver+1, driver>`).
+        o_ts: OwnershipTs,
+        /// What is being requested.
+        kind: OwnershipRequestKind,
+        /// The replica set as it will be once the request is applied.
+        new_replicas: ReplicaSet,
+        /// Replica set before the request (used by arbiters that have no
+        /// local metadata, e.g. a newly involved owner during recovery).
+        old_replicas: ReplicaSet,
+        /// Epoch the request belongs to.
+        epoch: Epoch,
+        /// During arb-replay recovery, ACKs are collected by the driver
+        /// instead of the requester (§4.1 failure recovery).
+        ack_to_driver: bool,
+    },
+    /// `ACK`: arbiter → requester (or → driver during recovery).
+    Ack {
+        /// Request id.
+        req_id: RequestId,
+        /// Object being migrated.
+        object: ObjectId,
+        /// Ownership timestamp of the accepted request.
+        o_ts: OwnershipTs,
+        /// Epoch of the acknowledging arbiter.
+        epoch: Epoch,
+        /// Present iff the sender is the current owner and the requester
+        /// needs the data (non-replica requester): `(t_version, t_data)`.
+        data: Option<(u64, Bytes)>,
+        /// The acknowledging arbiter.
+        from: NodeId,
+        /// The full arbiter set of this request (directory nodes plus the
+        /// current owner), so the requester knows how many ACKs to expect.
+        arbiters: Vec<NodeId>,
+        /// The replica set as it will look once the request is applied.
+        new_replicas: ReplicaSet,
+    },
+    /// `VAL`: requester → arbiters after it has applied the request locally.
+    Val {
+        /// Request id.
+        req_id: RequestId,
+        /// Object being migrated.
+        object: ObjectId,
+        /// Ownership timestamp of the validated request.
+        o_ts: OwnershipTs,
+        /// Epoch.
+        epoch: Epoch,
+    },
+    /// `NACK`: driver or owner → requester when the request cannot proceed.
+    Nack {
+        /// Request id.
+        req_id: RequestId,
+        /// Object.
+        object: ObjectId,
+        /// Why the request was rejected.
+        reason: NackReason,
+        /// Epoch.
+        epoch: Epoch,
+        /// Rejecting node.
+        from: NodeId,
+    },
+    /// `RESP`: recovery-only driver → requester message confirming the
+    /// arbitration win so that the requester applies the request before the
+    /// arbiters (§4.1 failure recovery).
+    Resp {
+        /// Request id.
+        req_id: RequestId,
+        /// Object.
+        object: ObjectId,
+        /// Winning ownership timestamp.
+        o_ts: OwnershipTs,
+        /// Epoch.
+        epoch: Epoch,
+        /// Current object value, included when the requester lacks it (e.g.
+        /// the previous owner died before sending its ACK with data).
+        data: Option<(u64, Bytes)>,
+        /// The replica set as it will look once the request is applied.
+        new_replicas: ReplicaSet,
+    },
+}
+
+impl OwnershipMsg {
+    /// Object the message refers to.
+    pub fn object(&self) -> ObjectId {
+        match self {
+            OwnershipMsg::Req { object, .. }
+            | OwnershipMsg::Inv { object, .. }
+            | OwnershipMsg::Ack { object, .. }
+            | OwnershipMsg::Val { object, .. }
+            | OwnershipMsg::Nack { object, .. }
+            | OwnershipMsg::Resp { object, .. } => *object,
+        }
+    }
+
+    /// Request id the message refers to.
+    pub fn request_id(&self) -> RequestId {
+        match self {
+            OwnershipMsg::Req { req_id, .. }
+            | OwnershipMsg::Inv { req_id, .. }
+            | OwnershipMsg::Ack { req_id, .. }
+            | OwnershipMsg::Val { req_id, .. }
+            | OwnershipMsg::Nack { req_id, .. }
+            | OwnershipMsg::Resp { req_id, .. } => *req_id,
+        }
+    }
+
+    /// Epoch carried by the message.
+    pub fn epoch(&self) -> Epoch {
+        match self {
+            OwnershipMsg::Req { epoch, .. }
+            | OwnershipMsg::Inv { epoch, .. }
+            | OwnershipMsg::Ack { epoch, .. }
+            | OwnershipMsg::Val { epoch, .. }
+            | OwnershipMsg::Nack { epoch, .. }
+            | OwnershipMsg::Resp { epoch, .. } => *epoch,
+        }
+    }
+}
+
+/// A single object update carried inside an `R-INV` (§5.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectUpdate {
+    /// Updated object.
+    pub object: ObjectId,
+    /// New `t_version` of the object.
+    pub version: u64,
+    /// New `t_data` of the object.
+    pub data: Bytes,
+}
+
+impl ObjectUpdate {
+    /// Convenience constructor.
+    pub fn new(object: ObjectId, version: u64, data: impl Into<Bytes>) -> Self {
+        ObjectUpdate {
+            object,
+            version,
+            data: data.into(),
+        }
+    }
+}
+
+/// Messages of the reliable-commit protocol (§5.1, Figure 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CommitMsg {
+    /// `R-INV`: coordinator → followers at the start of the reliable commit.
+    /// Idempotent; any participant can replay it after a fault.
+    RInv {
+        /// Transaction id (`<local_tx_id, node_id>`), defines pipeline order.
+        tx_id: TxId,
+        /// Epoch the commit belongs to.
+        epoch: Epoch,
+        /// All followers of this transaction (readers of the modified
+        /// objects), so that any of them can replay the commit.
+        followers: Vec<NodeId>,
+        /// Piggybacked bit: the coordinator has already broadcast `R-VAL`s
+        /// for the previous slot of this pipeline (§5.2).
+        prev_val: bool,
+        /// The updated objects (new versions and data).
+        updates: Vec<ObjectUpdate>,
+    },
+    /// `R-ACK`: follower → coordinator acknowledging the invalidation.
+    /// Cumulative within a pipeline: acknowledging slot `n` implies all
+    /// earlier slots were received and processed (§5.2).
+    RAck {
+        /// Transaction id being acknowledged.
+        tx_id: TxId,
+        /// Acknowledging follower.
+        from: NodeId,
+        /// Follower's epoch.
+        epoch: Epoch,
+    },
+    /// `R-VAL`: coordinator → followers after all R-ACKs arrived; validates
+    /// the updated objects at the followers.
+    RVal {
+        /// Transaction id being validated.
+        tx_id: TxId,
+        /// Coordinator's epoch.
+        epoch: Epoch,
+    },
+}
+
+impl CommitMsg {
+    /// Transaction id the message refers to.
+    pub fn tx_id(&self) -> TxId {
+        match self {
+            CommitMsg::RInv { tx_id, .. }
+            | CommitMsg::RAck { tx_id, .. }
+            | CommitMsg::RVal { tx_id, .. } => *tx_id,
+        }
+    }
+
+    /// Epoch carried by the message.
+    pub fn epoch(&self) -> Epoch {
+        match self {
+            CommitMsg::RInv { epoch, .. }
+            | CommitMsg::RAck { epoch, .. }
+            | CommitMsg::RVal { epoch, .. } => *epoch,
+        }
+    }
+}
+
+/// Membership / failure-detection traffic (§3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MembershipMsg {
+    /// Periodic heartbeat used for lease renewal.
+    Heartbeat {
+        /// Sending node.
+        from: NodeId,
+        /// Sender's current epoch.
+        epoch: Epoch,
+    },
+    /// A new membership view, installed after all leases of suspected nodes
+    /// expired. Tagged with a monotonically increasing epoch id.
+    ViewChange {
+        /// The new epoch.
+        epoch: Epoch,
+        /// Live nodes in the new view.
+        live: Vec<NodeId>,
+    },
+    /// A node announces that it finished replaying pending reliable commits
+    /// for the new epoch, so the ownership protocol may resume (§5.1).
+    RecoveryDone {
+        /// The recovered node.
+        from: NodeId,
+        /// Epoch the recovery refers to.
+        epoch: Epoch,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PipelineId;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn request_kind_data_needs() {
+        assert!(OwnershipRequestKind::AcquireOwner.requester_needs_data());
+        assert!(OwnershipRequestKind::AcquireReader.requester_needs_data());
+        assert!(!OwnershipRequestKind::RemoveReader { reader: n(1) }.requester_needs_data());
+    }
+
+    #[test]
+    fn ownership_msg_accessors() {
+        let req_id = RequestId::new(n(1), 7);
+        let object = ObjectId(42);
+        let msg = OwnershipMsg::Req {
+            req_id,
+            object,
+            kind: OwnershipRequestKind::AcquireOwner,
+            epoch: Epoch(3),
+        };
+        assert_eq!(msg.object(), object);
+        assert_eq!(msg.request_id(), req_id);
+        assert_eq!(msg.epoch(), Epoch(3));
+
+        let msg = OwnershipMsg::Nack {
+            req_id,
+            object,
+            reason: NackReason::PendingCommit,
+            epoch: Epoch(5),
+            from: n(2),
+        };
+        assert_eq!(msg.epoch(), Epoch(5));
+        assert_eq!(msg.request_id(), req_id);
+    }
+
+    #[test]
+    fn commit_msg_accessors() {
+        let tx = TxId::new(PipelineId::new(n(2), 1), 9);
+        let msg = CommitMsg::RInv {
+            tx_id: tx,
+            epoch: Epoch(1),
+            followers: vec![n(3)],
+            prev_val: true,
+            updates: vec![ObjectUpdate::new(ObjectId(1), 4, vec![1, 2, 3])],
+        };
+        assert_eq!(msg.tx_id(), tx);
+        assert_eq!(msg.epoch(), Epoch(1));
+        let ack = CommitMsg::RAck {
+            tx_id: tx,
+            from: n(3),
+            epoch: Epoch(1),
+        };
+        assert_eq!(ack.tx_id(), tx);
+    }
+
+    #[test]
+    fn object_update_holds_data() {
+        let u = ObjectUpdate::new(ObjectId(9), 2, vec![0xAB; 8]);
+        assert_eq!(u.object, ObjectId(9));
+        assert_eq!(u.version, 2);
+        assert_eq!(u.data.len(), 8);
+    }
+}

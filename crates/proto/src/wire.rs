@@ -1,0 +1,823 @@
+//! Compact hand-rolled binary wire format.
+//!
+//! The simulated transport passes Rust values directly, but the threaded
+//! runtime and the bandwidth-accounting experiments (the paper claims Zeus
+//! "uses less network bandwidth", §1/§8) need a realistic on-the-wire size
+//! for every message. This module provides a small, dependency-free codec:
+//! fixed-width little-endian integers, length-prefixed byte strings and
+//! 1-byte enum tags — essentially what the paper's DPDK messaging layer does.
+
+use bytes::Bytes;
+
+use crate::error::ProtoError;
+use crate::ids::{Epoch, NodeId, ObjectId, OwnershipTs, PipelineId, RequestId, TxId};
+use crate::messages::{
+    CommitMsg, MembershipMsg, NackReason, ObjectUpdate, OwnershipMsg, OwnershipRequestKind,
+};
+use crate::state::ReplicaSet;
+
+/// Maximum length accepted for any length-prefixed field (16 MiB). Purely a
+/// sanity bound against corrupted buffers.
+pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
+
+/// Types that can be encoded to / decoded from the Zeus wire format.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError>;
+
+    /// Number of bytes [`Wire::encode`] would append.
+    fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+}
+
+/// Encodes a value into a fresh buffer.
+pub fn encode_to_vec<T: Wire>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    value.encode(&mut buf);
+    buf
+}
+
+/// Decodes a value from a slice, requiring the slice to be fully consumed.
+pub fn decode_from_slice<T: Wire>(mut input: &[u8]) -> Result<T, ProtoError> {
+    let value = T::decode(&mut input)?;
+    if input.is_empty() {
+        Ok(value)
+    } else {
+        Err(ProtoError::TrailingBytes {
+            remaining: input.len(),
+        })
+    }
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], ProtoError> {
+    if input.len() < n {
+        return Err(ProtoError::UnexpectedEof {
+            needed: n,
+            remaining: input.len(),
+        });
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        Ok(take(input, 1)?[0])
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        match u8::decode(input)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(ProtoError::InvalidTag { ty: "bool", tag }),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for u16 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        let b = take(input, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn encoded_len(&self) -> usize {
+        2
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        let b = take(input, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        let b = take(input, 8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        match u8::decode(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            tag => Err(ProtoError::InvalidTag { ty: "Option", tag }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        let len = u32::decode(input)? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(ProtoError::LengthTooLarge {
+                len,
+                max: MAX_FIELD_LEN,
+            });
+        }
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Wire for Bytes {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        let len = u32::decode(input)? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(ProtoError::LengthTooLarge {
+                len,
+                max: MAX_FIELD_LEN,
+            });
+        }
+        Ok(Bytes::copy_from_slice(take(input, len)?))
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        Ok((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+macro_rules! newtype_wire {
+    ($ty:ty, $inner:ty) => {
+        impl Wire for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                self.0.encode(buf);
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+                Ok(Self(<$inner>::decode(input)?))
+            }
+            fn encoded_len(&self) -> usize {
+                core::mem::size_of::<$inner>()
+            }
+        }
+    };
+}
+
+newtype_wire!(NodeId, u16);
+newtype_wire!(ObjectId, u64);
+newtype_wire!(Epoch, u64);
+
+impl Wire for PipelineId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.node.encode(buf);
+        self.thread.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        Ok(PipelineId {
+            node: NodeId::decode(input)?,
+            thread: u16::decode(input)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for TxId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.pipeline.encode(buf);
+        self.local.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        Ok(TxId {
+            pipeline: PipelineId::decode(input)?,
+            local: u64::decode(input)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        12
+    }
+}
+
+impl Wire for RequestId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.requester.encode(buf);
+        self.seq.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        Ok(RequestId {
+            requester: NodeId::decode(input)?,
+            seq: u64::decode(input)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        10
+    }
+}
+
+impl Wire for OwnershipTs {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.version.encode(buf);
+        self.node.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        Ok(OwnershipTs {
+            version: u64::decode(input)?,
+            node: NodeId::decode(input)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        10
+    }
+}
+
+impl Wire for ReplicaSet {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.owner.encode(buf);
+        self.readers.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        Ok(ReplicaSet {
+            owner: Option::<NodeId>::decode(input)?,
+            readers: Vec::<NodeId>::decode(input)?,
+        })
+    }
+}
+
+impl Wire for OwnershipRequestKind {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            OwnershipRequestKind::AcquireOwner => buf.push(0),
+            OwnershipRequestKind::AcquireReader => buf.push(1),
+            OwnershipRequestKind::RemoveReader { reader } => {
+                buf.push(2);
+                reader.encode(buf);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        match u8::decode(input)? {
+            0 => Ok(OwnershipRequestKind::AcquireOwner),
+            1 => Ok(OwnershipRequestKind::AcquireReader),
+            2 => Ok(OwnershipRequestKind::RemoveReader {
+                reader: NodeId::decode(input)?,
+            }),
+            tag => Err(ProtoError::InvalidTag {
+                ty: "OwnershipRequestKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for NackReason {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let tag = match self {
+            NackReason::LostArbitration => 0u8,
+            NackReason::PendingCommit => 1,
+            NackReason::StaleEpoch => 2,
+            NackReason::NotDirectory => 3,
+            NackReason::UnknownObject => 4,
+            NackReason::Recovering => 5,
+        };
+        buf.push(tag);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        match u8::decode(input)? {
+            0 => Ok(NackReason::LostArbitration),
+            1 => Ok(NackReason::PendingCommit),
+            2 => Ok(NackReason::StaleEpoch),
+            3 => Ok(NackReason::NotDirectory),
+            4 => Ok(NackReason::UnknownObject),
+            5 => Ok(NackReason::Recovering),
+            tag => Err(ProtoError::InvalidTag {
+                ty: "NackReason",
+                tag,
+            }),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for ObjectUpdate {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.object.encode(buf);
+        self.version.encode(buf);
+        self.data.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        Ok(ObjectUpdate {
+            object: ObjectId::decode(input)?,
+            version: u64::decode(input)?,
+            data: Bytes::decode(input)?,
+        })
+    }
+}
+
+impl Wire for OwnershipMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            OwnershipMsg::Req {
+                req_id,
+                object,
+                kind,
+                epoch,
+            } => {
+                buf.push(0);
+                req_id.encode(buf);
+                object.encode(buf);
+                kind.encode(buf);
+                epoch.encode(buf);
+            }
+            OwnershipMsg::Inv {
+                req_id,
+                object,
+                o_ts,
+                kind,
+                new_replicas,
+                old_replicas,
+                epoch,
+                ack_to_driver,
+            } => {
+                buf.push(1);
+                req_id.encode(buf);
+                object.encode(buf);
+                o_ts.encode(buf);
+                kind.encode(buf);
+                new_replicas.encode(buf);
+                old_replicas.encode(buf);
+                epoch.encode(buf);
+                ack_to_driver.encode(buf);
+            }
+            OwnershipMsg::Ack {
+                req_id,
+                object,
+                o_ts,
+                epoch,
+                data,
+                from,
+                arbiters,
+                new_replicas,
+            } => {
+                buf.push(2);
+                req_id.encode(buf);
+                object.encode(buf);
+                o_ts.encode(buf);
+                epoch.encode(buf);
+                data.encode(buf);
+                from.encode(buf);
+                arbiters.encode(buf);
+                new_replicas.encode(buf);
+            }
+            OwnershipMsg::Val {
+                req_id,
+                object,
+                o_ts,
+                epoch,
+            } => {
+                buf.push(3);
+                req_id.encode(buf);
+                object.encode(buf);
+                o_ts.encode(buf);
+                epoch.encode(buf);
+            }
+            OwnershipMsg::Nack {
+                req_id,
+                object,
+                reason,
+                epoch,
+                from,
+            } => {
+                buf.push(4);
+                req_id.encode(buf);
+                object.encode(buf);
+                reason.encode(buf);
+                epoch.encode(buf);
+                from.encode(buf);
+            }
+            OwnershipMsg::Resp {
+                req_id,
+                object,
+                o_ts,
+                epoch,
+                data,
+                new_replicas,
+            } => {
+                buf.push(5);
+                req_id.encode(buf);
+                object.encode(buf);
+                o_ts.encode(buf);
+                epoch.encode(buf);
+                data.encode(buf);
+                new_replicas.encode(buf);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        match u8::decode(input)? {
+            0 => Ok(OwnershipMsg::Req {
+                req_id: RequestId::decode(input)?,
+                object: ObjectId::decode(input)?,
+                kind: OwnershipRequestKind::decode(input)?,
+                epoch: Epoch::decode(input)?,
+            }),
+            1 => Ok(OwnershipMsg::Inv {
+                req_id: RequestId::decode(input)?,
+                object: ObjectId::decode(input)?,
+                o_ts: OwnershipTs::decode(input)?,
+                kind: OwnershipRequestKind::decode(input)?,
+                new_replicas: ReplicaSet::decode(input)?,
+                old_replicas: ReplicaSet::decode(input)?,
+                epoch: Epoch::decode(input)?,
+                ack_to_driver: bool::decode(input)?,
+            }),
+            2 => Ok(OwnershipMsg::Ack {
+                req_id: RequestId::decode(input)?,
+                object: ObjectId::decode(input)?,
+                o_ts: OwnershipTs::decode(input)?,
+                epoch: Epoch::decode(input)?,
+                data: Option::<(u64, Bytes)>::decode(input)?,
+                from: NodeId::decode(input)?,
+                arbiters: Vec::<NodeId>::decode(input)?,
+                new_replicas: ReplicaSet::decode(input)?,
+            }),
+            3 => Ok(OwnershipMsg::Val {
+                req_id: RequestId::decode(input)?,
+                object: ObjectId::decode(input)?,
+                o_ts: OwnershipTs::decode(input)?,
+                epoch: Epoch::decode(input)?,
+            }),
+            4 => Ok(OwnershipMsg::Nack {
+                req_id: RequestId::decode(input)?,
+                object: ObjectId::decode(input)?,
+                reason: NackReason::decode(input)?,
+                epoch: Epoch::decode(input)?,
+                from: NodeId::decode(input)?,
+            }),
+            5 => Ok(OwnershipMsg::Resp {
+                req_id: RequestId::decode(input)?,
+                object: ObjectId::decode(input)?,
+                o_ts: OwnershipTs::decode(input)?,
+                epoch: Epoch::decode(input)?,
+                data: Option::<(u64, Bytes)>::decode(input)?,
+                new_replicas: ReplicaSet::decode(input)?,
+            }),
+            tag => Err(ProtoError::InvalidTag {
+                ty: "OwnershipMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for CommitMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CommitMsg::RInv {
+                tx_id,
+                epoch,
+                followers,
+                prev_val,
+                updates,
+            } => {
+                buf.push(0);
+                tx_id.encode(buf);
+                epoch.encode(buf);
+                followers.encode(buf);
+                prev_val.encode(buf);
+                updates.encode(buf);
+            }
+            CommitMsg::RAck { tx_id, from, epoch } => {
+                buf.push(1);
+                tx_id.encode(buf);
+                from.encode(buf);
+                epoch.encode(buf);
+            }
+            CommitMsg::RVal { tx_id, epoch } => {
+                buf.push(2);
+                tx_id.encode(buf);
+                epoch.encode(buf);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        match u8::decode(input)? {
+            0 => Ok(CommitMsg::RInv {
+                tx_id: TxId::decode(input)?,
+                epoch: Epoch::decode(input)?,
+                followers: Vec::<NodeId>::decode(input)?,
+                prev_val: bool::decode(input)?,
+                updates: Vec::<ObjectUpdate>::decode(input)?,
+            }),
+            1 => Ok(CommitMsg::RAck {
+                tx_id: TxId::decode(input)?,
+                from: NodeId::decode(input)?,
+                epoch: Epoch::decode(input)?,
+            }),
+            2 => Ok(CommitMsg::RVal {
+                tx_id: TxId::decode(input)?,
+                epoch: Epoch::decode(input)?,
+            }),
+            tag => Err(ProtoError::InvalidTag {
+                ty: "CommitMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for MembershipMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            MembershipMsg::Heartbeat { from, epoch } => {
+                buf.push(0);
+                from.encode(buf);
+                epoch.encode(buf);
+            }
+            MembershipMsg::ViewChange { epoch, live } => {
+                buf.push(1);
+                epoch.encode(buf);
+                live.encode(buf);
+            }
+            MembershipMsg::RecoveryDone { from, epoch } => {
+                buf.push(2);
+                from.encode(buf);
+                epoch.encode(buf);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        match u8::decode(input)? {
+            0 => Ok(MembershipMsg::Heartbeat {
+                from: NodeId::decode(input)?,
+                epoch: Epoch::decode(input)?,
+            }),
+            1 => Ok(MembershipMsg::ViewChange {
+                epoch: Epoch::decode(input)?,
+                live: Vec::<NodeId>::decode(input)?,
+            }),
+            2 => Ok(MembershipMsg::RecoveryDone {
+                from: NodeId::decode(input)?,
+                epoch: Epoch::decode(input)?,
+            }),
+            tag => Err(ProtoError::InvalidTag {
+                ty: "MembershipMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + core::fmt::Debug>(value: T) {
+        let encoded = encode_to_vec(&value);
+        assert_eq!(encoded.len(), value.encoded_len());
+        let decoded: T = decode_from_slice(&encoded).expect("decode");
+        assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(Some(42u64));
+        roundtrip(None::<u64>);
+        roundtrip(vec![1u16, 2, 3]);
+        roundtrip(Bytes::from(vec![1u8, 2, 3, 4]));
+        roundtrip((7u64, Bytes::from_static(b"hello")));
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        roundtrip(NodeId(7));
+        roundtrip(ObjectId(0xDEADBEEF));
+        roundtrip(Epoch(99));
+        roundtrip(PipelineId::new(NodeId(1), 3));
+        roundtrip(TxId::new(PipelineId::new(NodeId(1), 3), 42));
+        roundtrip(RequestId::new(NodeId(2), 17));
+        roundtrip(OwnershipTs::new(5, NodeId(3)));
+        roundtrip(ReplicaSet::new(NodeId(0), [NodeId(1), NodeId(2)]));
+    }
+
+    #[test]
+    fn ownership_messages_roundtrip() {
+        let req_id = RequestId::new(NodeId(1), 9);
+        let object = ObjectId(1234);
+        let o_ts = OwnershipTs::new(8, NodeId(2));
+        roundtrip(OwnershipMsg::Req {
+            req_id,
+            object,
+            kind: OwnershipRequestKind::AcquireOwner,
+            epoch: Epoch(1),
+        });
+        roundtrip(OwnershipMsg::Inv {
+            req_id,
+            object,
+            o_ts,
+            kind: OwnershipRequestKind::RemoveReader { reader: NodeId(4) },
+            new_replicas: ReplicaSet::new(NodeId(1), [NodeId(2)]),
+            old_replicas: ReplicaSet::new(NodeId(2), [NodeId(1)]),
+            epoch: Epoch(1),
+            ack_to_driver: true,
+        });
+        roundtrip(OwnershipMsg::Ack {
+            req_id,
+            object,
+            o_ts,
+            epoch: Epoch(1),
+            data: Some((3, Bytes::from(vec![9u8; 400]))),
+            from: NodeId(5),
+            arbiters: vec![NodeId(0), NodeId(1), NodeId(5)],
+            new_replicas: ReplicaSet::new(NodeId(1), [NodeId(5)]),
+        });
+        roundtrip(OwnershipMsg::Val {
+            req_id,
+            object,
+            o_ts,
+            epoch: Epoch(2),
+        });
+        roundtrip(OwnershipMsg::Nack {
+            req_id,
+            object,
+            reason: NackReason::LostArbitration,
+            epoch: Epoch(2),
+            from: NodeId(3),
+        });
+        roundtrip(OwnershipMsg::Resp {
+            req_id,
+            object,
+            o_ts,
+            epoch: Epoch(2),
+            data: None,
+            new_replicas: ReplicaSet::new(NodeId(1), [NodeId(2)]),
+        });
+    }
+
+    #[test]
+    fn commit_messages_roundtrip() {
+        let tx_id = TxId::new(PipelineId::new(NodeId(3), 1), 77);
+        roundtrip(CommitMsg::RInv {
+            tx_id,
+            epoch: Epoch(4),
+            followers: vec![NodeId(1), NodeId(2)],
+            prev_val: false,
+            updates: vec![
+                ObjectUpdate::new(ObjectId(1), 10, vec![1u8; 64]),
+                ObjectUpdate::new(ObjectId(2), 11, vec![2u8; 128]),
+            ],
+        });
+        roundtrip(CommitMsg::RAck {
+            tx_id,
+            from: NodeId(1),
+            epoch: Epoch(4),
+        });
+        roundtrip(CommitMsg::RVal {
+            tx_id,
+            epoch: Epoch(4),
+        });
+    }
+
+    #[test]
+    fn membership_messages_roundtrip() {
+        roundtrip(MembershipMsg::Heartbeat {
+            from: NodeId(1),
+            epoch: Epoch(0),
+        });
+        roundtrip(MembershipMsg::ViewChange {
+            epoch: Epoch(3),
+            live: vec![NodeId(0), NodeId(2)],
+        });
+        roundtrip(MembershipMsg::RecoveryDone {
+            from: NodeId(2),
+            epoch: Epoch(3),
+        });
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let msg = CommitMsg::RVal {
+            tx_id: TxId::default(),
+            epoch: Epoch(1),
+        };
+        let encoded = encode_to_vec(&msg);
+        for cut in 0..encoded.len() {
+            let err = decode_from_slice::<CommitMsg>(&encoded[..cut]);
+            assert!(err.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn invalid_tags_error() {
+        assert!(matches!(
+            decode_from_slice::<OwnershipMsg>(&[200]),
+            Err(ProtoError::InvalidTag { .. }) | Err(ProtoError::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            decode_from_slice::<bool>(&[7]),
+            Err(ProtoError::InvalidTag { ty: "bool", tag: 7 })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut encoded = encode_to_vec(&NodeId(1));
+        encoded.push(0xFF);
+        assert!(matches!(
+            decode_from_slice::<NodeId>(&encoded),
+            Err(ProtoError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn rinv_size_scales_with_payload() {
+        let small = CommitMsg::RInv {
+            tx_id: TxId::default(),
+            epoch: Epoch(0),
+            followers: vec![NodeId(1)],
+            prev_val: false,
+            updates: vec![ObjectUpdate::new(ObjectId(1), 1, vec![0u8; 16])],
+        };
+        let large = CommitMsg::RInv {
+            tx_id: TxId::default(),
+            epoch: Epoch(0),
+            followers: vec![NodeId(1)],
+            prev_val: false,
+            updates: vec![ObjectUpdate::new(ObjectId(1), 1, vec![0u8; 400])],
+        };
+        assert_eq!(large.encoded_len() - small.encoded_len(), 400 - 16);
+    }
+}

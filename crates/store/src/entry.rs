@@ -1,0 +1,184 @@
+//! Per-object replica state: data plus transactional and ownership metadata.
+
+use bytes::Bytes;
+use zeus_proto::{AccessLevel, OState, OwnershipTs, ReplicaSet, TState};
+
+/// Everything a node stores about one object it replicates (Table 1).
+///
+/// Non-replica nodes simply have no entry for the object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectEntry {
+    /// The application data of the object (`t_data`).
+    pub data: Bytes,
+    /// Version incremented by every transaction that modifies the object
+    /// (`t_version`).
+    pub version: u64,
+    /// Transactional state (`t_state`).
+    pub t_state: TState,
+    /// This node's access level for the object.
+    pub level: AccessLevel,
+    /// Ownership state (`o_state`); meaningful on arbiters (owner/directory).
+    pub o_state: OState,
+    /// Ownership timestamp (`o_ts`).
+    pub o_ts: OwnershipTs,
+    /// Replica placement (`o_replicas`); authoritative on the owner and the
+    /// directory, best-effort elsewhere.
+    pub replicas: ReplicaSet,
+    /// Number of reliable commits in flight that modify this object. While
+    /// non-zero, the owner rejects ownership requests for the object (§4.1)
+    /// and readers cannot serve it to read-only transactions if invalidated.
+    pub pending_commits: u32,
+}
+
+impl ObjectEntry {
+    /// Creates a fresh, valid entry with version 0.
+    pub fn new(data: impl Into<Bytes>, level: AccessLevel, replicas: ReplicaSet) -> Self {
+        ObjectEntry {
+            data: data.into(),
+            version: 0,
+            t_state: TState::Valid,
+            level,
+            o_state: OState::Valid,
+            o_ts: OwnershipTs::default(),
+            replicas,
+            pending_commits: 0,
+        }
+    }
+
+    /// Whether a read-only transaction may read this replica right now
+    /// (§5.3: the object must be `Valid`).
+    pub fn readable(&self) -> bool {
+        self.level.can_read() && self.t_state.readable()
+    }
+
+    /// Whether this node may open the object for writing in a transaction
+    /// without invoking the ownership protocol.
+    pub fn writable(&self) -> bool {
+        self.level.can_write()
+    }
+
+    /// Applies a committed local write: installs the new data, bumps the
+    /// version and marks the object as pending reliable commit.
+    pub fn apply_local_write(&mut self, data: Bytes) {
+        self.data = data;
+        self.version += 1;
+        self.t_state = TState::Write;
+        self.pending_commits += 1;
+    }
+
+    /// Applies an incoming R-INV update on a follower: installs the newer
+    /// data/version and invalidates the object. Skips updates that are not
+    /// newer than the local version (idempotent replay, §5.1), returning
+    /// whether the update was applied.
+    pub fn apply_follower_update(&mut self, version: u64, data: Bytes) -> bool {
+        if version <= self.version {
+            // Still invalidate: the commit for our current version may not
+            // have validated yet, and a replayed R-INV must keep the object
+            // unreadable until its R-VAL arrives.
+            if version == self.version && self.t_state == TState::Valid {
+                self.t_state = TState::Invalid;
+            }
+            return false;
+        }
+        self.data = data;
+        self.version = version;
+        self.t_state = TState::Invalid;
+        true
+    }
+
+    /// Validates the object after the reliable commit finished, but only if
+    /// its version still matches (a newer pending commit keeps it invalid).
+    pub fn validate_at(&mut self, version: u64) {
+        if self.version == version {
+            self.t_state = TState::Valid;
+        }
+        // Owner-side bookkeeping of in-flight commits.
+        if self.pending_commits > 0 {
+            self.pending_commits -= 1;
+        }
+    }
+
+    /// Whether the object currently has reliable commits in flight.
+    pub fn has_pending_commits(&self) -> bool {
+        self.pending_commits > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_proto::NodeId;
+
+    fn entry(level: AccessLevel) -> ObjectEntry {
+        ObjectEntry::new(
+            Bytes::from_static(b"v0"),
+            level,
+            ReplicaSet::new(NodeId(0), [NodeId(1)]),
+        )
+    }
+
+    #[test]
+    fn new_entry_is_valid_and_version_zero() {
+        let e = entry(AccessLevel::Owner);
+        assert_eq!(e.version, 0);
+        assert!(e.readable());
+        assert!(e.writable());
+        assert!(!e.has_pending_commits());
+    }
+
+    #[test]
+    fn reader_entry_is_readable_but_not_writable() {
+        let e = entry(AccessLevel::Reader);
+        assert!(e.readable());
+        assert!(!e.writable());
+    }
+
+    #[test]
+    fn local_write_bumps_version_and_marks_pending() {
+        let mut e = entry(AccessLevel::Owner);
+        e.apply_local_write(Bytes::from_static(b"v1"));
+        assert_eq!(e.version, 1);
+        assert_eq!(e.t_state, TState::Write);
+        assert!(e.has_pending_commits());
+        assert!(!e.readable(), "Write state is not readable by read-only txs");
+    }
+
+    #[test]
+    fn follower_update_applies_only_newer_versions() {
+        let mut e = entry(AccessLevel::Reader);
+        assert!(e.apply_follower_update(2, Bytes::from_static(b"v2")));
+        assert_eq!(e.version, 2);
+        assert_eq!(e.t_state, TState::Invalid);
+        // Older or equal versions are skipped.
+        assert!(!e.apply_follower_update(1, Bytes::from_static(b"old")));
+        assert_eq!(e.data, Bytes::from_static(b"v2"));
+        assert!(!e.apply_follower_update(2, Bytes::from_static(b"dup")));
+        assert_eq!(e.data, Bytes::from_static(b"v2"));
+    }
+
+    #[test]
+    fn replayed_rinv_for_current_version_reinvalidates() {
+        let mut e = entry(AccessLevel::Reader);
+        e.apply_follower_update(1, Bytes::from_static(b"v1"));
+        e.validate_at(1);
+        assert!(e.readable());
+        // A replayed R-INV (same version) must re-invalidate until R-VAL.
+        assert!(!e.apply_follower_update(1, Bytes::from_static(b"v1")));
+        assert!(!e.readable());
+    }
+
+    #[test]
+    fn validate_matches_version() {
+        let mut e = entry(AccessLevel::Owner);
+        e.apply_local_write(Bytes::from_static(b"v1"));
+        e.apply_local_write(Bytes::from_static(b"v2"));
+        assert_eq!(e.version, 2);
+        // Validation of the older commit must not validate the newer data.
+        e.validate_at(1);
+        assert_eq!(e.t_state, TState::Write);
+        assert_eq!(e.pending_commits, 1);
+        e.validate_at(2);
+        assert_eq!(e.t_state, TState::Valid);
+        assert!(!e.has_pending_commits());
+    }
+}

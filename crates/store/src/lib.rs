@@ -1,0 +1,29 @@
+//! In-memory versioned object store and transactional-memory surface.
+//!
+//! This is the datastore module of the paper's §7: it holds every object
+//! replica present on a node together with the metadata both Zeus protocols
+//! need —
+//!
+//! * transactional state: `t_data`, `t_version`, `t_state` (§5),
+//! * ownership state: access level, `o_state`, `o_ts`, `o_replicas` (§4),
+//! * the count of pending reliable commits per object (the owner NACKs
+//!   ownership requests for objects with in-flight commits, §4.1).
+//!
+//! The store is sharded and internally synchronised so that multiple
+//! application/worker threads of the same node can use it concurrently; the
+//! per-thread *local* ownership of the paper's multi-threaded local commit is
+//! provided by [`locks::LockManager`], and per-transaction private copies
+//! (opacity, §6.2) by [`workspace::TxWorkspace`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod entry;
+pub mod locks;
+pub mod store;
+pub mod workspace;
+
+pub use entry::ObjectEntry;
+pub use locks::LockManager;
+pub use store::{Store, StoreStats};
+pub use workspace::TxWorkspace;

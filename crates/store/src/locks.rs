@@ -1,0 +1,143 @@
+//! Local (intra-node) object locks for the multi-threaded local commit.
+//!
+//! The paper's local commit resolves contention across the worker threads of
+//! one node with "a simplified, local version of the ownership protocol ...
+//! managed through standard locking" (§3.2, §7). This module provides that:
+//! a lock manager where each worker thread must become the *local owner* of
+//! every object it writes before its local commit succeeds. Acquisition is
+//! all-or-nothing and non-blocking (`try_acquire_all`), so a conflicting
+//! local transaction aborts and retries instead of deadlocking.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use zeus_proto::ObjectId;
+
+/// Identifier of a worker thread within a node.
+pub type WorkerId = u16;
+
+/// Tracks which worker thread holds the local lock of each object.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    locks: Mutex<HashMap<ObjectId, WorkerId>>,
+}
+
+impl LockManager {
+    /// Creates an empty lock manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to acquire local ownership of every object in `objects` for
+    /// `worker`. Either all locks are taken (returns `true`) or none are
+    /// (returns `false`) — objects already held by the same worker count as
+    /// acquired (re-entrant within a pipeline).
+    pub fn try_acquire_all(&self, worker: WorkerId, objects: &[ObjectId]) -> bool {
+        let mut locks = self.locks.lock();
+        // First pass: check availability.
+        for id in objects {
+            if let Some(&holder) = locks.get(id) {
+                if holder != worker {
+                    return false;
+                }
+            }
+        }
+        // Second pass: take them.
+        for id in objects {
+            locks.insert(*id, worker);
+        }
+        true
+    }
+
+    /// Releases the locks `worker` holds on `objects`; locks held by other
+    /// workers are left untouched.
+    pub fn release_all(&self, worker: WorkerId, objects: &[ObjectId]) {
+        let mut locks = self.locks.lock();
+        for id in objects {
+            if locks.get(id) == Some(&worker) {
+                locks.remove(id);
+            }
+        }
+    }
+
+    /// Releases every lock held by `worker` (used when a worker's pipeline
+    /// drains or the application thread aborts).
+    pub fn release_worker(&self, worker: WorkerId) {
+        self.locks.lock().retain(|_, holder| *holder != worker);
+    }
+
+    /// Which worker currently holds the local lock of `object`, if any.
+    pub fn holder(&self, object: ObjectId) -> Option<WorkerId> {
+        self.locks.lock().get(&object).copied()
+    }
+
+    /// Number of currently held locks.
+    pub fn held(&self) -> usize {
+        self.locks.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_all_or_nothing() {
+        let lm = LockManager::new();
+        assert!(lm.try_acquire_all(1, &[ObjectId(1), ObjectId(2)]));
+        // Worker 2 conflicts on object 2: nothing is acquired.
+        assert!(!lm.try_acquire_all(2, &[ObjectId(3), ObjectId(2)]));
+        assert_eq!(lm.holder(ObjectId(3)), None);
+        assert_eq!(lm.holder(ObjectId(2)), Some(1));
+    }
+
+    #[test]
+    fn reentrant_for_same_worker() {
+        let lm = LockManager::new();
+        assert!(lm.try_acquire_all(1, &[ObjectId(1)]));
+        assert!(lm.try_acquire_all(1, &[ObjectId(1), ObjectId(2)]));
+        assert_eq!(lm.held(), 2);
+    }
+
+    #[test]
+    fn release_frees_only_own_locks() {
+        let lm = LockManager::new();
+        lm.try_acquire_all(1, &[ObjectId(1)]);
+        lm.try_acquire_all(2, &[ObjectId(2)]);
+        lm.release_all(1, &[ObjectId(1), ObjectId(2)]);
+        assert_eq!(lm.holder(ObjectId(1)), None);
+        assert_eq!(lm.holder(ObjectId(2)), Some(2));
+    }
+
+    #[test]
+    fn release_worker_drops_everything_it_held() {
+        let lm = LockManager::new();
+        lm.try_acquire_all(1, &[ObjectId(1), ObjectId(2)]);
+        lm.try_acquire_all(2, &[ObjectId(3)]);
+        lm.release_worker(1);
+        assert_eq!(lm.held(), 1);
+        assert_eq!(lm.holder(ObjectId(3)), Some(2));
+    }
+
+    #[test]
+    fn contention_across_threads_never_double_grants() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let lm = Arc::new(LockManager::new());
+        let grants = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for worker in 0..8u16 {
+            let lm = Arc::clone(&lm);
+            let grants = Arc::clone(&grants);
+            handles.push(std::thread::spawn(move || {
+                if lm.try_acquire_all(worker, &[ObjectId(77)]) {
+                    grants.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(grants.load(Ordering::SeqCst), 1, "exactly one worker wins");
+    }
+}

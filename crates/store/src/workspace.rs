@@ -1,0 +1,163 @@
+//! Per-transaction private workspace (read/write sets with opacity).
+//!
+//! Before its first update to an object, a Zeus transaction creates a private
+//! copy and performs all further accesses on that copy (§3.2, step 1). The
+//! workspace also records the version of every object read so that the local
+//! commit can verify that the transaction observed a consistent snapshot —
+//! this is the opacity guarantee of §6.2: even transactions that abort never
+//! observe inconsistent state.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use zeus_proto::ObjectId;
+
+/// Read and write sets of one in-flight transaction.
+#[derive(Debug, Default, Clone)]
+pub struct TxWorkspace {
+    /// Version of each object at the time the transaction first read it.
+    reads: HashMap<ObjectId, u64>,
+    /// Private copies of objects the transaction has written.
+    writes: HashMap<ObjectId, Bytes>,
+}
+
+impl TxWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the transaction read `object` at `version`. The first
+    /// recorded version wins: later reads of the same object inside the same
+    /// transaction are served from the private copy or the same snapshot.
+    pub fn record_read(&mut self, object: ObjectId, version: u64) {
+        self.reads.entry(object).or_insert(version);
+    }
+
+    /// Records a write of `data` to `object` (creating/replacing the private
+    /// copy).
+    pub fn record_write(&mut self, object: ObjectId, data: impl Into<Bytes>) {
+        self.writes.insert(object, data.into());
+    }
+
+    /// Returns the private copy of `object`, if the transaction wrote it.
+    pub fn written(&self, object: ObjectId) -> Option<&Bytes> {
+        self.writes.get(&object)
+    }
+
+    /// Returns the version at which `object` was first read, if recorded.
+    pub fn read_version(&self, object: ObjectId) -> Option<u64> {
+        self.reads.get(&object).copied()
+    }
+
+    /// Objects in the read set.
+    pub fn read_set(&self) -> impl Iterator<Item = (ObjectId, u64)> + '_ {
+        self.reads.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Objects in the write set.
+    pub fn write_set(&self) -> impl Iterator<Item = (ObjectId, &Bytes)> + '_ {
+        self.writes.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Ids of all written objects.
+    pub fn written_ids(&self) -> Vec<ObjectId> {
+        self.writes.keys().copied().collect()
+    }
+
+    /// Number of objects written.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Number of objects read.
+    pub fn read_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether the transaction wrote anything (a pure read-only workspace
+    /// needs no reliable commit).
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Verifies the read set against current versions supplied by `current`:
+    /// returns `true` iff every object read still has the version observed.
+    /// Objects that were subsequently written by this same transaction are
+    /// still validated against their *read* version, preserving opacity.
+    pub fn validate_reads(&self, mut current: impl FnMut(ObjectId) -> Option<u64>) -> bool {
+        self.reads
+            .iter()
+            .all(|(&id, &ver)| current(id) == Some(ver))
+    }
+
+    /// Clears both sets, allowing the workspace to be reused (abort/retry).
+    pub fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_version_wins() {
+        let mut ws = TxWorkspace::new();
+        ws.record_read(ObjectId(1), 5);
+        ws.record_read(ObjectId(1), 9);
+        assert_eq!(ws.read_version(ObjectId(1)), Some(5));
+        assert_eq!(ws.read_count(), 1);
+    }
+
+    #[test]
+    fn writes_create_private_copies() {
+        let mut ws = TxWorkspace::new();
+        assert!(ws.is_read_only());
+        ws.record_write(ObjectId(2), Bytes::from_static(b"a"));
+        ws.record_write(ObjectId(2), Bytes::from_static(b"b"));
+        assert_eq!(ws.written(ObjectId(2)), Some(&Bytes::from_static(b"b")));
+        assert_eq!(ws.write_count(), 1);
+        assert!(!ws.is_read_only());
+        assert_eq!(ws.written_ids(), vec![ObjectId(2)]);
+    }
+
+    #[test]
+    fn validate_reads_detects_version_changes() {
+        let mut ws = TxWorkspace::new();
+        ws.record_read(ObjectId(1), 3);
+        ws.record_read(ObjectId(2), 7);
+        assert!(ws.validate_reads(|id| match id {
+            ObjectId(1) => Some(3),
+            ObjectId(2) => Some(7),
+            _ => None,
+        }));
+        assert!(!ws.validate_reads(|id| match id {
+            ObjectId(1) => Some(4),
+            ObjectId(2) => Some(7),
+            _ => None,
+        }));
+        assert!(!ws.validate_reads(|_| None), "missing object fails validation");
+    }
+
+    #[test]
+    fn clear_resets_both_sets() {
+        let mut ws = TxWorkspace::new();
+        ws.record_read(ObjectId(1), 1);
+        ws.record_write(ObjectId(1), Bytes::new());
+        ws.clear();
+        assert_eq!(ws.read_count(), 0);
+        assert_eq!(ws.write_count(), 0);
+        assert!(ws.is_read_only());
+    }
+
+    #[test]
+    fn iterators_expose_sets() {
+        let mut ws = TxWorkspace::new();
+        ws.record_read(ObjectId(1), 1);
+        ws.record_write(ObjectId(2), Bytes::from_static(b"x"));
+        assert_eq!(ws.read_set().count(), 1);
+        assert_eq!(ws.write_set().count(), 1);
+    }
+}

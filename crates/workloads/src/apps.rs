@@ -1,0 +1,230 @@
+//! Models of the three legacy applications ported to Zeus in §8.5.
+//!
+//! The paper's point in §8.5 is not the applications themselves but their
+//! *datastore interaction pattern* — how often they hit the store, how much
+//! state each request transacts, and whether the application thread tolerates
+//! blocking. These models reproduce exactly that: each produces a stream of
+//! [`Operation`]s plus an application-side processing cost (the work the real
+//! application spends parsing/encoding, which is what actually bottlenecks
+//! the gateway and Nginx experiments).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zeus_proto::ObjectId;
+
+use crate::{InitialObject, Operation};
+
+/// Table tag for gateway session contexts.
+pub const TABLE_GW_SESSION: u8 = 40;
+/// Table tag for SCTP connection state.
+pub const TABLE_SCTP_CONN: u8 = 41;
+/// Table tag for HTTP session-persistence cookies.
+pub const TABLE_HTTP_COOKIE: u8 = 42;
+
+/// Cellular packet-gateway control plane (Figure 13): every service request
+/// or release is one transaction over the subscriber's session context; the
+/// application spends most of its time parsing 3GPP signalling.
+#[derive(Debug)]
+pub struct GatewayControlPlane {
+    subscribers: u64,
+    /// Bytes of session state written per request.
+    pub session_bytes: usize,
+    /// Simulated application-side processing cost per request, in
+    /// microseconds (dominates the experiment: the paper measures ~25 Ktps
+    /// per core with local memory, i.e. ~40 µs of parsing per request).
+    pub processing_us: u64,
+    rng: StdRng,
+}
+
+impl GatewayControlPlane {
+    /// Creates the control-plane model with the paper's setup.
+    pub fn new(subscribers: u64, seed: u64) -> Self {
+        GatewayControlPlane {
+            subscribers,
+            session_bytes: 400,
+            processing_us: 40,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Session-context object of subscriber `s`.
+    pub fn session(s: u64) -> ObjectId {
+        ObjectId::from_table_row(TABLE_GW_SESSION, s)
+    }
+
+    /// Objects to create before the run.
+    pub fn initial_objects(&self) -> Vec<InitialObject> {
+        (0..self.subscribers)
+            .map(|s| InitialObject {
+                id: Self::session(s),
+                size: self.session_bytes,
+                home_key: s,
+            })
+            .collect()
+    }
+
+    /// The next service-request / release transaction.
+    pub fn next_operation(&mut self) -> Operation {
+        let s = self.rng.gen_range(0..self.subscribers);
+        let kind = if self.rng.gen_bool(0.5) {
+            "service-request"
+        } else {
+            "release"
+        };
+        Operation::write(kind, s, vec![], vec![(Self::session(s), self.session_bytes)])
+    }
+}
+
+/// SCTP-like reliable-transport endpoint (Figure 14): the full connection
+/// state (6.8 KB) is transacted on every packet transmission, reception and
+/// timer event.
+#[derive(Debug)]
+pub struct SctpEndpoint {
+    /// Number of concurrent flows (the paper uses a single iperf3 flow).
+    pub flows: u64,
+    /// Bytes of connection state replicated per packet event (§8.5: 6.8 KB).
+    pub state_bytes: usize,
+    next_flow: u64,
+}
+
+impl SctpEndpoint {
+    /// Creates the endpoint model with the paper's parameters.
+    pub fn new(flows: u64) -> Self {
+        SctpEndpoint {
+            flows: flows.max(1),
+            state_bytes: 6_800,
+            next_flow: 0,
+        }
+    }
+
+    /// Connection-state object of flow `f`.
+    pub fn connection(f: u64) -> ObjectId {
+        ObjectId::from_table_row(TABLE_SCTP_CONN, f)
+    }
+
+    /// Objects to create before the run.
+    pub fn initial_objects(&self) -> Vec<InitialObject> {
+        (0..self.flows)
+            .map(|f| InitialObject {
+                id: Self::connection(f),
+                size: self.state_bytes,
+                home_key: f,
+            })
+            .collect()
+    }
+
+    /// The per-packet transaction (one per packet sent or received).
+    pub fn next_packet_event(&mut self) -> Operation {
+        let f = self.next_flow;
+        self.next_flow = (self.next_flow + 1) % self.flows;
+        Operation::write(
+            "packet-event",
+            f,
+            vec![],
+            vec![(Self::connection(f), self.state_bytes)],
+        )
+    }
+
+    /// Throughput of a single flow given a per-packet datastore commit cost,
+    /// in Mbps — the quantity plotted in Figure 14.
+    pub fn flow_throughput_mbps(&self, packet_bytes: usize, per_packet_us: f64) -> f64 {
+        let packets_per_sec = 1_000_000.0 / per_packet_us;
+        packets_per_sec * packet_bytes as f64 * 8.0 / 1_000_000.0
+    }
+}
+
+/// Nginx-style session-persistence load balancer (Figure 15): each HTTP
+/// request looks up a cookie; a hit is a local read-only transaction, a miss
+/// writes the new cookie→backend binding (replicated over two nodes).
+#[derive(Debug)]
+pub struct HttpSessionLb {
+    cookies: u64,
+    /// Probability that a request carries a cookie never seen before.
+    pub new_session_probability: f64,
+    /// Application-side cost per request in microseconds (HTTP parsing and
+    /// proxying dominate; the paper's Nginx peaks around 50 Ktps per core).
+    pub processing_us: u64,
+    rng: StdRng,
+}
+
+impl HttpSessionLb {
+    /// Creates the session-persistence model.
+    pub fn new(cookies: u64, seed: u64) -> Self {
+        HttpSessionLb {
+            cookies: cookies.max(1),
+            new_session_probability: 0.02,
+            processing_us: 18,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Cookie-binding object of cookie `c`.
+    pub fn cookie(c: u64) -> ObjectId {
+        ObjectId::from_table_row(TABLE_HTTP_COOKIE, c)
+    }
+
+    /// Objects to create before the run.
+    pub fn initial_objects(&self) -> Vec<InitialObject> {
+        (0..self.cookies)
+            .map(|c| InitialObject {
+                id: Self::cookie(c),
+                size: 32,
+                home_key: c,
+            })
+            .collect()
+    }
+
+    /// The next HTTP request as a datastore transaction.
+    pub fn next_request(&mut self) -> Operation {
+        let c = self.rng.gen_range(0..self.cookies);
+        if self.rng.gen_bool(self.new_session_probability) {
+            Operation::write("session-create", c, vec![], vec![(Self::cookie(c), 32)])
+        } else {
+            Operation::read("session-lookup", c, vec![Self::cookie(c)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gateway_requests_touch_one_session_object() {
+        let mut gw = GatewayControlPlane::new(100, 1);
+        assert_eq!(gw.initial_objects().len(), 100);
+        for _ in 0..100 {
+            let op = gw.next_operation();
+            assert_eq!(op.writes.len(), 1);
+            assert_eq!(op.writes[0].1, 400);
+            assert!(!op.read_only);
+        }
+    }
+
+    #[test]
+    fn sctp_state_is_large_and_round_robins_flows() {
+        let mut ep = SctpEndpoint::new(2);
+        let a = ep.next_packet_event();
+        let b = ep.next_packet_event();
+        let c = ep.next_packet_event();
+        assert_eq!(a.writes[0].1, 6_800);
+        assert_ne!(a.writes[0].0, b.writes[0].0);
+        assert_eq!(a.writes[0].0, c.writes[0].0);
+    }
+
+    #[test]
+    fn sctp_throughput_scales_with_packet_size() {
+        let ep = SctpEndpoint::new(1);
+        let small = ep.flow_throughput_mbps(150, 10.0);
+        let large = ep.flow_throughput_mbps(1440, 10.0);
+        assert!(large > small * 9.0);
+    }
+
+    #[test]
+    fn http_lb_mostly_reads() {
+        let mut lb = HttpSessionLb::new(1_000, 2);
+        let total = 10_000;
+        let reads = (0..total).filter(|_| lb.next_request().read_only).count();
+        assert!(reads as f64 / total as f64 > 0.95);
+    }
+}

@@ -1,0 +1,117 @@
+//! Zipfian sampler used for skewed object popularity (Smallbank/TATP skew as
+//! in FaSST, and the Voter contestant popularity).
+
+use rand::Rng;
+
+/// A Zipf(θ) distribution over `0..n`, sampled by the classic Gray et al.
+/// method (precomputed normalisation constants).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `0..n` with skew `theta`
+    /// (theta = 0 is uniform; FaSST-style OLTP skew is ~0.9).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact up to 10_000 elements, then a continuous approximation — the
+        // benchmarks use populations of up to a few million keys and the
+        // approximation error is irrelevant for load shape.
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta)) / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Samples a value in `0..n` (0 is the most popular).
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        if self.theta == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "roughly uniform: {min}..{max}");
+    }
+
+    #[test]
+    fn skewed_distribution_prefers_small_keys() {
+        let z = Zipf::new(1_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0u32;
+        let total = 100_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.9 the top-10 keys take a large share of accesses.
+        assert!(
+            head as f64 / total as f64 > 0.3,
+            "top-10 share too small: {head}"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(37, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 37);
+        }
+    }
+}

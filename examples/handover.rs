@@ -1,0 +1,58 @@
+//! Cellular control plane on Zeus: phones attach to base stations, perform
+//! service requests, and hand over between stations as they move — the
+//! motivating workload of the paper (§2, §8.1).
+//!
+//! Run with: cargo run -p zeus-bench --example handover
+
+use zeus_core::{NodeId, SimCluster, ZeusConfig};
+use zeus_workloads::handovers::HandoverWorkload;
+use zeus_workloads::{Operation, Workload};
+
+fn main() {
+    let mut workload = HandoverWorkload::new(200, 40, 12, 0.05, 7);
+    let mut cluster = SimCluster::new(ZeusConfig::with_nodes(3));
+
+    // Shard phones and stations across the three nodes by home key.
+    for obj in workload.initial_objects() {
+        let home = NodeId((obj.home_key % 3) as u16);
+        cluster.create_object(obj.id, vec![0u8; obj.size], home);
+    }
+
+    let mut handovers = 0;
+    let mut requests = 0;
+    for _ in 0..2_000 {
+        let op: Operation = workload.next_operation();
+        if op.kind == "handover" {
+            handovers += 1;
+        } else {
+            requests += 1;
+        }
+        let node = NodeId((op.routing_key % 3) as u16);
+        let writes = op.writes.clone();
+        cluster
+            .execute_write(node, move |tx| {
+                for &(o, size) in &writes {
+                    tx.update(o, |old| {
+                        let mut v = old.to_vec();
+                        v.resize(size, 0);
+                        v[0] = v[0].wrapping_add(1);
+                        v
+                    })?;
+                }
+                Ok(())
+            })
+            .expect("control-plane transaction commits");
+    }
+    cluster.run_until_quiescent(50_000);
+    cluster.check_invariants().expect("invariants hold");
+
+    let stats = cluster.aggregate_stats();
+    println!("service/release transactions: {requests}");
+    println!("handover transactions:        {handovers}");
+    println!("committed write txs:          {}", stats.write_txs_committed);
+    println!("ownership requests issued:    {}", stats.ownership_requests);
+    println!(
+        "=> only {:.1}% of transactions needed an ownership change (locality!)",
+        100.0 * stats.ownership_requests as f64 / stats.write_txs_committed as f64
+    );
+}

@@ -1,0 +1,87 @@
+//! Smallbank on Zeus vs the statically-sharded two-phase-commit baseline:
+//! same workload, two very different execution strategies (§6.1).
+//!
+//! Run with: cargo run -p zeus-bench --example smallbank
+
+use zeus_baseline::exec::StaticShardedStore;
+use zeus_core::{NodeId, SimCluster, ZeusConfig};
+use zeus_workloads::{SmallbankWorkload, Workload};
+
+fn main() {
+    let mut workload = SmallbankWorkload::new(300, 30, 0.01, 5);
+
+    // --- Zeus ---
+    let mut zeus = SimCluster::new(ZeusConfig::with_nodes(3));
+    for obj in workload.initial_objects() {
+        zeus.create_object(obj.id, vec![0u8; obj.size], NodeId((obj.home_key % 3) as u16));
+    }
+    let mut committed = 0;
+    for _ in 0..1_000 {
+        let op = workload.next_operation();
+        let node = NodeId((op.routing_key % 3) as u16);
+        if op.read_only {
+            let reads = op.reads.clone();
+            if zeus
+                .execute_read(node, move |tx| {
+                    for &o in &reads {
+                        tx.read(o)?;
+                    }
+                    Ok(())
+                })
+                .is_ok()
+            {
+                committed += 1;
+            }
+        } else {
+            let writes = op.writes.clone();
+            let reads = op.reads.clone();
+            if zeus
+                .execute_write(node, move |tx| {
+                    for &o in &reads {
+                        tx.read(o)?;
+                    }
+                    for &(o, _) in &writes {
+                        tx.update(o, |old| old.to_vec())?;
+                    }
+                    Ok(())
+                })
+                .is_ok()
+            {
+                committed += 1;
+            }
+        }
+    }
+    zeus.run_until_quiescent(50_000);
+    zeus.check_invariants().unwrap();
+    let zeus_msgs = zeus.net_stats().messages_sent;
+
+    // --- Statically sharded 2PC baseline over the same operations ---
+    let mut workload = SmallbankWorkload::new(300, 30, 0.01, 5);
+    let mut baseline = StaticShardedStore::new(3, 3);
+    for obj in workload.initial_objects() {
+        baseline.create(obj.id, vec![0u8; obj.size]);
+    }
+    for _ in 0..1_000 {
+        let op = workload.next_operation();
+        let coordinator = NodeId((op.routing_key % 3) as u16);
+        if op.read_only {
+            baseline.read_tx(coordinator, &op.reads);
+        } else {
+            let writes: Vec<_> = op
+                .writes
+                .iter()
+                .map(|&(o, size)| (o, bytes::Bytes::from(vec![0u8; size])))
+                .collect();
+            baseline.write_tx(coordinator, &writes);
+        }
+    }
+
+    println!("Zeus:      {committed} committed, {zeus_msgs} protocol messages");
+    println!(
+        "Baseline:  {} committed, {} messages, {} remote reads",
+        baseline.stats().committed,
+        baseline.stats().messages,
+        baseline.stats().remote_reads
+    );
+    println!("=> with locality, Zeus needs far fewer messages per transaction");
+}
