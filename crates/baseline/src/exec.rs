@@ -109,11 +109,7 @@ impl StaticShardedStore {
     /// Executes a write transaction with lock-based two-phase commit from
     /// `coordinator`, writing `data` to every object in `writes`.
     /// Returns `false` (and aborts) if any lock is unavailable.
-    pub fn write_tx(
-        &mut self,
-        coordinator: NodeId,
-        writes: &[(ObjectId, Bytes)],
-    ) -> bool {
+    pub fn write_tx(&mut self, coordinator: NodeId, writes: &[(ObjectId, Bytes)]) -> bool {
         // Phase 0: remote reads/lookups for every remote object.
         for (object, _) in writes {
             if self.home_of(*object) != coordinator {
@@ -239,7 +235,9 @@ mod tests {
         for i in 0..3u64 {
             s.create(ObjectId(i), Bytes::from_static(b"x"));
         }
-        let values = s.read_tx(NodeId(0), &[ObjectId(0), ObjectId(1), ObjectId(2)]).unwrap();
+        let values = s
+            .read_tx(NodeId(0), &[ObjectId(0), ObjectId(1), ObjectId(2)])
+            .unwrap();
         assert_eq!(values.len(), 3);
         assert_eq!(s.stats().remote_reads, 2);
     }

@@ -272,8 +272,14 @@ mod tests {
             .throughput_per_node(&cost, &smallbank_mix(SMALLBANK_STATIC_REMOTE));
         let drtm = BaselineKind::DrtmLike
             .throughput_per_node(&cost, &smallbank_mix(SMALLBANK_STATIC_REMOTE));
-        assert!(zeus > fasst, "zeus {zeus} must beat fasst {fasst} at 1% remote");
-        assert!(zeus > drtm, "zeus {zeus} must beat drtm {drtm} at 1% remote");
+        assert!(
+            zeus > fasst,
+            "zeus {zeus} must beat fasst {fasst} at 1% remote"
+        );
+        assert!(
+            zeus > drtm,
+            "zeus {zeus} must beat drtm {drtm} at 1% remote"
+        );
         assert!(drtm < fasst, "DrTM's published numbers sit below FaSST's");
     }
 

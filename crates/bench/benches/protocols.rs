@@ -62,9 +62,7 @@ fn bench_wire_encoding(c: &mut Criterion) {
         prev_val: true,
         updates: vec![ObjectUpdate::new(ObjectId(7), 3, vec![0u8; 400])],
     };
-    c.bench_function("wire_encode_rinv_400B", |b| {
-        b.iter(|| encode_to_vec(&msg))
-    });
+    c.bench_function("wire_encode_rinv_400B", |b| b.iter(|| encode_to_vec(&msg)));
 }
 
 criterion_group!(

@@ -10,11 +10,20 @@ use zeus_workloads::SmallbankWorkload;
 fn main() {
     let venmo = VenmoModel::public_dataset();
     let static_remote = 0.30; // Smallbank under static sharding (multi-party txs cross shards)
-    let fasst = modelled_mtps_per_node(BaselineKind::FasstLike, &smallbank_mix(static_remote, REPLICATION));
-    let drtm = modelled_mtps_per_node(BaselineKind::DrtmLike, &smallbank_mix(static_remote, REPLICATION));
+    let fasst = modelled_mtps_per_node(
+        BaselineKind::FasstLike,
+        &smallbank_mix(static_remote, REPLICATION),
+    );
+    let drtm = modelled_mtps_per_node(
+        BaselineKind::DrtmLike,
+        &smallbank_mix(static_remote, REPLICATION),
+    );
     let mut rows = Vec::new();
     for remote_pct in [0.0f64, 1.0, 2.0, 5.0, 10.0, 20.0] {
-        let zeus3 = modelled_mtps_per_node(BaselineKind::Zeus, &smallbank_mix(remote_pct / 100.0, REPLICATION));
+        let zeus3 = modelled_mtps_per_node(
+            BaselineKind::Zeus,
+            &smallbank_mix(remote_pct / 100.0, REPLICATION),
+        );
         let zeus6 = zeus3 * 0.97; // slightly more remote traffic share at 6 nodes
         rows.push(vec![
             format!("{remote_pct}%"),
@@ -25,9 +34,20 @@ fn main() {
         ]);
     }
     rows.push(vec![
-        format!("venmo 3 nodes ({:.1}%)", venmo.remote_fraction(3, 500_000, 1) * 100.0),
-        format!("{:.2}", modelled_mtps_per_node(BaselineKind::Zeus, &smallbank_mix(venmo.remote_fraction(3, 500_000, 1), REPLICATION))),
-        "-".into(), format!("{:.2}", fasst), format!("{:.2}", drtm),
+        format!(
+            "venmo 3 nodes ({:.1}%)",
+            venmo.remote_fraction(3, 500_000, 1) * 100.0
+        ),
+        format!(
+            "{:.2}",
+            modelled_mtps_per_node(
+                BaselineKind::Zeus,
+                &smallbank_mix(venmo.remote_fraction(3, 500_000, 1), REPLICATION)
+            )
+        ),
+        "-".into(),
+        format!("{:.2}", fasst),
+        format!("{:.2}", drtm),
     ]);
     print_table(
         "Figure 8: Smallbank [Mtps/node] vs % remote write transactions (paper: Zeus ~35% over FaSST, ~2x DrTM at Venmo locality; crossovers at ~5% / ~20%)",
@@ -36,6 +56,13 @@ fn main() {
     );
 
     // A small measured sanity point on this machine (scaled-down).
-    let measured = run_measured(3, SmallbankWorkload::new(3_000, 300, 0.003, 11), measure_window());
-    println!("# measured (scaled-down, 3 nodes, Venmo locality): {:.0} tps\n", measured.tps());
+    let measured = run_measured(
+        3,
+        SmallbankWorkload::new(3_000, 300, 0.003, 11),
+        measure_window(),
+    );
+    println!(
+        "# measured (scaled-down, 3 nodes, Venmo locality): {:.0} tps\n",
+        measured.tps()
+    );
 }

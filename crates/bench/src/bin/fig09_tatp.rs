@@ -7,11 +7,20 @@ use zeus_workloads::TatpWorkload;
 
 fn main() {
     let static_remote = 0.30;
-    let fasst = modelled_mtps_per_node(BaselineKind::FasstLike, &tatp_mix(static_remote, REPLICATION));
-    let farm = modelled_mtps_per_node(BaselineKind::FarmLike, &tatp_mix(static_remote, REPLICATION));
+    let fasst = modelled_mtps_per_node(
+        BaselineKind::FasstLike,
+        &tatp_mix(static_remote, REPLICATION),
+    );
+    let farm = modelled_mtps_per_node(
+        BaselineKind::FarmLike,
+        &tatp_mix(static_remote, REPLICATION),
+    );
     let mut rows = Vec::new();
     for remote_pct in [0.0f64, 5.0, 10.0, 20.0, 40.0] {
-        let zeus3 = modelled_mtps_per_node(BaselineKind::Zeus, &tatp_mix(remote_pct / 100.0, REPLICATION));
+        let zeus3 = modelled_mtps_per_node(
+            BaselineKind::Zeus,
+            &tatp_mix(remote_pct / 100.0, REPLICATION),
+        );
         let zeus6 = zeus3 * 0.97;
         rows.push(vec![
             format!("{remote_pct}%"),
@@ -28,5 +37,8 @@ fn main() {
     );
 
     let measured = run_measured(3, TatpWorkload::new(3_000, 300, 0.0, 13), measure_window());
-    println!("# measured (scaled-down, 3 nodes, all-local writes): {:.0} tps\n", measured.tps());
+    println!(
+        "# measured (scaled-down, 3 nodes, all-local writes): {:.0} tps\n",
+        measured.tps()
+    );
 }

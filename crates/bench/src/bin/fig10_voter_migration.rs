@@ -7,8 +7,8 @@
 
 use std::time::Instant;
 
-use zeus_core::{NodeId, SimCluster, ZeusConfig};
 use zeus_bench::harness::{print_table, quick_mode};
+use zeus_core::{NodeId, SimCluster, ZeusConfig};
 use zeus_workloads::voter::VoterWorkload;
 use zeus_workloads::Workload;
 

@@ -10,9 +10,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use zeus_bench::harness::{print_table, quick_mode};
 use zeus_core::{NodeId, ThreadedCluster, ZeusConfig};
 use zeus_proto::OwnershipRequestKind;
-use zeus_bench::harness::{print_table, quick_mode};
 use zeus_workloads::voter::VoterWorkload;
 use zeus_workloads::{Operation, Workload};
 
@@ -84,7 +84,10 @@ fn main() {
     let rows = vec![vec![
         moved.to_string(),
         format!("{:.2}", migration_elapsed.as_secs_f64()),
-        format!("{:.0}", moved as f64 / migration_elapsed.as_secs_f64().max(0.001)),
+        format!(
+            "{:.0}",
+            moved as f64 / migration_elapsed.as_secs_f64().max(0.001)
+        ),
         format!("{:.0}", vote_tps),
     ]];
     print_table(

@@ -6,9 +6,9 @@
 //! 3 hops ~ 6-8 simulated us; the *shape* (tight CDF idle, longer tail under
 //! load) is what this harness reproduces.
 
+use zeus_bench::harness::{print_table, quick_mode};
 use zeus_core::{NodeId, SimCluster, ZeusConfig};
 use zeus_net::sim::NetConfig;
-use zeus_bench::harness::{print_table, quick_mode};
 use zeus_workloads::voter::VoterWorkload;
 use zeus_workloads::Workload;
 
@@ -56,7 +56,10 @@ fn main() {
     }
 
     let mut rows = Vec::new();
-    for (name, cluster, node) in [("idle bulk move", &idle, NodeId(1)), ("hot move under load", &busy, NodeId(2))] {
+    for (name, cluster, node) in [
+        ("idle bulk move", &idle, NodeId(1)),
+        ("hot move under load", &busy, NodeId(2)),
+    ] {
         let hist = cluster.node(node).ownership_latency();
         rows.push(vec![
             name.to_string(),

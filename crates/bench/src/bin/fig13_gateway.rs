@@ -22,10 +22,22 @@ fn main() {
     let zeus_1a1p = 1.0e6 / (parse_us + zeus_overhead_us);
     let zeus_2active = 2.0 * zeus_1a1p * 0.8; // two active nodes; paper reports +60%
     let rows = vec![
-        vec!["local memory (no replication)".into(), format!("{:.1}", local / 1e3)],
-        vec!["Redis-like blocking store".into(), format!("{:.1}", redis / 1e3)],
-        vec!["Zeus (1 active + 1 passive)".into(), format!("{:.1}", zeus_1a1p / 1e3)],
-        vec!["Zeus (2 active)".into(), format!("{:.1}", zeus_2active / 1e3)],
+        vec![
+            "local memory (no replication)".into(),
+            format!("{:.1}", local / 1e3),
+        ],
+        vec![
+            "Redis-like blocking store".into(),
+            format!("{:.1}", redis / 1e3),
+        ],
+        vec![
+            "Zeus (1 active + 1 passive)".into(),
+            format!("{:.1}", zeus_1a1p / 1e3),
+        ],
+        vec![
+            "Zeus (2 active)".into(),
+            format!("{:.1}", zeus_2active / 1e3),
+        ],
     ];
     print_table(
         "Figure 13: 4G control-plane throughput [Ktps] (paper: Zeus 1+1 matches local memory ~25-30 Ktps; Redis <10 Ktps; 2 active = +60%)",

@@ -19,7 +19,14 @@ fn main() {
         .collect();
     print_table(
         "Table 2: summary of evaluated benchmarks",
-        &["benchmark", "characteristic", "tables", "columns", "txs", "read txs"],
+        &[
+            "benchmark",
+            "characteristic",
+            "tables",
+            "columns",
+            "txs",
+            "read txs",
+        ],
         &rows,
     );
 }

@@ -13,8 +13,8 @@
 use std::time::{Duration, Instant};
 
 use zeus_baseline::model::{BaselineKind, CostModel, TxProfile};
-use zeus_core::{LoadBalancer, ThreadedCluster, ZeusConfig};
 use zeus_core::balancer::PlacementPolicy;
+use zeus_core::{LoadBalancer, ThreadedCluster, ZeusConfig};
 use zeus_workloads::{Operation, Workload};
 
 /// Result of one measured run.
@@ -94,11 +94,7 @@ pub fn execute_operation(
 /// Runs `workload` against a fresh threaded cluster of `nodes` nodes for
 /// `duration`, using one client thread per node, and returns the measured
 /// aggregate throughput.
-pub fn run_measured(
-    nodes: usize,
-    mut workload: impl Workload,
-    duration: Duration,
-) -> MeasuredRun {
+pub fn run_measured(nodes: usize, mut workload: impl Workload, duration: Duration) -> MeasuredRun {
     let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(nodes));
     let balancer = load_workload(&cluster, &workload);
     // Pre-generate a batch of operations so generation cost stays out of the
@@ -171,7 +167,11 @@ pub fn tatp_mix(remote_write: f64, replication: usize) -> Vec<(f64, TxProfile)> 
 }
 
 /// Builds the Handovers mix (all writes, ~400 B contexts).
-pub fn handover_mix(handover_fraction: f64, remote_handover: f64, replication: usize) -> Vec<(f64, TxProfile)> {
+pub fn handover_mix(
+    handover_fraction: f64,
+    remote_handover: f64,
+    replication: usize,
+) -> Vec<(f64, TxProfile)> {
     vec![
         (
             1.0 - handover_fraction,

@@ -254,7 +254,11 @@ impl CommitEngine {
                 prev_val,
                 updates,
             } => self.on_rinv(from, tx_id, epoch, followers, prev_val, updates),
-            CommitMsg::RAck { tx_id, from: acker, epoch } => self.on_rack(tx_id, acker, epoch),
+            CommitMsg::RAck {
+                tx_id,
+                from: acker,
+                epoch,
+            } => self.on_rack(tx_id, acker, epoch),
             CommitMsg::RVal { tx_id, epoch } => self.on_rval(tx_id, epoch),
         }
     }
@@ -362,6 +366,36 @@ impl CommitEngine {
         actions
     }
 
+    /// Re-sends the R-INVs of every outstanding commit to the followers that
+    /// have not acknowledged yet.
+    ///
+    /// The paper assumes a retransmitting reliable transport underneath the
+    /// protocols (§3.1); this is that retransmission hook. The hosting
+    /// runtime calls it periodically. Receivers treat duplicate R-INVs
+    /// idempotently, so the interval only affects traffic, not safety. It
+    /// also covers the epoch-transition race where an R-INV carrying the new
+    /// epoch reaches a follower that has not installed the view yet (the
+    /// follower drops it; without retransmission the commit would hang).
+    pub fn retransmit(&mut self) -> Vec<CommitAction> {
+        let mut actions = Vec::new();
+        for (&tx_id, entry) in &self.outstanding {
+            for &to in entry.followers.iter().filter(|f| !entry.acks.contains(f)) {
+                self.stats.rinvs_retransmitted += 1;
+                actions.push(CommitAction::Send {
+                    to,
+                    msg: CommitMsg::RInv {
+                        tx_id,
+                        epoch: self.epoch,
+                        followers: entry.followers.clone(),
+                        prev_val: entry.prev_val,
+                        updates: entry.updates.clone(),
+                    },
+                });
+            }
+        }
+        actions
+    }
+
     // ------------------------------------------------------------------
     // Follower side
     // ------------------------------------------------------------------
@@ -399,10 +433,14 @@ impl CommitEngine {
                 .is_some_and(|t| t.is_cleared(tx_id.local - 1));
         if !in_order {
             self.stats.rinvs_buffered += 1;
-            self.buffered
-                .entry(tx_id.pipeline)
-                .or_default()
-                .insert(tx_id.local, BufferedRInv { from, followers, updates });
+            self.buffered.entry(tx_id.pipeline).or_default().insert(
+                tx_id.local,
+                BufferedRInv {
+                    from,
+                    followers,
+                    updates,
+                },
+            );
             return Vec::new();
         }
 
@@ -604,7 +642,11 @@ mod tests {
     use bytes::Bytes;
 
     fn upd(object: u64, version: u64) -> ObjectUpdate {
-        ObjectUpdate::new(ObjectId(object), version, Bytes::from(vec![version as u8; 16]))
+        ObjectUpdate::new(
+            ObjectId(object),
+            version,
+            Bytes::from(vec![version as u8; 16]),
+        )
     }
 
     fn n(i: u16) -> NodeId {
@@ -641,7 +683,13 @@ mod tests {
             }
         }
 
-        fn begin(&mut self, node: NodeId, thread: u16, updates: Vec<ObjectUpdate>, followers: Vec<NodeId>) -> TxId {
+        fn begin(
+            &mut self,
+            node: NodeId,
+            thread: u16,
+            updates: Vec<ObjectUpdate>,
+            followers: Vec<NodeId>,
+        ) -> TxId {
             let (tx, actions) = self.engines[node.index()].begin_commit(thread, updates, followers);
             self.apply(node, actions);
             tx

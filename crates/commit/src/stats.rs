@@ -16,6 +16,9 @@ pub struct CommitStats {
     pub rvals_applied: u64,
     /// Pending reliable commits replayed during failure recovery.
     pub replays: u64,
+    /// R-INV messages re-sent to unresponsive followers (reliable-transport
+    /// retransmission, §3.1).
+    pub rinvs_retransmitted: u64,
 }
 
 impl CommitStats {
@@ -32,6 +35,7 @@ impl CommitStats {
         self.rinvs_buffered += other.rinvs_buffered;
         self.rvals_applied += other.rvals_applied;
         self.replays += other.replays;
+        self.rinvs_retransmitted += other.rinvs_retransmitted;
     }
 }
 

@@ -23,6 +23,10 @@ pub struct ZeusConfig {
     /// Maximum times a transaction retries ownership acquisition before
     /// aborting with back-off (§6.2 deadlock avoidance).
     pub max_ownership_retries: usize,
+    /// Ticks between retransmissions of unacknowledged protocol messages
+    /// (the paper's reliable transport, §3.1). Protocol handlers are
+    /// idempotent, so the interval trades recovery latency for traffic.
+    pub retransmit_ticks: u64,
 }
 
 impl Default for ZeusConfig {
@@ -35,6 +39,7 @@ impl Default for ZeusConfig {
             worker_threads: 1,
             lease_ticks: 10_000,
             max_ownership_retries: 256,
+            retransmit_ticks: 64,
         }
     }
 }

@@ -72,6 +72,7 @@ pub struct ZeusNode {
     ownership_latency: LatencyHistogram,
     stats: NodeStats,
     now: u64,
+    last_retransmit: u64,
 }
 
 impl ZeusNode {
@@ -93,6 +94,7 @@ impl ZeusNode {
             ownership_latency: LatencyHistogram::default(),
             stats: NodeStats::default(),
             now: 0,
+            last_retransmit: 0,
             config,
         }
     }
@@ -175,7 +177,12 @@ impl ZeusNode {
     /// directory nodes register the ownership metadata, other nodes ignore
     /// it. (The cluster runtimes call this on every node at load time; at
     /// run time, first-touch `AcquireOwner` creates objects dynamically.)
-    pub fn create_object(&mut self, object: ObjectId, data: impl Into<Bytes>, replicas: ReplicaSet) {
+    pub fn create_object(
+        &mut self,
+        object: ObjectId,
+        data: impl Into<Bytes>,
+        replicas: ReplicaSet,
+    ) {
         self.ownership.register_object(object, replicas.clone());
         let level = replicas.level_of(self.id);
         if level.is_replica() {
@@ -330,7 +337,9 @@ impl ZeusNode {
         // still be Valid at an unchanged version.
         let consistent = ws.read_set().all(|(object, version)| {
             self.store
-                .with(object, |e| e.t_state == TState::Valid && e.version == version)
+                .with(object, |e| {
+                    e.t_state == TState::Valid && e.version == version
+                })
                 .unwrap_or(false)
         });
         if consistent {
@@ -403,10 +412,38 @@ impl ZeusNode {
         self.now = now.max(self.now);
         let events = self.membership.tick(self.now);
         self.process_membership_events(events);
-        if !self.retry_queue.is_empty() {
-            let retries = std::mem::take(&mut self.retry_queue);
-            for req in retries {
-                let actions = self.ownership.retry_request(req);
+        // Reliable-transport retransmission (§3.1) and retry back-off
+        // (§6.2): periodically re-send unacknowledged R-INVs and pending
+        // REQs, and re-issue retryably-NACKed requests. The interval is what
+        // makes the protocols live across epoch transitions (messages
+        // carrying a not-yet-installed epoch are dropped by receivers) while
+        // keeping retry traffic bounded.
+        if self.now.saturating_sub(self.last_retransmit) >= self.config.retransmit_ticks {
+            self.last_retransmit = self.now;
+            let retried = !self.retry_queue.is_empty();
+            if retried {
+                let retries = std::mem::take(&mut self.retry_queue);
+                for req in retries {
+                    let actions = self.ownership.retry_request(req);
+                    self.process_ownership_actions(actions);
+                }
+            }
+            let actions = self.commit.retransmit();
+            self.process_commit_actions(actions);
+            // Skip the REQ retransmission on intervals where the retry queue
+            // just re-issued REQs — sending both would double the ownership
+            // traffic for the same requests. Requests not in the retry queue
+            // simply go out on the next interval.
+            if !retried && self.ownership.pending_requests() > 0 {
+                let actions = self.ownership.retransmit();
+                self.process_ownership_actions(actions);
+            }
+            if self.ownership.inflight_arbitrations() > 0 {
+                let host = HostView {
+                    store: &self.store,
+                    commit: &self.commit,
+                };
+                let actions = self.ownership.replay_stalled(&host);
                 self.process_ownership_actions(actions);
             }
         }
@@ -481,7 +518,12 @@ impl ZeusNode {
                     self.failed_reqs.insert(req_id, reason);
                 }
                 OwnershipAction::RetryLater { req_id, .. } => {
-                    self.retry_queue.push(req_id);
+                    // Dedup: a request can be NACKed retryably several times
+                    // per interval (original send plus retransmissions), and
+                    // duplicate entries would multiply the retry traffic.
+                    if !self.retry_queue.contains(&req_id) {
+                        self.retry_queue.push(req_id);
+                    }
                 }
                 OwnershipAction::ApplyReplicaChange {
                     object,
@@ -629,7 +671,11 @@ mod tests {
     fn single_node_write_and_read_roundtrip() {
         let mut node = single_node();
         let object = ObjectId(1);
-        node.create_object(object, Bytes::from_static(b"0"), ReplicaSet::new(NodeId(0), []));
+        node.create_object(
+            object,
+            Bytes::from_static(b"0"),
+            ReplicaSet::new(NodeId(0), []),
+        );
 
         let outcome = node.execute_write(0, |tx| {
             tx.write(object, Bytes::from_static(b"42"))?;
@@ -649,7 +695,11 @@ mod tests {
         config.replication_degree = 2;
         let mut node = ZeusNode::new(NodeId(2), config.clone());
         // Object owned by node 0; node 2 is a non-replica.
-        node.create_object(ObjectId(5), Bytes::new(), config.default_replicas(NodeId(0)));
+        node.create_object(
+            ObjectId(5),
+            Bytes::new(),
+            config.default_replicas(NodeId(0)),
+        );
         let outcome = node.execute_write(0, |tx| tx.write(ObjectId(5), Bytes::from_static(b"x")));
         match outcome {
             WriteOutcome::OwnershipPending { requests } => {
@@ -668,7 +718,11 @@ mod tests {
     fn opacity_validation_catches_concurrent_version_change() {
         let mut node = single_node();
         let object = ObjectId(1);
-        node.create_object(object, Bytes::from_static(b"a"), ReplicaSet::new(NodeId(0), []));
+        node.create_object(
+            object,
+            Bytes::from_static(b"a"),
+            ReplicaSet::new(NodeId(0), []),
+        );
         let outcome = node.execute_write(0, |tx| {
             let v = tx.read(object)?;
             // Simulate a concurrent local transaction sneaking in between
@@ -727,7 +781,11 @@ mod tests {
         config.replication_degree = 2;
         let mut node = ZeusNode::new(NodeId(1), config);
         let object = ObjectId(3);
-        node.create_object(object, Bytes::from_static(b"v"), ReplicaSet::new(NodeId(0), [NodeId(1)]));
+        node.create_object(
+            object,
+            Bytes::from_static(b"v"),
+            ReplicaSet::new(NodeId(0), [NodeId(1)]),
+        );
         // An R-INV arrives for the object (reader side) and invalidates it.
         node.handle_message(
             NodeId(0),
@@ -764,7 +822,11 @@ mod tests {
         config.replication_degree = 2;
         let mut node = ZeusNode::new(NodeId(0), config);
         let object = ObjectId(9);
-        node.create_object(object, Bytes::from_static(b"0"), ReplicaSet::new(NodeId(0), [NodeId(1)]));
+        node.create_object(
+            object,
+            Bytes::from_static(b"0"),
+            ReplicaSet::new(NodeId(0), [NodeId(1)]),
+        );
         for i in 0..5u8 {
             let outcome = node.execute_write(0, |tx| tx.write(object, vec![i]));
             assert!(outcome.is_committed(), "commit {i} must not wait for acks");

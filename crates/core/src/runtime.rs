@@ -10,8 +10,8 @@
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use zeus_net::{NodeMailbox, ThreadedNet};
 use zeus_proto::{NodeId, ObjectId, OwnershipRequestKind, ReplicaSet, RequestId};
 
@@ -294,10 +294,19 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
                             ReadOutcome::Aborted {
                                 error: TxError::ReadConflict,
                             } => {
-                                // Process protocol traffic and try again.
+                                // The replica is mid reliable-commit; wait
+                                // for protocol traffic (R-ACKs/R-VALs) to
+                                // arrive instead of spinning — the retry
+                                // budget must span real time, not
+                                // microseconds of busy-polling.
+                                if let Some(env) = mailbox.recv_timeout(Duration::from_micros(200))
+                                {
+                                    node.handle_message(env.from, env.msg);
+                                }
                                 while let Some(env) = mailbox.try_recv() {
                                     node.handle_message(env.from, env.msg);
                                 }
+                                node.tick(started.elapsed().as_micros() as u64);
                                 for (to, msg) in node.drain_outbox() {
                                     let bytes = msg.payload_bytes();
                                     mailbox.send(to, msg, bytes);
@@ -501,7 +510,9 @@ mod tests {
         assert_eq!(r.unwrap(), vec![2]);
 
         // Read back from node 2 (now the owner).
-        let value = h2.execute_read(move |tx| Ok(tx.read(object)?.to_vec())).unwrap();
+        let value = h2
+            .execute_read(move |tx| Ok(tx.read(object)?.to_vec()))
+            .unwrap();
         assert_eq!(value, b"b");
 
         let stats = cluster.aggregate_stats();
@@ -527,7 +538,11 @@ mod tests {
     fn many_clients_many_objects_in_parallel() {
         let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
         for i in 0..30u64 {
-            cluster.create_object(ObjectId(i), Bytes::from_static(b"0"), NodeId((i % 3) as u16));
+            cluster.create_object(
+                ObjectId(i),
+                Bytes::from_static(b"0"),
+                NodeId((i % 3) as u16),
+            );
         }
         let mut clients = Vec::new();
         for c in 0..3u16 {

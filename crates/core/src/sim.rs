@@ -259,12 +259,28 @@ impl SimCluster {
     }
 
     /// Explicitly migrates `object` to `node` (acquire-owner), driving the
-    /// protocol to completion. Returns the ownership latency in ticks.
+    /// protocol to completion and retrying transient rejections like the
+    /// write path does (§6.2). Returns the ownership latency in ticks.
     pub fn migrate(&mut self, object: ObjectId, to: NodeId) -> Result<u64, TxError> {
         let start = self.net.now();
-        let req = self.nodes[to.index()].acquire(object, OwnershipRequestKind::AcquireOwner);
-        self.wait_for_requests(to, &[req])?;
-        Ok(self.net.now().saturating_sub(start).max(1))
+        for _ in 0..self.config.max_ownership_retries {
+            if self.nodes[to.index()].owns(object) {
+                return Ok(self.net.now().saturating_sub(start).max(1));
+            }
+            let req = self.nodes[to.index()].acquire(object, OwnershipRequestKind::AcquireOwner);
+            match self.wait_for_requests(to, &[req]) {
+                Ok(()) => return Ok(self.net.now().saturating_sub(start).max(1)),
+                Err(TxError::OwnershipFailed {
+                    reason:
+                        NackReason::LostArbitration | NackReason::PendingCommit | NackReason::Recovering,
+                    ..
+                }) => {
+                    self.settle(10_000);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(TxError::RetriesExhausted)
     }
 
     fn wait_for_requests(&mut self, node: NodeId, requests: &[RequestId]) -> Result<(), TxError> {
@@ -553,7 +569,11 @@ mod tests {
         c.run_until_quiescent(100_000);
         for n in [NodeId(0), NodeId(1), NodeId(2)] {
             let entry = c.node(n).store().get(object).unwrap();
-            assert_eq!(entry.data, Bytes::from(vec![4u8]), "replica {n} has final value");
+            assert_eq!(
+                entry.data,
+                Bytes::from(vec![4u8]),
+                "replica {n} has final value"
+            );
         }
         c.check_invariants().unwrap();
     }

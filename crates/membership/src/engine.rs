@@ -40,6 +40,9 @@ pub struct MembershipEngine {
     recovery_announced: bool,
     /// Whether the ownership protocol is currently allowed to make progress.
     ownership_enabled: bool,
+    /// Peers whose duplicate RecoveryDone we already answered this epoch
+    /// (termination guard, see `on_message`).
+    recovery_replied_to: HashSet<NodeId>,
 }
 
 impl MembershipEngine {
@@ -61,6 +64,7 @@ impl MembershipEngine {
             recovered: HashSet::new(),
             recovery_announced: false,
             ownership_enabled: true,
+            recovery_replied_to: HashSet::new(),
         }
     }
 
@@ -172,8 +176,25 @@ impl MembershipEngine {
             }
             MembershipMsg::RecoveryDone { from, epoch } => {
                 if epoch == self.view.epoch {
-                    self.recovered.insert(from);
-                    self.maybe_complete_recovery()
+                    let newly = self.recovered.insert(from);
+                    let mut events = self.maybe_complete_recovery();
+                    // A *duplicate* announcement means the sender is still
+                    // waiting out the barrier — most likely because it missed
+                    // our own RecoveryDone (e.g. it arrived before the sender
+                    // installed the view). Re-announce ours, at most once per
+                    // sender per epoch: replying to every duplicate would let
+                    // completed nodes ping-pong announcements forever, since
+                    // each reply is itself a duplicate at its receivers. A
+                    // still-stuck peer keeps re-announcing from its heartbeat
+                    // tick, and every completed peer answers it once, so the
+                    // barrier stays live without a sustained loop.
+                    if !newly && self.recovery_announced && self.recovery_replied_to.insert(from) {
+                        events.push(MembershipEvent::Broadcast(MembershipMsg::RecoveryDone {
+                            from: self.local,
+                            epoch: self.view.epoch,
+                        }));
+                    }
+                    events
                 } else {
                     Vec::new()
                 }
@@ -227,6 +248,7 @@ impl MembershipEngine {
         self.recovered.clear();
         self.recovery_announced = false;
         self.ownership_enabled = false;
+        self.recovery_replied_to.clear();
         vec![MembershipEvent::ViewInstalled(view)]
     }
 
@@ -234,11 +256,7 @@ impl MembershipEngine {
         if self.recovery_announced {
             return Vec::new();
         }
-        let all = self
-            .view
-            .live
-            .iter()
-            .all(|n| self.recovered.contains(n));
+        let all = self.view.live.iter().all(|n| self.recovered.contains(n));
         if all && !self.view.is_empty() {
             self.recovery_announced = true;
             self.ownership_enabled = true;
@@ -254,9 +272,12 @@ mod tests {
     use super::*;
 
     fn heartbeat_from(events: &[MembershipEvent]) -> bool {
-        events
-            .iter()
-            .any(|e| matches!(e, MembershipEvent::Broadcast(MembershipMsg::Heartbeat { .. })))
+        events.iter().any(|e| {
+            matches!(
+                e,
+                MembershipEvent::Broadcast(MembershipMsg::Heartbeat { .. })
+            )
+        })
     }
 
     #[test]
@@ -352,9 +373,10 @@ mod tests {
         assert!(!m.ownership_enabled());
 
         let events = m.local_recovery_done();
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, MembershipEvent::Broadcast(MembershipMsg::RecoveryDone { .. }))));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            MembershipEvent::Broadcast(MembershipMsg::RecoveryDone { .. })
+        )));
         assert!(!m.ownership_enabled(), "node 2 not recovered yet");
 
         let events = m.on_message(

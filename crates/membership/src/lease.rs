@@ -117,4 +117,59 @@ mod tests {
         t.renew(NodeId(9), 50);
         assert!(!t.is_fresh(NodeId(9), 60));
     }
+
+    #[test]
+    fn expiry_boundary_is_exact() {
+        // A lease is fresh strictly below `lease_ticks` since renewal and
+        // expired (for `expired()`, with zero grace) exactly at the boundary.
+        let mut t = LeaseTable::new(100, [NodeId(1)]);
+        t.renew(NodeId(1), 1_000);
+        assert!(t.is_fresh(NodeId(1), 1_099));
+        assert!(!t.is_fresh(NodeId(1), 1_100));
+        assert!(t.expired(1_099, 0).is_empty());
+        assert_eq!(t.expired(1_100, 0), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn renewal_during_grace_rescues_the_peer() {
+        // A heartbeat that arrives after the lease lapsed but before the
+        // grace period ran out must cancel the suspicion.
+        let mut t = LeaseTable::new(100, [NodeId(1)]);
+        assert!(t.expired(150, 100).is_empty(), "still in grace");
+        t.renew(NodeId(1), 150);
+        assert!(t.expired(200, 100).is_empty(), "renewal reset the clock");
+        assert!(t.is_fresh(NodeId(1), 240));
+        assert_eq!(t.expired(350, 100), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn now_before_renewal_never_underflows() {
+        // `now` earlier than the last renewal (clock skew between callers)
+        // must saturate, not wrap.
+        let mut t = LeaseTable::new(100, [NodeId(1)]);
+        t.renew(NodeId(1), 5_000);
+        assert!(t.is_fresh(NodeId(1), 10));
+        assert!(t.expired(10, 0).is_empty());
+    }
+
+    #[test]
+    fn reinsert_after_removal_starts_a_fresh_lease() {
+        let mut t = LeaseTable::new(100, [NodeId(1)]);
+        t.remove(NodeId(1));
+        t.insert(NodeId(1), 500);
+        assert!(t.is_fresh(NodeId(1), 599));
+        assert!(!t.is_fresh(NodeId(1), 600));
+        // Re-insert of an existing peer overwrites (jump forward only via
+        // insert, which models a node re-joining in a new view).
+        t.insert(NodeId(1), 700);
+        assert!(t.is_fresh(NodeId(1), 790));
+    }
+
+    #[test]
+    fn expired_reports_multiple_peers_sorted() {
+        let mut t = LeaseTable::new(50, [NodeId(3), NodeId(1), NodeId(2)]);
+        t.renew(NodeId(2), 400);
+        let e = t.expired(300, 0);
+        assert_eq!(e, vec![NodeId(1), NodeId(3)], "sorted by id");
+    }
 }

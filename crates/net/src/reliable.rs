@@ -115,7 +115,8 @@ impl<M: Clone> ReliableEndpoint<M> {
         let link = self.send_links.entry(to).or_default();
         let seq = link.next_seq;
         link.next_seq += 1;
-        link.unacked.insert(seq, (payload.clone(), now, payload_bytes));
+        link.unacked
+            .insert(seq, (payload.clone(), now, payload_bytes));
         self.outbox.push(Envelope::with_payload_bytes(
             self.local,
             to,
@@ -194,11 +195,7 @@ mod tests {
 
     /// Runs two endpoints over a simulated network until quiescence and
     /// returns what `b` delivered.
-    fn run_pair(
-        net_config: NetConfig,
-        messages: Vec<u32>,
-        max_ticks: u64,
-    ) -> Vec<u32> {
+    fn run_pair(net_config: NetConfig, messages: Vec<u32>, max_ticks: u64) -> Vec<u32> {
         let a = NodeId(0);
         let b = NodeId(1);
         let mut net: SimNetwork<ReliableMsg<u32>> = SimNetwork::new(net_config);
@@ -264,7 +261,10 @@ mod tests {
         let config = NetConfig::lossy(3, 0.3, 0.3);
         let msgs: Vec<u32> = (0..80).collect();
         let got = run_pair(config, msgs.clone(), 50_000);
-        assert_eq!(got, msgs, "retransmission must mask loss; dedup must mask dup");
+        assert_eq!(
+            got, msgs,
+            "retransmission must mask loss; dedup must mask dup"
+        );
     }
 
     #[test]

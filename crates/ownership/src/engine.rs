@@ -3,11 +3,11 @@
 use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
+use zeus_proto::messages::NackReason;
 use zeus_proto::{
-    Epoch, NodeId, ObjectId, OState, OwnershipMsg, OwnershipRequestKind, OwnershipTs, ReplicaSet,
+    Epoch, NodeId, OState, ObjectId, OwnershipMsg, OwnershipRequestKind, OwnershipTs, ReplicaSet,
     RequestId,
 };
-use zeus_proto::messages::NackReason;
 
 use crate::stats::OwnershipStats;
 
@@ -126,6 +126,9 @@ struct InflightArb {
     collecting_acks: bool,
     acks: HashSet<NodeId>,
     data: Option<(u64, Bytes)>,
+    /// Retransmit rounds this arbitration has sat without progress; the
+    /// staleness replay (`replay_stalled`) fires once it reaches 2.
+    stale_rounds: u32,
 }
 
 /// A request issued by this node, waiting for ACKs / RESP.
@@ -154,6 +157,12 @@ pub struct OwnershipEngine {
     meta: HashMap<ObjectId, MetaEntry>,
     inflight: HashMap<ObjectId, InflightArb>,
     pending: HashMap<RequestId, PendingRequest>,
+    /// Highest request seq per (requester, object) whose arbitration this
+    /// node has seen decided. Deduplicates late/duplicate REQs: re-driving
+    /// an already-decided request would start a ghost arbitration nobody
+    /// completes (the requester is gone), wedging the object. Bounded by
+    /// (nodes x objects this node arbitrates).
+    completed_seqs: HashMap<(NodeId, ObjectId), u64>,
     stats: OwnershipStats,
 }
 
@@ -161,7 +170,10 @@ impl OwnershipEngine {
     /// Creates the engine for node `local` in a cluster of `cluster_size`
     /// nodes, with the given directory replicas (the paper uses three, §4).
     pub fn new(local: NodeId, directory: Vec<NodeId>, cluster_size: usize) -> Self {
-        assert!(!directory.is_empty(), "at least one directory node required");
+        assert!(
+            !directory.is_empty(),
+            "at least one directory node required"
+        );
         OwnershipEngine {
             local,
             directory,
@@ -172,8 +184,25 @@ impl OwnershipEngine {
             meta: HashMap::new(),
             inflight: HashMap::new(),
             pending: HashMap::new(),
+            completed_seqs: HashMap::new(),
             stats: OwnershipStats::new(),
         }
+    }
+
+    /// Records that `req_id`'s arbitration over `object` has been decided.
+    fn mark_decided(&mut self, req_id: RequestId, object: ObjectId) {
+        let entry = self
+            .completed_seqs
+            .entry((req_id.requester, object))
+            .or_insert(0);
+        *entry = (*entry).max(req_id.seq);
+    }
+
+    /// Whether `req_id` duplicates a request already decided at this node.
+    fn is_decided(&self, req_id: RequestId, object: ObjectId) -> bool {
+        self.completed_seqs
+            .get(&(req_id.requester, object))
+            .is_some_and(|&s| s >= req_id.seq)
     }
 
     /// This node's id.
@@ -311,16 +340,18 @@ impl OwnershipEngine {
         pending.o_ts = None;
         // Re-pick the driver if the previous one died.
         if !self.live.contains(&pending.driver) {
-            if let Some(&d) = self
-                .directory
-                .iter()
-                .find(|d| self.live.contains(d))
-            {
+            if let Some(&d) = self.directory.iter().find(|d| self.live.contains(d)) {
                 pending.driver = d;
             } else {
+                // Terminal failure: drop the pending entry so the periodic
+                // retransmission cannot resurrect (or re-fail) a request the
+                // caller has already observed as failed.
+                let object = pending.object;
+                self.pending.remove(&req_id);
+                self.stats.requests_failed += 1;
                 return vec![OwnershipAction::Failed {
                     req_id,
-                    object: pending.object,
+                    object,
                     reason: NackReason::Recovering,
                 }];
             }
@@ -341,6 +372,110 @@ impl OwnershipEngine {
     /// back-off deadlock avoidance, §6.2).
     pub fn abandon_request(&mut self, req_id: RequestId) {
         self.pending.remove(&req_id);
+    }
+
+    /// Re-sends the REQ of every pending request (reliable-transport
+    /// retransmission, §3.1), re-picking the driver when the previous one
+    /// died. Unlike [`OwnershipEngine::retry_request`] this keeps any ACKs
+    /// already collected: the driver's redrive path is idempotent, so a
+    /// duplicate REQ only refreshes in-flight state, and a REQ or ACK lost
+    /// to an epoch transition gets re-issued with the current epoch.
+    pub fn retransmit(&mut self) -> Vec<OwnershipAction> {
+        let mut actions = Vec::new();
+        let req_ids: Vec<RequestId> = self.pending.keys().copied().collect();
+        for req_id in req_ids {
+            let pending = self.pending.get_mut(&req_id).expect("pending exists");
+            let object = pending.object;
+            if !self.live.contains(&pending.driver) {
+                let Some(&d) = self.directory.iter().find(|d| self.live.contains(d)) else {
+                    self.pending.remove(&req_id);
+                    self.stats.requests_failed += 1;
+                    actions.push(OwnershipAction::Failed {
+                        req_id,
+                        object,
+                        reason: NackReason::Recovering,
+                    });
+                    continue;
+                };
+                pending.driver = d;
+                pending.acks.clear();
+                pending.o_ts = None;
+                pending.arbiters = None;
+            }
+            self.stats.requests_retransmitted += 1;
+            actions.push(OwnershipAction::Send {
+                to: pending.driver,
+                msg: OwnershipMsg::Req {
+                    req_id,
+                    object: pending.object,
+                    kind: pending.kind,
+                    epoch: self.epoch,
+                },
+            });
+        }
+        actions
+    }
+
+    /// Replays arbitrations that have sat without progress for two
+    /// retransmission rounds, exactly like the view-change arb-replay.
+    ///
+    /// An arbitration wedges when its requester abandons it: a terminal NACK
+    /// from one arbiter makes the requester drop the request, but the driver
+    /// and the remaining arbiters keep `o_state = Drive/Invalid` waiting for
+    /// a VAL that will never come — and every later request for the object
+    /// then loses arbitration against the ghost. Replaying drives the stuck
+    /// arbitration to a decision; every step is idempotent, so replaying an
+    /// arbitration that is actually still progressing is harmless.
+    pub fn replay_stalled(&mut self, host: &impl OwnershipHost) -> Vec<OwnershipAction> {
+        let stalled: Vec<ObjectId> = self
+            .inflight
+            .iter_mut()
+            .filter_map(|(&object, inf)| {
+                inf.stale_rounds += 1;
+                (inf.stale_rounds >= 2).then_some(object)
+            })
+            .collect();
+        let mut actions = Vec::new();
+        for object in stalled {
+            self.stats.arb_replays += 1;
+            let (arbiters, replay_msgs) = {
+                let inf = self.inflight.get_mut(&object).expect("inflight exists");
+                inf.collecting_acks = true;
+                inf.acks.clear();
+                inf.acks.insert(self.local);
+                inf.stale_rounds = 0;
+                let live_arbiters: Vec<NodeId> = inf
+                    .arbiters
+                    .iter()
+                    .copied()
+                    .filter(|n| self.live.contains(n))
+                    .collect();
+                let msgs: Vec<OwnershipAction> = live_arbiters
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != self.local)
+                    .map(|to| OwnershipAction::Send {
+                        to,
+                        msg: OwnershipMsg::Inv {
+                            req_id: inf.req_id,
+                            object,
+                            o_ts: inf.o_ts,
+                            kind: inf.kind,
+                            new_replicas: inf.new_replicas.clone(),
+                            old_replicas: inf.old_replicas.clone(),
+                            epoch: self.epoch,
+                            ack_to_driver: true,
+                        },
+                    })
+                    .collect();
+                (live_arbiters, msgs)
+            };
+            actions.extend(replay_msgs);
+            if arbiters.iter().all(|&n| n == self.local) {
+                actions.extend(self.finish_recovery_drive(object, host));
+            }
+        }
+        actions
     }
 
     /// Handles an incoming protocol message.
@@ -387,7 +522,17 @@ impl OwnershipEngine {
                 from: acker,
                 arbiters,
                 new_replicas,
-            } => self.on_ack(req_id, object, o_ts, epoch, data, acker, arbiters, new_replicas, host),
+            } => self.on_ack(
+                req_id,
+                object,
+                o_ts,
+                epoch,
+                data,
+                acker,
+                arbiters,
+                new_replicas,
+                host,
+            ),
             OwnershipMsg::Val {
                 req_id: _,
                 object,
@@ -525,18 +670,39 @@ impl OwnershipEngine {
             return nack(NackReason::LostArbitration);
         }
 
+        // Duplicate of an already-decided request (late retransmission or a
+        // network duplicate): answer with the current authoritative
+        // placement instead of driving a ghost arbitration. The requester
+        // ignores the RESP if it already completed. Ship this node's copy of
+        // the value: if the requester is still waiting (its original RESP or
+        // ACKs were lost) and holds no replica, completing with no data
+        // would install an empty version-0 object.
+        if self.is_decided(req_id, object) {
+            let Some(meta) = self.meta.get(&object) else {
+                return Vec::new();
+            };
+            return vec![OwnershipAction::Send {
+                to: requester,
+                msg: OwnershipMsg::Resp {
+                    req_id,
+                    object,
+                    o_ts: meta.o_ts,
+                    epoch: self.epoch,
+                    data: host.object_value(object),
+                    new_replicas: meta.replicas.clone(),
+                },
+            }];
+        }
+
         // First-touch creation: an AcquireOwner request for an object the
         // directory has never seen creates its metadata with no prior owner.
-        if !self.meta.contains_key(&object) {
+        if let std::collections::hash_map::Entry::Vacant(vacant) = self.meta.entry(object) {
             if kind == OwnershipRequestKind::AcquireOwner {
-                self.meta.insert(
-                    object,
-                    MetaEntry {
-                        o_ts: OwnershipTs::default(),
-                        replicas: ReplicaSet::default(),
-                        o_state: OState::Valid,
-                    },
-                );
+                vacant.insert(MetaEntry {
+                    o_ts: OwnershipTs::default(),
+                    replicas: ReplicaSet::default(),
+                    o_state: OState::Valid,
+                });
             } else {
                 return nack(NackReason::UnknownObject);
             }
@@ -575,6 +741,7 @@ impl OwnershipEngine {
                 collecting_acks: false,
                 acks: HashSet::new(),
                 data: None,
+                stale_rounds: 0,
             },
         );
 
@@ -615,6 +782,9 @@ impl OwnershipEngine {
     /// Re-sends the INVs and driver ACK of the arbitration this node drives
     /// for `object` (idempotent retry path).
     fn redrive(&mut self, object: ObjectId, host: &impl OwnershipHost) -> Vec<OwnershipAction> {
+        if let Some(inf) = self.inflight.get_mut(&object) {
+            inf.stale_rounds = 0;
+        }
         let Some(inf) = self.inflight.get(&object).cloned() else {
             return Vec::new();
         };
@@ -779,6 +949,7 @@ impl OwnershipEngine {
                     collecting_acks: false,
                     acks: HashSet::new(),
                     data: None,
+                    stale_rounds: 0,
                 },
             );
         }
@@ -805,7 +976,12 @@ impl OwnershipEngine {
         actions
     }
 
-    fn on_val(&mut self, object: ObjectId, o_ts: OwnershipTs, epoch: Epoch) -> Vec<OwnershipAction> {
+    fn on_val(
+        &mut self,
+        object: ObjectId,
+        o_ts: OwnershipTs,
+        epoch: Epoch,
+    ) -> Vec<OwnershipAction> {
         if epoch != self.epoch {
             return Vec::new();
         }
@@ -836,9 +1012,7 @@ impl OwnershipEngine {
                     reason,
                 }]
             }
-            NackReason::LostArbitration
-            | NackReason::NotDirectory
-            | NackReason::UnknownObject => {
+            NackReason::LostArbitration | NackReason::NotDirectory | NackReason::UnknownObject => {
                 self.pending.remove(&req_id);
                 self.stats.requests_failed += 1;
                 vec![OwnershipAction::Failed {
@@ -945,6 +1119,7 @@ impl OwnershipEngine {
             return Vec::new();
         };
         let object = pending.object;
+        self.mark_decided(req_id, object);
         let o_ts = pending.o_ts.expect("completed request has o_ts");
         let mut new_replicas = pending
             .new_replicas
@@ -1019,6 +1194,7 @@ impl OwnershipEngine {
             inf.data = data;
         }
         inf.acks.insert(acker);
+        inf.stale_rounds = 0;
         let done = inf
             .arbiters
             .iter()
@@ -1042,10 +1218,13 @@ impl OwnershipEngine {
         };
         let mut actions = Vec::new();
         if self.live.contains(&inf.requester) && inf.requester != self.local {
-            let data = inf
-                .data
-                .clone()
-                .or_else(|| host.object_value(object));
+            // Hand the decided arbitration to the surviving requester. The
+            // requester may have already completed the request before the
+            // view change (its VALs were dropped as stale), in which case it
+            // ignores this RESP — so the driver must NOT rely on the
+            // requester to validate: it applies and validates below either
+            // way. Both paths are idempotent at every receiver.
+            let data = inf.data.clone().or_else(|| host.object_value(object));
             actions.push(OwnershipAction::Send {
                 to: inf.requester,
                 msg: OwnershipMsg::Resp {
@@ -1057,26 +1236,26 @@ impl OwnershipEngine {
                     new_replicas: inf.new_replicas.clone(),
                 },
             });
-        } else {
-            // Requester is dead (or is this node): apply locally and unblock
-            // the other live arbiters directly.
-            for &arb in inf
-                .arbiters
-                .iter()
-                .filter(|&&a| a != self.local && self.live.contains(&a))
-            {
-                actions.push(OwnershipAction::Send {
-                    to: arb,
-                    msg: OwnershipMsg::Val {
-                        req_id: inf.req_id,
-                        object,
-                        o_ts: inf.o_ts,
-                        epoch: self.epoch,
-                    },
-                });
-            }
-            actions.extend(self.apply_arbitration(object));
         }
+        // The replay showed every live arbiter holds the winning timestamp:
+        // the arbitration is decided. Apply locally and unblock the other
+        // live arbiters directly so no stuck `o_state` survives recovery.
+        for &arb in inf
+            .arbiters
+            .iter()
+            .filter(|&&a| a != self.local && self.live.contains(&a))
+        {
+            actions.push(OwnershipAction::Send {
+                to: arb,
+                msg: OwnershipMsg::Val {
+                    req_id: inf.req_id,
+                    object,
+                    o_ts: inf.o_ts,
+                    epoch: self.epoch,
+                },
+            });
+        }
+        actions.extend(self.apply_arbitration(object));
         actions
     }
 
@@ -1090,6 +1269,7 @@ impl OwnershipEngine {
         let Some(inf) = self.inflight.remove(&object) else {
             return Vec::new();
         };
+        self.mark_decided(inf.req_id, object);
         let mut new_replicas = inf.new_replicas;
         new_replicas.retain_live(&self.live);
         if self.is_directory_node() || new_replicas.owner == Some(self.local) {
@@ -1125,11 +1305,7 @@ impl OwnershipEngine {
     }
 
     /// The replica set after applying a request of the given kind.
-    fn apply_kind(
-        old: &ReplicaSet,
-        kind: OwnershipRequestKind,
-        requester: NodeId,
-    ) -> ReplicaSet {
+    fn apply_kind(old: &ReplicaSet, kind: OwnershipRequestKind, requester: NodeId) -> ReplicaSet {
         let mut new = old.clone();
         match kind {
             OwnershipRequestKind::AcquireOwner => new.promote_owner(requester),
@@ -1235,7 +1411,12 @@ mod tests {
             }
         }
 
-        fn request(&mut self, node: NodeId, object: ObjectId, kind: OwnershipRequestKind) -> RequestId {
+        fn request(
+            &mut self,
+            node: NodeId,
+            object: ObjectId,
+            kind: OwnershipRequestKind,
+        ) -> RequestId {
             let host = &self.hosts[node.index()];
             let (req_id, actions) = self.engines[node.index()].request_access(object, kind, host);
             self.apply(node, actions);
@@ -1276,8 +1457,7 @@ mod tests {
             let epoch = self.engines[live[0].index()].epoch().next();
             for node in live.clone() {
                 let host = &self.hosts[node.index()];
-                let actions =
-                    self.engines[node.index()].on_view_change(epoch, live.clone(), host);
+                let actions = self.engines[node.index()].on_view_change(epoch, live.clone(), host);
                 self.apply(node, actions);
                 self.engines[node.index()].set_enabled(true);
             }
@@ -1334,7 +1514,9 @@ mod tests {
         let done = c.completed(NodeId(3));
         assert_eq!(done.len(), 1);
         match done[0] {
-            OwnershipAction::Completed { data, new_replicas, .. } => {
+            OwnershipAction::Completed {
+                data, new_replicas, ..
+            } => {
                 let (ver, bytes) = data.as_ref().expect("owner must ship the value");
                 assert_eq!(*ver, 0);
                 assert_eq!(bytes.as_ref(), b"payload");
@@ -1371,7 +1553,9 @@ mod tests {
         let done = c.completed(NodeId(3));
         assert_eq!(done.len(), 1);
         match done[0] {
-            OwnershipAction::Completed { new_replicas, data, .. } => {
+            OwnershipAction::Completed {
+                new_replicas, data, ..
+            } => {
                 assert_eq!(new_replicas.owner, Some(NodeId(0)));
                 assert!(new_replicas.readers.contains(&NodeId(3)));
                 assert!(data.is_some(), "new reader needs the value");

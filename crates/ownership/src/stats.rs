@@ -23,6 +23,9 @@ pub struct OwnershipStats {
     pub validations_applied: u64,
     /// Arb-replays initiated during failure recovery.
     pub arb_replays: u64,
+    /// REQ messages re-sent for pending requests (reliable-transport
+    /// retransmission, §3.1).
+    pub requests_retransmitted: u64,
 }
 
 impl OwnershipStats {
@@ -41,6 +44,7 @@ impl OwnershipStats {
         self.invalidations_processed += other.invalidations_processed;
         self.validations_applied += other.validations_applied;
         self.arb_replays += other.arb_replays;
+        self.requests_retransmitted += other.requests_retransmitted;
     }
 }
 

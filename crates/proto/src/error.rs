@@ -66,7 +66,10 @@ mod tests {
             remaining: 1,
         };
         assert!(e.to_string().contains("needed 4"));
-        let e = ProtoError::InvalidTag { ty: "OState", tag: 9 };
+        let e = ProtoError::InvalidTag {
+            ty: "OState",
+            tag: 9,
+        };
         assert!(e.to_string().contains("OState"));
         let e = ProtoError::LengthTooLarge { len: 10, max: 5 };
         assert!(e.to_string().contains("10"));

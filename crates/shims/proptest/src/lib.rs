@@ -1,0 +1,414 @@
+//! Minimal vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors the slice of the proptest API its invariant tests use: range and
+//! tuple strategies, `any`, `prop_map`, `prop_oneof!`, `collection::vec`, the
+//! `proptest!` test macro and the `prop_assert*` family. Cases are generated
+//! from a deterministic per-case seed, so failures reproduce exactly across
+//! runs. There is no shrinking: a failing case reports its inputs via `Debug`
+//! instead.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Random source threaded through strategies while generating a case.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the deterministic RNG for one test case.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // Stable seed: FNV-1a over the test name mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)),
+        }
+    }
+
+    fn gen_range_u64(&mut self, low: u64, high: u64) -> u64 {
+        self.inner.gen_range(low..high)
+    }
+
+    fn gen_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+/// Error carried by failed `prop_assert*` checks.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given reason.
+    pub fn fail<M: fmt::Display>(message: M) -> Self {
+        TestCaseError {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+impl From<String> for TestCaseError {
+    fn from(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(message: &str) -> Self {
+        TestCaseError {
+            message: message.to_string(),
+        }
+    }
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Unused compatibility knob (upstream limits rejected cases).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A generator of random values of type `Value`.
+///
+/// Object-safe core plus `Sized`-only combinators, so `Box<dyn Strategy>`
+/// works for `prop_oneof!`.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy, erasing its concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                (self.start as u64
+                    + rng.gen_range_u64(0, (self.end as u64) - (self.start as u64)))
+                    as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0.0);
+    (S0.0, S1.1);
+    (S0.0, S1.1, S2.2);
+    (S0.0, S1.1, S2.2, S3.3);
+}
+
+/// Strategy producing any value of a primitive type, mirroring `any::<T>()`.
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// Returns the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+/// Types with a full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A uniform choice between boxed strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given options (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let pick = rng.gen_range_u64(0, self.options.len() as u64) as usize;
+        self.options[pick].new_value(rng)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with lengths drawn from `len_range`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len_range: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with a length in `len_range`.
+    pub fn vec<S: Strategy>(element: S, len_range: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len_range }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len_range.clone().new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($strategy) as _),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` test, failing the case (not
+/// panicking) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests, mirroring the upstream `proptest!` macro.
+///
+/// Each declared function runs `config.cases` deterministic cases; a failing
+/// case panics with the case number and the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::new_value(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {case}/{} failed: {e}\n  inputs: {inputs}",
+                        config.cases
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = crate::TestRng::for_case("ranges", 0);
+        let s = (0u16..5, 0u64..9).prop_map(|(a, b)| (a, b));
+        for _ in 0..1000 {
+            let (a, b) = crate::Strategy::new_value(&s, &mut rng);
+            assert!(a < 5 && b < 9);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_option() {
+        let mut rng = crate::TestRng::for_case("oneof", 1);
+        let s: crate::Union<u32> = prop_oneof![0u32..1, 10u32..11, 20u32..21];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            match crate::Strategy::new_value(&s, &mut rng) {
+                0 => seen[0] = true,
+                10 => seen[1] = true,
+                20 => seen[2] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_runs_cases(x in 0u64..100, v in crate::collection::vec(any::<u8>(), 1..4)) {
+            prop_assert!(x < 100);
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Minimal vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io. The Zeus
+//! codebase only uses `#[derive(Serialize, Deserialize)]` annotations — all
+//! real encoding goes through the hand-rolled `zeus_proto::wire` format — so
+//! this crate just re-exports no-op derive macros that keep those annotations
+//! compiling.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored `serde`
+//! stand-in. The Zeus codebase only annotates types with the derives (its
+//! wire format is hand-rolled in `zeus_proto::wire`), so emitting no impls
+//! keeps the annotations compiling without pulling in the real `serde`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

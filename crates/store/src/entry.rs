@@ -140,7 +140,10 @@ mod tests {
         assert_eq!(e.version, 1);
         assert_eq!(e.t_state, TState::Write);
         assert!(e.has_pending_commits());
-        assert!(!e.readable(), "Write state is not readable by read-only txs");
+        assert!(
+            !e.readable(),
+            "Write state is not readable by read-only txs"
+        );
     }
 
     #[test]

@@ -179,7 +179,12 @@ mod tests {
     fn create_get_remove_roundtrip() {
         let store = Store::new(8);
         let id = ObjectId(42);
-        store.create(id, Bytes::from_static(b"hello"), AccessLevel::Owner, replicas());
+        store.create(
+            id,
+            Bytes::from_static(b"hello"),
+            AccessLevel::Owner,
+            replicas(),
+        );
         assert!(store.contains(id));
         let entry = store.get(id).unwrap();
         assert_eq!(entry.data, Bytes::from_static(b"hello"));

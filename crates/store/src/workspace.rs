@@ -138,7 +138,10 @@ mod tests {
             ObjectId(2) => Some(7),
             _ => None,
         }));
-        assert!(!ws.validate_reads(|_| None), "missing object fails validation");
+        assert!(
+            !ws.validate_reads(|_| None),
+            "missing object fails validation"
+        );
     }
 
     #[test]

@@ -71,7 +71,12 @@ impl GatewayControlPlane {
         } else {
             "release"
         };
-        Operation::write(kind, s, vec![], vec![(Self::session(s), self.session_bytes)])
+        Operation::write(
+            kind,
+            s,
+            vec![],
+            vec![(Self::session(s), self.session_bytes)],
+        )
     }
 }
 

@@ -113,7 +113,11 @@ impl Workload for HandoverWorkload {
             // commute crosses neighbouring cells one at a time).
             let u = self.rng.gen_range(0..self.mobile_users);
             let old = self.attachment[u as usize];
-            let step = if self.rng.gen_bool(0.5) { 1 } else { self.stations - 1 };
+            let step = if self.rng.gen_bool(0.5) {
+                1
+            } else {
+                self.stations - 1
+            };
             let new = (old + step) % self.stations;
             self.attachment[u as usize] = new;
             // A handover consists of two transactions (start + finish); we

@@ -11,8 +11,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use zeus_proto::ObjectId;
 
-use crate::{InitialObject, Operation, Workload};
 use crate::zipf::Zipf;
+use crate::{InitialObject, Operation, Workload};
 
 /// Table tags for the smallbank objects.
 pub const TABLE_CHECKING: u8 = 1;

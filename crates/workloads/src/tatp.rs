@@ -201,9 +201,7 @@ mod tests {
     fn mix_is_roughly_80_percent_reads() {
         let mut w = TatpWorkload::new(10_000, 10, 0.0, 2);
         let total = 20_000;
-        let reads = (0..total)
-            .filter(|_| w.next_operation().read_only)
-            .count();
+        let reads = (0..total).filter(|_| w.next_operation().read_only).count();
         let frac = reads as f64 / total as f64;
         assert!((frac - 0.80).abs() < 0.02, "read fraction {frac}");
     }

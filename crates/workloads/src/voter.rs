@@ -9,8 +9,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use zeus_proto::ObjectId;
 
-use crate::{InitialObject, Operation, Workload};
 use crate::zipf::Zipf;
+use crate::{InitialObject, Operation, Workload};
 
 /// Contestant table tag.
 pub const TABLE_CONTESTANT: u8 = 20;

@@ -114,4 +114,59 @@ mod tests {
             assert!(z.sample(&mut rng) < 37);
         }
     }
+
+    #[test]
+    fn samples_stay_in_domain_across_thetas_and_sizes() {
+        // Boundary domains (n=1, n=2), the theta extremes the constructor
+        // accepts, and a large-n population exercising the zeta
+        // approximation path.
+        for &n in &[1u64, 2, 3, 10_001, 50_000] {
+            for &theta in &[0.0, 0.5, 0.9, 0.99] {
+                let z = Zipf::new(n, theta);
+                let mut rng = StdRng::seed_from_u64(n ^ theta.to_bits());
+                for _ in 0..2_000 {
+                    let s = z.sample(&mut rng);
+                    assert!(s < n, "sample {s} out of 0..{n} (theta={theta})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_element_domain_always_samples_zero() {
+        let z = Zipf::new(1, 0.9);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(10_000, 0.9);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let sa: Vec<u64> = (0..5_000).map(|_| z.sample(&mut a)).collect();
+        let sb: Vec<u64> = (0..5_000).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(sa, sb, "same seed must reproduce the same stream");
+
+        let mut c = StdRng::seed_from_u64(43);
+        let sc: Vec<u64> = (0..5_000).map(|_| z.sample(&mut c)).collect();
+        assert_ne!(sa, sc, "different seeds must diverge");
+    }
+
+    #[test]
+    fn rank_frequency_is_monotonic_in_expectation() {
+        // Rank 0 must be sampled at least as often as rank 1, and rank 1 at
+        // least as often as the tail average — the defining Zipf shape.
+        let z = Zipf::new(100, 0.9);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 100];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        let tail_avg = counts[10..].iter().sum::<u32>() / 90;
+        assert!(counts[1] > tail_avg);
+    }
 }

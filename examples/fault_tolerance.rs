@@ -23,13 +23,19 @@ fn main() {
     // by the surviving replicas, and the ownership protocol resumes.
     cluster.fail_node(NodeId(0));
     cluster.run_until_quiescent(100_000);
-    println!("node 0 crashed; epoch is now {:?}", cluster.node(NodeId(1)).epoch());
+    println!(
+        "node 0 crashed; epoch is now {:?}",
+        cluster.node(NodeId(1)).epoch()
+    );
 
     // A surviving replica reads the last committed value...
     let value = cluster
         .execute_read(NodeId(1), |tx| tx.read(object))
         .unwrap();
-    println!("node 1 still reads the latest committed value: {:?}", value.as_ref());
+    println!(
+        "node 1 still reads the latest committed value: {:?}",
+        value.as_ref()
+    );
     assert_eq!(value.as_ref(), &[10u8]);
 
     // ...and can take over as the new owner and keep writing.
@@ -39,5 +45,7 @@ fn main() {
     cluster.run_until_quiescent(100_000);
     assert!(cluster.node(NodeId(2)).owns(object));
     println!("node 2 acquired ownership and committed a new write after the failure.");
-    cluster.check_invariants().expect("no committed data was lost");
+    cluster
+        .check_invariants()
+        .expect("no committed data was lost");
 }

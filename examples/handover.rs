@@ -49,7 +49,10 @@ fn main() {
     let stats = cluster.aggregate_stats();
     println!("service/release transactions: {requests}");
     println!("handover transactions:        {handovers}");
-    println!("committed write txs:          {}", stats.write_txs_committed);
+    println!(
+        "committed write txs:          {}",
+        stats.write_txs_committed
+    );
     println!("ownership requests issued:    {}", stats.ownership_requests);
     println!(
         "=> only {:.1}% of transactions needed an ownership change (locality!)",

@@ -47,6 +47,9 @@ fn main() {
         println!("replica {node:?} sees balance = {balance}");
         assert_eq!(balance, 75);
     }
-    println!("node 2 now owns the account: {}", cluster.node(NodeId(2)).owns(account));
+    println!(
+        "node 2 now owns the account: {}",
+        cluster.node(NodeId(2)).owns(account)
+    );
     cluster.check_invariants().expect("safety invariants hold");
 }

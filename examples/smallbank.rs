@@ -13,7 +13,11 @@ fn main() {
     // --- Zeus ---
     let mut zeus = SimCluster::new(ZeusConfig::with_nodes(3));
     for obj in workload.initial_objects() {
-        zeus.create_object(obj.id, vec![0u8; obj.size], NodeId((obj.home_key % 3) as u16));
+        zeus.create_object(
+            obj.id,
+            vec![0u8; obj.size],
+            NodeId((obj.home_key % 3) as u16),
+        );
     }
     let mut committed = 0;
     for _ in 0..1_000 {

@@ -55,7 +55,11 @@ fn smallbank_runs_end_to_end_with_preloaded_objects() {
     let mut workload = SmallbankWorkload::new(120, 12, 0.05, 1);
     let mut cluster = SimCluster::new(ZeusConfig::with_nodes(3));
     for obj in workload.initial_objects() {
-        cluster.create_object(obj.id, vec![0u8; obj.size], NodeId((obj.home_key % 3) as u16));
+        cluster.create_object(
+            obj.id,
+            vec![0u8; obj.size],
+            NodeId((obj.home_key % 3) as u16),
+        );
     }
     let mut committed = 0;
     for _ in 0..400 {
@@ -103,7 +107,11 @@ fn handover_workload_needs_few_ownership_changes() {
     let mut workload = HandoverWorkload::new(150, 30, 9, 0.05, 2);
     let mut cluster = SimCluster::new(ZeusConfig::with_nodes(3));
     for obj in workload.initial_objects() {
-        cluster.create_object(obj.id, vec![0u8; obj.size], NodeId((obj.home_key % 3) as u16));
+        cluster.create_object(
+            obj.id,
+            vec![0u8; obj.size],
+            NodeId((obj.home_key % 3) as u16),
+        );
     }
     for _ in 0..600 {
         let op = workload.next_operation();
@@ -132,7 +140,11 @@ fn tatp_reads_never_generate_network_traffic() {
     let mut workload = TatpWorkload::new(60, 6, 0.0, 3);
     let mut cluster = SimCluster::new(ZeusConfig::with_nodes(3));
     for obj in workload.initial_objects() {
-        cluster.create_object(obj.id, vec![0u8; obj.size], NodeId((obj.home_key % 3) as u16));
+        cluster.create_object(
+            obj.id,
+            vec![0u8; obj.size],
+            NodeId((obj.home_key % 3) as u16),
+        );
     }
     cluster.run_until_quiescent(10_000);
     let before = cluster.net_stats().messages_sent;
@@ -180,7 +192,7 @@ fn voter_hot_object_migration_under_load() {
                 })
                 .unwrap();
         }
-        let target = NodeId(((round + 1) % 3) as u16);
+        let target = NodeId((round + 1) % 3);
         cluster.migrate(hot, target).unwrap();
         assert!(cluster.node(target).owns(hot));
     }
@@ -240,7 +252,9 @@ fn cost_model_and_executable_baseline_roughly_agree_on_messages() {
     assert!(store.write_tx(NodeId(0), &[(a, vec![1u8].into()), (b, vec![1u8].into())]));
     let executed = store.stats().messages as f64;
     let modelled = BaselineKind::FasstLike.messages_per_tx(
-        &TxProfile::new(0, 2, 2, false).with_remote(1.0).with_replication(3),
+        &TxProfile::new(0, 2, 2, false)
+            .with_remote(1.0)
+            .with_replication(3),
     );
     let ratio = executed / modelled;
     assert!(
@@ -249,7 +263,9 @@ fn cost_model_and_executable_baseline_roughly_agree_on_messages() {
     );
     // And both should dwarf Zeus's local-commit message count.
     let zeus = BaselineKind::Zeus.messages_per_tx(
-        &TxProfile::new(0, 2, 2, false).with_remote(0.0).with_replication(3),
+        &TxProfile::new(0, 2, 2, false)
+            .with_remote(0.0)
+            .with_replication(3),
     );
     assert!(zeus < modelled);
     let _ = CostModel::default();

@@ -16,8 +16,11 @@ enum Step {
 
 fn step_strategy(nodes: u16, objects: u64) -> impl Strategy<Value = Step> {
     prop_oneof![
-        (0..nodes, 0..objects, any::<u8>())
-            .prop_map(|(node, object, value)| Step::Write { node, object, value }),
+        (0..nodes, 0..objects, any::<u8>()).prop_map(|(node, object, value)| Step::Write {
+            node,
+            object,
+            value
+        }),
         (0..nodes, 0..objects).prop_map(|(node, object)| Step::Migrate { node, object }),
         (0..nodes, 0..objects).prop_map(|(node, object)| Step::ReadCheck { node, object }),
     ]
@@ -78,7 +81,7 @@ proptest! {
         // Invariants (including directory agreement) are asserted at
         // quiescence, as in the paper's model checking of complete actions.
         cluster.run_until_quiescent(60_000);
-        cluster.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        cluster.check_invariants().map_err(TestCaseError::fail)?;
         // Every replica converged to the last committed value.
         for (object, value) in expected {
             let got = cluster
@@ -107,7 +110,7 @@ proptest! {
             // not yet reliably committed transaction of a node that then
             // crashes is allowed to be lost (its client never saw an ack from
             // a surviving coordinator).
-            let coordinator = NodeId(((crash_node + 1 + (i as u16 % 2)) % 3) as u16);
+            let coordinator = NodeId((crash_node + 1 + (i as u16 % 2)) % 3);
             if cluster.execute_write(coordinator, move |tx| tx.write(object, vec![i])).is_ok() {
                 last_committed = i;
             }
