@@ -1,0 +1,12 @@
+//! Unified bench driver: runs the scenario registry and writes a
+//! machine-readable `BENCH_<tag>.json` report.
+//!
+//! ```text
+//! cargo run --release -p zeus-bench --bin bench -- --smoke --tag PR
+//! cargo run --release -p zeus-bench --bin bench -- --list
+//! cargo run --release -p zeus-bench --bin bench -- --diff BENCH_main.json BENCH_PR.json
+//! ```
+
+fn main() {
+    std::process::exit(zeus_bench::cli::run_driver());
+}

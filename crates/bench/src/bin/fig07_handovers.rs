@@ -1,65 +1,7 @@
-//! Figure 7: Handovers benchmark — Zeus vs the all-local ideal, for 2.5% and
-//! 5% handover ratios on 3 and 6 nodes.
-//!
-//! The Zeus series is *measured* on the threaded runtime with a scaled-down
-//! population; the ideal series is the same workload with every handover
-//! forced local (perfect sharding), and both are also reported through the
-//! cost model so the paper-scale shape (Zeus within 4-9% of ideal, linear
-//! scaling in nodes) is visible without the measurement noise of a laptop.
-
-use std::time::Duration;
-
-use zeus_baseline::model::BaselineKind;
-use zeus_bench::harness::*;
-use zeus_workloads::locality::MobilityModel;
-use zeus_workloads::HandoverWorkload;
+//! Thin wrapper running the `fig07_handovers` scenario from the shared registry
+//! (see `zeus_bench::scenarios`); accepts the same flags as the unified
+//! `bench` driver and writes a `BENCH_fig07_handovers.json` report.
 
 fn main() {
-    let window = measure_window();
-    let mut rows = Vec::new();
-    let mobility = MobilityModel::boston();
-    for &nodes in &PAPER_NODE_COUNTS {
-        for handover_pct in [2.5f64, 5.0] {
-            let remote_handover = mobility.remote_handover_fraction(nodes);
-            // Modelled paper-scale numbers (10 worker threads/node).
-            let zeus_model = nodes as f64
-                * modelled_mtps_per_node(
-                    BaselineKind::Zeus,
-                    &handover_mix(handover_pct / 100.0, remote_handover, REPLICATION),
-                );
-            // The paper's "all-local (ideal)" is Zeus with perfect sharding
-            // (every handover local), not a replication-free system.
-            let ideal_model = nodes as f64
-                * modelled_mtps_per_node(
-                    BaselineKind::Zeus,
-                    &handover_mix(handover_pct / 100.0, 0.0, REPLICATION),
-                );
-            // Measured, scaled-down run (2k users, 100 stations).
-            let measured = run_measured(
-                nodes,
-                HandoverWorkload::new(2_000, 400, 100, handover_pct / 100.0, 7),
-                window.min(Duration::from_secs(2)),
-            );
-            rows.push(vec![
-                nodes.to_string(),
-                format!("{handover_pct}%"),
-                format!("{:.2}", ideal_model),
-                format!("{:.2}", zeus_model),
-                format!("{:.1}%", (1.0 - zeus_model / ideal_model) * 100.0),
-                format!("{:.0}", measured.tps()),
-            ]);
-        }
-    }
-    print_table(
-        "Figure 7: Handovers — all-local (ideal) vs Zeus (paper: Zeus within 4-9% of ideal, linear node scaling)",
-        &[
-            "nodes",
-            "handovers",
-            "ideal model [Mtps]",
-            "zeus model [Mtps]",
-            "gap",
-            "measured zeus [tps, scaled-down]",
-        ],
-        &rows,
-    );
+    std::process::exit(zeus_bench::cli::run_single("fig07_handovers"));
 }

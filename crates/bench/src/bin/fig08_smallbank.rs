@@ -1,68 +1,7 @@
-//! Figure 8: Smallbank throughput per node while varying the fraction of
-//! write transactions that require an ownership change, vs FaSST- and
-//! DrTM-like baselines (flat lines), with the Venmo-derived locality points.
-
-use zeus_baseline::model::BaselineKind;
-use zeus_bench::harness::*;
-use zeus_workloads::locality::VenmoModel;
-use zeus_workloads::SmallbankWorkload;
+//! Thin wrapper running the `fig08_smallbank` scenario from the shared registry
+//! (see `zeus_bench::scenarios`); accepts the same flags as the unified
+//! `bench` driver and writes a `BENCH_fig08_smallbank.json` report.
 
 fn main() {
-    let venmo = VenmoModel::public_dataset();
-    let static_remote = 0.30; // Smallbank under static sharding (multi-party txs cross shards)
-    let fasst = modelled_mtps_per_node(
-        BaselineKind::FasstLike,
-        &smallbank_mix(static_remote, REPLICATION),
-    );
-    let drtm = modelled_mtps_per_node(
-        BaselineKind::DrtmLike,
-        &smallbank_mix(static_remote, REPLICATION),
-    );
-    let mut rows = Vec::new();
-    for remote_pct in [0.0f64, 1.0, 2.0, 5.0, 10.0, 20.0] {
-        let zeus3 = modelled_mtps_per_node(
-            BaselineKind::Zeus,
-            &smallbank_mix(remote_pct / 100.0, REPLICATION),
-        );
-        let zeus6 = zeus3 * 0.97; // slightly more remote traffic share at 6 nodes
-        rows.push(vec![
-            format!("{remote_pct}%"),
-            format!("{:.2}", zeus3),
-            format!("{:.2}", zeus6),
-            format!("{:.2}", fasst),
-            format!("{:.2}", drtm),
-        ]);
-    }
-    rows.push(vec![
-        format!(
-            "venmo 3 nodes ({:.1}%)",
-            venmo.remote_fraction(3, 500_000, 1) * 100.0
-        ),
-        format!(
-            "{:.2}",
-            modelled_mtps_per_node(
-                BaselineKind::Zeus,
-                &smallbank_mix(venmo.remote_fraction(3, 500_000, 1), REPLICATION)
-            )
-        ),
-        "-".into(),
-        format!("{:.2}", fasst),
-        format!("{:.2}", drtm),
-    ]);
-    print_table(
-        "Figure 8: Smallbank [Mtps/node] vs % remote write transactions (paper: Zeus ~35% over FaSST, ~2x DrTM at Venmo locality; crossovers at ~5% / ~20%)",
-        &["% remote write txs", "Zeus 3 nodes", "Zeus 6 nodes", "FaSST-like", "DrTM-like"],
-        &rows,
-    );
-
-    // A small measured sanity point on this machine (scaled-down).
-    let measured = run_measured(
-        3,
-        SmallbankWorkload::new(3_000, 300, 0.003, 11),
-        measure_window(),
-    );
-    println!(
-        "# measured (scaled-down, 3 nodes, Venmo locality): {:.0} tps\n",
-        measured.tps()
-    );
+    std::process::exit(zeus_bench::cli::run_single("fig08_smallbank"));
 }

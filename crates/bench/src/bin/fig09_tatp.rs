@@ -1,44 +1,7 @@
-//! Figure 9: TATP throughput per node while varying the fraction of write
-//! transactions with an ownership change, vs FaSST- and FaRM-like baselines.
-
-use zeus_baseline::model::BaselineKind;
-use zeus_bench::harness::*;
-use zeus_workloads::TatpWorkload;
+//! Thin wrapper running the `fig09_tatp` scenario from the shared registry
+//! (see `zeus_bench::scenarios`); accepts the same flags as the unified
+//! `bench` driver and writes a `BENCH_fig09_tatp.json` report.
 
 fn main() {
-    let static_remote = 0.30;
-    let fasst = modelled_mtps_per_node(
-        BaselineKind::FasstLike,
-        &tatp_mix(static_remote, REPLICATION),
-    );
-    let farm = modelled_mtps_per_node(
-        BaselineKind::FarmLike,
-        &tatp_mix(static_remote, REPLICATION),
-    );
-    let mut rows = Vec::new();
-    for remote_pct in [0.0f64, 5.0, 10.0, 20.0, 40.0] {
-        let zeus3 = modelled_mtps_per_node(
-            BaselineKind::Zeus,
-            &tatp_mix(remote_pct / 100.0, REPLICATION),
-        );
-        let zeus6 = zeus3 * 0.97;
-        rows.push(vec![
-            format!("{remote_pct}%"),
-            format!("{:.2}", zeus3),
-            format!("{:.2}", zeus6),
-            format!("{:.2}", fasst),
-            format!("{:.2}", farm),
-        ]);
-    }
-    print_table(
-        "Figure 9: TATP [Mtps/node] vs % remote write transactions (paper: Zeus up to 2x FaSST, 3.5x FaRM; crossovers at ~20% / ~40%)",
-        &["% remote write txs", "Zeus 3 nodes", "Zeus 6 nodes", "FaSST-like", "FaRM-like"],
-        &rows,
-    );
-
-    let measured = run_measured(3, TatpWorkload::new(3_000, 300, 0.0, 13), measure_window());
-    println!(
-        "# measured (scaled-down, 3 nodes, all-local writes): {:.0} tps\n",
-        measured.tps()
-    );
+    std::process::exit(zeus_bench::cli::run_single("fig09_tatp"));
 }

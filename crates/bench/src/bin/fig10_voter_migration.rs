@@ -1,59 +1,7 @@
-//! Figure 10: Voter — bulk ownership migration of every voter object from
-//! node 1 to node 2 and then to node 3, reporting objects moved per second.
-//!
-//! Paper scale: 1 M voter objects move in ~4 s (25 k objects/s per worker
-//! thread). Here the population is scaled down (--quick scales further) and
-//! the per-object migration latency plus the derived objects/s are reported.
-
-use std::time::Instant;
-
-use zeus_bench::harness::{print_table, quick_mode};
-use zeus_core::{NodeId, SimCluster, ZeusConfig};
-use zeus_workloads::voter::VoterWorkload;
-use zeus_workloads::Workload;
+//! Thin wrapper running the `fig10_voter_migration` scenario from the shared registry
+//! (see `zeus_bench::scenarios`); accepts the same flags as the unified
+//! `bench` driver and writes a `BENCH_fig10_voter_migration.json` report.
 
 fn main() {
-    let voters: u64 = if quick_mode() { 2_000 } else { 20_000 };
-    let workload = VoterWorkload::new(voters, 20, 1);
-    let mut cluster = SimCluster::new(ZeusConfig::with_nodes(3));
-    for obj in workload.initial_objects() {
-        cluster.create_object(obj.id, vec![0u8; obj.size], NodeId(0));
-    }
-    let mut rows = Vec::new();
-    for (phase, target) in [("node1 -> node2", NodeId(1)), ("node2 -> node3", NodeId(2))] {
-        let wall = Instant::now();
-        let mut sim_ticks = 0u64;
-        for v in 0..voters {
-            let start = cluster.now();
-            cluster
-                .migrate(VoterWorkload::voter(v), target)
-                .expect("migration succeeds");
-            sim_ticks += cluster.now() - start;
-        }
-        let wall_s = wall.elapsed().as_secs_f64();
-        // Simulated time: one tick = 1 us; a single worker thread moves
-        // 1e6 / mean_latency objects per second.
-        let mean_latency_us = sim_ticks as f64 / voters as f64;
-        let objects_per_sec_per_thread = 1.0e6 / mean_latency_us;
-        rows.push(vec![
-            phase.to_string(),
-            voters.to_string(),
-            format!("{:.1}", mean_latency_us),
-            format!("{:.0}", objects_per_sec_per_thread),
-            format!("{:.0}", objects_per_sec_per_thread * 10.0),
-            format!("{:.2}", wall_s),
-        ]);
-    }
-    print_table(
-        "Figure 10: Voter bulk migration (paper: 25k objects/s per worker thread, 250k/s per 10-thread server, full 1M move in ~4s)",
-        &[
-            "phase",
-            "objects moved",
-            "mean ownership latency [us, simulated]",
-            "objects/s per worker thread",
-            "objects/s per server (10 threads)",
-            "wall-clock [s]",
-        ],
-        &rows,
-    );
+    std::process::exit(zeus_bench::cli::run_single("fig10_voter_migration"));
 }

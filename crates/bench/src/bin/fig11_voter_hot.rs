@@ -1,104 +1,7 @@
-//! Figure 11: Voter — migrating the objects of a hot contestant's voters
-//! while the rest of the system keeps registering votes.
-//!
-//! The paper shows the migration thread sustaining 25 k ownership requests/s
-//! while the other threads keep the aggregate at ~5.3 Mtps. Here the vote
-//! traffic runs on the threaded runtime while a migration client moves the
-//! hot objects, and both rates are reported.
-
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-use zeus_bench::harness::{print_table, quick_mode};
-use zeus_core::{NodeId, ThreadedCluster, ZeusConfig};
-use zeus_proto::OwnershipRequestKind;
-use zeus_workloads::voter::VoterWorkload;
-use zeus_workloads::{Operation, Workload};
+//! Thin wrapper running the `fig11_voter_hot` scenario from the shared registry
+//! (see `zeus_bench::scenarios`); accepts the same flags as the unified
+//! `bench` driver and writes a `BENCH_fig11_voter_hot.json` report.
 
 fn main() {
-    let voters: u64 = if quick_mode() { 2_000 } else { 10_000 };
-    let hot_voters: u64 = voters / 10;
-    let mut workload = VoterWorkload::new(voters, 20, 3);
-    let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
-    for obj in workload.initial_objects() {
-        cluster.create_object(obj.id, vec![0u8; obj.size], NodeId(0));
-    }
-    let stop = Arc::new(AtomicBool::new(false));
-    let votes = Arc::new(AtomicU64::new(0));
-
-    // Vote traffic on node 0.
-    let mut vote_threads = Vec::new();
-    for _ in 0..2 {
-        let handle = cluster.handle(NodeId(0));
-        let stop = Arc::clone(&stop);
-        let votes = Arc::clone(&votes);
-        let ops: Vec<Operation> = (0..5_000).map(|_| workload.next_operation()).collect();
-        vote_threads.push(std::thread::spawn(move || {
-            let mut i = 0usize;
-            while !stop.load(Ordering::Relaxed) {
-                let op = &ops[i % ops.len()];
-                let writes = op.writes.clone();
-                let ok = handle.execute_write(move |tx| {
-                    for &(o, size) in &writes {
-                        tx.update(o, |old| {
-                            let mut v = old.to_vec();
-                            v.resize(size, 0);
-                            v[0] = v[0].wrapping_add(1);
-                            v
-                        })?;
-                    }
-                    Ok(Vec::new())
-                });
-                if ok.is_ok() {
-                    votes.fetch_add(1, Ordering::Relaxed);
-                }
-                i += 1;
-            }
-        }));
-    }
-
-    // Migration of the hot voters' objects to node 1, then node 2.
-    let migration_start = Instant::now();
-    let mut moved = 0u64;
-    for (round, target) in [(0u8, NodeId(1)), (1, NodeId(2))] {
-        let handle = cluster.handle(target);
-        for v in 0..hot_voters {
-            let _ = round;
-            if handle
-                .acquire(VoterWorkload::voter(v), OwnershipRequestKind::AcquireOwner)
-                .is_ok()
-            {
-                moved += 1;
-            }
-        }
-    }
-    let migration_elapsed = migration_start.elapsed();
-    std::thread::sleep(Duration::from_millis(100));
-    stop.store(true, Ordering::Relaxed);
-    for t in vote_threads {
-        let _ = t.join();
-    }
-    let total_votes = votes.load(Ordering::Relaxed);
-    let vote_tps = total_votes as f64 / migration_elapsed.as_secs_f64().max(0.001);
-    let rows = vec![vec![
-        moved.to_string(),
-        format!("{:.2}", migration_elapsed.as_secs_f64()),
-        format!(
-            "{:.0}",
-            moved as f64 / migration_elapsed.as_secs_f64().max(0.001)
-        ),
-        format!("{:.0}", vote_tps),
-    ]];
-    print_table(
-        "Figure 11: hot-object migration under load (paper: 25k ownerships/s on one thread while the rest sustains ~5.3 Mtps)",
-        &[
-            "objects moved",
-            "migration wall-clock [s]",
-            "ownership requests/s (measured)",
-            "concurrent vote throughput [tps, measured scaled-down]",
-        ],
-        &rows,
-    );
-    cluster.shutdown();
+    std::process::exit(zeus_bench::cli::run_single("fig11_voter_hot"));
 }

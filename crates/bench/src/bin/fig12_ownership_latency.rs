@@ -1,85 +1,7 @@
-//! Figure 12: CDF of ownership-request latency for the two Voter experiments
-//! (idle bulk move vs hot objects under load).
-//!
-//! Paper: mean 17 us / p99.9 36 us idle; mean 29 us / p99.9 83 us under load.
-//! The simulated network charges 2 us per hop, so the idle acquisition takes
-//! 3 hops ~ 6-8 simulated us; the *shape* (tight CDF idle, longer tail under
-//! load) is what this harness reproduces.
-
-use zeus_bench::harness::{print_table, quick_mode};
-use zeus_core::{NodeId, SimCluster, ZeusConfig};
-use zeus_net::sim::NetConfig;
-use zeus_workloads::voter::VoterWorkload;
-use zeus_workloads::Workload;
+//! Thin wrapper running the `fig12_ownership_latency` scenario from the shared registry
+//! (see `zeus_bench::scenarios`); accepts the same flags as the unified
+//! `bench` driver and writes a `BENCH_fig12_ownership_latency.json` report.
 
 fn main() {
-    let voters: u64 = if quick_mode() { 1_000 } else { 10_000 };
-    let workload = VoterWorkload::new(voters, 20, 5);
-
-    // A network with variable per-message latency (1-10 us), so the CDF has
-    // a spread comparable to a real NIC + switch.
-    let net = NetConfig {
-        min_delay: 1,
-        max_delay: 10,
-        drop_probability: 0.0,
-        duplicate_probability: 0.0,
-        seed: 42,
-    };
-
-    // Experiment 1: idle bulk migration.
-    let mut idle = SimCluster::with_network(ZeusConfig::with_nodes(3), net.clone());
-    for obj in workload.initial_objects() {
-        idle.create_object(obj.id, vec![0u8; obj.size], NodeId(0));
-    }
-    for v in 0..voters {
-        idle.migrate(VoterWorkload::voter(v), NodeId(1)).unwrap();
-    }
-
-    // Experiment 2: migration while votes keep modifying the hot objects
-    // (pending reliable commits force ownership retries, lengthening the tail).
-    let mut busy = SimCluster::with_network(ZeusConfig::with_nodes(3), net);
-    for obj in workload.initial_objects() {
-        busy.create_object(obj.id, vec![0u8; obj.size], NodeId(0));
-    }
-    for v in 0..voters {
-        let contestant = VoterWorkload::contestant(v % 20);
-        let voter_obj = VoterWorkload::voter(v);
-        // A vote on node 0 (current owner) right before the migration, so the
-        // object still has a reliable commit in flight when the request lands.
-        for _ in 0..3 {
-            busy.node_mut(NodeId(0)).execute_write(0, |tx| {
-                tx.update(contestant, |old| old.to_vec())?;
-                tx.update(voter_obj, |old| old.to_vec())
-            });
-        }
-        busy.migrate(voter_obj, NodeId(2)).unwrap();
-    }
-
-    let mut rows = Vec::new();
-    for (name, cluster, node) in [
-        ("idle bulk move", &idle, NodeId(1)),
-        ("hot move under load", &busy, NodeId(2)),
-    ] {
-        let hist = cluster.node(node).ownership_latency();
-        rows.push(vec![
-            name.to_string(),
-            hist.count().to_string(),
-            format!("{:.1}", hist.mean()),
-            hist.percentile(50.0).to_string(),
-            hist.percentile(99.0).to_string(),
-            hist.percentile(99.9).to_string(),
-        ]);
-        let cdf = hist.cdf();
-        let points: Vec<String> = cdf
-            .iter()
-            .step_by((cdf.len() / 8).max(1))
-            .map(|(v, f)| format!("{v}us:{:.2}", f))
-            .collect();
-        println!("# CDF {name}: {}", points.join(" "));
-    }
-    print_table(
-        "Figure 12: ownership latency distribution [simulated us] (paper: 17/36 us idle, 29/83 us under load at mean/p99.9)",
-        &["experiment", "requests", "mean", "p50", "p99", "p99.9"],
-        &rows,
-    );
+    std::process::exit(zeus_bench::cli::run_single("fig12_ownership_latency"));
 }

@@ -1,47 +1,7 @@
-//! Figure 13: cellular packet-gateway control-plane throughput with four
-//! datastore options: local memory (no replication), a Redis-like blocking
-//! remote store, Zeus with 1 active + 1 passive node, and Zeus with 2 active
-//! nodes.
-//!
-//! The paper's point: the application's own signalling parsing (~40 us per
-//! request) is the bottleneck, so Zeus (pipelined, non-blocking) matches
-//! local memory, while a blocking remote store collapses below 10 Ktps.
-
-use zeus_baseline::model::BlockingStoreModel;
-use zeus_bench::harness::print_table;
-use zeus_workloads::apps::GatewayControlPlane;
+//! Thin wrapper running the `fig13_gateway` scenario from the shared registry
+//! (see `zeus_bench::scenarios`); accepts the same flags as the unified
+//! `bench` driver and writes a `BENCH_fig13_gateway.json` report.
 
 fn main() {
-    let gw = GatewayControlPlane::new(100_000, 3);
-    let parse_us = gw.processing_us as f64;
-    // Zeus: the commit is pipelined, so the application thread only pays the
-    // local datastore call (~1 us); replication happens in the background.
-    let zeus_overhead_us = 1.0;
-    let local = 1.0e6 / parse_us;
-    let redis = BlockingStoreModel { rtt_us: 60.0 }.throughput(parse_us, 1.0);
-    let zeus_1a1p = 1.0e6 / (parse_us + zeus_overhead_us);
-    let zeus_2active = 2.0 * zeus_1a1p * 0.8; // two active nodes; paper reports +60%
-    let rows = vec![
-        vec![
-            "local memory (no replication)".into(),
-            format!("{:.1}", local / 1e3),
-        ],
-        vec![
-            "Redis-like blocking store".into(),
-            format!("{:.1}", redis / 1e3),
-        ],
-        vec![
-            "Zeus (1 active + 1 passive)".into(),
-            format!("{:.1}", zeus_1a1p / 1e3),
-        ],
-        vec![
-            "Zeus (2 active)".into(),
-            format!("{:.1}", zeus_2active / 1e3),
-        ],
-    ];
-    print_table(
-        "Figure 13: 4G control-plane throughput [Ktps] (paper: Zeus 1+1 matches local memory ~25-30 Ktps; Redis <10 Ktps; 2 active = +60%)",
-        &["configuration", "throughput [Ktps]"],
-        &rows,
-    );
+    std::process::exit(zeus_bench::cli::run_single("fig13_gateway"));
 }

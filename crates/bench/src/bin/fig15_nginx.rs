@@ -1,36 +1,7 @@
-//! Figure 15: Nginx-style session-persistence HTTP rate over time during a
-//! scale-out (add a node) and scale-in (remove it again).
-//!
-//! The datastore is never the bottleneck (the paper's point), so the rate
-//! tracks the number of serving nodes; session lookups keep hitting while
-//! nodes come and go because the cookie map is replicated.
-
-use zeus_bench::harness::print_table;
-use zeus_workloads::apps::HttpSessionLb;
+//! Thin wrapper running the `fig15_nginx` scenario from the shared registry
+//! (see `zeus_bench::scenarios`); accepts the same flags as the unified
+//! `bench` driver and writes a `BENCH_fig15_nginx.json` report.
 
 fn main() {
-    let lb = HttpSessionLb::new(100_000, 9);
-    let per_node = 1.0e6 / lb.processing_us as f64;
-    let mut rows = Vec::new();
-    for (t, nodes) in [
-        (0u32, 1usize),
-        (10, 1),
-        (20, 2),
-        (30, 2),
-        (40, 2),
-        (50, 1),
-        (60, 1),
-    ] {
-        rows.push(vec![
-            t.to_string(),
-            nodes.to_string(),
-            format!("{:.1}", nodes as f64 * per_node / 1e3),
-            format!("{:.1}", nodes as f64 * per_node / 1e3),
-        ]);
-    }
-    print_table(
-        "Figure 15: HTTP transaction rate [Ktps] during scale-out/in (paper: rate with Zeus == rate without Zeus; seamless scale in/out)",
-        &["time [s]", "serving nodes", "no Zeus [Ktps]", "Zeus [Ktps]"],
-        &rows,
-    );
+    std::process::exit(zeus_bench::cli::run_single("fig15_nginx"));
 }

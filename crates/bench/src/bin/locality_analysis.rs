@@ -1,43 +1,7 @@
-//! Regenerates the "Locality in workloads" analysis of §8: the fraction of
-//! remote transactions in Boston handovers, Venmo and TPC-C.
-
-use zeus_bench::harness::print_table;
-use zeus_workloads::locality::{tpcc_remote_fraction, MobilityModel, VenmoModel};
+//! Thin wrapper running the `locality_analysis` scenario from the shared registry
+//! (see `zeus_bench::scenarios`); accepts the same flags as the unified
+//! `bench` driver and writes a `BENCH_locality_analysis.json` report.
 
 fn main() {
-    let mobility = MobilityModel::boston();
-    let mut rows = Vec::new();
-    for nodes in [3usize, 6] {
-        let remote_handovers = mobility.remote_handover_fraction(nodes);
-        for handover_pct in [2.5f64, 5.0] {
-            let total = handover_pct / 100.0 * remote_handovers;
-            rows.push(vec![
-                format!("Boston handovers ({handover_pct}% handovers)"),
-                nodes.to_string(),
-                format!("{:.2}%", remote_handovers * 100.0),
-                format!("{:.2}%", total * 100.0),
-            ]);
-        }
-    }
-    let venmo = VenmoModel::public_dataset();
-    for nodes in [3usize, 6] {
-        let f = venmo.remote_fraction(nodes, 1_000_000, 42);
-        rows.push(vec![
-            "Venmo transactions".to_string(),
-            nodes.to_string(),
-            "-".to_string(),
-            format!("{:.2}%", f * 100.0),
-        ]);
-    }
-    rows.push(vec![
-        "TPC-C (analytical)".to_string(),
-        "any".to_string(),
-        "-".to_string(),
-        format!("{:.2}%", tpcc_remote_fraction() * 100.0),
-    ]);
-    print_table(
-        "Locality in workloads (paper: 6.2% remote handovers @6 nodes -> 0.31% total; Venmo 0.7%/1.2%; TPC-C 2.45%)",
-        &["workload", "nodes", "remote handovers", "remote transactions"],
-        &rows,
-    );
+    std::process::exit(zeus_bench::cli::run_single("locality_analysis"));
 }

@@ -1,32 +1,7 @@
-//! Regenerates Table 2: benchmark characteristics.
-
-use zeus_bench::harness::print_table;
-use zeus_workloads::table2_rows;
+//! Thin wrapper running the `table2` scenario from the shared registry
+//! (see `zeus_bench::scenarios`); accepts the same flags as the unified
+//! `bench` driver and writes a `BENCH_table2.json` report.
 
 fn main() {
-    let rows: Vec<Vec<String>> = table2_rows()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.name.to_string(),
-                r.characteristic.to_string(),
-                r.tables.to_string(),
-                r.columns.to_string(),
-                r.tx_types.to_string(),
-                format!("{:.0}%", r.read_tx_fraction * 100.0),
-            ]
-        })
-        .collect();
-    print_table(
-        "Table 2: summary of evaluated benchmarks",
-        &[
-            "benchmark",
-            "characteristic",
-            "tables",
-            "columns",
-            "txs",
-            "read txs",
-        ],
-        &rows,
-    );
+    std::process::exit(zeus_bench::cli::run_single("table2"));
 }

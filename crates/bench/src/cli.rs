@@ -1,0 +1,308 @@
+//! Command-line front end shared by the unified `bench` driver and the
+//! per-figure binaries.
+//!
+//! ```text
+//! bench [--smoke|--quick] [--tag TAG] [--seed N] [--scenario NAME]...
+//!       [--out DIR] [--list]
+//! bench --diff BASELINE.json NEW.json
+//! ```
+//!
+//! Every run writes a `BENCH_<tag>.json` report (schema in
+//! [`crate::report`]) and exits non-zero if any requested scenario is
+//! missing from the report or produced malformed numbers — this is the CI
+//! perf-smoke gate.
+
+use std::path::{Path, PathBuf};
+
+use crate::report::BenchReport;
+use crate::scenario::{find, registry, RunCtx, REQUIRED_SCENARIOS};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Tiny populations / short windows.
+    pub smoke: bool,
+    /// Report tag (`BENCH_<tag>.json`); `None` when `--tag` was not passed
+    /// (the driver defaults to `local`, per-figure binaries to their
+    /// scenario name).
+    pub tag: Option<String>,
+    /// Base workload seed.
+    pub seed: u64,
+    /// Scenario subset (empty = whole registry).
+    pub scenarios: Vec<String>,
+    /// Directory the report is written into.
+    pub out: PathBuf,
+    /// List scenarios and exit.
+    pub list: bool,
+    /// Compare two report files and exit.
+    pub diff: Option<(PathBuf, PathBuf)>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            smoke: false,
+            tag: None,
+            seed: 42,
+            scenarios: Vec::new(),
+            out: PathBuf::from("."),
+            list: false,
+            diff: None,
+        }
+    }
+}
+
+impl Args {
+    /// Parses an argument list (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter();
+        let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--smoke" | "--quick" => args.smoke = true,
+                "--list" => args.list = true,
+                "--tag" => args.tag = Some(value(&mut it, "--tag")?),
+                "--seed" => {
+                    let seed: u64 = value(&mut it, "--seed")?
+                        .parse()
+                        .map_err(|_| "--seed needs an integer".to_string())?;
+                    // The report schema stores numbers as f64, so reject
+                    // seeds that would not round-trip exactly (the driver
+                    // re-validates the written report and a lossy seed
+                    // would fail only after the whole run completed).
+                    if seed > (1u64 << 53) {
+                        return Err("--seed must be at most 2^53".to_string());
+                    }
+                    args.seed = seed;
+                }
+                "--scenario" => args.scenarios.push(value(&mut it, "--scenario")?),
+                "--out" => args.out = PathBuf::from(value(&mut it, "--out")?),
+                "--diff" => {
+                    let a = PathBuf::from(value(&mut it, "--diff")?);
+                    let b = PathBuf::from(value(&mut it, "--diff")?);
+                    args.diff = Some((a, b));
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+const USAGE: &str =
+    "usage: bench [--smoke] [--tag TAG] [--seed N] [--scenario NAME]... [--out DIR] [--list]
+       bench --diff BASELINE.json NEW.json";
+
+/// Entry point of the unified driver; returns the process exit code.
+pub fn run_driver() -> i32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    if args.list {
+        for spec in registry() {
+            println!("{:<28} {}", spec.name, spec.about);
+        }
+        return 0;
+    }
+    if let Some((baseline, new)) = &args.diff {
+        return run_diff(baseline, new);
+    }
+    run_scenarios(&args)
+}
+
+/// Entry point of a per-figure binary: same flags, one fixed scenario, and
+/// the report tag defaults to the scenario name.
+pub fn run_single(name: &str) -> i32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = match Args::parse(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    if !args.scenarios.is_empty() && args.scenarios != [name] {
+        eprintln!(
+            "this binary always runs '{name}'; use the unified `bench` driver to select scenarios"
+        );
+        return 2;
+    }
+    if args.tag.is_none() {
+        args.tag = Some(name.to_string());
+    }
+    args.scenarios = vec![name.to_string()];
+    run_scenarios(&args)
+}
+
+fn run_scenarios(args: &Args) -> i32 {
+    let ctx = RunCtx {
+        smoke: args.smoke,
+        seed: args.seed,
+    };
+    let specs = if args.scenarios.is_empty() {
+        registry()
+    } else {
+        let mut specs = Vec::new();
+        for name in &args.scenarios {
+            match find(name) {
+                Some(spec) => specs.push(spec),
+                None => {
+                    eprintln!("unknown scenario '{name}' (see --list)");
+                    return 2;
+                }
+            }
+        }
+        specs
+    };
+
+    let tag = args.tag.as_deref().unwrap_or("local");
+    let mut report = BenchReport::new(tag, ctx.mode(), ctx.seed);
+    for spec in &specs {
+        eprintln!("== {} ({})", spec.name, ctx.mode());
+        let outcome = (spec.run)(&ctx);
+        for table in &outcome.tables {
+            table.print();
+        }
+        report.results.extend(outcome.results);
+    }
+
+    println!("# results ({} mode, seed {})", report.mode, report.seed);
+    for result in &report.results {
+        println!("{}", result.summary_line());
+    }
+
+    let required: Vec<&str> = if args.scenarios.is_empty() {
+        REQUIRED_SCENARIOS.to_vec()
+    } else {
+        specs.iter().map(|s| s.name).collect()
+    };
+    let path = args.out.join(report.file_name());
+    if let Err(e) = report.write(&path) {
+        eprintln!("failed to write {}: {e}", path.display());
+        return 1;
+    }
+    println!("# wrote {}", path.display());
+
+    // Re-read what was written: the gate checks the artifact CI uploads,
+    // not the in-memory state.
+    let reread = match BenchReport::load(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("report failed to round-trip: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = reread.validate(&required) {
+        eprintln!("report validation failed: {e}");
+        return 1;
+    }
+    0
+}
+
+fn run_diff(baseline: &Path, new: &Path) -> i32 {
+    let (base, new_report) = match (BenchReport::load(baseline), BenchReport::load(new)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    println!(
+        "# {} ({}) vs {} ({})",
+        base.tag, base.mode, new_report.tag, new_report.mode
+    );
+    println!(
+        "{:<52} {:>14} {:>14} {:>8}",
+        "scenario", "baseline ops/s", "new ops/s", "delta"
+    );
+    let rows = new_report.diff(&base);
+    if rows.is_empty() {
+        // Results pair up by scenario name + full config, and every result's
+        // config carries the run's mode and seed — so comparing a smoke run
+        // against a full run (or runs with different seeds) matches nothing.
+        // Say so instead of printing an empty table that reads as "no change".
+        eprintln!(
+            "warning: no scenarios matched between the two reports \
+             (results pair by scenario name + config, including mode and seed \
+             — compare runs with identical flags)"
+        );
+        return 1;
+    }
+    for (label, base_ops, new_ops, delta) in rows {
+        println!(
+            "{:<52} {:>14.0} {:>14.0} {:>+7.1}%",
+            label,
+            base_ops,
+            new_ops,
+            delta * 100.0
+        );
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_driver_flags() {
+        let args = parse(&[
+            "--smoke",
+            "--tag",
+            "PR",
+            "--seed",
+            "7",
+            "--scenario",
+            "fig08_smallbank",
+            "--scenario",
+            "fig09_tatp",
+            "--out",
+            "/tmp",
+        ])
+        .unwrap();
+        assert!(args.smoke);
+        assert_eq!(args.tag.as_deref(), Some("PR"));
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.scenarios, vec!["fig08_smallbank", "fig09_tatp"]);
+        assert_eq!(args.out, PathBuf::from("/tmp"));
+    }
+
+    #[test]
+    fn quick_is_an_alias_for_smoke() {
+        assert!(parse(&["--quick"]).unwrap().smoke);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--tag"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+        // Seeds beyond 2^53 would not survive the f64-backed JSON schema.
+        assert!(parse(&["--seed", "10000000000000000"]).is_err());
+        assert!(parse(&["--diff", "only-one.json"]).is_err());
+    }
+
+    #[test]
+    fn parses_diff_mode() {
+        let args = parse(&["--diff", "a.json", "b.json"]).unwrap();
+        assert_eq!(
+            args.diff,
+            Some((PathBuf::from("a.json"), PathBuf::from("b.json")))
+        );
+    }
+}

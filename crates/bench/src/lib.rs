@@ -1,8 +1,24 @@
 //! Benchmark harnesses regenerating every table and figure of the paper's
-//! evaluation (§8). Each figure has a dedicated binary under `src/bin/`;
-//! shared measurement plumbing lives in [`harness`].
+//! evaluation (§8), unified behind one driver.
+//!
+//! * [`harness`] — measurement plumbing: instrumented warmup/measure runs on
+//!   the threaded runtime, latency histograms, cost-model mixes.
+//! * [`scenario`] + [`scenarios`] — the registry of named scenarios (one per
+//!   figure/table) the driver and the per-figure binaries share.
+//! * [`report`] + [`json`] — the machine-readable `BENCH_<tag>.json` result
+//!   schema and the hand-rolled JSON layer behind it.
+//! * [`cli`] — the command-line front end (`--smoke`, `--tag`, `--scenario`,
+//!   `--diff`).
+//!
+//! The `bench` binary runs the whole registry; each figure also keeps a
+//! dedicated binary under `src/bin/` that runs just its scenario.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod harness;
+pub mod json;
+pub mod report;
+pub mod scenario;
+pub mod scenarios;

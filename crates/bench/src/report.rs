@@ -1,0 +1,382 @@
+//! Machine-readable bench results: the common scenario schema and the
+//! `BENCH_<tag>.json` report files CI consumes.
+//!
+//! Every scenario — measured on the threaded runtime, simulated, or modelled
+//! through the cost model — reduces to one or more [`ScenarioResult`]s:
+//!
+//! ```json
+//! {
+//!   "scenario": "fig08_smallbank",
+//!   "config": {"nodes": "3", "mode": "smoke"},
+//!   "throughput_ops": 12345.6,
+//!   "p50_us": 40, "p99_us": 180, "p999_us": 900,
+//!   "handover_count": 7,
+//!   "aborts": 0,
+//!   "queue_depth_hwm": 12
+//! }
+//! ```
+//!
+//! A [`BenchReport`] is a tagged collection of results; `bench --smoke --tag
+//! PR` writes `BENCH_PR.json` and the CI perf-smoke gate fails if any
+//! expected scenario is missing or malformed. Two reports can be compared
+//! with `bench --diff A.json B.json`.
+
+use std::path::Path;
+
+use crate::json::Json;
+
+/// One scenario measurement in the common schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario name (e.g. `fig08_smallbank`).
+    pub scenario: String,
+    /// Free-form configuration key/value pairs (nodes, mode, workload knobs).
+    pub config: Vec<(String, String)>,
+    /// Committed operations per second (modelled scenarios report the
+    /// modelled rate; analysis-only scenarios report 0).
+    pub throughput_ops: f64,
+    /// Median latency in microseconds (0 when the scenario has no latency
+    /// distribution).
+    pub p50_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency in microseconds.
+    pub p999_us: u64,
+    /// Ownership handovers completed during the measurement window.
+    pub handover_count: u64,
+    /// Transactions aborted during the measurement window.
+    pub aborts: u64,
+    /// High-water mark of the transport inbox depth (threaded runs only).
+    pub queue_depth_hwm: u64,
+}
+
+impl ScenarioResult {
+    /// A result with the given name and all metrics zeroed; scenarios fill
+    /// in what they measure.
+    pub fn new(scenario: impl Into<String>) -> Self {
+        ScenarioResult {
+            scenario: scenario.into(),
+            config: Vec::new(),
+            throughput_ops: 0.0,
+            p50_us: 0,
+            p99_us: 0,
+            p999_us: 0,
+            handover_count: 0,
+            aborts: 0,
+            queue_depth_hwm: 0,
+        }
+    }
+
+    /// Adds a configuration key/value pair (builder style).
+    pub fn with_config(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialises to the common JSON schema.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scenario", Json::str(&self.scenario)),
+            (
+                "config",
+                Json::Obj(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v)))
+                        .collect(),
+                ),
+            ),
+            ("throughput_ops", Json::Num(self.throughput_ops)),
+            ("p50_us", Json::u64(self.p50_us)),
+            ("p99_us", Json::u64(self.p99_us)),
+            ("p999_us", Json::u64(self.p999_us)),
+            ("handover_count", Json::u64(self.handover_count)),
+            ("aborts", Json::u64(self.aborts)),
+            ("queue_depth_hwm", Json::u64(self.queue_depth_hwm)),
+        ])
+    }
+
+    /// Deserialises from the common JSON schema, validating every required
+    /// field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let scenario = v
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("missing string field 'scenario'")?
+            .to_string();
+        let field = |name: &str| -> Result<f64, String> {
+            v.get(name)
+                .and_then(Json::as_f64)
+                .filter(|n| n.is_finite())
+                .ok_or_else(|| format!("scenario '{scenario}': missing numeric field '{name}'"))
+        };
+        let int_field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("scenario '{scenario}': missing integer field '{name}'"))
+        };
+        let config = match v.get("config") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| {
+                            format!("scenario '{scenario}': config value for '{k}' is not a string")
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => {
+                return Err(format!(
+                    "scenario '{scenario}': missing object field 'config'"
+                ))
+            }
+        };
+        Ok(ScenarioResult {
+            config,
+            throughput_ops: field("throughput_ops")?,
+            p50_us: int_field("p50_us")?,
+            p99_us: int_field("p99_us")?,
+            p999_us: int_field("p999_us")?,
+            handover_count: int_field("handover_count")?,
+            aborts: int_field("aborts")?,
+            queue_depth_hwm: int_field("queue_depth_hwm")?,
+            scenario,
+        })
+    }
+
+    /// One-line human summary for the driver's stdout.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<28} {:>12.0} ops/s  p50 {:>6} us  p99 {:>6} us  p99.9 {:>7} us  handovers {:>6}  aborts {:>4}",
+            self.scenario,
+            self.throughput_ops,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.handover_count,
+            self.aborts
+        )
+    }
+}
+
+/// A tagged collection of scenario results, written to `BENCH_<tag>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Report tag (`PR` in CI, `local` by default).
+    pub tag: String,
+    /// Run mode (`smoke` or `full`).
+    pub mode: String,
+    /// Workload seed the run used.
+    pub seed: u64,
+    /// All scenario results, in registry order.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new(tag: impl Into<String>, mode: impl Into<String>, seed: u64) -> Self {
+        BenchReport {
+            tag: tag.into(),
+            mode: mode.into(),
+            seed,
+            results: Vec::new(),
+        }
+    }
+
+    /// The file name this report is written to.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.tag)
+    }
+
+    /// Serialises the report.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tag", Json::str(&self.tag)),
+            ("mode", Json::str(&self.mode)),
+            ("seed", Json::u64(self.seed)),
+            (
+                "results",
+                Json::Arr(self.results.iter().map(ScenarioResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a report from JSON text, validating the schema.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let tag = v
+            .get("tag")
+            .and_then(Json::as_str)
+            .ok_or("missing string field 'tag'")?
+            .to_string();
+        let mode = v
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or("missing string field 'mode'")?
+            .to_string();
+        let seed = v
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("missing integer field 'seed'")?;
+        let results = v
+            .get("results")
+            .and_then(Json::as_array)
+            .ok_or("missing array field 'results'")?
+            .iter()
+            .map(ScenarioResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            tag,
+            mode,
+            seed,
+            results,
+        })
+    }
+
+    /// Loads and validates a report file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Writes the report as pretty-printed JSON.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().pretty())
+    }
+
+    /// Checks that every scenario in `required` has at least one result and
+    /// that every result is well-formed (finite, non-negative throughput).
+    pub fn validate(&self, required: &[&str]) -> Result<(), String> {
+        for r in &self.results {
+            if !r.throughput_ops.is_finite() || r.throughput_ops < 0.0 {
+                return Err(format!(
+                    "scenario '{}' has malformed throughput {}",
+                    r.scenario, r.throughput_ops
+                ));
+            }
+            if r.p50_us > r.p99_us || r.p99_us > r.p999_us {
+                return Err(format!(
+                    "scenario '{}' has non-monotonic percentiles {}/{}/{}",
+                    r.scenario, r.p50_us, r.p99_us, r.p999_us
+                ));
+            }
+        }
+        for name in required {
+            if !self.results.iter().any(|r| r.scenario == *name) {
+                return Err(format!("missing results for scenario '{name}'"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-scenario throughput comparison against a baseline report,
+    /// returning `(scenario, baseline_ops, new_ops, delta_fraction)` rows.
+    /// Scenarios are matched by name + config; analysis rows (0 throughput
+    /// on both sides) are skipped.
+    pub fn diff(&self, baseline: &BenchReport) -> Vec<(String, f64, f64, f64)> {
+        let mut rows = Vec::new();
+        for r in &self.results {
+            let Some(b) = baseline
+                .results
+                .iter()
+                .find(|b| b.scenario == r.scenario && b.config == r.config)
+            else {
+                continue;
+            };
+            if b.throughput_ops == 0.0 && r.throughput_ops == 0.0 {
+                continue;
+            }
+            let delta = if b.throughput_ops > 0.0 {
+                r.throughput_ops / b.throughput_ops - 1.0
+            } else {
+                f64::INFINITY
+            };
+            let label = if r.config.is_empty() {
+                r.scenario.clone()
+            } else {
+                let cfg: Vec<String> = r.config.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{} [{}]", r.scenario, cfg.join(","))
+            };
+            rows.push((label, b.throughput_ops, r.throughput_ops, delta));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioResult {
+        ScenarioResult {
+            scenario: "fig08_smallbank".into(),
+            config: vec![
+                ("nodes".into(), "3".into()),
+                ("mode".into(), "smoke".into()),
+            ],
+            throughput_ops: 1234.5,
+            p50_us: 40,
+            p99_us: 200,
+            p999_us: 950,
+            handover_count: 7,
+            aborts: 2,
+            queue_depth_hwm: 12,
+        }
+    }
+
+    #[test]
+    fn scenario_result_round_trips_through_json() {
+        let r = sample();
+        let parsed = ScenarioResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        // And through an actual serialised string.
+        let text = r.to_json().pretty();
+        let parsed = ScenarioResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let mut report = BenchReport::new("PR", "smoke", 42);
+        report.results.push(sample());
+        let parsed = BenchReport::parse(&report.to_json().pretty()).unwrap();
+        assert_eq!(parsed, report);
+        assert!(parsed.validate(&["fig08_smallbank"]).is_ok());
+        assert!(parsed.validate(&["fig09_tatp"]).is_err());
+        assert_eq!(parsed.file_name(), "BENCH_PR.json");
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let mut v = sample().to_json();
+        if let Json::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "p99_us");
+        }
+        let err = ScenarioResult::from_json(&v).unwrap_err();
+        assert!(err.contains("p99_us"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_non_monotonic_percentiles() {
+        let mut report = BenchReport::new("x", "smoke", 1);
+        let mut r = sample();
+        r.p50_us = 500;
+        r.p99_us = 100;
+        report.results.push(r);
+        assert!(report.validate(&[]).is_err());
+    }
+
+    #[test]
+    fn diff_matches_scenarios_by_name_and_config() {
+        let mut base = BenchReport::new("base", "smoke", 1);
+        base.results.push(sample());
+        let mut new = BenchReport::new("new", "smoke", 1);
+        let mut r = sample();
+        r.throughput_ops = 1358.0;
+        new.results.push(r);
+        let rows = new.diff(&base);
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].3 - 0.1) < 0.01, "expected ~+10%: {}", rows[0].3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Scenario registry: every figure/table of the evaluation as a named,
+//! uniformly-invocable scenario.
+//!
+//! A scenario takes a [`RunCtx`] (smoke vs full windows, the workload seed)
+//! and returns a [`ScenarioOutcome`]: the human-readable tables the original
+//! per-figure binaries printed plus one or more [`ScenarioResult`]s in the
+//! common JSON schema. The unified `bench` driver runs any subset of the
+//! registry and writes the results to `BENCH_<tag>.json`; the per-figure
+//! binaries are thin wrappers over the same registry.
+
+use std::time::Duration;
+
+use crate::harness::MeasureOpts;
+use crate::report::ScenarioResult;
+use crate::scenarios;
+
+/// Per-run context handed to every scenario.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// Smoke mode: tiny populations and short windows, for CI (< 2 min for
+    /// the whole registry).
+    pub smoke: bool,
+    /// Base workload seed. Client `c` of a measured run derives its stream
+    /// from `seed + c`, so runs with equal seeds replay identical inputs.
+    pub seed: u64,
+}
+
+impl RunCtx {
+    /// `"smoke"` or `"full"`, for result configs and report headers.
+    pub fn mode(&self) -> &'static str {
+        if self.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    }
+
+    /// Measurement windows for this mode.
+    pub fn opts(&self) -> MeasureOpts {
+        MeasureOpts::for_mode(self.smoke)
+    }
+
+    /// Picks a population size: `full` normally, `smoke` in smoke mode.
+    pub fn pop(&self, full: u64, smoke: u64) -> u64 {
+        if self.smoke {
+            smoke
+        } else {
+            full
+        }
+    }
+
+    /// Measurement window for scenarios that manage their own loops.
+    pub fn window(&self) -> Duration {
+        self.opts().measure
+    }
+
+    /// Stamps the shared config keys (`mode`, `seed`) onto a result.
+    pub fn stamp(&self, result: ScenarioResult) -> ScenarioResult {
+        result
+            .with_config("mode", self.mode())
+            .with_config("seed", self.seed)
+    }
+}
+
+/// One printable table (title + CSV-ish header and rows).
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// Table title.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<&'static str>,
+    /// Row values.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableData {
+    /// Prints the table in the same format the per-figure binaries used.
+    pub fn print(&self) {
+        crate::harness::print_table(&self.title, &self.header, &self.rows);
+    }
+}
+
+/// What a scenario produces: tables for humans, results for machines.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioOutcome {
+    /// Tables to print.
+    pub tables: Vec<TableData>,
+    /// Results in the common schema (at least one per scenario).
+    pub results: Vec<ScenarioResult>,
+}
+
+/// A registered scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec {
+    /// Registry name; also the binary name and the `scenario` field of the
+    /// emitted results.
+    pub name: &'static str,
+    /// One-line description for `bench --list`.
+    pub about: &'static str,
+    /// Entry point.
+    pub run: fn(&RunCtx) -> ScenarioOutcome,
+}
+
+/// Names of all scenarios a complete report must contain (the CI perf-smoke
+/// gate fails if any is missing from `BENCH_PR.json`).
+pub const REQUIRED_SCENARIOS: [&str; 11] = [
+    "fig07_handovers",
+    "fig08_smallbank",
+    "fig09_tatp",
+    "fig10_voter_migration",
+    "fig11_voter_hot",
+    "fig12_ownership_latency",
+    "fig13_gateway",
+    "fig14_sctp",
+    "fig15_nginx",
+    "locality_analysis",
+    "table2",
+];
+
+/// The full scenario registry, in report order.
+pub fn registry() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            name: "fig07_handovers",
+            about: "Handovers: Zeus vs all-local ideal (measured + modelled)",
+            run: scenarios::fig07::run,
+        },
+        ScenarioSpec {
+            name: "fig08_smallbank",
+            about: "Smallbank throughput vs % remote writes (measured + modelled)",
+            run: scenarios::fig08::run,
+        },
+        ScenarioSpec {
+            name: "fig09_tatp",
+            about: "TATP throughput vs % remote writes (measured + modelled)",
+            run: scenarios::fig09::run,
+        },
+        ScenarioSpec {
+            name: "fig10_voter_migration",
+            about: "Voter bulk ownership migration (simulated)",
+            run: scenarios::fig10::run,
+        },
+        ScenarioSpec {
+            name: "fig11_voter_hot",
+            about: "Hot-object migration under vote load (measured)",
+            run: scenarios::fig11::run,
+        },
+        ScenarioSpec {
+            name: "fig12_ownership_latency",
+            about: "Ownership latency CDFs, idle vs under load (simulated)",
+            run: scenarios::fig12::run,
+        },
+        ScenarioSpec {
+            name: "fig13_gateway",
+            about: "Packet-gateway control plane datastore options (modelled)",
+            run: scenarios::fig13::run,
+        },
+        ScenarioSpec {
+            name: "fig14_sctp",
+            about: "SCTP endpoint replication overhead (modelled)",
+            run: scenarios::fig14::run,
+        },
+        ScenarioSpec {
+            name: "fig15_nginx",
+            about: "HTTP session-persistence scale-out/in (modelled)",
+            run: scenarios::fig15::run,
+        },
+        ScenarioSpec {
+            name: "locality_analysis",
+            about: "Remote-transaction fractions of the studied workloads",
+            run: scenarios::locality::run,
+        },
+        ScenarioSpec {
+            name: "table2",
+            about: "Benchmark characteristics summary",
+            run: scenarios::table2::run,
+        },
+    ]
+}
+
+/// Looks up a scenario by name.
+pub fn find(name: &str) -> Option<ScenarioSpec> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_required_scenario() {
+        let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        for required in REQUIRED_SCENARIOS {
+            assert!(names.contains(&required), "missing {required}");
+        }
+        assert_eq!(names.len(), REQUIRED_SCENARIOS.len());
+    }
+
+    #[test]
+    fn find_matches_exact_names() {
+        assert!(find("fig08_smallbank").is_some());
+        assert!(find("fig99_nope").is_none());
+    }
+}

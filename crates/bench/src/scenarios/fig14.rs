@@ -1,0 +1,49 @@
+//! Figure 14: SCTP-like endpoint throughput for 150 B and 1440 B packets,
+//! with and without Zeus replication of the 6.8 KB connection state.
+
+use zeus_workloads::apps::SctpEndpoint;
+
+use crate::report::ScenarioResult;
+use crate::scenario::{RunCtx, ScenarioOutcome, TableData};
+
+/// Runs the scenario.
+pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
+    let ep = SctpEndpoint::new(1);
+    // Per-packet costs: protocol processing ~4 us; replicating 6.8 KB of
+    // connection state through the pipelined commit adds serialisation and
+    // messaging work proportional to the state size.
+    let proto_us = 4.0;
+    let replicate_us_per_kb = 0.4;
+    let zeus_extra = replicate_us_per_kb * (ep.state_bytes as f64 / 1024.0);
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for packet in [150usize, 1440] {
+        let vanilla = ep.flow_throughput_mbps(packet, proto_us);
+        let zeus = ep.flow_throughput_mbps(packet, proto_us + zeus_extra);
+        rows.push(vec![
+            format!("{packet} B"),
+            format!("{:.0}", vanilla),
+            format!("{:.0}", zeus),
+            format!("{:.0}%", (1.0 - zeus / vanilla) * 100.0),
+        ]);
+        let mut result = ScenarioResult::new("fig14_sctp")
+            .with_config("packet_bytes", packet)
+            .with_config("kind", "modelled");
+        // Packets per second through the replicated endpoint.
+        result.throughput_ops = 1.0e6 / (proto_us + zeus_extra);
+        results.push(ctx.stamp(result));
+    }
+    ScenarioOutcome {
+        tables: vec![TableData {
+            title: "Figure 14: SCTP single-flow throughput [Mbps] (paper: Zeus ~40% slower at 1440 B, larger relative cost at 150 B)".into(),
+            header: vec![
+                "packet size",
+                "no replication [Mbps]",
+                "Zeus [Mbps]",
+                "slowdown",
+            ],
+            rows,
+        }],
+        results,
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 15: Nginx-style session-persistence HTTP rate over time during a
+//! scale-out (add a node) and scale-in (remove it again).
+//!
+//! The datastore is never the bottleneck (the paper's point), so the rate
+//! tracks the number of serving nodes; session lookups keep hitting while
+//! nodes come and go because the cookie map is replicated.
+
+use zeus_workloads::apps::HttpSessionLb;
+
+use crate::report::ScenarioResult;
+use crate::scenario::{RunCtx, ScenarioOutcome, TableData};
+
+/// Runs the scenario.
+pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
+    let lb = HttpSessionLb::new(100_000, 9);
+    let per_node = 1.0e6 / lb.processing_us as f64;
+    let mut rows = Vec::new();
+    for (t, nodes) in [
+        (0u32, 1usize),
+        (10, 1),
+        (20, 2),
+        (30, 2),
+        (40, 2),
+        (50, 1),
+        (60, 1),
+    ] {
+        rows.push(vec![
+            t.to_string(),
+            nodes.to_string(),
+            format!("{:.1}", nodes as f64 * per_node / 1e3),
+            format!("{:.1}", nodes as f64 * per_node / 1e3),
+        ]);
+    }
+    let mut result = ScenarioResult::new("fig15_nginx")
+        .with_config("kind", "modelled")
+        .with_config("peak_nodes", 2);
+    result.throughput_ops = 2.0 * per_node;
+    ScenarioOutcome {
+        tables: vec![TableData {
+            title: "Figure 15: HTTP transaction rate [Ktps] during scale-out/in (paper: rate with Zeus == rate without Zeus; seamless scale in/out)".into(),
+            header: vec!["time [s]", "serving nodes", "no Zeus [Ktps]", "Zeus [Ktps]"],
+            rows,
+        }],
+        results: vec![ctx.stamp(result)],
+    }
+}

@@ -1,0 +1,63 @@
+//! The "Locality in workloads" analysis of §8: the fraction of remote
+//! transactions in Boston handovers, Venmo and TPC-C.
+
+use zeus_workloads::locality::{tpcc_remote_fraction, MobilityModel, VenmoModel};
+
+use crate::report::ScenarioResult;
+use crate::scenario::{RunCtx, ScenarioOutcome, TableData};
+
+/// Runs the scenario.
+pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
+    let mobility = MobilityModel::boston();
+    let mut rows = Vec::new();
+    for nodes in [3usize, 6] {
+        let remote_handovers = mobility.remote_handover_fraction(nodes);
+        for handover_pct in [2.5f64, 5.0] {
+            let total = handover_pct / 100.0 * remote_handovers;
+            rows.push(vec![
+                format!("Boston handovers ({handover_pct}% handovers)"),
+                nodes.to_string(),
+                format!("{:.2}%", remote_handovers * 100.0),
+                format!("{:.2}%", total * 100.0),
+            ]);
+        }
+    }
+    let venmo = VenmoModel::public_dataset();
+    let samples = ctx.pop(1_000_000, 100_000);
+    let mut venmo_3nodes = 0.0;
+    for nodes in [3usize, 6] {
+        let f = venmo.remote_fraction(nodes, samples, ctx.seed);
+        if nodes == 3 {
+            venmo_3nodes = f;
+        }
+        rows.push(vec![
+            "Venmo transactions".to_string(),
+            nodes.to_string(),
+            "-".to_string(),
+            format!("{:.2}%", f * 100.0),
+        ]);
+    }
+    rows.push(vec![
+        "TPC-C (analytical)".to_string(),
+        "any".to_string(),
+        "-".to_string(),
+        format!("{:.2}%", tpcc_remote_fraction() * 100.0),
+    ]);
+    let result = ctx.stamp(
+        ScenarioResult::new("locality_analysis")
+            .with_config("kind", "analysis")
+            .with_config("venmo_remote_3nodes", format!("{venmo_3nodes:.4}"))
+            .with_config(
+                "boston_remote_handovers_6nodes",
+                format!("{:.4}", mobility.remote_handover_fraction(6)),
+            ),
+    );
+    ScenarioOutcome {
+        tables: vec![TableData {
+            title: "Locality in workloads (paper: 6.2% remote handovers @6 nodes -> 0.31% total; Venmo 0.7%/1.2%; TPC-C 2.45%)".into(),
+            header: vec!["workload", "nodes", "remote handovers", "remote transactions"],
+            rows,
+        }],
+        results: vec![result],
+    }
+}

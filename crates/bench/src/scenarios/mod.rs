@@ -1,0 +1,34 @@
+//! Scenario implementations, one module per figure/table of the evaluation.
+//!
+//! Each module exposes `run(&RunCtx) -> ScenarioOutcome` and is registered
+//! in [`crate::scenario::registry`]. The measured scenarios run on the
+//! threaded runtime through [`crate::harness::run_instrumented`]; the
+//! protocol-latency scenarios run on the deterministic simulator; the
+//! paper-scale comparison lines come from the cost model.
+
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod locality;
+pub mod table2;
+
+use zeus_core::LatencyHistogram;
+
+use crate::report::ScenarioResult;
+
+/// Copies the percentile triple of a latency histogram onto a result.
+pub(crate) fn fill_percentiles(
+    mut result: ScenarioResult,
+    latency_us: &LatencyHistogram,
+) -> ScenarioResult {
+    result.p50_us = latency_us.percentile(50.0);
+    result.p99_us = latency_us.percentile(99.0);
+    result.p999_us = latency_us.percentile(99.9);
+    result
+}

@@ -1,0 +1,44 @@
+//! Table 2: benchmark characteristics.
+
+use zeus_workloads::table2_rows;
+
+use crate::report::ScenarioResult;
+use crate::scenario::{RunCtx, ScenarioOutcome, TableData};
+
+/// Runs the scenario.
+pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
+    let summaries = table2_rows();
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.characteristic.to_string(),
+                r.tables.to_string(),
+                r.columns.to_string(),
+                r.tx_types.to_string(),
+                format!("{:.0}%", r.read_tx_fraction * 100.0),
+            ]
+        })
+        .collect();
+    let result = ctx.stamp(
+        ScenarioResult::new("table2")
+            .with_config("kind", "analysis")
+            .with_config("benchmarks", summaries.len()),
+    );
+    ScenarioOutcome {
+        tables: vec![TableData {
+            title: "Table 2: summary of evaluated benchmarks".into(),
+            header: vec![
+                "benchmark",
+                "characteristic",
+                "tables",
+                "columns",
+                "txs",
+                "read txs",
+            ],
+            rows,
+        }],
+        results: vec![result],
+    }
+}

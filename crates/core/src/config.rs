@@ -37,7 +37,15 @@ impl Default for ZeusConfig {
             replication_degree: 3,
             store_shards: 64,
             worker_threads: 1,
-            lease_ticks: 10_000,
+            // 1 tick = 1 us in the threaded runtime. The failure detector
+            // must tolerate OS scheduling hiccups on loaded machines: with a
+            // 10 ms lease a busy node loop missed the window and got falsely
+            // expelled (the heartbeat re-admission path heals that, but each
+            // false view change still pauses ownership for a recovery
+            // round-trip). 200 ms lease + equal grace keeps detection fast
+            // enough for the fault-injection tests while staying far above
+            // scheduler noise.
+            lease_ticks: 200_000,
             max_ownership_retries: 256,
             retransmit_ticks: 64,
         }

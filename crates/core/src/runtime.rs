@@ -7,12 +7,13 @@
 //! while ownership is being acquired — exactly the blocking model of the
 //! paper (§3.2): transactions pipeline, ownership requests stall.
 
+use std::collections::VecDeque;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use zeus_net::{NodeMailbox, ThreadedNet};
+use zeus_net::{Envelope, NodeMailbox, ThreadedNet};
 use zeus_proto::{NodeId, ObjectId, OwnershipRequestKind, ReplicaSet, RequestId};
 
 use crate::config::ZeusConfig;
@@ -148,6 +149,7 @@ pub struct ThreadedCluster {
     handles: Vec<ZeusHandle>,
     threads: Vec<JoinHandle<()>>,
     shutdown: Vec<Sender<Command>>,
+    net: ThreadedNet<Message>,
 }
 
 impl ThreadedCluster {
@@ -176,6 +178,7 @@ impl ThreadedCluster {
             handles,
             threads,
             shutdown,
+            net,
         }
     }
 
@@ -196,6 +199,12 @@ impl ThreadedCluster {
         for handle in &self.handles {
             handle.create_object(object, data.clone(), replicas.clone());
         }
+    }
+
+    /// Transport-level traffic counters (messages, bytes, inbox high-water
+    /// mark) accumulated since the cluster started.
+    pub fn net_stats(&self) -> zeus_net::NetStats {
+        self.net.stats()
     }
 
     /// Aggregated statistics over all nodes.
@@ -230,41 +239,59 @@ impl Drop for ThreadedCluster {
     }
 }
 
+/// How long an idle node loop blocks waiting for the next event before
+/// re-checking periodic work. Bounds the latency of network traffic that
+/// arrives while the loop waits on the other channel (same bound the old
+/// unconditional 20 us idle sleep imposed), while commands/messages on the
+/// waited-on channel wake the loop immediately instead of after a sleep.
+const IDLE_WAIT: Duration = Duration::from_micros(20);
+
 /// The per-node event loop.
 fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiver<Command>) {
     let started = Instant::now();
     let mut parked: Vec<Parked> = Vec::new();
     let mut acquiring: Vec<AcquireWait> = Vec::new();
     let max_attempts = node.config().max_ownership_retries;
+    // Batch buffers: the shim's channels are Mutex-backed, so popping a
+    // burst one `try_recv` at a time pays one lock round-trip per message.
+    // Draining into these local buffers pays one per *batch* instead.
+    // `inbox_buf` may carry messages across loop iterations (the
+    // parked-transaction early exit below), preserving arrival order.
+    let mut inbox_buf: VecDeque<Envelope<Message>> = VecDeque::new();
+    let mut drain_buf: Vec<Envelope<Message>> = Vec::new();
+    let mut cmd_buf: Vec<Command> = Vec::new();
     loop {
         let mut did_work = false;
 
-        // 1. Network traffic.
-        for _ in 0..256 {
-            match mailbox.try_recv() {
-                Some(env) => {
-                    node.handle_message(env.from, env.msg);
-                    did_work = true;
-                    // If an ownership acquisition just completed for a parked
-                    // transaction, run it before processing more messages —
-                    // otherwise a competing node's request in the same batch
-                    // could steal the object back before the transaction ever
-                    // executes (ownership ping-pong under heavy contention).
-                    if parked
-                        .iter()
-                        .any(|p| matches!(requests_state(&node, &p.requests), Some(Ok(()))))
-                    {
-                        break;
-                    }
-                }
-                None => break,
+        // 1. Network traffic: drain the mailbox into the local batch, then
+        //    process from the batch.
+        if inbox_buf.is_empty() {
+            mailbox.drain_into(&mut drain_buf, 256);
+            inbox_buf.extend(drain_buf.drain(..));
+        }
+        while let Some(env) = inbox_buf.pop_front() {
+            node.handle_message(env.from, env.msg);
+            did_work = true;
+            // If an ownership acquisition just completed for a parked
+            // transaction, run it before processing more messages —
+            // otherwise a competing node's request in the same batch
+            // could steal the object back before the transaction ever
+            // executes (ownership ping-pong under heavy contention). The
+            // unprocessed rest of the batch stays in `inbox_buf` for the
+            // next iteration.
+            if parked
+                .iter()
+                .any(|p| matches!(requests_state(&node, &p.requests), Some(Ok(()))))
+            {
+                break;
             }
         }
 
-        // 2. Client commands.
-        for _ in 0..64 {
-            match commands.try_recv() {
-                Ok(Command::Write { mut tx, reply }) => {
+        // 2. Client commands: batch-drain, then process the whole batch.
+        commands.drain_into(&mut cmd_buf, 64);
+        for command in cmd_buf.drain(..) {
+            match command {
+                Command::Write { mut tx, reply } => {
                     did_work = true;
                     match attempt_write(&mut node, tx.as_mut()) {
                         AttemptResult::Done(result) => {
@@ -279,7 +306,7 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
                         }),
                     }
                 }
-                Ok(Command::Read { mut tx, reply }) => {
+                Command::Read { mut tx, reply } => {
                     did_work = true;
                     // Read-only transactions abort on in-flight reliable
                     // commits (§5.3); retry locally after letting the commit
@@ -298,13 +325,24 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
                                 // for protocol traffic (R-ACKs/R-VALs) to
                                 // arrive instead of spinning — the retry
                                 // budget must span real time, not
-                                // microseconds of busy-polling.
+                                // microseconds of busy-polling. Any messages
+                                // already batched locally are handled first
+                                // so per-link arrival order is preserved.
+                                while let Some(env) = inbox_buf.pop_front() {
+                                    node.handle_message(env.from, env.msg);
+                                }
                                 if let Some(env) = mailbox.recv_timeout(Duration::from_micros(200))
                                 {
                                     node.handle_message(env.from, env.msg);
                                 }
-                                while let Some(env) = mailbox.try_recv() {
-                                    node.handle_message(env.from, env.msg);
+                                loop {
+                                    let n = mailbox.drain_into(&mut drain_buf, 256);
+                                    for env in drain_buf.drain(..) {
+                                        node.handle_message(env.from, env.msg);
+                                    }
+                                    if n < 256 {
+                                        break;
+                                    }
                                 }
                                 node.tick(started.elapsed().as_micros() as u64);
                                 for (to, msg) in node.drain_outbox() {
@@ -320,28 +358,27 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
                     }
                     let _ = reply.send(result);
                 }
-                Ok(Command::Acquire {
+                Command::Acquire {
                     object,
                     kind,
                     reply,
-                }) => {
+                } => {
                     did_work = true;
                     let request = node.acquire(object, kind);
                     acquiring.push(AcquireWait { request, reply });
                 }
-                Ok(Command::CreateObject {
+                Command::CreateObject {
                     object,
                     data,
                     replicas,
-                }) => {
+                } => {
                     did_work = true;
                     node.create_object(object, data, replicas);
                 }
-                Ok(Command::Stats { reply }) => {
+                Command::Stats { reply } => {
                     let _ = reply.send((node.stats(), node.ownership_latency().clone()));
                 }
-                Ok(Command::Shutdown) => return,
-                Err(_) => break,
+                Command::Shutdown => return,
             }
         }
 
@@ -427,8 +464,20 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
         node.tick(started.elapsed().as_micros() as u64);
 
         if !did_work {
-            // Nothing to do right now: yield briefly instead of burning CPU.
-            std::thread::sleep(Duration::from_micros(20));
+            // Nothing to do right now: block on the channel the next event
+            // is expected on instead of sleeping a fixed interval. A new
+            // client command (the common idle case) wakes the loop
+            // immediately — previously every idle->busy transition ate up
+            // to a full 20 us sleep, which dominated closed-loop
+            // transaction latency. Traffic on the *other* channel waits at
+            // most IDLE_WAIT, exactly the bound the old sleep imposed.
+            if parked.is_empty() && acquiring.is_empty() {
+                if let Ok(command) = commands.recv_timeout(IDLE_WAIT) {
+                    cmd_buf.push(command);
+                }
+            } else if let Some(env) = mailbox.recv_timeout(IDLE_WAIT) {
+                inbox_buf.push_back(env);
+            }
         }
     }
 }

@@ -43,6 +43,10 @@ pub struct MembershipEngine {
     /// Peers whose duplicate RecoveryDone we already answered this epoch
     /// (termination guard, see `on_message`).
     recovery_replied_to: HashSet<NodeId>,
+    /// Nodes removed administratively (scale-in / crash injection). Unlike a
+    /// lease expiry these must NOT be re-admitted when a heartbeat arrives:
+    /// the operator said they are gone.
+    removed_by_admin: HashSet<NodeId>,
 }
 
 impl MembershipEngine {
@@ -65,6 +69,7 @@ impl MembershipEngine {
             recovery_announced: false,
             ownership_enabled: true,
             recovery_replied_to: HashSet::new(),
+            removed_by_admin: HashSet::new(),
         }
     }
 
@@ -165,6 +170,21 @@ impl MembershipEngine {
         match msg {
             MembershipMsg::Heartbeat { from, .. } => {
                 self.leases.renew(from, now);
+                // A heartbeat from a node outside the view means the failure
+                // detector was wrong: the node is alive but its lease lapsed
+                // (e.g. the manager was too overloaded to process heartbeats
+                // in time). Without re-admission the cluster wedges: the
+                // expelled node keeps (re)issuing requests with its stale
+                // epoch and every peer silently drops them. Re-admit it
+                // through a regular view change; the recovery barrier then
+                // resynchronises its epoch and protocol state. Nodes removed
+                // *administratively* stay out.
+                if self.is_manager()
+                    && !self.view.is_live(from)
+                    && !self.removed_by_admin.contains(&from)
+                {
+                    return self.rejoin(from, now);
+                }
                 Vec::new()
             }
             MembershipMsg::ViewChange { epoch, live } => {
@@ -205,6 +225,7 @@ impl MembershipEngine {
     /// Administratively removes a node (used by tests and by the harness to
     /// model an operator-initiated scale-in). Only meaningful on the manager.
     pub fn force_remove(&mut self, node: NodeId) -> Vec<MembershipEvent> {
+        self.removed_by_admin.insert(node);
         if !self.view.is_live(node) {
             return Vec::new();
         }
@@ -219,6 +240,13 @@ impl MembershipEngine {
 
     /// Administratively adds a node (scale-out).
     pub fn force_add(&mut self, node: NodeId, now: u64) -> Vec<MembershipEvent> {
+        self.removed_by_admin.remove(&node);
+        self.rejoin(node, now)
+    }
+
+    /// Admits `node` into the next view (shared by scale-out and the
+    /// falsely-suspected-node heartbeat path).
+    fn rejoin(&mut self, node: NodeId, now: u64) -> Vec<MembershipEvent> {
         if self.view.is_live(node) {
             return Vec::new();
         }
@@ -404,6 +432,65 @@ mod tests {
             10,
         );
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn falsely_suspected_node_rejoins_on_heartbeat() {
+        let mut m = MembershipEngine::new(NodeId(0), 3, 100);
+        // Node 1 misses its lease (e.g. its heartbeats sat unprocessed in an
+        // overloaded manager inbox) and gets expelled...
+        m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(2),
+                epoch: Epoch::ZERO,
+            },
+            390,
+        );
+        m.tick(400);
+        assert!(!m.is_live(NodeId(1)));
+        let expelled_epoch = m.epoch();
+        // ...but it is actually alive: its next heartbeat must re-admit it,
+        // otherwise the cluster wedges (the expelled node keeps issuing
+        // requests with a stale epoch that everyone silently drops).
+        let events = m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(1),
+                epoch: Epoch::ZERO,
+            },
+            450,
+        );
+        assert!(m.is_live(NodeId(1)), "heartbeating node must rejoin");
+        assert!(m.epoch() > expelled_epoch);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                MembershipEvent::Broadcast(MembershipMsg::ViewChange { .. })
+            )),
+            "the re-admitting view change must be broadcast"
+        );
+    }
+
+    #[test]
+    fn admin_removed_node_stays_out_despite_heartbeats() {
+        let mut m = MembershipEngine::new(NodeId(0), 3, 100);
+        m.force_remove(NodeId(1));
+        let epoch = m.epoch();
+        let events = m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(1),
+                epoch: Epoch::ZERO,
+            },
+            50,
+        );
+        assert!(
+            events.is_empty(),
+            "scale-in must not be undone by heartbeats"
+        );
+        assert!(!m.is_live(NodeId(1)));
+        assert_eq!(m.epoch(), epoch);
+        // An explicit force_add lifts the ban.
+        m.force_add(NodeId(1), 100);
+        assert!(m.is_live(NodeId(1)));
     }
 
     #[test]

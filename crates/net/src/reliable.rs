@@ -55,6 +55,8 @@ struct RecvLink<M> {
     next_expected: u64,
     /// Out-of-order messages buffered until the gap fills.
     buffered: BTreeMap<u64, M>,
+    /// Whether data arrived since the last cumulative ack was flushed.
+    ack_pending: bool,
 }
 
 impl<M> Default for RecvLink<M> {
@@ -62,6 +64,7 @@ impl<M> Default for RecvLink<M> {
         RecvLink {
             next_expected: 0,
             buffered: BTreeMap::new(),
+            ack_pending: false,
         }
     }
 }
@@ -139,14 +142,13 @@ impl<M: Clone> ReliableEndpoint<M> {
                         link.next_expected += 1;
                     }
                 }
-                // Always (re)send a cumulative ack so lost acks recover.
-                let next_expected = link.next_expected;
-                self.outbox.push(Envelope::with_payload_bytes(
-                    self.local,
-                    from,
-                    ReliableMsg::Ack { next_expected },
-                    16,
-                ));
+                // Coalesce acks: mark the link dirty instead of emitting one
+                // ack per data message; `take_outgoing` flushes a single
+                // cumulative ack per link covering the whole batch. Every
+                // data message still (eventually) triggers an ack — also on
+                // duplicates, so lost acks recover — but a burst of N
+                // messages costs one ack instead of N.
+                link.ack_pending = true;
             }
             ReliableMsg::Ack { next_expected } => {
                 if let Some(link) = self.send_links.get_mut(&from) {
@@ -177,8 +179,23 @@ impl<M: Clone> ReliableEndpoint<M> {
         }
     }
 
-    /// Drains the wire messages produced since the last call.
+    /// Drains the wire messages produced since the last call, appending one
+    /// coalesced cumulative ack for every link that received data since the
+    /// previous flush.
     pub fn take_outgoing(&mut self) -> Vec<Envelope<ReliableMsg<M>>> {
+        for (&from, link) in &mut self.recv_links {
+            if link.ack_pending {
+                link.ack_pending = false;
+                self.outbox.push(Envelope::with_payload_bytes(
+                    self.local,
+                    from,
+                    ReliableMsg::Ack {
+                        next_expected: link.next_expected,
+                    },
+                    16,
+                ));
+            }
+        }
         std::mem::take(&mut self.outbox)
     }
 
@@ -285,6 +302,34 @@ mod tests {
         ep.on_receive(NodeId(0), ReliableMsg::Data { seq: 0, payload: 0 }, 0);
         let delivered: Vec<u32> = ep.take_delivered().into_iter().map(|(_, m)| m).collect();
         assert_eq!(delivered, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn acks_are_coalesced_per_link() {
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(2), 10);
+        for seq in 0..10 {
+            ep.on_receive(NodeId(0), ReliableMsg::Data { seq, payload: 1 }, 0);
+        }
+        ep.on_receive(NodeId(1), ReliableMsg::Data { seq: 0, payload: 2 }, 0);
+        let out = ep.take_outgoing();
+        // One cumulative ack per link, not one per data message.
+        let acks: Vec<_> = out
+            .iter()
+            .filter(|e| matches!(e.msg, ReliableMsg::Ack { .. }))
+            .collect();
+        assert_eq!(acks.len(), 2);
+        let to_node0 = acks.iter().find(|e| e.to == NodeId(0)).unwrap();
+        assert!(matches!(
+            to_node0.msg,
+            ReliableMsg::Ack { next_expected: 10 }
+        ));
+        // Nothing new arrived: the next flush carries no acks.
+        assert!(ep.take_outgoing().is_empty());
+        // A duplicate still re-arms the ack so lost acks recover.
+        ep.on_receive(NodeId(0), ReliableMsg::Data { seq: 3, payload: 1 }, 1);
+        let out = ep.take_outgoing();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].msg, ReliableMsg::Ack { next_expected: 10 }));
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct NetStats {
     pub bytes_sent: u64,
     /// Total bytes delivered.
     pub bytes_delivered: u64,
+    /// High-water mark of any receiver inbox depth (messages queued but not
+    /// yet drained). The threaded transport's channels are unbounded, so
+    /// this is the backpressure signal the bench harness reports: a growing
+    /// mark means a node loop is falling behind its peers.
+    pub queue_depth_hwm: u64,
     /// Per-sender message counts.
     pub per_sender: HashMap<NodeId, u64>,
 }
@@ -56,6 +61,11 @@ impl NetStats {
         self.messages_duplicated += 1;
     }
 
+    /// Records an observed receiver-inbox depth, keeping the maximum.
+    pub fn record_queue_depth(&mut self, depth: usize) {
+        self.queue_depth_hwm = self.queue_depth_hwm.max(depth as u64);
+    }
+
     /// Average wire bytes per sent message, or 0 if nothing was sent.
     pub fn avg_message_bytes(&self) -> f64 {
         if self.messages_sent == 0 {
@@ -74,6 +84,7 @@ impl NetStats {
         self.messages_duplicated += other.messages_duplicated;
         self.bytes_sent += other.bytes_sent;
         self.bytes_delivered += other.bytes_delivered;
+        self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
         for (node, count) in &other.per_sender {
             *self.per_sender.entry(*node).or_insert(0) += count;
         }
@@ -108,14 +119,26 @@ mod tests {
     }
 
     #[test]
+    fn queue_depth_keeps_high_water_mark() {
+        let mut s = NetStats::new();
+        s.record_queue_depth(3);
+        s.record_queue_depth(9);
+        s.record_queue_depth(4);
+        assert_eq!(s.queue_depth_hwm, 9);
+    }
+
+    #[test]
     fn merge_adds_counters() {
         let mut a = NetStats::new();
         a.record_send(NodeId(0), 10);
+        a.record_queue_depth(2);
         let mut b = NetStats::new();
         b.record_send(NodeId(0), 20);
         b.record_send(NodeId(1), 5);
         b.record_delivery(20);
+        b.record_queue_depth(7);
         a.merge(&b);
+        assert_eq!(a.queue_depth_hwm, 7);
         assert_eq!(a.messages_sent, 3);
         assert_eq!(a.bytes_sent, 35);
         assert_eq!(a.messages_delivered, 1);

@@ -19,21 +19,45 @@ use crate::stats::NetStats;
 pub struct SharedCounters {
     messages: AtomicU64,
     bytes: AtomicU64,
+    /// Deepest receiver inbox observed at send time. The channels are
+    /// unbounded, so this is the only backpressure signal: it tells the
+    /// bench harness how far the slowest node loop fell behind.
+    queue_hwm: AtomicU64,
+    /// Sends that failed (closed inbox / unknown peer); subtracted from the
+    /// delivered counters so traffic into the void is not reported as
+    /// delivered.
+    dropped_messages: AtomicU64,
+    dropped_bytes: AtomicU64,
 }
 
 impl SharedCounters {
-    fn record(&self, bytes: usize) {
+    fn record(&self, bytes: usize, queue_depth: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.queue_hwm
+            .fetch_max(queue_depth as u64, Ordering::Relaxed);
     }
 
-    /// Snapshot of the counters as [`NetStats`].
+    /// Records a send that never reached an inbox (unknown peer, or the
+    /// destination's node thread exited and closed its channel).
+    fn record_failed(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.dropped_messages.fetch_add(1, Ordering::Relaxed);
+        self.dropped_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters as [`NetStats`]: delivered = sent minus the
+    /// sends that failed (closed inbox / unknown peer).
     pub fn snapshot(&self) -> NetStats {
         let mut s = NetStats::new();
         s.messages_sent = self.messages.load(Ordering::Relaxed);
-        s.messages_delivered = s.messages_sent;
         s.bytes_sent = self.bytes.load(Ordering::Relaxed);
-        s.bytes_delivered = s.bytes_sent;
+        s.messages_dropped = self.dropped_messages.load(Ordering::Relaxed);
+        s.messages_delivered = s.messages_sent - s.messages_dropped;
+        s.bytes_delivered = s.bytes_sent - self.dropped_bytes.load(Ordering::Relaxed);
+        s.queue_depth_hwm = self.queue_hwm.load(Ordering::Relaxed);
         s
     }
 }
@@ -67,10 +91,28 @@ impl<M> NodeMailbox<M> {
     /// thread exited), which callers treat like a crashed peer.
     pub fn send(&self, to: NodeId, msg: M, payload_bytes: usize) -> bool {
         let env = Envelope::with_payload_bytes(self.id, to, msg, payload_bytes);
-        self.counters.record(env.wire_bytes);
+        let wire_bytes = env.wire_bytes;
         match self.peers.get(to.index()) {
-            Some(tx) => tx.send(env).is_ok(),
-            None => false,
+            Some(tx) => {
+                // `send_counting` reports the depth right after the push
+                // under the send's own lock, so the high-water mark counts
+                // this message even if the receiver drains it instantly —
+                // without a second lock acquisition per send.
+                match tx.send_counting(env) {
+                    Ok(depth) => {
+                        self.counters.record(wire_bytes, depth);
+                        true
+                    }
+                    Err(_) => {
+                        self.counters.record_failed(wire_bytes);
+                        false
+                    }
+                }
+            }
+            None => {
+                self.counters.record_failed(wire_bytes);
+                false
+            }
         }
     }
 
@@ -80,6 +122,14 @@ impl<M> NodeMailbox<M> {
             Ok(env) => Some(env),
             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
         }
+    }
+
+    /// Drains up to `max` queued envelopes into `buf` with a single channel
+    /// lock acquisition, returning how many were moved. The batched
+    /// counterpart of [`NodeMailbox::try_recv`] used by the node event
+    /// loops: one lock round-trip per *batch* instead of per message.
+    pub fn drain_into(&self, buf: &mut Vec<Envelope<M>>, max: usize) -> usize {
+        self.inbox.drain_into(buf, max)
     }
 
     /// Blocking receive with a timeout; `None` on timeout or disconnection.
@@ -172,6 +222,12 @@ mod tests {
         let net: ThreadedNet<u32> = ThreadedNet::new(2);
         let a = net.mailbox(NodeId(0));
         assert!(!a.send(NodeId(9), 1, 4));
+        // A failed send counts as dropped, not delivered.
+        let stats = net.stats();
+        assert_eq!(stats.messages_sent, 1);
+        assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.messages_delivered, 0);
+        assert_eq!(stats.bytes_delivered, 0);
     }
 
     #[test]
@@ -203,6 +259,37 @@ mod tests {
             a.send(NodeId(1), i, 8);
         }
         assert_eq!(handle.join().unwrap(), 5050);
+    }
+
+    #[test]
+    fn drain_into_batches_the_inbox() {
+        let net: ThreadedNet<u32> = ThreadedNet::new(2);
+        let a = net.mailbox(NodeId(0));
+        let b = net.mailbox(NodeId(1));
+        for i in 0..6 {
+            a.send(NodeId(1), i, 4);
+        }
+        let mut buf = Vec::new();
+        assert_eq!(b.drain_into(&mut buf, 4), 4);
+        assert_eq!(b.drain_into(&mut buf, 4), 2);
+        let values: Vec<u32> = buf.iter().map(|e| e.msg).collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 4, 5]);
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn queue_depth_high_water_mark_sticks() {
+        let net: ThreadedNet<u32> = ThreadedNet::new(2);
+        let a = net.mailbox(NodeId(0));
+        let b = net.mailbox(NodeId(1));
+        for i in 0..5 {
+            a.send(NodeId(1), i, 4);
+        }
+        assert!(net.stats().queue_depth_hwm >= 5);
+        while b.try_recv().is_some() {}
+        a.send(NodeId(1), 9, 4);
+        // Draining the inbox must not reset the high-water mark.
+        assert!(net.stats().queue_depth_hwm >= 5);
     }
 
     #[test]

@@ -126,6 +126,14 @@ pub mod channel {
         ///
         /// Returns `Err` with the message if every receiver has dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.send_counting(msg).map(|_| ())
+        }
+
+        /// Sends `msg` like [`Sender::send`] and returns the queue depth
+        /// right after the push. (Shim-only extension: callers that track
+        /// backpressure would otherwise pay a second lock acquisition for a
+        /// separate `len()` call on every send.)
+        pub fn send_counting(&self, msg: T) -> Result<usize, SendError<T>> {
             let mut state = self.shared.state.lock().unwrap();
             loop {
                 if state.receivers == 0 {
@@ -139,9 +147,10 @@ pub mod channel {
                 }
             }
             state.queue.push_back(msg);
+            let depth = state.queue.len();
             drop(state);
             self.shared.not_empty.notify_one();
-            Ok(())
+            Ok(depth)
         }
 
         /// Number of messages currently queued.
@@ -242,6 +251,29 @@ pub mod channel {
             self.len() == 0
         }
 
+        /// Pops up to `max` queued messages into `buf` under a single lock
+        /// acquisition, returning how many were moved.
+        ///
+        /// This is the batched-receive fast path: with this channel's
+        /// `Mutex<VecDeque>` implementation, draining a burst one
+        /// `try_recv` at a time pays one lock round-trip (plus a condvar
+        /// notify) per message, which dominates the cost of hot receive
+        /// loops. (The real `crossbeam` has no equivalent; this shim-only
+        /// extension exists for the node event loops.)
+        pub fn drain_into(&self, buf: &mut Vec<T>, max: usize) -> usize {
+            if max == 0 {
+                return 0;
+            }
+            let mut state = self.shared.state.lock().unwrap();
+            let n = max.min(state.queue.len());
+            buf.extend(state.queue.drain(..n));
+            drop(state);
+            if n > 0 {
+                self.shared.not_full.notify_all();
+            }
+            n
+        }
+
         /// Blocking iterator over received messages; ends at disconnection.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { receiver: self }
@@ -332,6 +364,35 @@ pub mod channel {
                 tx.send(i).unwrap();
             }
             assert_eq!(handle.join().unwrap(), 5050);
+        }
+
+        #[test]
+        fn drain_into_moves_a_batch_under_one_lock() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            let mut buf = Vec::new();
+            assert_eq!(rx.drain_into(&mut buf, 4), 4);
+            assert_eq!(buf, vec![0, 1, 2, 3]);
+            assert_eq!(rx.drain_into(&mut buf, 100), 6);
+            assert_eq!(buf.len(), 10);
+            assert_eq!(rx.drain_into(&mut buf, 100), 0);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn drain_into_unblocks_bounded_senders() {
+            let (tx, rx) = bounded(2);
+            tx.send(1u32).unwrap();
+            tx.send(2).unwrap();
+            let handle = thread::spawn(move || tx.send(3).is_ok());
+            let mut buf = Vec::new();
+            // Draining must notify `not_full` so the blocked sender resumes.
+            while rx.drain_into(&mut buf, 8) == 0 {
+                std::thread::yield_now();
+            }
+            assert!(handle.join().unwrap());
         }
 
         #[test]
