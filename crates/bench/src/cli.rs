@@ -36,6 +36,10 @@ pub struct Args {
     pub list: bool,
     /// Compare two report files and exit.
     pub diff: Option<(PathBuf, PathBuf)>,
+    /// With `--diff`: exit non-zero if any scenario regressed by more than
+    /// this percentage (e.g. `10` = fail below 90% of baseline throughput).
+    /// `None` = report-only (the CI default: shared runners are noisy).
+    pub fail_on_regress: Option<f64>,
 }
 
 impl Default for Args {
@@ -48,6 +52,7 @@ impl Default for Args {
             out: PathBuf::from("."),
             list: false,
             diff: None,
+            fail_on_regress: None,
         }
     }
 }
@@ -87,6 +92,15 @@ impl Args {
                     let b = PathBuf::from(value(&mut it, "--diff")?);
                     args.diff = Some((a, b));
                 }
+                "--fail-on-regress" => {
+                    let pct: f64 = value(&mut it, "--fail-on-regress")?
+                        .parse()
+                        .map_err(|_| "--fail-on-regress needs a percentage".to_string())?;
+                    if !pct.is_finite() || pct < 0.0 {
+                        return Err("--fail-on-regress must be a non-negative percentage".into());
+                    }
+                    args.fail_on_regress = Some(pct);
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
             }
@@ -97,7 +111,7 @@ impl Args {
 
 const USAGE: &str =
     "usage: bench [--smoke] [--tag TAG] [--seed N] [--scenario NAME]... [--out DIR] [--list]
-       bench --diff BASELINE.json NEW.json";
+       bench --diff BASELINE.json NEW.json [--fail-on-regress PCT]";
 
 /// Entry point of the unified driver; returns the process exit code.
 pub fn run_driver() -> i32 {
@@ -116,7 +130,7 @@ pub fn run_driver() -> i32 {
         return 0;
     }
     if let Some((baseline, new)) = &args.diff {
-        return run_diff(baseline, new);
+        return run_diff(baseline, new, args.fail_on_regress);
     }
     run_scenarios(&args)
 }
@@ -210,7 +224,7 @@ fn run_scenarios(args: &Args) -> i32 {
     0
 }
 
-fn run_diff(baseline: &Path, new: &Path) -> i32 {
+fn run_diff(baseline: &Path, new: &Path, fail_on_regress: Option<f64>) -> i32 {
     let (base, new_report) = match (BenchReport::load(baseline), BenchReport::load(new)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => {
@@ -239,6 +253,7 @@ fn run_diff(baseline: &Path, new: &Path) -> i32 {
         );
         return 1;
     }
+    let mut regressions = Vec::new();
     for (label, base_ops, new_ops, delta) in rows {
         println!(
             "{:<52} {:>14.0} {:>14.0} {:>+7.1}%",
@@ -247,6 +262,19 @@ fn run_diff(baseline: &Path, new: &Path) -> i32 {
             new_ops,
             delta * 100.0
         );
+        if let Some(pct) = fail_on_regress {
+            if delta * 100.0 < -pct {
+                regressions.push(format!("{label}: {:+.1}%", delta * 100.0));
+            }
+        }
+    }
+    if !regressions.is_empty() {
+        let pct = fail_on_regress.unwrap_or(0.0);
+        eprintln!("regressions beyond the {pct}% threshold:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        return 1;
     }
     0
 }
@@ -304,5 +332,37 @@ mod tests {
             args.diff,
             Some((PathBuf::from("a.json"), PathBuf::from("b.json")))
         );
+        assert_eq!(args.fail_on_regress, None, "report-only by default");
+    }
+
+    #[test]
+    fn parses_fail_on_regress() {
+        let args = parse(&["--diff", "a.json", "b.json", "--fail-on-regress", "10"]).unwrap();
+        assert_eq!(args.fail_on_regress, Some(10.0));
+        assert!(parse(&["--fail-on-regress", "abc"]).is_err());
+        assert!(parse(&["--fail-on-regress", "-3"]).is_err());
+    }
+
+    #[test]
+    fn diff_gate_fails_on_regression_beyond_threshold() {
+        use crate::report::{BenchReport, ScenarioResult};
+        let dir = std::env::temp_dir().join(format!("zeus-bench-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |tag: &str, ops: f64| {
+            let mut report = BenchReport::new(tag, "smoke", 1);
+            let mut r = ScenarioResult::new("fig08_smallbank");
+            r.throughput_ops = ops;
+            report.results.push(r);
+            let path = dir.join(format!("BENCH_{tag}.json"));
+            report.write(&path).unwrap();
+            path
+        };
+        let base = mk("base", 1000.0);
+        let slow = mk("slow", 800.0);
+        // 20% regression: report-only passes, a 10% gate fails, 30% passes.
+        assert_eq!(run_diff(&base, &slow, None), 0);
+        assert_eq!(run_diff(&base, &slow, Some(10.0)), 1);
+        assert_eq!(run_diff(&base, &slow, Some(30.0)), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

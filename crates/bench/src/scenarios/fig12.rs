@@ -28,6 +28,7 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
         drop_probability: 0.0,
         duplicate_probability: 0.0,
         seed: ctx.seed,
+        link_overrides: Vec::new(),
     };
 
     // Experiment 1: idle bulk migration.

@@ -1,0 +1,5 @@
+//! Deterministic chaos explorer (see `zeus_chaos::cli` for the flags).
+
+fn main() {
+    std::process::exit(zeus_chaos::cli::run_driver());
+}

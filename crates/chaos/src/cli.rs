@@ -1,0 +1,352 @@
+//! Command-line front end of the `chaos` binary.
+//!
+//! ```text
+//! chaos --smoke [--seed N] [--schedules N] [--tag TAG] [--out DIR]
+//! chaos --full --budget-secs S [--seed N] [--tag TAG] [--out DIR]
+//! chaos --replay FILE...
+//! chaos --corpus DIR
+//! chaos ... --inject-bug no-readmit      (validate the explorer itself)
+//! ```
+//!
+//! Exploration writes a `BENCH_<tag>.json` report in the bench schema so
+//! the CI sim-sweep job consumes the same artifact format as the perf
+//! gate. A found violation writes the failing schedule and its shrunk
+//! repro as corpus-format JSON into `--out` and exits non-zero; promoting
+//! a shrunk repro into `tests/chaos_corpus/` turns it into a permanent
+//! regression test.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use zeus_bench::report::{BenchReport, ScenarioResult};
+
+use crate::explore::{explore, ExploreConfig};
+use crate::runner::{run_schedule, RunOptions};
+use crate::schedule::Schedule;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Fixed-count exploration (200 schedules by default).
+    pub smoke: bool,
+    /// Wall-clock-budgeted exploration.
+    pub full: bool,
+    /// Budget for `--full`, in seconds.
+    pub budget_secs: u64,
+    /// Base seed of the exploration.
+    pub seed: u64,
+    /// Schedule count for `--smoke`.
+    pub schedules: u64,
+    /// Report tag (`BENCH_<tag>.json`).
+    pub tag: String,
+    /// Output directory for the report and failure artifacts.
+    pub out: PathBuf,
+    /// Corpus files to replay.
+    pub replay: Vec<PathBuf>,
+    /// Corpus directory to replay (every `*.json` inside).
+    pub corpus: Option<PathBuf>,
+    /// Deliberately injected bug (`no-readmit`), used to validate that the
+    /// explorer catches known-bad behaviour.
+    pub inject_bug: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            smoke: false,
+            full: false,
+            budget_secs: 60,
+            seed: 42,
+            schedules: 200,
+            tag: "chaos".into(),
+            out: PathBuf::from("."),
+            replay: Vec::new(),
+            corpus: None,
+            inject_bug: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: chaos --smoke [--seed N] [--schedules N] [--tag TAG] [--out DIR]
+       chaos --full --budget-secs S [--seed N] [--tag TAG] [--out DIR]
+       chaos --replay FILE...
+       chaos --corpus DIR
+       chaos ... --inject-bug no-readmit";
+
+impl Args {
+    /// Parses an argument list (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter();
+        let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let int = |v: String, flag: &str| -> Result<u64, String> {
+            v.parse().map_err(|_| format!("{flag} needs an integer"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--smoke" => args.smoke = true,
+                "--full" => args.full = true,
+                "--budget-secs" => {
+                    args.budget_secs = int(value(&mut it, "--budget-secs")?, "--budget-secs")?;
+                }
+                "--seed" => {
+                    let seed = int(value(&mut it, "--seed")?, "--seed")?;
+                    // The report schema stores numbers as f64.
+                    if seed > (1u64 << 53) {
+                        return Err("--seed must be at most 2^53".into());
+                    }
+                    args.seed = seed;
+                }
+                "--schedules" => {
+                    args.schedules = int(value(&mut it, "--schedules")?, "--schedules")?.max(1);
+                }
+                "--tag" => args.tag = value(&mut it, "--tag")?,
+                "--out" => args.out = PathBuf::from(value(&mut it, "--out")?),
+                "--replay" => args.replay.push(PathBuf::from(value(&mut it, "--replay")?)),
+                "--corpus" => args.corpus = Some(PathBuf::from(value(&mut it, "--corpus")?)),
+                "--inject-bug" => {
+                    let bug = value(&mut it, "--inject-bug")?;
+                    if bug != "no-readmit" {
+                        return Err(format!("unknown bug '{bug}' (known: no-readmit)"));
+                    }
+                    args.inject_bug = Some(bug);
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+            }
+        }
+        if !args.smoke && !args.full && args.replay.is_empty() && args.corpus.is_none() {
+            return Err(format!("nothing to do\n{USAGE}"));
+        }
+        if args.smoke && args.full {
+            return Err("--smoke and --full are mutually exclusive".into());
+        }
+        Ok(args)
+    }
+
+    fn run_options(&self) -> RunOptions {
+        RunOptions {
+            readmit_suspects: self.inject_bug.as_deref() != Some("no-readmit"),
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// Entry point of the `chaos` binary; returns the process exit code.
+pub fn run_driver() -> i32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let mut results: Vec<ScenarioResult> = Vec::new();
+    let mut failed = false;
+
+    // Corpus / file replays first (fast, independent of exploration).
+    let mut replay_files = args.replay.clone();
+    if let Some(dir) = &args.corpus {
+        match corpus_files(dir) {
+            Ok(files) => replay_files.extend(files),
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    }
+    if !replay_files.is_empty() {
+        let (result, ok) = replay(&replay_files, &args.run_options());
+        results.push(result);
+        failed |= !ok;
+    }
+
+    if args.smoke || args.full {
+        let mode = if args.full { "full" } else { "smoke" };
+        let config = ExploreConfig {
+            seed: args.seed,
+            schedules: args.schedules,
+            time_budget: args.full.then(|| Duration::from_secs(args.budget_secs)),
+            run: args.run_options(),
+            ..ExploreConfig::default()
+        };
+        let outcome = explore(&config, |index, name, passed| {
+            if !passed {
+                eprintln!("!! schedule {index} ({name}) FAILED");
+            } else if index % 50 == 0 {
+                eprintln!("== schedule {index} ({name}) ok");
+            }
+        });
+        eprintln!(
+            "# explored {} schedules: {} writes, {} reads, {} failed ops",
+            outcome.ran,
+            outcome.totals.committed_writes,
+            outcome.totals.committed_reads,
+            outcome.totals.failed_ops
+        );
+        results.push(outcome.to_scenario_result(args.seed, mode));
+        if let Some(failure) = &outcome.failure {
+            failed = true;
+            eprintln!(
+                "VIOLATION [{}] at step {:?}: {}",
+                failure.violation.kind, failure.violation.step, failure.violation.detail
+            );
+            eprintln!(
+                "shrunk {} steps -> {} steps ({} shrink runs); shrunk violation [{}]: {}",
+                failure.schedule.steps.len(),
+                failure.shrunk.steps.len(),
+                failure.shrink_runs,
+                failure.shrunk_violation.kind,
+                failure.shrunk_violation.detail
+            );
+            for (label, schedule) in [("failing", &failure.schedule), ("shrunk", &failure.shrunk)] {
+                let path = args
+                    .out
+                    .join(format!("chaos_{label}_{}.json", schedule.name));
+                match std::fs::write(&path, schedule.to_corpus_string()) {
+                    Ok(()) => eprintln!("# wrote {}", path.display()),
+                    Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+                }
+            }
+            eprintln!(
+                "# replay with: chaos --replay <file>; promote the shrunk repro into tests/chaos_corpus/ to make it a regression test"
+            );
+        }
+    }
+
+    // Write and re-validate the report (same contract as the bench driver:
+    // the gate checks the artifact CI uploads).
+    let mut report = BenchReport::new(
+        &args.tag,
+        if args.full { "full" } else { "smoke" },
+        args.seed,
+    );
+    report.results = results;
+    let path = args.out.join(report.file_name());
+    if let Err(e) = report.write(&path) {
+        eprintln!("failed to write {}: {e}", path.display());
+        return 1;
+    }
+    match BenchReport::load(&path) {
+        Ok(r) => {
+            if let Err(e) = r.validate(&[]) {
+                eprintln!("report validation failed: {e}");
+                return 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("report failed to round-trip: {e}");
+            return 1;
+        }
+    }
+    println!("# wrote {}", path.display());
+    i32::from(failed)
+}
+
+/// Lists the corpus files of `dir`, sorted for deterministic replay order.
+pub fn corpus_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn replay(files: &[PathBuf], opts: &RunOptions) -> (ScenarioResult, bool) {
+    let mut violations = 0u64;
+    let mut stats_ticks: Vec<u64> = Vec::new();
+    let mut committed = 0u64;
+    for path in files {
+        let schedule = match std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))
+            .and_then(|text| Schedule::parse(&text).map_err(|e| format!("{}: {e}", path.display())))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("!! {e}");
+                violations += 1;
+                continue;
+            }
+        };
+        let outcome = run_schedule(&schedule, opts);
+        stats_ticks.push(outcome.stats.sim_ticks);
+        committed += outcome.stats.committed_writes + outcome.stats.committed_reads;
+        match &outcome.violation {
+            None => eprintln!("== corpus {} ok ({})", schedule.name, path.display()),
+            Some(v) => {
+                violations += 1;
+                eprintln!(
+                    "!! corpus {} FAILED [{}] at step {:?}: {}",
+                    schedule.name, v.kind, v.step, v.detail
+                );
+            }
+        }
+    }
+    let result = ScenarioResult::new("chaos_corpus")
+        .with_config("files", files.len())
+        .with_config("violations", violations)
+        .with_config("committed_ops", committed);
+    (result, violations == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_smoke_flags() {
+        let args = parse(&[
+            "--smoke",
+            "--seed",
+            "7",
+            "--schedules",
+            "50",
+            "--tag",
+            "CI",
+            "--out",
+            "/tmp",
+        ])
+        .unwrap();
+        assert!(args.smoke && !args.full);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.schedules, 50);
+        assert_eq!(args.tag, "CI");
+        assert_eq!(args.out, PathBuf::from("/tmp"));
+        assert!(args.run_options().readmit_suspects);
+    }
+
+    #[test]
+    fn parses_inject_bug_and_flips_the_knob() {
+        let args = parse(&["--smoke", "--inject-bug", "no-readmit"]).unwrap();
+        assert!(!args.run_options().readmit_suspects);
+        assert!(parse(&["--smoke", "--inject-bug", "frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse(&[]).is_err(), "nothing to do");
+        assert!(parse(&["--smoke", "--full"]).is_err());
+        assert!(parse(&["--smoke", "--seed", "abc"]).is_err());
+        assert!(parse(&["--smoke", "--seed", "10000000000000000"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn parses_replay_and_corpus() {
+        let args = parse(&["--replay", "a.json", "--replay", "b.json"]).unwrap();
+        assert_eq!(args.replay.len(), 2);
+        let args = parse(&["--corpus", "tests/chaos_corpus"]).unwrap();
+        assert_eq!(args.corpus, Some(PathBuf::from("tests/chaos_corpus")));
+    }
+}

@@ -1,0 +1,279 @@
+//! Seeded fault-schedule generation.
+//!
+//! [`generate_schedule`] derives one [`Schedule`] from a `(seed, index)`
+//! pair — identical inputs yield identical schedules, so an exploration run
+//! is fully described by its base seed and schedule count.
+//!
+//! The generator composes the fault vocabulary into *scenarios*, not just
+//! random steps: an `Isolate` is usually followed by an `Advance` long
+//! enough to blow the lease (false suspicion → expulsion → heal →
+//! re-admission), hot bursts create contended ownership handovers while
+//! faults are active, and crash/restart cycles exercise the rejoin reset.
+//! It respects the deployment's safety envelope: at most a minority of
+//! nodes is ever down (crashed or isolated) at once, and rejoin cycles per
+//! schedule are bounded — beyond that envelope the protocols make no
+//! guarantees (a majority of amnesiac directory replicas can lose data by
+//! design, as in the paper's f+1 fault model).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schedule::{ChaosStep, NetParams, Schedule};
+
+/// Mixes the base seed and schedule index into an RNG stream.
+fn rng_for(seed: u64, index: u64) -> StdRng {
+    // SplitMix-style mix so consecutive indices land far apart.
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Tracks the generator's view of injected faults so schedules stay inside
+/// the safety envelope.
+struct FaultState {
+    nodes: u16,
+    crashed: Vec<u16>,
+    isolated: Vec<u16>,
+    rejoin_cycles: u32,
+}
+
+impl FaultState {
+    fn down(&self) -> usize {
+        self.crashed.len() + self.isolated.len()
+    }
+
+    /// At most a minority of the cluster may be down at once.
+    fn may_take_down(&self) -> bool {
+        (self.down() + 1) * 2 < self.nodes as usize + 1
+    }
+
+    fn up_nodes(&self, rng: &mut StdRng) -> u16 {
+        loop {
+            let n = rng.gen_range(0..self.nodes);
+            if !self.crashed.contains(&n) && !self.isolated.contains(&n) {
+                return n;
+            }
+        }
+    }
+}
+
+/// Generates the `index`-th schedule of an exploration run based at `seed`.
+pub fn generate_schedule(seed: u64, index: u64) -> Schedule {
+    let mut rng = rng_for(seed, index);
+    let nodes: u16 = if rng.gen_bool(0.75) { 3 } else { 5 };
+    let objects: u64 = rng.gen_range(2..=5);
+    let lease_ticks: u64 = *pick(&mut rng, &[1_500, 2_000, 3_000]);
+    let drop_probability = *pick(&mut rng, &[0.0, 0.0, 0.0, 0.01, 0.03]);
+    let duplicate_probability = *pick(&mut rng, &[0.0, 0.0, 0.01]);
+    let mut net = NetParams {
+        min_delay: 1,
+        max_delay: *pick(&mut rng, &[4, 8, 16]),
+        drop_probability,
+        duplicate_probability,
+        // Keep the seed within f64-exact range: the corpus format stores
+        // numbers as JSON doubles.
+        seed: rng.gen::<u64>() & ((1 << 53) - 1),
+        links: Vec::new(),
+    };
+    // Occasionally add a heterogeneous (slow / flaky) link.
+    if rng.gen_bool(0.2) {
+        let from = rng.gen_range(0..nodes);
+        let mut to = rng.gen_range(0..nodes);
+        if to == from {
+            to = (to + 1) % nodes;
+        }
+        net.links
+            .push((from, to, 4, 32, *pick(&mut rng, &[0.0, 0.02])));
+    }
+
+    let mut state = FaultState {
+        nodes,
+        crashed: Vec::new(),
+        isolated: Vec::new(),
+        rejoin_cycles: 0,
+    };
+    let mut steps = Vec::new();
+    let len = rng.gen_range(14..=36);
+    while steps.len() < len {
+        let roll: u32 = rng.gen_range(0..100);
+        match roll {
+            // Plain workload.
+            0..=29 => steps.push(ChaosStep::Write {
+                node: state.up_nodes(&mut rng),
+                object: rng.gen_range(0..objects),
+            }),
+            30..=47 => steps.push(ChaosStep::Read {
+                node: state.up_nodes(&mut rng),
+                object: rng.gen_range(0..objects),
+            }),
+            48..=54 => steps.push(ChaosStep::Migrate {
+                node: state.up_nodes(&mut rng),
+                object: rng.gen_range(0..objects),
+            }),
+            // Contended handover burst across 2-3 live writers.
+            55..=61 => {
+                let mut writers = Vec::new();
+                for _ in 0..rng.gen_range(2..=3usize) {
+                    let w = state.up_nodes(&mut rng);
+                    if !writers.contains(&w) {
+                        writers.push(w);
+                    }
+                }
+                steps.push(ChaosStep::HotBurst {
+                    object: rng.gen_range(0..objects),
+                    writers,
+                    rounds: rng.gen_range(2..=4),
+                });
+            }
+            // Time.
+            62..=72 => steps.push(ChaosStep::Advance {
+                ticks: rng.gen_range(lease_ticks / 8..=lease_ticks),
+            }),
+            73..=77 => steps.push(ChaosStep::Settle { steps: 30_000 }),
+            // Crash / restart (operator-handled crash-stop).
+            78..=82 => {
+                if state.may_take_down() {
+                    let n = state.up_nodes(&mut rng);
+                    state.crashed.push(n);
+                    steps.push(ChaosStep::Crash { node: n });
+                }
+            }
+            83..=85 => {
+                if let Some(&n) = state.crashed.first() {
+                    if state.rejoin_cycles < 2 {
+                        state.crashed.retain(|&c| c != n);
+                        state.rejoin_cycles += 1;
+                        steps.push(ChaosStep::Restart { node: n });
+                        steps.push(ChaosStep::Advance {
+                            ticks: lease_ticks * 2,
+                        });
+                    }
+                }
+            }
+            // False suspicion: isolate, blow the lease, heal, re-admit.
+            86..=90 => {
+                if state.may_take_down() && state.rejoin_cycles < 2 {
+                    let n = state.up_nodes(&mut rng);
+                    state.isolated.push(n);
+                    steps.push(ChaosStep::Isolate { node: n });
+                    if rng.gen_bool(0.7) {
+                        // Long enough for expulsion (lease + grace = 2x).
+                        steps.push(ChaosStep::Advance {
+                            ticks: lease_ticks * 3,
+                        });
+                    } else {
+                        // Benign blip: heals before the lease runs out.
+                        steps.push(ChaosStep::Advance {
+                            ticks: lease_ticks / 2,
+                        });
+                    }
+                    if rng.gen_bool(0.8) {
+                        state.isolated.retain(|&i| i != n);
+                        state.rejoin_cycles += 1;
+                        steps.push(ChaosStep::HealNode { node: n });
+                        steps.push(ChaosStep::Advance {
+                            ticks: lease_ticks * 2,
+                        });
+                    }
+                }
+            }
+            // Asymmetric partition between two live nodes.
+            91..=93 => {
+                let a = state.up_nodes(&mut rng);
+                let b = state.up_nodes(&mut rng);
+                if a != b {
+                    steps.push(ChaosStep::PartitionPair { a, b });
+                    steps.push(ChaosStep::Advance {
+                        ticks: rng.gen_range(lease_ticks / 8..=lease_ticks / 2),
+                    });
+                    steps.push(ChaosStep::HealAll);
+                }
+            }
+            // Link-level noise.
+            94..=96 => steps.push(ChaosStep::Spike {
+                from: rng.gen_range(0..nodes),
+                to: rng.gen_range(0..nodes),
+                extra: rng.gen_range(20..=200),
+            }),
+            _ => steps.push(ChaosStep::DropBurst {
+                from: rng.gen_range(0..nodes),
+                to: rng.gen_range(0..nodes),
+                count: rng.gen_range(1..=12),
+            }),
+        }
+    }
+    // Close the schedule: heal everything, give re-admissions a window,
+    // then settle. The runner's oracle settle re-checks all of this.
+    steps.push(ChaosStep::HealAll);
+    for &n in state.isolated.iter() {
+        steps.push(ChaosStep::HealNode { node: n });
+    }
+    steps.push(ChaosStep::Advance {
+        ticks: lease_ticks * 2,
+    });
+    steps.push(ChaosStep::Settle { steps: 60_000 });
+
+    Schedule {
+        name: format!("seed{seed}-{index:04}"),
+        seed,
+        nodes,
+        objects,
+        lease_ticks,
+        net,
+        steps,
+    }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, options: &'a [T]) -> &'a T {
+    &options[rng.gen_range(0..options.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for index in 0..20 {
+            assert_eq!(generate_schedule(42, index), generate_schedule(42, index));
+        }
+        assert_ne!(generate_schedule(42, 0), generate_schedule(43, 0));
+        assert_ne!(generate_schedule(42, 0), generate_schedule(42, 1));
+    }
+
+    #[test]
+    fn schedules_round_trip_through_the_corpus_format() {
+        for index in 0..50 {
+            let s = generate_schedule(7, index);
+            let parsed = crate::schedule::Schedule::parse(&s.to_corpus_string()).unwrap();
+            assert_eq!(parsed, s, "index {index}");
+        }
+    }
+
+    #[test]
+    fn schedules_respect_the_safety_envelope() {
+        for index in 0..100 {
+            let s = generate_schedule(99, index);
+            let mut down = 0usize;
+            let mut max_down = 0usize;
+            for step in &s.steps {
+                match step {
+                    ChaosStep::Crash { .. } | ChaosStep::Isolate { .. } => {
+                        down += 1;
+                        max_down = max_down.max(down);
+                    }
+                    ChaosStep::Restart { .. } | ChaosStep::HealNode { .. } => {
+                        down = down.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                max_down * 2 < s.nodes as usize + 1,
+                "index {index}: {max_down} of {} nodes down at once",
+                s.nodes
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Failing-schedule minimisation (delta debugging).
+//!
+//! [`shrink_schedule`] reduces a failing [`Schedule`] while a predicate
+//! (normally "replaying it still violates an oracle") keeps holding:
+//!
+//! 1. **Step removal** — classic ddmin: try dropping contiguous chunks,
+//!    halving the chunk size down to single steps, restarting whenever a
+//!    removal sticks.
+//! 2. **Window tightening** — halve `Advance` tick counts, `Settle` step
+//!    budgets and `HotBurst` rounds (floored at 1) while the failure
+//!    persists.
+//!
+//! The predicate is invoked at most `budget` times, so shrinking cost is
+//! bounded even for pathological schedules. The result replays the same
+//! violation class with (usually far) fewer steps and shorter windows, and
+//! is what gets written to `tests/chaos_corpus/` as a repro.
+
+use crate::schedule::{ChaosStep, Schedule};
+
+/// Minimises `schedule` under `still_fails`, calling it at most `budget`
+/// times. Returns the smallest failing schedule found and the number of
+/// predicate invocations used.
+pub fn shrink_schedule(
+    schedule: &Schedule,
+    mut still_fails: impl FnMut(&Schedule) -> bool,
+    budget: usize,
+) -> (Schedule, usize) {
+    let mut best = schedule.clone();
+    let mut used = 0usize;
+    let mut try_candidate = |candidate: &Schedule, used: &mut usize| -> bool {
+        if *used >= budget {
+            return false;
+        }
+        *used += 1;
+        still_fails(candidate)
+    };
+
+    // Phase 1: ddmin-style step removal.
+    let mut chunk = (best.steps.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < best.steps.len() {
+            if used >= budget {
+                break;
+            }
+            let end = (start + chunk).min(best.steps.len());
+            let mut candidate = best.clone();
+            candidate.steps.drain(start..end);
+            if !candidate.steps.is_empty() && try_candidate(&candidate, &mut used) {
+                best = candidate;
+                progressed = true;
+                // Keep `start` in place: the next chunk slid into it.
+            } else {
+                start += chunk;
+            }
+        }
+        if used >= budget {
+            break;
+        }
+        if !progressed {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+
+    // Phase 2: tighten windows.
+    let mut progressed = true;
+    while progressed && used < budget {
+        progressed = false;
+        for i in 0..best.steps.len() {
+            if used >= budget {
+                break;
+            }
+            let mut candidate = best.clone();
+            let tightened = match &mut candidate.steps[i] {
+                ChaosStep::Advance { ticks } if *ticks > 1 => {
+                    *ticks /= 2;
+                    true
+                }
+                ChaosStep::Settle { steps } if *steps > 1_000 => {
+                    *steps /= 2;
+                    true
+                }
+                ChaosStep::HotBurst { rounds, .. } if *rounds > 1 => {
+                    *rounds /= 2;
+                    true
+                }
+                ChaosStep::DropBurst { count, .. } if *count > 1 => {
+                    *count /= 2;
+                    true
+                }
+                _ => false,
+            };
+            if tightened && try_candidate(&candidate, &mut used) {
+                best = candidate;
+                progressed = true;
+            }
+        }
+    }
+
+    best.name = format!("{}-shrunk", schedule.name);
+    (best, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::NetParams;
+
+    fn schedule_with(steps: Vec<ChaosStep>) -> Schedule {
+        Schedule {
+            name: "t".into(),
+            seed: 1,
+            nodes: 3,
+            objects: 2,
+            lease_ticks: 2_000,
+            net: NetParams::default(),
+            steps,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit_step() {
+        let mut steps = Vec::new();
+        for i in 0..20 {
+            steps.push(ChaosStep::Write {
+                node: (i % 3) as u16,
+                object: 0,
+            });
+        }
+        steps.push(ChaosStep::Crash { node: 1 }); // the "culprit"
+        for i in 0..10 {
+            steps.push(ChaosStep::Read {
+                node: (i % 3) as u16,
+                object: 0,
+            });
+        }
+        let schedule = schedule_with(steps);
+        // Predicate: fails while the crash step survives.
+        let (shrunk, used) = shrink_schedule(
+            &schedule,
+            |s| {
+                s.steps
+                    .iter()
+                    .any(|st| matches!(st, ChaosStep::Crash { .. }))
+            },
+            2_000,
+        );
+        assert_eq!(shrunk.steps.len(), 1, "only the culprit remains");
+        assert!(matches!(shrunk.steps[0], ChaosStep::Crash { node: 1 }));
+        assert!(used > 0);
+        assert!(shrunk.name.ends_with("-shrunk"));
+    }
+
+    #[test]
+    fn tightens_advance_windows() {
+        let schedule = schedule_with(vec![
+            ChaosStep::Crash { node: 1 },
+            ChaosStep::Advance { ticks: 64_000 },
+        ]);
+        // Failure persists as long as the crash is present and some advance
+        // of at least 4000 ticks remains.
+        let (shrunk, _) = shrink_schedule(
+            &schedule,
+            |s| {
+                s.steps
+                    .iter()
+                    .any(|st| matches!(st, ChaosStep::Crash { .. }))
+                    && s.steps
+                        .iter()
+                        .any(|st| matches!(st, ChaosStep::Advance { ticks } if *ticks >= 4_000))
+            },
+            2_000,
+        );
+        let advance = shrunk.steps.iter().find_map(|st| match st {
+            ChaosStep::Advance { ticks } => Some(*ticks),
+            _ => None,
+        });
+        assert_eq!(advance, Some(4_000), "window tightened to the minimum");
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let schedule = schedule_with(vec![ChaosStep::Crash { node: 1 }; 64]);
+        let mut calls = 0usize;
+        let (_, used) = shrink_schedule(
+            &schedule,
+            |_| {
+                calls += 1;
+                false
+            },
+            10,
+        );
+        assert_eq!(used, 10);
+        assert_eq!(calls, 10);
+    }
+}

@@ -1,0 +1,59 @@
+//! Corpus regression replay: every schedule under `tests/chaos_corpus/` is
+//! the shrunk repro of a bug the explorer once caught (the file name says
+//! which). Replaying them on every `cargo test` keeps those bugs fixed.
+
+use std::path::PathBuf;
+
+use zeus_chaos::{run_schedule, RunOptions, Schedule};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/chaos_corpus")
+}
+
+#[test]
+fn corpus_repros_stay_fixed() {
+    let dir = corpus_dir();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "the chaos corpus must not be empty — it is the regression net"
+    );
+    let mut failures = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path).unwrap();
+        let schedule = Schedule::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // The corpus format must be stable: re-rendering a parsed schedule
+        // reproduces the file byte for byte.
+        assert_eq!(
+            schedule.to_corpus_string(),
+            text,
+            "{}: corpus rendering drifted",
+            path.display()
+        );
+        let outcome = run_schedule(&schedule, &RunOptions::default());
+        if let Some(v) = outcome.violation {
+            failures.push(format!("{}: [{}] {}", path.display(), v.kind, v.detail));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus repros regressed:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_replay_is_deterministic() {
+    let dir = corpus_dir();
+    let path = dir.join("false_suspicion_readmission.json");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let schedule = Schedule::parse(&text).unwrap();
+    let a = run_schedule(&schedule, &RunOptions::default());
+    let b = run_schedule(&schedule, &RunOptions::default());
+    assert_eq!(a, b, "replaying the same schedule must be bit-identical");
+}

@@ -1,0 +1,84 @@
+//! End-to-end validation of the explorer itself: determinism of the
+//! generate→run loop, and the acceptance-criterion exercise — a
+//! deliberately injected protocol bug (disabling the false-suspicion
+//! re-admission fix) must be *found* by the generated schedules, *shrunk*
+//! to a small repro, and the repro must replay the same failure through
+//! the corpus format.
+
+use zeus_chaos::explore::ExploreConfig;
+use zeus_chaos::{explore, run_schedule, RunOptions, Schedule};
+
+#[test]
+fn exploration_is_deterministic() {
+    let config = ExploreConfig {
+        seed: 42,
+        schedules: 8,
+        ..ExploreConfig::default()
+    };
+    let a = explore(&config, |_, _, _| {});
+    let b = explore(&config, |_, _, _| {});
+    assert_eq!(a.ran, b.ran);
+    assert_eq!(a.totals, b.totals);
+    assert_eq!(a.sim_ticks, b.sim_ticks);
+    assert_eq!(a.failure.is_some(), b.failure.is_some());
+    // The report row derived from the outcome is identical too (this is
+    // what the CI determinism contract rests on).
+    assert_eq!(
+        a.to_scenario_result(42, "smoke").to_json().pretty(),
+        b.to_scenario_result(42, "smoke").to_json().pretty()
+    );
+}
+
+#[test]
+fn injected_expulsion_wedge_is_caught_and_shrunk() {
+    // Re-enable the pre-fix behaviour: falsely-suspected nodes are never
+    // re-admitted. The explorer must catch the resulting wedge within a
+    // small budget, and the shrinker must reduce the schedule.
+    let config = ExploreConfig {
+        seed: 42,
+        schedules: 40,
+        run: RunOptions {
+            readmit_suspects: false,
+            ..RunOptions::default()
+        },
+        ..ExploreConfig::default()
+    };
+    let outcome = explore(&config, |_, _, _| {});
+    let failure = outcome
+        .failure
+        .expect("the explorer must catch the injected expulsion wedge");
+    assert!(
+        failure.violation.kind == "membership" || failure.violation.kind == "liveness",
+        "unexpected violation class: {:?}",
+        failure.violation
+    );
+    assert!(
+        failure.shrunk.steps.len() < failure.schedule.steps.len(),
+        "shrinking must reduce the schedule ({} -> {} steps)",
+        failure.schedule.steps.len(),
+        failure.shrunk.steps.len()
+    );
+    assert!(
+        failure.shrunk.steps.len() <= 6,
+        "the wedge repro should shrink to a handful of steps, got {}",
+        failure.shrunk.steps.len()
+    );
+
+    // The shrunk repro survives the corpus format and still reproduces the
+    // failure when replayed with the bug enabled...
+    let replayed = Schedule::parse(&failure.shrunk.to_corpus_string()).unwrap();
+    assert_eq!(replayed, failure.shrunk);
+    let rerun = run_schedule(&replayed, &config.run);
+    assert!(
+        rerun.violation.is_some(),
+        "the shrunk repro must replay the failure"
+    );
+    // ...and passes once the bug is fixed (re-admission back on) — which is
+    // exactly what promoting it into tests/chaos_corpus/ asserts forever.
+    let fixed = run_schedule(&replayed, &RunOptions::default());
+    assert!(
+        fixed.violation.is_none(),
+        "with re-admission enabled the repro must pass, got {:?}",
+        fixed.violation
+    );
+}

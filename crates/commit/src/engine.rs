@@ -162,6 +162,25 @@ impl CommitEngine {
             .any(|o| o.updates.iter().any(|u| u.object == object))
     }
 
+    /// Discards commit state that may be stale after this node was expelled
+    /// from the view and re-admitted.
+    ///
+    /// Outstanding coordinator-side commits are dropped: their epoch-stale
+    /// R-INVs were never acknowledged and the cluster may have re-assigned
+    /// ownership and committed conflicting versions in the meantime, so
+    /// retransmitting them could resurrect dead writes (their loss is the
+    /// documented crash-of-coordinator semantics). Follower-side stored and
+    /// buffered R-INVs are dropped for the same reason — the host wipes the
+    /// data store alongside this call. The per-pipeline cleared trackers and
+    /// the local slot counters are deliberately kept: slots already seen by
+    /// peers must never be reused or reprocessed.
+    pub fn reset_for_rejoin(&mut self) {
+        self.stats.rejoin_resets += 1;
+        self.outstanding.clear();
+        self.stored.clear();
+        self.buffered.clear();
+    }
+
     /// Starts the reliable commit of a locally committed transaction executed
     /// by worker `thread`. `updates` are the modified objects with their new
     /// versions and data; `followers` are the reader replicas of those
@@ -266,7 +285,19 @@ impl CommitEngine {
     /// Installs a new membership view: bumps the epoch, prunes dead
     /// followers from in-flight commits and replays pending commits of dead
     /// coordinators (§5.1). Emits `RecoveryFinished` once nothing remains.
-    pub fn on_view_change(&mut self, epoch: Epoch, live: Vec<NodeId>) -> Vec<CommitAction> {
+    ///
+    /// `rejoined` nodes re-entered the view with wiped state: they are
+    /// pruned from follower sets like dead nodes (they stopped being
+    /// replicas), and commits *they* coordinated are replayed by their
+    /// followers exactly like a dead coordinator's — the rejoined node
+    /// dropped its outstanding set, so nobody else would ever validate
+    /// them.
+    pub fn on_view_change(
+        &mut self,
+        epoch: Epoch,
+        live: Vec<NodeId>,
+        rejoined: &[NodeId],
+    ) -> Vec<CommitAction> {
         if epoch < self.epoch {
             return Vec::new();
         }
@@ -274,16 +305,18 @@ impl CommitEngine {
         self.live = live;
         self.recovering = true;
         let mut actions = Vec::new();
+        let keeps = |f: &NodeId, live: &[NodeId]| live.contains(f) && !rejoined.contains(f);
 
         // 1. Coordinator side: drop dead followers and re-send our own
         //    pending R-INVs with the new epoch.
-        let own: Vec<TxId> = self.outstanding.keys().copied().collect();
+        let mut own: Vec<TxId> = self.outstanding.keys().copied().collect();
+        own.sort_unstable();
         for tx_id in own {
             let (resend, completed) = {
                 let entry = self.outstanding.get_mut(&tx_id).expect("outstanding");
-                entry.followers.retain(|f| self.live.contains(f));
-                entry.extra_val_targets.retain(|f| self.live.contains(f));
-                entry.acks.retain(|f| self.live.contains(f));
+                entry.followers.retain(|f| keeps(f, &self.live));
+                entry.extra_val_targets.retain(|f| keeps(f, &self.live));
+                entry.acks.retain(|f| keeps(f, &self.live));
                 let completed = entry.followers.iter().all(|f| entry.acks.contains(f));
                 let resend: Vec<CommitAction> = entry
                     .followers
@@ -310,13 +343,17 @@ impl CommitEngine {
             }
         }
 
-        // 2. Follower side: replay stored R-INVs whose coordinator died.
-        let dead_coordinators: Vec<TxId> = self
+        // 2. Follower side: replay stored R-INVs whose coordinator died (or
+        //    rejoined with wiped state, which loses its outstanding set).
+        let mut dead_coordinators: Vec<TxId> = self
             .stored
             .keys()
             .copied()
-            .filter(|tx| !self.live.contains(&tx.pipeline.node))
+            .filter(|tx| {
+                !self.live.contains(&tx.pipeline.node) || rejoined.contains(&tx.pipeline.node)
+            })
             .collect();
+        dead_coordinators.sort_unstable();
         for tx_id in dead_coordinators {
             let stored = self.stored.get(&tx_id).expect("stored").clone();
             self.stats.replays += 1;
@@ -324,7 +361,7 @@ impl CommitEngine {
                 .followers
                 .iter()
                 .copied()
-                .filter(|f| *f != self.local && self.live.contains(f))
+                .filter(|f| *f != self.local && keeps(f, &self.live))
                 .collect();
             if followers.is_empty() {
                 // We are the only surviving replica: validate immediately.
@@ -378,9 +415,13 @@ impl CommitEngine {
     /// follower drops it; without retransmission the commit would hang).
     pub fn retransmit(&mut self) -> Vec<CommitAction> {
         let mut actions = Vec::new();
-        for (&tx_id, entry) in &self.outstanding {
+        // Deterministic order: map iteration order must not influence the
+        // message sequence (it would perturb the simulator's RNG stream).
+        let mut tx_ids: Vec<TxId> = self.outstanding.keys().copied().collect();
+        tx_ids.sort_unstable();
+        for tx_id in tx_ids {
+            let entry = &self.outstanding[&tx_id];
             for &to in entry.followers.iter().filter(|f| !entry.acks.contains(f)) {
-                self.stats.rinvs_retransmitted += 1;
                 actions.push(CommitAction::Send {
                     to,
                     msg: CommitMsg::RInv {
@@ -393,6 +434,7 @@ impl CommitEngine {
                 });
             }
         }
+        self.stats.rinvs_retransmitted += actions.len() as u64;
         actions
     }
 
@@ -745,7 +787,7 @@ mod tests {
                 .collect();
             let epoch = self.engines[live[0].index()].epoch().next();
             for node in live.clone() {
-                let actions = self.engines[node.index()].on_view_change(epoch, live.clone());
+                let actions = self.engines[node.index()].on_view_change(epoch, live.clone(), &[]);
                 self.apply(node, actions);
             }
         }
@@ -902,7 +944,7 @@ mod tests {
     #[test]
     fn stale_epoch_messages_are_ignored() {
         let mut e = CommitEngine::new(n(1), 2);
-        e.on_view_change(Epoch(3), vec![n(0), n(1)]);
+        e.on_view_change(Epoch(3), vec![n(0), n(1)], &[]);
         let actions = e.handle_message(
             n(0),
             CommitMsg::RInv {

@@ -19,6 +19,9 @@ pub struct CommitStats {
     /// R-INV messages re-sent to unresponsive followers (reliable-transport
     /// retransmission, §3.1).
     pub rinvs_retransmitted: u64,
+    /// Times this node discarded its commit state after being re-admitted to
+    /// the view (false suspicion or restart).
+    pub rejoin_resets: u64,
 }
 
 impl CommitStats {
@@ -36,6 +39,7 @@ impl CommitStats {
         self.rvals_applied += other.rvals_applied;
         self.replays += other.replays;
         self.rinvs_retransmitted += other.rinvs_retransmitted;
+        self.rejoin_resets += other.rejoin_resets;
     }
 }
 

@@ -27,6 +27,11 @@ pub struct ZeusConfig {
     /// (the paper's reliable transport, §3.1). Protocol handlers are
     /// idempotent, so the interval trades recovery latency for traffic.
     pub retransmit_ticks: u64,
+    /// Whether a heartbeat from a falsely-suspected (lease-expelled) node
+    /// re-admits it through a view change. Always true in production
+    /// configurations; the chaos harness flips it to false to re-create the
+    /// pre-fix expulsion wedge and prove the explorer catches it.
+    pub readmit_suspects: bool,
 }
 
 impl Default for ZeusConfig {
@@ -48,6 +53,7 @@ impl Default for ZeusConfig {
             lease_ticks: 200_000,
             max_ownership_retries: 256,
             retransmit_ticks: 64,
+            readmit_suspects: true,
         }
     }
 }

@@ -39,6 +39,7 @@ impl Message {
             Message::Commit(CommitMsg::RVal { .. }) => "r-val",
             Message::Membership(MembershipMsg::Heartbeat { .. }) => "hb",
             Message::Membership(MembershipMsg::ViewChange { .. }) => "view",
+            Message::Membership(MembershipMsg::ViewPull { .. }) => "view-pull",
             Message::Membership(MembershipMsg::RecoveryDone { .. }) => "recovered",
         }
     }

@@ -79,13 +79,15 @@ impl ZeusNode {
     /// Creates node `id` of a deployment described by `config`.
     pub fn new(id: NodeId, config: ZeusConfig) -> Self {
         let directory = config.directory();
+        let mut membership = MembershipEngine::new(id, config.nodes, config.lease_ticks);
+        membership.set_readmit_suspects(config.readmit_suspects);
         ZeusNode {
             id,
             store: Store::new(config.store_shards),
             locks: LockManager::new(),
             ownership: OwnershipEngine::new(id, directory, config.nodes),
             commit: CommitEngine::new(id, config.nodes),
-            membership: MembershipEngine::new(id, config.nodes, config.lease_ticks),
+            membership,
             outbox: Vec::new(),
             completed_reqs: HashSet::new(),
             failed_reqs: HashMap::new(),
@@ -117,6 +119,17 @@ impl ZeusNode {
     /// Current membership epoch.
     pub fn epoch(&self) -> Epoch {
         self.membership.epoch()
+    }
+
+    /// The membership view this node currently has installed.
+    pub fn cluster_view(&self) -> &zeus_membership::View {
+        self.membership.view()
+    }
+
+    /// Whether the ownership protocol currently accepts requests (it is
+    /// paused between a view change and the completion of commit recovery).
+    pub fn ownership_enabled(&self) -> bool {
+        self.membership.ownership_enabled()
     }
 
     /// Per-node statistics.
@@ -152,6 +165,14 @@ impl ZeusNode {
     /// `Some(None)` when the object currently has no live owner.
     pub fn directory_owner(&self, object: ObjectId) -> Option<Option<NodeId>> {
         self.ownership.replicas_of(object).map(|r| r.owner)
+    }
+
+    /// Whether this node currently refuses transactions because it is
+    /// isolated from every peer of its view (or was removed from the view) —
+    /// the node-side half of the lease contract (§3.1). Serving while fenced
+    /// could expose values the rest of the cluster has already superseded.
+    pub fn is_fenced(&self) -> bool {
+        self.membership.is_isolated(self.now)
     }
 
     /// Whether this node currently owns `object`.
@@ -216,6 +237,17 @@ impl ZeusNode {
         req_id
     }
 
+    /// Abandons a pending ownership request the caller gave up waiting for
+    /// (back-off, §6.2). Without this, a request that keeps being NACKed
+    /// retryably — e.g. while a peer's recovery drags on — would retry and
+    /// retransmit forever, pinning the node in a non-quiescent state long
+    /// after its transaction moved on.
+    pub fn abandon_request(&mut self, req: RequestId) {
+        self.ownership.abandon_request(req);
+        self.retry_queue.retain(|&r| r != req);
+        self.request_started_at.remove(&req);
+    }
+
     /// State of a previously issued ownership request.
     pub fn request_state(&self, req: RequestId) -> RequestState {
         if self.completed_reqs.contains(&req) {
@@ -245,6 +277,12 @@ impl ZeusNode {
         thread: u16,
         f: impl FnOnce(&mut TxCtx<'_>) -> Result<R, TxError>,
     ) -> WriteOutcome<R> {
+        if self.is_fenced() {
+            self.stats.txs_fenced += 1;
+            return WriteOutcome::Aborted {
+                error: TxError::Fenced,
+            };
+        }
         let (result, ws, missing) = {
             let mut ctx = TxCtx::write_tx(&self.store);
             let result = f(&mut ctx);
@@ -320,6 +358,12 @@ impl ZeusNode {
         &mut self,
         f: impl FnOnce(&mut TxCtx<'_>) -> Result<R, TxError>,
     ) -> ReadOutcome<R> {
+        if self.is_fenced() {
+            self.stats.txs_fenced += 1;
+            return ReadOutcome::Aborted {
+                error: TxError::Fenced,
+            };
+        }
         let (result, ws) = {
             let mut ctx = TxCtx::read_tx(&self.store);
             let result = f(&mut ctx);
@@ -453,7 +497,7 @@ impl ZeusNode {
     /// the membership manager). Used by the cluster runtimes when a crash is
     /// injected, and by the scale-in experiment of Figure 15.
     pub fn admin_remove_node(&mut self, dead: NodeId) {
-        let events = self.membership.force_remove(dead);
+        let events = self.membership.force_remove(dead, self.now);
         self.process_membership_events(events);
     }
 
@@ -524,6 +568,12 @@ impl ZeusNode {
                     if !self.retry_queue.contains(&req_id) {
                         self.retry_queue.push(req_id);
                     }
+                }
+                OwnershipAction::DemoteSelf { object, level } => {
+                    // The ownership we are driving away must stop being
+                    // locally writable right now; the VAL installs the full
+                    // placement later.
+                    self.store.with_mut(object, |e| e.level = level);
                 }
                 OwnershipAction::ApplyReplicaChange {
                     object,
@@ -637,16 +687,31 @@ impl ZeusNode {
         for event in events {
             match event {
                 MembershipEvent::Broadcast(msg) => self.broadcast(Message::Membership(msg)),
-                MembershipEvent::ViewInstalled(view) => {
+                MembershipEvent::Send { to, msg } => self.send(to, Message::Membership(msg)),
+                MembershipEvent::ViewInstalled { view, rejoined } => {
+                    // If *we* are among the re-admitted nodes, the cluster
+                    // kept committing while we were out: every replica,
+                    // ownership and commit structure we hold may be stale.
+                    // Discard them before processing the view change, so we
+                    // re-enter as a clean node and re-acquire data through
+                    // the ownership protocol instead of serving stale state.
+                    if rejoined.contains(&self.id) {
+                        self.reset_for_rejoin();
+                    }
                     let host = HostView {
                         store: &self.store,
                         commit: &self.commit,
                     };
-                    let actions =
-                        self.ownership
-                            .on_view_change(view.epoch, view.live.clone(), &host);
+                    let actions = self.ownership.on_view_change(
+                        view.epoch,
+                        view.live.clone(),
+                        &rejoined,
+                        &host,
+                    );
                     self.process_ownership_actions(actions);
-                    let actions = self.commit.on_view_change(view.epoch, view.live.clone());
+                    let actions =
+                        self.commit
+                            .on_view_change(view.epoch, view.live.clone(), &rejoined);
                     self.process_commit_actions(actions);
                 }
                 MembershipEvent::RecoveryComplete(_epoch) => {
@@ -654,6 +719,17 @@ impl ZeusNode {
                 }
             }
         }
+    }
+
+    /// Discards all replica state after this node was expelled and
+    /// re-admitted (see [`MembershipEvent::ViewInstalled`]).
+    fn reset_for_rejoin(&mut self) {
+        self.stats.rejoin_resets += 1;
+        self.store.clear();
+        self.commit.reset_for_rejoin();
+        self.retry_queue.clear();
+        let actions = self.ownership.reset_for_rejoin();
+        self.process_ownership_actions(actions);
     }
 }
 

@@ -115,11 +115,21 @@ impl SimCluster {
     /// and lets every live node tick. Returns how many messages were
     /// delivered.
     pub fn step(&mut self) -> usize {
-        // Ship outboxes.
+        self.ship_outboxes();
+        // Deliver.
+        let batch = self.net.step();
+        let delivered = batch.len();
+        self.deliver(batch);
+        self.tick_nodes(self.net.now());
+        delivered
+    }
+
+    /// Moves every live node's queued messages into the network; a crashed
+    /// node's queued messages are lost.
+    fn ship_outboxes(&mut self) {
         for i in 0..self.nodes.len() {
             let id = NodeId(i as u16);
             if self.crashed.contains(&id) {
-                // A crashed node's queued messages are lost.
                 self.nodes[i].drain_outbox();
                 continue;
             }
@@ -129,24 +139,82 @@ impl SimCluster {
                     .send(Envelope::with_payload_bytes(id, to, msg, bytes));
             }
         }
-        // Deliver.
-        let batch = self.net.step();
-        let delivered = batch.len();
+    }
+
+    /// Hands a delivered batch to the receiving nodes (crashed receivers
+    /// drop their messages).
+    fn deliver(&mut self, batch: Vec<Envelope<Message>>) {
         for env in batch {
             if self.crashed.contains(&env.to) {
                 continue;
             }
             self.nodes[env.to.index()].handle_message(env.from, env.msg);
         }
-        // Tick clocks.
-        let now = self.net.now();
+    }
+
+    /// Ticks every live node's clock.
+    fn tick_nodes(&mut self, now: u64) {
         for i in 0..self.nodes.len() {
             let id = NodeId(i as u16);
             if !self.crashed.contains(&id) {
                 self.nodes[i].tick(now);
             }
         }
-        delivered
+    }
+
+    /// Advances simulated time by `dt` ticks, delivering everything that
+    /// falls due along the way and ticking the live nodes so periodic work
+    /// (heartbeats, lease expiry, retransmission) runs. Unlike
+    /// [`SimCluster::settle`] this drives the clock even when nothing is in
+    /// flight — it is how the chaos harness opens lease-expiry windows.
+    pub fn advance_ticks(&mut self, dt: u64) {
+        let target = self.net.now().saturating_add(dt);
+        // Advance in retransmission-interval chunks: periodic work
+        // (heartbeats, retransmissions) only runs when nodes tick, so a
+        // single jump to `target` would collapse several heartbeat rounds
+        // into one and distort lease timing.
+        let chunk = self.config.retransmit_ticks.max(1);
+        while self.net.now() < target {
+            let next = (self.net.now() + chunk).min(target);
+            loop {
+                self.ship_outboxes();
+                match self.net.next_delivery_time() {
+                    Some(t) if t <= next => {
+                        let batch = self.net.advance_to(t);
+                        self.deliver(batch);
+                        self.tick_nodes(self.net.now());
+                    }
+                    _ => break,
+                }
+            }
+            let batch = self.net.advance_to(next);
+            self.deliver(batch);
+            self.tick_nodes(next);
+        }
+        // Ship whatever the final ticks produced so it is in flight for the
+        // caller's next step/settle.
+        self.ship_outboxes();
+    }
+
+    /// Whether every live node is quiescent and nothing is in flight.
+    fn is_cluster_quiescent(&self) -> bool {
+        let outbox_work: bool = self
+            .live_nodes()
+            .iter()
+            .any(|n| !self.nodes[n.index()].is_quiescent());
+        self.net.in_flight_len() == 0 && !outbox_work
+    }
+
+    /// One settling iteration: deliver a batch, and if the network drained
+    /// while protocol work is still pending (a retry back-off, a lease that
+    /// must expire, a retransmission interval), push time forward so the
+    /// periodic machinery can run instead of spinning on a frozen clock.
+    fn settle_step(&mut self) {
+        self.step();
+        if self.net.in_flight_len() == 0 && !self.is_cluster_quiescent() {
+            let dt = self.config.retransmit_ticks.max(1);
+            self.advance_ticks(dt);
+        }
     }
 
     /// Steps until no node has outgoing traffic and nothing is in flight, or
@@ -154,22 +222,14 @@ impl SimCluster {
     /// failure in tests).
     pub fn run_until_quiescent(&mut self, max_steps: usize) {
         for _ in 0..max_steps {
-            let outbox_work: bool = self
-                .live_nodes()
-                .iter()
-                .any(|n| !self.nodes[n.index()].is_quiescent());
-            if self.net.in_flight_len() == 0 && !outbox_work {
+            if self.is_cluster_quiescent() {
                 return;
             }
-            self.step();
+            self.settle_step();
         }
         // One final check: quiescence may have been reached on the last step.
-        let outbox_work: bool = self
-            .live_nodes()
-            .iter()
-            .any(|n| !self.nodes[n.index()].is_quiescent());
         assert!(
-            self.net.in_flight_len() == 0 && !outbox_work,
+            self.is_cluster_quiescent(),
             "cluster did not quiesce within {max_steps} steps"
         );
     }
@@ -180,16 +240,12 @@ impl SimCluster {
     /// recovery work pending at the end of the exploration window.
     pub fn settle(&mut self, max_steps: usize) -> bool {
         for _ in 0..max_steps {
-            let outbox_work: bool = self
-                .live_nodes()
-                .iter()
-                .any(|n| !self.nodes[n.index()].is_quiescent());
-            if self.net.in_flight_len() == 0 && !outbox_work {
+            if self.is_cluster_quiescent() {
                 return true;
             }
-            self.step();
+            self.settle_step();
         }
-        false
+        self.is_cluster_quiescent()
     }
 
     /// Runs a write transaction on `node`, transparently acquiring ownership
@@ -293,10 +349,11 @@ impl SimCluster {
                         all_done = false;
                     }
                     RequestState::Failed(reason) => {
+                        self.abandon_requests(node, requests);
                         return Err(TxError::OwnershipFailed {
                             object: ObjectId(0),
                             reason,
-                        })
+                        });
                     }
                 }
             }
@@ -310,15 +367,48 @@ impl SimCluster {
                 self.net.advance_by(10);
             }
         }
+        self.abandon_requests(node, requests);
         Err(TxError::OwnershipFailed {
             object: ObjectId(0),
             reason: NackReason::Recovering,
         })
     }
 
+    /// Abandons whatever is still pending of `requests` — the transaction
+    /// gave up on them (back-off, §6.2) and will issue fresh ones on retry;
+    /// leaving them behind would retry and retransmit forever.
+    fn abandon_requests(&mut self, node: NodeId, requests: &[RequestId]) {
+        for &req in requests {
+            if self.nodes[node.index()].request_state(req) == RequestState::Pending {
+                self.nodes[node.index()].abandon_request(req);
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Fault injection
     // ------------------------------------------------------------------
+
+    /// The node currently entitled to install views: the manager of the
+    /// highest-epoch view among non-crashed nodes (walking past crashed or
+    /// excluded members). Admin operations must be issued there — routing
+    /// them through an arbitrary node (e.g. one cut off behind a partition
+    /// with a stale view) would let two proposers install *different* views
+    /// under the same epoch, permanently splitting the cluster. The real
+    /// system's membership service is serial (ZooKeeper, §3.1); this picks
+    /// the node acting in that role.
+    pub fn acting_manager(&self, exclude: Option<NodeId>) -> Option<NodeId> {
+        let authoritative = self
+            .live_nodes()
+            .into_iter()
+            .max_by_key(|n| self.nodes[n.index()].epoch())?;
+        let view = self.nodes[authoritative.index()].cluster_view();
+        view.live
+            .iter()
+            .copied()
+            .find(|&n| !self.crashed.contains(&n) && Some(n) != exclude)
+            .or(Some(authoritative))
+    }
 
     /// Crashes `node` and triggers a membership reconfiguration on the
     /// surviving manager.
@@ -327,7 +417,75 @@ impl SimCluster {
         self.net.faults_mut().crash(node);
         // Tell the surviving membership manager to reconfigure (stand-in for
         // lease expiry, which the lease-based path also covers in tests).
-        if let Some(manager) = self.live_nodes().first().copied() {
+        if let Some(manager) = self.acting_manager(Some(node)) {
+            self.nodes[manager.index()].admin_remove_node(node);
+        }
+    }
+
+    /// Restarts a node previously crashed with [`SimCluster::fail_node`]:
+    /// the process comes back (with whatever frozen state it had — the
+    /// re-admission path wipes it) and the operator re-admits it. The
+    /// rejoining view change carries the node's admission epoch, so the
+    /// node discards its stale replica state before serving again.
+    pub fn restart_node(&mut self, node: NodeId) {
+        if !self.crashed.remove(&node) {
+            return;
+        }
+        self.net.faults_mut().revive(node);
+        if let Some(manager) = self.acting_manager(Some(node)) {
+            self.nodes[manager.index()].admin_add_node(node);
+        }
+    }
+
+    /// Cuts both directions between `a` and `b` (messages already in flight
+    /// still deliver; new sends are dropped).
+    pub fn partition_pair(&mut self, a: NodeId, b: NodeId) {
+        self.net.faults_mut().partition(a, b);
+    }
+
+    /// Cuts every link between `node` and the rest of the cluster — the
+    /// fault behind false suspicions: the node stays alive (and eventually
+    /// fences itself) while its heartbeats stop reaching the manager.
+    pub fn isolate_node(&mut self, node: NodeId) {
+        for i in 0..self.nodes.len() as u16 {
+            let peer = NodeId(i);
+            if peer != node {
+                self.net.faults_mut().partition(node, peer);
+            }
+        }
+    }
+
+    /// Heals every link between `node` and the rest of the cluster.
+    pub fn heal_node(&mut self, node: NodeId) {
+        for i in 0..self.nodes.len() as u16 {
+            let peer = NodeId(i);
+            if peer != node {
+                self.net.faults_mut().heal_partition(node, peer);
+            }
+        }
+    }
+
+    /// Adds `extra` ticks of one-way latency on `from → to`.
+    pub fn spike_link(&mut self, from: NodeId, to: NodeId, extra: u64) {
+        self.net.faults_mut().spike(from, to, extra);
+    }
+
+    /// Drops the next `count` messages sent on `from → to`.
+    pub fn drop_burst(&mut self, from: NodeId, to: NodeId, count: u64) {
+        self.net.faults_mut().drop_burst(from, to, count);
+    }
+
+    /// Heals every injected link fault (cuts, spikes, drop bursts) at once.
+    /// Crashed nodes stay crashed.
+    pub fn heal_all_links(&mut self) {
+        self.net.faults_mut().heal_all();
+    }
+
+    /// Administratively removes a live node from the membership without
+    /// crashing it (operator scale-in). The removed node keeps running —
+    /// and must fence itself once it learns (or suspects) it is out.
+    pub fn admin_remove(&mut self, node: NodeId) {
+        if let Some(manager) = self.acting_manager(Some(node)) {
             self.nodes[manager.index()].admin_remove_node(node);
         }
     }
@@ -358,6 +516,10 @@ impl SimCluster {
         for &id in &live {
             objects.extend(self.nodes[id.index()].store().object_ids());
         }
+        // Deterministic iteration: which violation is reported first must
+        // not depend on hash order (the chaos explorer compares reports).
+        let mut objects: Vec<ObjectId> = objects.into_iter().collect();
+        objects.sort_unstable();
         for object in objects {
             let mut owners = Vec::new();
             let mut max_version = 0u64;
@@ -543,6 +705,185 @@ mod tests {
         assert!(c.node(NodeId(2)).ownership_latency().count() >= 1);
     }
 
+    fn chaos_cluster(nodes: usize, lease_ticks: u64) -> SimCluster {
+        let mut config = ZeusConfig::with_nodes(nodes);
+        config.lease_ticks = lease_ticks;
+        SimCluster::new(config)
+    }
+
+    #[test]
+    fn isolated_node_fences_itself_and_recovers_on_heal() {
+        let mut c = chaos_cluster(3, 2_000);
+        let object = ObjectId(9);
+        c.create_object(object, Bytes::from_static(b"x"), NodeId(2));
+        c.execute_write(NodeId(2), |tx| tx.write(object, Bytes::from_static(b"a")))
+            .unwrap();
+        c.run_until_quiescent(50_000);
+
+        c.isolate_node(NodeId(2));
+        // Past one lease of silence (but before the manager's expulsion
+        // threshold of lease + grace) the node must refuse to serve.
+        c.advance_ticks(2_500);
+        let write = c.execute_write(NodeId(2), |tx| tx.write(object, Bytes::from_static(b"b")));
+        assert_eq!(write.unwrap_err(), TxError::Fenced);
+        let read = c.execute_read(NodeId(2), |tx| tx.read(object));
+        assert_eq!(read.unwrap_err(), TxError::Fenced);
+        assert!(c.node(NodeId(2)).stats().txs_fenced >= 2);
+
+        // Healing before expulsion: leases renew and the node serves again
+        // without any view change.
+        c.heal_node(NodeId(2));
+        c.advance_ticks(1_200);
+        c.execute_write(NodeId(2), |tx| tx.write(object, Bytes::from_static(b"c")))
+            .unwrap();
+        c.run_until_quiescent(50_000);
+        assert_eq!(c.node(NodeId(0)).epoch(), zeus_proto::Epoch::ZERO);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn falsely_suspected_node_is_readmitted_via_view_change() {
+        let mut c = chaos_cluster(3, 2_000);
+        let object = ObjectId(4);
+        c.create_object(object, Bytes::from_static(b"v0"), NodeId(0));
+        c.execute_write(NodeId(0), |tx| tx.write(object, Bytes::from_static(b"v1")))
+            .unwrap();
+        c.run_until_quiescent(50_000);
+
+        // Node 2 is alive but none of its heartbeats get through: the
+        // manager expels it after lease + grace.
+        c.isolate_node(NodeId(2));
+        c.advance_ticks(6_000);
+        assert!(
+            !c.node(NodeId(0)).cluster_view().is_live(NodeId(2)),
+            "manager must have expelled the silent node"
+        );
+        let expelled_epoch = c.node(NodeId(0)).epoch();
+        assert!(expelled_epoch > zeus_proto::Epoch::ZERO);
+        // The cluster keeps committing without it.
+        c.execute_write(NodeId(0), |tx| tx.write(object, Bytes::from_static(b"v2")))
+            .unwrap();
+        c.settle(100_000);
+
+        // Heal: the node's next heartbeat re-admits it via a view change.
+        c.heal_node(NodeId(2));
+        c.advance_ticks(4_000);
+        assert!(
+            c.node(NodeId(0)).cluster_view().is_live(NodeId(2)),
+            "heartbeating node must be re-admitted"
+        );
+        assert!(c.node(NodeId(0)).epoch() > expelled_epoch);
+        assert!(
+            c.node(NodeId(2)).stats().rejoin_resets >= 1,
+            "re-admitted node must have discarded its stale state"
+        );
+        // It serves again — through the ownership protocol, not stale state.
+        c.execute_write(NodeId(2), |tx| {
+            let v = tx.read(object)?;
+            assert_eq!(v, Bytes::from_static(b"v2"), "no stale value");
+            tx.write(object, Bytes::from_static(b"v3"))
+        })
+        .unwrap();
+        c.run_until_quiescent(100_000);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn readmitted_node_never_serves_stale_reads() {
+        let mut c = chaos_cluster(3, 2_000);
+        let object = ObjectId(11);
+        c.create_object(object, Bytes::from_static(b"v0"), NodeId(0));
+        c.execute_write(NodeId(0), |tx| tx.write(object, Bytes::from_static(b"v1")))
+            .unwrap();
+        c.run_until_quiescent(50_000);
+        assert_eq!(
+            c.execute_read(NodeId(2), |tx| tx.read(object)).unwrap(),
+            Bytes::from_static(b"v1")
+        );
+
+        // While node 2 is out, the value moves on.
+        c.isolate_node(NodeId(2));
+        c.advance_ticks(6_000);
+        c.execute_write(NodeId(0), |tx| tx.write(object, Bytes::from_static(b"v2")))
+            .unwrap();
+        c.settle(100_000);
+        assert_eq!(
+            c.execute_read(NodeId(1), |tx| tx.read(object)).unwrap(),
+            Bytes::from_static(b"v2")
+        );
+
+        c.heal_node(NodeId(2));
+        c.advance_ticks(4_000);
+        c.settle(100_000);
+        // The re-admitted node dropped its v1 replica: a read either fails
+        // (no replica) or, never, returns the stale value.
+        match c.execute_read(NodeId(2), |tx| tx.read(object)) {
+            Ok(v) => assert_eq!(v, Bytes::from_static(b"v2"), "stale read"),
+            Err(TxError::NotReplicated { .. } | TxError::RetriesExhausted) => {}
+            Err(other) => panic!("unexpected read error: {other:?}"),
+        }
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn admin_removed_node_stays_out_despite_heartbeats() {
+        let mut c = chaos_cluster(3, 2_000);
+        let object = ObjectId(21);
+        c.create_object(object, Bytes::from_static(b"d"), NodeId(0));
+        // Operator scale-in: node 2 keeps running and heartbeating.
+        c.admin_remove(NodeId(2));
+        let removal_epoch = c.node(NodeId(0)).epoch();
+        c.advance_ticks(10_000);
+        assert!(
+            !c.node(NodeId(0)).cluster_view().is_live(NodeId(2)),
+            "scale-in must not be undone by heartbeats"
+        );
+        assert_eq!(c.node(NodeId(0)).epoch(), removal_epoch);
+        // The removed node hears nothing back and fences itself.
+        let write = c.execute_write(NodeId(2), |tx| tx.write(object, Bytes::from_static(b"z")));
+        assert_eq!(write.unwrap_err(), TxError::Fenced);
+        // An explicit scale-out lifts the ban and re-admits it cleanly.
+        let manager = c.live_nodes()[0];
+        c.node_mut(manager).admin_add_node(NodeId(2));
+        c.advance_ticks(4_000);
+        assert!(c.node(NodeId(0)).cluster_view().is_live(NodeId(2)));
+        c.execute_write(NodeId(2), |tx| tx.write(object, Bytes::from_static(b"y")))
+            .unwrap();
+        c.run_until_quiescent(100_000);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_restart_cycle_readmits_with_reset() {
+        let mut c = chaos_cluster(3, 2_000);
+        let object = ObjectId(30);
+        c.create_object(object, Bytes::from_static(b"v0"), NodeId(1));
+        c.execute_write(NodeId(1), |tx| tx.write(object, Bytes::from_static(b"v1")))
+            .unwrap();
+        c.run_until_quiescent(50_000);
+
+        c.fail_node(NodeId(2));
+        c.run_until_quiescent(100_000);
+        c.execute_write(NodeId(1), |tx| tx.write(object, Bytes::from_static(b"v2")))
+            .unwrap();
+        c.run_until_quiescent(100_000);
+
+        c.restart_node(NodeId(2));
+        c.advance_ticks(4_000);
+        c.settle(100_000);
+        assert!(c.node(NodeId(0)).cluster_view().is_live(NodeId(2)));
+        assert!(c.node(NodeId(2)).stats().rejoin_resets >= 1);
+        // The restarted node re-acquires instead of serving its frozen v1.
+        c.execute_write(NodeId(2), |tx| {
+            let v = tx.read(object)?;
+            assert_eq!(v, Bytes::from_static(b"v2"));
+            tx.write(object, Bytes::from_static(b"v3"))
+        })
+        .unwrap();
+        c.run_until_quiescent(100_000);
+        c.check_invariants().unwrap();
+    }
+
     #[test]
     fn variable_latency_network_still_converges() {
         // The Zeus protocols assume reliable delivery (the paper runs its own
@@ -555,6 +896,7 @@ mod tests {
             drop_probability: 0.0,
             duplicate_probability: 0.0,
             seed: 123,
+            link_overrides: Vec::new(),
         };
         let mut c = SimCluster::with_network(config, net);
         let object = ObjectId(5);

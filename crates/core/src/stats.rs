@@ -142,6 +142,11 @@ pub struct NodeStats {
     pub ownership_completed: u64,
     /// Objects currently owned by the node.
     pub objects_owned: u64,
+    /// Transactions refused because the node had fenced itself (isolated
+    /// from all peers or expelled from the view).
+    pub txs_fenced: u64,
+    /// Times this node discarded its replica state after re-admission.
+    pub rejoin_resets: u64,
 }
 
 impl NodeStats {
@@ -154,6 +159,8 @@ impl NodeStats {
         self.ownership_requests += other.ownership_requests;
         self.ownership_completed += other.ownership_completed;
         self.objects_owned += other.objects_owned;
+        self.txs_fenced += other.txs_fenced;
+        self.rejoin_resets += other.rejoin_resets;
     }
 
     /// Total committed transactions (read + write).

@@ -53,6 +53,12 @@ pub enum TxError {
     /// The transaction exhausted its ownership-retry budget (back-off
     /// deadlock avoidance, §6.2).
     RetriesExhausted,
+    /// The node fenced itself: it is isolated from every peer of its view
+    /// (or was removed from the view) and must not serve transactions, since
+    /// the rest of the cluster may have expelled it and moved on (the
+    /// node-side lease contract, §3.1). Route the request to another node
+    /// and retry once the node is re-admitted.
+    Fenced,
 }
 
 /// Outcome of a write-transaction execution attempt on a node.

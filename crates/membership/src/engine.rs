@@ -1,6 +1,6 @@
 //! Per-node membership state machine.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use zeus_proto::{Epoch, MembershipMsg, NodeId};
 
@@ -12,9 +12,26 @@ use crate::view::View;
 pub enum MembershipEvent {
     /// Broadcast this membership message to all live peers.
     Broadcast(MembershipMsg),
+    /// Send this membership message to one specific node (view refresh for a
+    /// peer whose heartbeat revealed a stale epoch).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: MembershipMsg,
+    },
     /// A new view has been installed locally. The hosting node must notify
     /// the ownership and commit protocols (epoch bump, replay, recovery).
-    ViewInstalled(View),
+    /// `rejoined` lists the nodes entering this view that were absent from
+    /// the previous one; a host that finds *itself* in the list was expelled
+    /// at some point and must discard its (arbitrarily stale) replica state
+    /// before serving again.
+    ViewInstalled {
+        /// The newly installed view.
+        view: View,
+        /// Nodes re-admitted by this view change.
+        rejoined: Vec<NodeId>,
+    },
     /// All live nodes (including this one) have finished replaying pending
     /// reliable commits for the current epoch; the ownership protocol may
     /// resume accepting requests (§5.1).
@@ -40,13 +57,24 @@ pub struct MembershipEngine {
     recovery_announced: bool,
     /// Whether the ownership protocol is currently allowed to make progress.
     ownership_enabled: bool,
-    /// Peers whose duplicate RecoveryDone we already answered this epoch
-    /// (termination guard, see `on_message`).
-    recovery_replied_to: HashSet<NodeId>,
     /// Nodes removed administratively (scale-in / crash injection). Unlike a
     /// lease expiry these must NOT be re-admitted when a heartbeat arrives:
     /// the operator said they are gone.
     removed_by_admin: HashSet<NodeId>,
+    /// Whether a heartbeat from a falsely-suspected (lease-expelled) node
+    /// re-admits it through a view change. Always true in production; the
+    /// chaos harness disables it to re-create the pre-fix expulsion wedge
+    /// and verify the explorer catches it.
+    readmit_suspects: bool,
+    /// Epoch at which each live node last (re)entered the view
+    /// (`Epoch::ZERO` for initial members). Authoritatively carried by
+    /// every ViewChange: a receiver whose previous epoch predates a node's
+    /// admission missed that node's re-admission and must treat it as
+    /// having wiped state — even across dropped or reordered view changes.
+    admitted_at: HashMap<NodeId, Epoch>,
+    /// Whether the last tick found this node isolated (drives the
+    /// unfencing lease renewal above the manager's expiry check).
+    was_isolated: bool,
 }
 
 impl MembershipEngine {
@@ -68,9 +96,41 @@ impl MembershipEngine {
             recovered: HashSet::new(),
             recovery_announced: false,
             ownership_enabled: true,
-            recovery_replied_to: HashSet::new(),
             removed_by_admin: HashSet::new(),
+            readmit_suspects: true,
+            admitted_at: HashMap::new(),
+            was_isolated: false,
         }
+    }
+
+    /// Enables / disables heartbeat re-admission of falsely-suspected nodes
+    /// (fault-injection knob for the chaos harness; leave enabled otherwise).
+    pub fn set_readmit_suspects(&mut self, readmit: bool) {
+        self.readmit_suspects = readmit;
+    }
+
+    /// Whether this node is currently isolated from every peer of its view:
+    /// it has peers but none of their leases is fresh. An isolated node must
+    /// fence itself — stop serving transactions — because the rest of the
+    /// cluster may expel it and move on, making anything it serves stale
+    /// (the node-side half of the paper's lease contract, §3.1). The lease
+    /// (without the manager's extra grace period) is used as the threshold,
+    /// so a node fences itself a full lease period *before* the manager can
+    /// expel it.
+    pub fn is_isolated(&self, now: u64) -> bool {
+        if !self.view.is_live(self.local) {
+            // We installed a view that excludes us (operator scale-in): stop
+            // serving immediately.
+            return true;
+        }
+        let mut has_peer = false;
+        for &peer in self.view.live.iter().filter(|&&p| p != self.local) {
+            has_peer = true;
+            if self.leases.is_fresh(peer, now) {
+                return false;
+            }
+        }
+        has_peer
     }
 
     /// The node this engine belongs to.
@@ -107,13 +167,22 @@ impl MembershipEngine {
     /// Called by the hosting node when *its own* commit recovery for the
     /// current epoch has finished. Returns events to broadcast/apply.
     pub fn local_recovery_done(&mut self) -> Vec<MembershipEvent> {
+        self.recovered.insert(self.local);
         let mut events = vec![MembershipEvent::Broadcast(MembershipMsg::RecoveryDone {
             from: self.local,
             epoch: self.view.epoch,
+            seen: self.recovered_sorted(),
         })];
-        self.recovered.insert(self.local);
         events.extend(self.maybe_complete_recovery());
         events
+    }
+
+    /// The completions recorded for the current epoch, sorted (deterministic
+    /// message contents).
+    fn recovered_sorted(&self) -> Vec<NodeId> {
+        let mut seen: Vec<NodeId> = self.recovered.iter().copied().collect();
+        seen.sort_unstable();
+        seen
     }
 
     /// Periodic driver: renews our own liveness by broadcasting heartbeats
@@ -134,15 +203,36 @@ impl MembershipEngine {
             // re-announcing our own completion: a peer may have missed the
             // first announcement if it arrived before the peer installed the
             // view (or was lost), and without it the peer would never
-            // re-enable the ownership protocol.
+            // re-enable the ownership protocol. The announcement carries
+            // which completions we have seen, so exactly the peers we are
+            // missing answer back.
             if !self.ownership_enabled && self.recovered.contains(&self.local) {
                 events.push(MembershipEvent::Broadcast(MembershipMsg::RecoveryDone {
                     from: self.local,
                     epoch: self.view.epoch,
+                    seen: self.recovered_sorted(),
                 }));
             }
         }
-        if self.is_manager() {
+        // A manager that is itself isolated must not expel anyone: every
+        // peer's lease looks expired from inside a partition, and an
+        // isolated minority expelling the healthy majority would invert
+        // authority when the partition heals. It fences instead (see
+        // `is_isolated`) and the cluster waits the partition out. Coming
+        // *out* of isolation, the lease table reflects the partition, not
+        // the peers: renew everyone and give them a full lease to check in
+        // before judging them again.
+        if self.is_isolated(now) {
+            self.was_isolated = true;
+        } else if self.was_isolated {
+            self.was_isolated = false;
+            for peer in self.view.live.clone() {
+                if peer != self.local {
+                    self.leases.renew(peer, now);
+                }
+            }
+        }
+        if self.is_manager() && !self.is_isolated(now) {
             let dead: Vec<NodeId> = self
                 .leases
                 .expired(now, self.grace)
@@ -155,21 +245,68 @@ impl MembershipEngine {
                 // ViewInstalled event: processing ViewInstalled triggers
                 // recovery traffic tagged with the new epoch, which peers
                 // would ignore if they had not yet learnt of the view.
-                events.push(MembershipEvent::Broadcast(MembershipMsg::ViewChange {
-                    epoch: new_view.epoch,
-                    live: new_view.live.clone(),
-                }));
-                events.extend(self.install_view(new_view));
+                events.extend(self.announce_and_install(new_view, now));
             }
         }
         events
     }
 
+    /// Builds the ViewChange broadcast for `view` (with the authoritative
+    /// admission epochs) followed by the local install events.
+    fn announce_and_install(&mut self, view: View, now: u64) -> Vec<MembershipEvent> {
+        let admitted = self.admitted_for(&view);
+        let mut events = vec![MembershipEvent::Broadcast(MembershipMsg::ViewChange {
+            epoch: view.epoch,
+            live: view.live.clone(),
+            admitted: admitted.clone(),
+        })];
+        let pairs = view.live.iter().copied().zip(admitted).collect();
+        events.extend(self.install_view(view, pairs, now));
+        events
+    }
+
+    /// Admission epochs parallel to `view.live`.
+    fn admitted_for(&self, view: &View) -> Vec<Epoch> {
+        view.live
+            .iter()
+            .map(|n| self.admitted_at.get(n).copied().unwrap_or(Epoch::ZERO))
+            .collect()
+    }
+
     /// Handles an incoming membership message.
     pub fn on_message(&mut self, msg: MembershipMsg, now: u64) -> Vec<MembershipEvent> {
         match msg {
-            MembershipMsg::Heartbeat { from, .. } => {
+            MembershipMsg::Heartbeat { from, epoch } => {
                 self.leases.renew(from, now);
+                // View refresh ("anti-entropy"): a live peer heartbeating
+                // with an older epoch missed at least one ViewChange (view
+                // broadcasts are fire-once and the network may drop them).
+                // Without a refresh it would drop all current-epoch traffic
+                // forever. The admission epochs carried by the refresh tell
+                // it everything it missed — including, possibly, its own
+                // re-admission and the state reset that orders.
+                if epoch < self.view.epoch && self.view.is_live(from) {
+                    return vec![MembershipEvent::Send {
+                        to: from,
+                        msg: MembershipMsg::ViewChange {
+                            epoch: self.view.epoch,
+                            live: self.view.live.clone(),
+                            admitted: self.admitted_for(&self.view),
+                        },
+                    }];
+                }
+                // The reverse direction: the *sender* has a newer view than
+                // we do — pull it. Without this, a view installed while its
+                // proposer was cut off (or whose broadcast was dropped)
+                // would never reach us: the proposer has no reason to
+                // re-broadcast, and we would keep dropping all of its
+                // current-epoch traffic.
+                if epoch > self.view.epoch {
+                    return vec![MembershipEvent::Send {
+                        to: from,
+                        msg: MembershipMsg::ViewPull { from: self.local },
+                    }];
+                }
                 // A heartbeat from a node outside the view means the failure
                 // detector was wrong: the node is alive but its lease lapsed
                 // (e.g. the manager was too overloaded to process heartbeats
@@ -182,37 +319,63 @@ impl MembershipEngine {
                 if self.is_manager()
                     && !self.view.is_live(from)
                     && !self.removed_by_admin.contains(&from)
+                    && self.readmit_suspects
                 {
                     return self.rejoin(from, now);
                 }
                 Vec::new()
             }
-            MembershipMsg::ViewChange { epoch, live } => {
+            MembershipMsg::ViewChange {
+                epoch,
+                live,
+                admitted,
+            } => {
                 if epoch > self.view.epoch {
-                    self.install_view(View::new(epoch, live))
+                    // Pair admissions with nodes *before* View::new sorts
+                    // and dedups the live list; missing entries (malformed
+                    // or trimmed messages) default to ZERO, which at worst
+                    // skips a reset the next refresh re-asserts.
+                    let pairs: Vec<(NodeId, Epoch)> = live
+                        .iter()
+                        .copied()
+                        .zip(admitted.into_iter().chain(std::iter::repeat(Epoch::ZERO)))
+                        .collect();
+                    self.install_view(View::new(epoch, live), pairs, now)
                 } else {
                     Vec::new()
                 }
             }
-            MembershipMsg::RecoveryDone { from, epoch } => {
+            MembershipMsg::ViewPull { from } => {
+                vec![MembershipEvent::Send {
+                    to: from,
+                    msg: MembershipMsg::ViewChange {
+                        epoch: self.view.epoch,
+                        live: self.view.live.clone(),
+                        admitted: self.admitted_for(&self.view),
+                    },
+                }]
+            }
+            MembershipMsg::RecoveryDone { from, epoch, seen } => {
                 if epoch == self.view.epoch {
-                    let newly = self.recovered.insert(from);
+                    self.recovered.insert(from);
                     let mut events = self.maybe_complete_recovery();
-                    // A *duplicate* announcement means the sender is still
-                    // waiting out the barrier — most likely because it missed
-                    // our own RecoveryDone (e.g. it arrived before the sender
-                    // installed the view). Re-announce ours, at most once per
-                    // sender per epoch: replying to every duplicate would let
-                    // completed nodes ping-pong announcements forever, since
-                    // each reply is itself a duplicate at its receivers. A
-                    // still-stuck peer keeps re-announcing from its heartbeat
-                    // tick, and every completed peer answers it once, so the
-                    // barrier stays live without a sustained loop.
-                    if !newly && self.recovery_announced && self.recovery_replied_to.insert(from) {
-                        events.push(MembershipEvent::Broadcast(MembershipMsg::RecoveryDone {
-                            from: self.local,
-                            epoch: self.view.epoch,
-                        }));
+                    // The sender has not recorded our completion (we are
+                    // missing from its `seen` set): answer it directly. This
+                    // makes the barrier survive arbitrary message loss — a
+                    // stuck node keeps re-announcing from its heartbeat tick
+                    // and exactly the peers it is missing reply — while a
+                    // completed-to-completed exchange terminates: once the
+                    // sender records us, its announcements list us and we
+                    // stay silent.
+                    if self.recovered.contains(&self.local) && !seen.contains(&self.local) {
+                        events.push(MembershipEvent::Send {
+                            to: from,
+                            msg: MembershipMsg::RecoveryDone {
+                                from: self.local,
+                                epoch: self.view.epoch,
+                                seen: self.recovered_sorted(),
+                            },
+                        });
                     }
                     events
                 } else {
@@ -224,18 +387,14 @@ impl MembershipEngine {
 
     /// Administratively removes a node (used by tests and by the harness to
     /// model an operator-initiated scale-in). Only meaningful on the manager.
-    pub fn force_remove(&mut self, node: NodeId) -> Vec<MembershipEvent> {
+    pub fn force_remove(&mut self, node: NodeId, now: u64) -> Vec<MembershipEvent> {
         self.removed_by_admin.insert(node);
         if !self.view.is_live(node) {
             return Vec::new();
         }
         let new_view = self.view.without(&[node]);
-        let mut events = vec![MembershipEvent::Broadcast(MembershipMsg::ViewChange {
-            epoch: new_view.epoch,
-            live: new_view.live.clone(),
-        })];
-        events.extend(self.install_view(new_view));
-        events
+        self.admitted_at.remove(&node);
+        self.announce_and_install(new_view, now)
     }
 
     /// Administratively adds a node (scale-out).
@@ -252,16 +411,27 @@ impl MembershipEngine {
         }
         self.leases.insert(node, now);
         let new_view = self.view.with(&[node]);
-        let mut events = vec![MembershipEvent::Broadcast(MembershipMsg::ViewChange {
-            epoch: new_view.epoch,
-            live: new_view.live.clone(),
-        })];
-        events.extend(self.install_view(new_view));
-        events
+        self.admitted_at.insert(node, new_view.epoch);
+        self.announce_and_install(new_view, now)
     }
 
-    fn install_view(&mut self, view: View) -> Vec<MembershipEvent> {
+    fn install_view(
+        &mut self,
+        view: View,
+        admitted: Vec<(NodeId, Epoch)>,
+        now: u64,
+    ) -> Vec<MembershipEvent> {
         debug_assert!(view.epoch > self.view.epoch);
+        // Nodes admitted after our previous epoch re-entered with wiped
+        // state somewhere between the views we saw: relative to *us* they
+        // are rejoined, regardless of how many view changes we missed.
+        let previous_epoch = self.view.epoch;
+        let mut rejoined: Vec<NodeId> = admitted
+            .iter()
+            .filter(|(_, at)| *at > previous_epoch)
+            .map(|(n, _)| *n)
+            .collect();
+        rejoined.sort_unstable();
         for dead in self
             .view
             .live
@@ -271,13 +441,26 @@ impl MembershipEngine {
             .collect::<Vec<_>>()
         {
             self.leases.remove(dead);
+            self.admitted_at.remove(&dead);
+        }
+        // Track joiners with a fresh lease. Followers also run this for
+        // joiners the manager admitted: without a tracked lease their later
+        // heartbeats would be ignored, breaking both isolation detection and
+        // failover of the manager role.
+        for &joined in view.live.iter().filter(|&&n| !self.view.is_live(n)) {
+            if joined != self.local {
+                self.leases.insert(joined, now);
+            }
+        }
+        // Adopt the authoritative admission epochs.
+        for (n, at) in admitted {
+            self.admitted_at.insert(n, at);
         }
         self.view = view.clone();
         self.recovered.clear();
         self.recovery_announced = false;
         self.ownership_enabled = false;
-        self.recovery_replied_to.clear();
-        vec![MembershipEvent::ViewInstalled(view)]
+        vec![MembershipEvent::ViewInstalled { view, rejoined }]
     }
 
     fn maybe_complete_recovery(&mut self) -> Vec<MembershipEvent> {
@@ -341,7 +524,7 @@ mod tests {
         let installed = events
             .iter()
             .find_map(|e| match e {
-                MembershipEvent::ViewInstalled(v) => Some(v.clone()),
+                MembershipEvent::ViewInstalled { view, .. } => Some(view.clone()),
                 _ => None,
             })
             .expect("view installed");
@@ -364,7 +547,7 @@ mod tests {
         let events = m.tick(10_000);
         assert!(!events
             .iter()
-            .any(|e| matches!(e, MembershipEvent::ViewInstalled(_))));
+            .any(|e| matches!(e, MembershipEvent::ViewInstalled { .. })));
     }
 
     #[test]
@@ -374,16 +557,18 @@ mod tests {
             MembershipMsg::ViewChange {
                 epoch: Epoch(2),
                 live: vec![NodeId(0), NodeId(2)],
+                admitted: vec![Epoch(0), Epoch(0)],
             },
             50,
         );
-        assert!(matches!(events[0], MembershipEvent::ViewInstalled(_)));
+        assert!(matches!(events[0], MembershipEvent::ViewInstalled { .. }));
         assert_eq!(m.epoch(), Epoch(2));
         // A stale (equal-epoch) view is ignored.
         let events = m.on_message(
             MembershipMsg::ViewChange {
                 epoch: Epoch(2),
                 live: vec![NodeId(2)],
+                admitted: vec![Epoch(0)],
             },
             60,
         );
@@ -394,10 +579,10 @@ mod tests {
     #[test]
     fn recovery_barrier_requires_all_live_nodes() {
         let mut m = MembershipEngine::new(NodeId(0), 3, 100);
-        let events = m.force_remove(NodeId(1));
+        let events = m.force_remove(NodeId(1), 0);
         assert!(events
             .iter()
-            .any(|e| matches!(e, MembershipEvent::ViewInstalled(_))));
+            .any(|e| matches!(e, MembershipEvent::ViewInstalled { .. })));
         assert!(!m.ownership_enabled());
 
         let events = m.local_recovery_done();
@@ -411,6 +596,7 @@ mod tests {
             MembershipMsg::RecoveryDone {
                 from: NodeId(2),
                 epoch: m.epoch(),
+                seen: vec![NodeId(0), NodeId(2)],
             },
             10,
         );
@@ -423,11 +609,12 @@ mod tests {
     #[test]
     fn stale_recovery_done_is_ignored() {
         let mut m = MembershipEngine::new(NodeId(0), 2, 100);
-        m.force_remove(NodeId(1));
+        m.force_remove(NodeId(1), 0);
         let events = m.on_message(
             MembershipMsg::RecoveryDone {
                 from: NodeId(1),
                 epoch: Epoch::ZERO,
+                seen: vec![NodeId(1)],
             },
             10,
         );
@@ -473,7 +660,7 @@ mod tests {
     #[test]
     fn admin_removed_node_stays_out_despite_heartbeats() {
         let mut m = MembershipEngine::new(NodeId(0), 3, 100);
-        m.force_remove(NodeId(1));
+        m.force_remove(NodeId(1), 0);
         let epoch = m.epoch();
         let events = m.on_message(
             MembershipMsg::Heartbeat {
@@ -496,14 +683,217 @@ mod tests {
     #[test]
     fn force_add_rejoins_node_with_new_epoch() {
         let mut m = MembershipEngine::new(NodeId(0), 2, 100);
-        m.force_remove(NodeId(1));
+        m.force_remove(NodeId(1), 0);
         assert_eq!(m.view().len(), 1);
         let events = m.force_add(NodeId(1), 500);
         assert!(events
             .iter()
-            .any(|e| matches!(e, MembershipEvent::ViewInstalled(_))));
+            .any(|e| matches!(e, MembershipEvent::ViewInstalled { .. })));
         assert_eq!(m.epoch(), Epoch(2));
         assert!(m.is_live(NodeId(1)));
+    }
+
+    #[test]
+    fn readmission_can_be_disabled_for_fault_injection() {
+        let mut m = MembershipEngine::new(NodeId(0), 3, 100);
+        m.set_readmit_suspects(false);
+        m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(2),
+                epoch: Epoch::ZERO,
+            },
+            390,
+        );
+        m.tick(400);
+        assert!(!m.is_live(NodeId(1)), "node 1 expelled by lease expiry");
+        let events = m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(1),
+                epoch: Epoch::ZERO,
+            },
+            450,
+        );
+        assert!(events.is_empty(), "re-admission disabled");
+        assert!(!m.is_live(NodeId(1)));
+    }
+
+    #[test]
+    fn rejoin_view_change_names_the_rejoined_node() {
+        let mut m = MembershipEngine::new(NodeId(0), 3, 100);
+        m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(2),
+                epoch: Epoch::ZERO,
+            },
+            390,
+        );
+        m.tick(400);
+        assert!(!m.is_live(NodeId(1)));
+        let events = m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(1),
+                epoch: Epoch::ZERO,
+            },
+            450,
+        );
+        let broadcast_admitted = events.iter().find_map(|e| match e {
+            MembershipEvent::Broadcast(MembershipMsg::ViewChange { live, admitted, .. }) => {
+                Some((live.clone(), admitted.clone()))
+            }
+            _ => None,
+        });
+        let (live, admitted) = broadcast_admitted.expect("view change broadcast");
+        let idx = live.iter().position(|&n| n == NodeId(1)).unwrap();
+        assert!(
+            admitted[idx] > Epoch::ZERO,
+            "the broadcast must carry node 1's admission epoch"
+        );
+        let installed_rejoined = events.iter().find_map(|e| match e {
+            MembershipEvent::ViewInstalled { rejoined, .. } => Some(rejoined.clone()),
+            _ => None,
+        });
+        assert_eq!(installed_rejoined, Some(vec![NodeId(1)]));
+    }
+
+    #[test]
+    fn follower_learns_it_rejoined_from_the_view_change() {
+        // The expelled node itself never saw a view without it; the
+        // `rejoined` field in the manager's ViewChange is how it learns it
+        // must reset its replica state.
+        let mut m = MembershipEngine::new(NodeId(1), 3, 100);
+        let events = m.on_message(
+            MembershipMsg::ViewChange {
+                epoch: Epoch(2),
+                live: vec![NodeId(0), NodeId(1), NodeId(2)],
+                admitted: vec![Epoch(0), Epoch(2), Epoch(0)],
+            },
+            500,
+        );
+        let installed_rejoined = events.iter().find_map(|e| match e {
+            MembershipEvent::ViewInstalled { rejoined, .. } => Some(rejoined.clone()),
+            _ => None,
+        });
+        assert_eq!(installed_rejoined, Some(vec![NodeId(1)]));
+    }
+
+    #[test]
+    fn isolated_node_detects_silence_before_expulsion_threshold() {
+        let mut m = MembershipEngine::new(NodeId(2), 3, 100);
+        // Fresh leases at time 0: not isolated.
+        assert!(!m.is_isolated(50));
+        // Silence past one lease (but before lease + grace): isolated.
+        assert!(m.is_isolated(100));
+        // One peer heartbeating is enough to stay unfenced.
+        m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(0),
+                epoch: Epoch::ZERO,
+            },
+            150,
+        );
+        assert!(!m.is_isolated(200));
+        assert!(m.is_isolated(250));
+    }
+
+    #[test]
+    fn single_node_view_is_never_isolated() {
+        let mut m = MembershipEngine::new(NodeId(0), 2, 100);
+        m.force_remove(NodeId(1), 0);
+        assert!(!m.is_isolated(1_000_000));
+    }
+
+    #[test]
+    fn follower_tracks_leases_of_nodes_added_by_the_manager() {
+        // A follower that later becomes the manager must have lease entries
+        // for nodes the old manager admitted, and must not instantly expel
+        // them.
+        let mut m = MembershipEngine::new(NodeId(1), 2, 100);
+        m.on_message(
+            MembershipMsg::ViewChange {
+                epoch: Epoch(1),
+                live: vec![NodeId(0), NodeId(1), NodeId(5)],
+                admitted: vec![Epoch(0), Epoch(0), Epoch(1)],
+            },
+            1_000,
+        );
+        assert!(m.is_live(NodeId(5)));
+        // Node 5's heartbeats now renew a tracked lease.
+        m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(5),
+                epoch: Epoch(1),
+            },
+            1_050,
+        );
+        assert!(!m.is_isolated(1_100));
+    }
+
+    #[test]
+    fn stale_heartbeat_triggers_view_refresh() {
+        let mut m = MembershipEngine::new(NodeId(0), 3, 100);
+        // Install epoch 1 by expelling nobody — use force_remove + force_add
+        // to move the epoch forward while keeping everyone live.
+        m.force_remove(NodeId(2), 0);
+        m.force_add(NodeId(2), 10);
+        assert_eq!(m.epoch(), Epoch(2));
+        // Node 1 heartbeats with epoch 0: it missed both view changes and
+        // must be refreshed (it was never expelled, so no rejoin order).
+        let events = m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(1),
+                epoch: Epoch::ZERO,
+            },
+            20,
+        );
+        match events.as_slice() {
+            [MembershipEvent::Send {
+                to,
+                msg:
+                    MembershipMsg::ViewChange {
+                        epoch,
+                        live,
+                        admitted,
+                    },
+            }] => {
+                assert_eq!(*to, NodeId(1));
+                assert_eq!(*epoch, Epoch(2));
+                let idx = live.iter().position(|&n| n == NodeId(1)).unwrap();
+                assert_eq!(admitted[idx], Epoch::ZERO, "node 1 was never expelled");
+            }
+            other => panic!("expected a targeted view refresh, got {other:?}"),
+        }
+        // Node 2 *was* re-admitted at epoch 2: a stale heartbeat from it
+        // must carry the rejoin order so it resets its replica state.
+        let events = m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(2),
+                epoch: Epoch::ZERO,
+            },
+            30,
+        );
+        match events.as_slice() {
+            [MembershipEvent::Send {
+                msg: MembershipMsg::ViewChange { live, admitted, .. },
+                ..
+            }] => {
+                let idx = live.iter().position(|&n| n == NodeId(2)).unwrap();
+                assert_eq!(
+                    admitted[idx],
+                    Epoch(2),
+                    "the refresh must carry node 2's admission epoch so it resets"
+                );
+            }
+            other => panic!("expected an admission-carrying refresh, got {other:?}"),
+        }
+        // An up-to-date heartbeat triggers nothing.
+        let events = m.on_message(
+            MembershipMsg::Heartbeat {
+                from: NodeId(1),
+                epoch: Epoch(2),
+            },
+            40,
+        );
+        assert!(events.is_empty());
     }
 
     #[test]
@@ -522,7 +912,7 @@ mod tests {
             let events = m.tick(t);
             assert!(!events
                 .iter()
-                .any(|e| matches!(e, MembershipEvent::ViewInstalled(_))));
+                .any(|e| matches!(e, MembershipEvent::ViewInstalled { .. })));
         }
         assert_eq!(m.epoch(), Epoch::ZERO);
     }

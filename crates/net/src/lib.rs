@@ -30,6 +30,6 @@ pub mod threaded;
 
 pub use envelope::Envelope;
 pub use reliable::{ReliableEndpoint, ReliableMsg};
-pub use sim::{FaultPlan, NetConfig, SimNetwork};
+pub use sim::{FaultPlan, LinkOverride, NetConfig, SimNetwork};
 pub use stats::NetStats;
 pub use threaded::{NodeMailbox, ThreadedNet};

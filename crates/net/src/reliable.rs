@@ -267,6 +267,7 @@ mod tests {
             drop_probability: 0.0,
             duplicate_probability: 0.0,
             seed: 11,
+            link_overrides: Vec::new(),
         };
         let msgs: Vec<u32> = (0..100).collect();
         let got = run_pair(config, msgs.clone(), 10_000);

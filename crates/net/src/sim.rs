@@ -6,7 +6,7 @@
 //! from a seeded RNG, so every faulty execution is reproducible.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,6 +14,25 @@ use zeus_proto::NodeId;
 
 use crate::envelope::Envelope;
 use crate::stats::NetStats;
+
+/// Static per-link parameter override (see [`NetConfig::link_overrides`]).
+///
+/// Overrides model heterogeneous topologies (a slow or flaky WAN link between
+/// two specific nodes) and are consulted for the `from → to` direction only;
+/// configure both directions for a symmetric link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkOverride {
+    /// Source node of the directed link.
+    pub from: NodeId,
+    /// Destination node of the directed link.
+    pub to: NodeId,
+    /// Minimum one-way latency in ticks for this link.
+    pub min_delay: u64,
+    /// Maximum one-way latency in ticks for this link.
+    pub max_delay: u64,
+    /// Drop probability for this link (replaces the global probability).
+    pub drop_probability: f64,
+}
 
 /// Network behaviour configuration.
 #[derive(Debug, Clone)]
@@ -29,6 +48,12 @@ pub struct NetConfig {
     pub duplicate_probability: f64,
     /// RNG seed; identical seeds give identical executions.
     pub seed: u64,
+    /// Per-link parameter overrides. Links without an override use the
+    /// global `min_delay`/`max_delay`/`drop_probability`. An empty list (the
+    /// default) leaves the simulator's behaviour — including its RNG stream —
+    /// byte-identical to configurations predating this field, so existing
+    /// seeds replay unchanged.
+    pub link_overrides: Vec<LinkOverride>,
 }
 
 impl Default for NetConfig {
@@ -39,6 +64,7 @@ impl Default for NetConfig {
             drop_probability: 0.0,
             duplicate_probability: 0.0,
             seed: 0x5EED,
+            link_overrides: Vec::new(),
         }
     }
 }
@@ -50,9 +76,8 @@ impl NetConfig {
         NetConfig {
             min_delay: delay,
             max_delay: delay,
-            drop_probability: 0.0,
-            duplicate_probability: 0.0,
             seed: 7,
+            ..NetConfig::default()
         }
     }
 
@@ -64,18 +89,39 @@ impl NetConfig {
             drop_probability,
             duplicate_probability,
             seed,
+            link_overrides: Vec::new(),
         }
+    }
+
+    /// Adds a per-link override (builder style).
+    #[must_use]
+    pub fn with_link_override(mut self, link: LinkOverride) -> Self {
+        self.link_overrides.push(link);
+        self
+    }
+
+    /// The override configured for `from → to`, if any.
+    pub fn link_override(&self, from: NodeId, to: NodeId) -> Option<&LinkOverride> {
+        self.link_overrides
+            .iter()
+            .find(|l| l.from == from && l.to == to)
     }
 }
 
 /// Additional, deterministic fault plan applied on top of probabilistic
-/// faults: crashed nodes and (directed) link partitions.
+/// faults: crashed nodes, (directed) link partitions, per-link latency
+/// spikes and bounded per-link drop bursts.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// Nodes that have crashed: all traffic to and from them is dropped.
     pub crashed: HashSet<NodeId>,
     /// Directed links that are cut (`(from, to)` pairs).
     pub cut_links: HashSet<(NodeId, NodeId)>,
+    /// Extra one-way latency (ticks) currently added per directed link.
+    pub link_extra_delay: HashMap<(NodeId, NodeId), u64>,
+    /// Remaining messages to drop per directed link (drop bursts). The entry
+    /// is removed once the count reaches zero.
+    pub link_drop_burst: HashMap<(NodeId, NodeId), u64>,
 }
 
 impl FaultPlan {
@@ -107,9 +153,76 @@ impl FaultPlan {
         self.cut_links.insert((b, a));
     }
 
+    /// Heals the directed link `from → to` (cut and latency spike).
+    pub fn heal_link(&mut self, from: NodeId, to: NodeId) {
+        self.cut_links.remove(&(from, to));
+        self.link_extra_delay.remove(&(from, to));
+    }
+
+    /// Heals both directions between two nodes.
+    pub fn heal_partition(&mut self, a: NodeId, b: NodeId) {
+        self.heal_link(a, b);
+        self.heal_link(b, a);
+    }
+
     /// Heals every cut link.
     pub fn heal_links(&mut self) {
         self.cut_links.clear();
+    }
+
+    /// Adds `extra` ticks of one-way latency on `from → to` until cleared.
+    pub fn spike(&mut self, from: NodeId, to: NodeId, extra: u64) {
+        self.link_extra_delay.insert((from, to), extra);
+    }
+
+    /// Removes the latency spike on `from → to`.
+    pub fn clear_spike(&mut self, from: NodeId, to: NodeId) {
+        self.link_extra_delay.remove(&(from, to));
+    }
+
+    /// Removes every latency spike.
+    pub fn clear_spikes(&mut self) {
+        self.link_extra_delay.clear();
+    }
+
+    /// Drops the next `count` messages sent on `from → to`.
+    pub fn drop_burst(&mut self, from: NodeId, to: NodeId, count: u64) {
+        if count > 0 {
+            *self.link_drop_burst.entry((from, to)).or_insert(0) += count;
+        }
+    }
+
+    /// Cancels every pending drop burst.
+    pub fn clear_drop_bursts(&mut self) {
+        self.link_drop_burst.clear();
+    }
+
+    /// Heals every injected link fault (cuts, spikes and drop bursts) at
+    /// once. Crashed nodes are unaffected.
+    pub fn heal_all(&mut self) {
+        self.heal_links();
+        self.clear_spikes();
+        self.clear_drop_bursts();
+    }
+
+    /// Extra latency currently applied to `from → to`.
+    fn extra_delay(&self, from: NodeId, to: NodeId) -> u64 {
+        self.link_extra_delay.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Consumes one message from the drop burst on `from → to`, returning
+    /// `true` if the message must be dropped.
+    fn take_burst_drop(&mut self, from: NodeId, to: NodeId) -> bool {
+        match self.link_drop_burst.get_mut(&(from, to)) {
+            Some(remaining) => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.link_drop_burst.remove(&(from, to));
+                }
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -138,6 +251,21 @@ impl<M> Ord for InFlight<M> {
 }
 
 /// Deterministic discrete-time network simulator.
+///
+/// # Determinism contract
+///
+/// Every faulty execution is reproducible from `NetConfig::seed`: the RNG is
+/// consumed only by [`SimNetwork::send`], in a fixed order per message
+/// (drop draw, then duplicate draw, then one latency draw per copy), and a
+/// draw is skipped entirely when its probability is zero or the latency
+/// range is a single value. Deterministic faults — [`FaultPlan`] cuts,
+/// crashes, latency spikes and drop bursts, and [`NetConfig::link_overrides`]
+/// — never consume randomness beyond that fixed order: a link override
+/// substitutes the *parameters* of the existing draws, a spike adds a
+/// constant after the latency draw, and cuts/bursts drop the message before
+/// any draw happens. Consequently a config with no overrides behaves
+/// byte-identically to one predating these fields, and replaying the same
+/// seed with the same fault injections yields the same delivery schedule.
 #[derive(Debug)]
 pub struct SimNetwork<M> {
     config: NetConfig,
@@ -199,13 +327,24 @@ impl<M> SimNetwork<M> {
         M: Clone,
     {
         self.stats.record_send(envelope.from, envelope.wire_bytes);
-        if self.faults.blocks(envelope.from, envelope.to) {
+        if self.faults.blocks(envelope.from, envelope.to)
+            || self.faults.take_burst_drop(envelope.from, envelope.to)
+        {
             self.stats.record_drop();
             return;
         }
-        if self.config.drop_probability > 0.0
-            && self.rng.gen_bool(self.config.drop_probability.min(1.0))
-        {
+        // Per-link overrides substitute the parameters of the draws below;
+        // the draw structure itself is fixed (see the determinism contract).
+        let (min_delay, max_delay, drop_probability) =
+            match self.config.link_override(envelope.from, envelope.to) {
+                Some(l) => (l.min_delay, l.max_delay, l.drop_probability),
+                None => (
+                    self.config.min_delay,
+                    self.config.max_delay,
+                    self.config.drop_probability,
+                ),
+            };
+        if drop_probability > 0.0 && self.rng.gen_bool(drop_probability.min(1.0)) {
             self.stats.record_drop();
             return;
         }
@@ -219,15 +358,15 @@ impl<M> SimNetwork<M> {
         } else {
             1
         };
+        let extra = self.faults.extra_delay(envelope.from, envelope.to);
         for _ in 0..copies {
-            let delay = if self.config.max_delay > self.config.min_delay {
-                self.rng
-                    .gen_range(self.config.min_delay..=self.config.max_delay)
+            let delay = if max_delay > min_delay {
+                self.rng.gen_range(min_delay..=max_delay)
             } else {
-                self.config.min_delay
+                min_delay
             };
             let item = InFlight {
-                deliver_at: self.now + delay.max(1),
+                deliver_at: self.now + delay.max(1) + extra,
                 seq: self.next_seq,
                 envelope: envelope.clone(),
             };
@@ -349,6 +488,7 @@ mod tests {
             drop_probability: 0.0,
             duplicate_probability: 0.0,
             seed: 42,
+            link_overrides: Vec::new(),
         };
         let mut net = SimNetwork::new(config);
         for i in 0..100u32 {
@@ -423,6 +563,134 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn default_config_rng_stream_is_unchanged_by_empty_overrides() {
+        // The determinism contract: an empty `link_overrides` list must not
+        // perturb the RNG stream, so executions recorded before the field
+        // existed replay identically.
+        let run = |config: NetConfig| {
+            let mut net = SimNetwork::new(config);
+            for i in 0..100u32 {
+                net.send(env(0, 1, i));
+            }
+            let mut order = Vec::new();
+            loop {
+                let batch = net.step();
+                if batch.is_empty() {
+                    break;
+                }
+                order.extend(batch.into_iter().map(|e| (e.msg, net.now())));
+            }
+            order
+        };
+        let base = NetConfig::lossy(99, 0.2, 0.1);
+        let mut with_unrelated_override = base.clone();
+        // An override on a link the trace never uses must not matter either.
+        with_unrelated_override.link_overrides.push(LinkOverride {
+            from: NodeId(5),
+            to: NodeId(6),
+            min_delay: 100,
+            max_delay: 200,
+            drop_probability: 0.9,
+        });
+        assert_eq!(run(base), run(with_unrelated_override));
+    }
+
+    #[test]
+    fn link_override_substitutes_latency_and_drop() {
+        let config = NetConfig::reliable(2).with_link_override(LinkOverride {
+            from: NodeId(0),
+            to: NodeId(1),
+            min_delay: 50,
+            max_delay: 50,
+            drop_probability: 0.0,
+        });
+        let mut net = SimNetwork::new(config);
+        net.send(env(0, 1, 1)); // overridden: slow link
+        net.send(env(0, 2, 2)); // default: fast link
+        let first = net.step();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].msg, 2);
+        assert_eq!(net.now(), 2);
+        let second = net.step();
+        assert_eq!(second[0].msg, 1);
+        assert_eq!(net.now(), 50);
+
+        // A lossy override drops deterministically with p = 1.
+        let config = NetConfig::reliable(2).with_link_override(LinkOverride {
+            from: NodeId(0),
+            to: NodeId(1),
+            min_delay: 1,
+            max_delay: 1,
+            drop_probability: 1.0,
+        });
+        let mut net = SimNetwork::new(config);
+        net.send(env(0, 1, 1));
+        net.send(env(1, 0, 2)); // reverse direction is not overridden
+        assert_eq!(net.in_flight_len(), 1);
+        assert_eq!(net.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn latency_spike_adds_constant_delay_until_cleared() {
+        let mut net = SimNetwork::new(NetConfig::reliable(2));
+        net.faults_mut().spike(NodeId(0), NodeId(1), 100);
+        net.send(env(0, 1, 1));
+        net.send(env(1, 0, 2));
+        let batch = net.step();
+        assert_eq!(batch[0].msg, 2, "reverse link unaffected");
+        assert_eq!(net.now(), 2);
+        let batch = net.step();
+        assert_eq!(batch[0].msg, 1);
+        assert_eq!(net.now(), 102);
+        net.faults_mut().clear_spike(NodeId(0), NodeId(1));
+        net.send(env(0, 1, 3));
+        net.step();
+        assert_eq!(net.now(), 104);
+    }
+
+    #[test]
+    fn drop_burst_drops_exactly_count_messages() {
+        let mut net = SimNetwork::new(NetConfig::reliable(1));
+        net.faults_mut().drop_burst(NodeId(0), NodeId(1), 3);
+        for i in 0..5u32 {
+            net.send(env(0, 1, i));
+        }
+        net.send(env(1, 0, 9)); // other direction unaffected
+        assert_eq!(net.stats().messages_dropped, 3);
+        let mut delivered = Vec::new();
+        loop {
+            let batch = net.step();
+            if batch.is_empty() {
+                break;
+            }
+            delivered.extend(batch.into_iter().map(|e| e.msg));
+        }
+        assert_eq!(delivered, vec![3, 4, 9]);
+        assert!(net.faults().link_drop_burst.is_empty(), "burst consumed");
+    }
+
+    #[test]
+    fn heal_partition_and_heal_all_restore_traffic() {
+        let mut net = SimNetwork::new(NetConfig::reliable(1));
+        net.faults_mut().partition(NodeId(0), NodeId(1));
+        net.faults_mut().cut(NodeId(0), NodeId(2));
+        net.faults_mut().spike(NodeId(2), NodeId(0), 7);
+        net.faults_mut().drop_burst(NodeId(2), NodeId(1), 2);
+        net.faults_mut().heal_partition(NodeId(0), NodeId(1));
+        net.send(env(0, 1, 1));
+        net.send(env(1, 0, 2));
+        net.send(env(0, 2, 3)); // still cut
+        assert_eq!(net.step().len(), 2);
+        assert_eq!(net.stats().messages_dropped, 1);
+        net.faults_mut().heal_all();
+        assert!(net.faults().cut_links.is_empty());
+        assert!(net.faults().link_extra_delay.is_empty());
+        assert!(net.faults().link_drop_burst.is_empty());
+        net.send(env(0, 2, 4));
+        assert_eq!(net.step().len(), 1);
     }
 
     #[test]

@@ -89,6 +89,19 @@ pub enum OwnershipAction {
         /// The transient reason.
         reason: NackReason,
     },
+    /// This node — the current owner, acting as the *driver* of an
+    /// arbitration that transfers its ownership away — must stop treating
+    /// the object as writable immediately. A received INV triggers the same
+    /// demotion at the host layer, but the driver never receives its own
+    /// INV: without this action it could locally commit writes between
+    /// ACKing the requester and receiving the VAL, forking the version
+    /// history against the new owner.
+    DemoteSelf {
+        /// Object whose ownership is being transferred away.
+        object: ObjectId,
+        /// The access level this node will hold once the transfer decides.
+        level: zeus_proto::AccessLevel,
+    },
     /// This node, acting as an arbiter, applied a validated ownership change.
     /// The host must update the object's access level in its store (e.g. the
     /// previous owner demotes itself to reader; a removed reader drops the
@@ -116,6 +129,7 @@ struct MetaEntry {
 struct InflightArb {
     req_id: RequestId,
     requester: NodeId,
+    requester_has_replica: bool,
     kind: OwnershipRequestKind,
     o_ts: OwnershipTs,
     new_replicas: ReplicaSet,
@@ -136,6 +150,7 @@ struct InflightArb {
 struct PendingRequest {
     object: ObjectId,
     kind: OwnershipRequestKind,
+    has_replica: bool,
     driver: NodeId,
     acks: HashSet<NodeId>,
     arbiters: Option<Vec<NodeId>>,
@@ -251,6 +266,42 @@ impl OwnershipEngine {
         self.enabled
     }
 
+    /// Discards every piece of state that may be stale after this node was
+    /// expelled from the view and re-admitted (false suspicion, restart, or
+    /// scale-in/out cycle).
+    ///
+    /// While the node was out, arbitrations and commits kept flowing without
+    /// it, so its metadata, in-flight arbitrations and pending requests are
+    /// all unreliable: metadata is wiped (it is rebuilt per object by the
+    /// INV/VAL traffic of subsequent arbitrations), in-flight arbitrations
+    /// are dropped (live arbiters replay them), and pending requests fail
+    /// back to the transaction layer, which retries them under the new
+    /// epoch. `completed_seqs` is deliberately kept: it only suppresses
+    /// ghost re-drives of decided requests, and a stale (low) entry is no
+    /// worse than the empty map a genuinely fresh node starts with.
+    pub fn reset_for_rejoin(&mut self) -> Vec<OwnershipAction> {
+        self.stats.rejoin_resets += 1;
+        self.meta.clear();
+        self.inflight.clear();
+        let mut pending: Vec<(RequestId, ObjectId)> = self
+            .pending
+            .drain()
+            .map(|(req_id, p)| (req_id, p.object))
+            .collect();
+        pending.sort_unstable_by_key(|(req_id, _)| *req_id);
+        pending
+            .into_iter()
+            .map(|(req_id, object)| {
+                self.stats.requests_failed += 1;
+                OwnershipAction::Failed {
+                    req_id,
+                    object,
+                    reason: NackReason::Recovering,
+                }
+            })
+            .collect()
+    }
+
     /// Registers ownership metadata for an object this node arbitrates
     /// (directory replica, or initial owner). Called at object creation.
     pub fn register_object(&mut self, object: ObjectId, replicas: ReplicaSet) {
@@ -275,35 +326,51 @@ impl OwnershipEngine {
         &mut self,
         object: ObjectId,
         kind: OwnershipRequestKind,
-        _host: &impl OwnershipHost,
+        host: &impl OwnershipHost,
     ) -> (RequestId, Vec<OwnershipAction>) {
         let req_id = RequestId::new(self.local, self.next_seq);
         self.next_seq += 1;
         self.stats.requests_issued += 1;
+        // Whether we actually store a copy — the placement is not a proxy
+        // (see `OwnershipMsg::Req::has_replica`).
+        let has_replica = host.object_value(object).is_some();
 
-        // Prefer a co-located directory replica (saves one hop, §4.2);
-        // otherwise spread requests across the live directory replicas.
-        let driver = if self.is_directory_node() {
+        // Prefer a co-located directory replica (saves one hop, §4.2) —
+        // but only when we actually hold metadata for the object. A
+        // directory node without metadata either never saw the object
+        // (genuine first touch) or was wiped after a re-admission; routing
+        // to a peer replica lets an informed driver arbitrate (and our own
+        // copy heals from its INV/VAL traffic). Otherwise spread requests
+        // across the live directory replicas.
+        let driver = if self.is_directory_node() && self.meta.contains_key(&object) {
             self.local
         } else {
             let live_dirs: Vec<NodeId> = self
                 .directory
                 .iter()
                 .copied()
-                .filter(|d| self.live.contains(d))
+                .filter(|&d| {
+                    self.live.contains(&d) && (d != self.local || !self.is_directory_node())
+                })
                 .collect();
             if live_dirs.is_empty() {
-                self.stats.requests_failed += 1;
-                return (
-                    req_id,
-                    vec![OwnershipAction::Failed {
+                if self.is_directory_node() {
+                    // Sole surviving directory replica: drive it ourselves.
+                    self.local
+                } else {
+                    self.stats.requests_failed += 1;
+                    return (
                         req_id,
-                        object,
-                        reason: NackReason::Recovering,
-                    }],
-                );
+                        vec![OwnershipAction::Failed {
+                            req_id,
+                            object,
+                            reason: NackReason::Recovering,
+                        }],
+                    );
+                }
+            } else {
+                live_dirs[(object.0 as usize ^ req_id.seq as usize) % live_dirs.len()]
             }
-            live_dirs[(object.0 as usize ^ req_id.seq as usize) % live_dirs.len()]
         };
 
         self.pending.insert(
@@ -311,6 +378,7 @@ impl OwnershipEngine {
             PendingRequest {
                 object,
                 kind,
+                has_replica,
                 driver,
                 acks: HashSet::new(),
                 arbiters: None,
@@ -325,6 +393,7 @@ impl OwnershipEngine {
             object,
             kind,
             epoch: self.epoch,
+            has_replica,
         };
         (req_id, vec![OwnershipAction::Send { to: driver, msg }])
     }
@@ -361,6 +430,7 @@ impl OwnershipEngine {
             object: pending.object,
             kind: pending.kind,
             epoch: self.epoch,
+            has_replica: pending.has_replica,
         };
         vec![OwnershipAction::Send {
             to: pending.driver,
@@ -382,7 +452,10 @@ impl OwnershipEngine {
     /// to an epoch transition gets re-issued with the current epoch.
     pub fn retransmit(&mut self) -> Vec<OwnershipAction> {
         let mut actions = Vec::new();
-        let req_ids: Vec<RequestId> = self.pending.keys().copied().collect();
+        // Deterministic order: map iteration order must not influence the
+        // message sequence (it would perturb the simulator's RNG stream).
+        let mut req_ids: Vec<RequestId> = self.pending.keys().copied().collect();
+        req_ids.sort_unstable();
         for req_id in req_ids {
             let pending = self.pending.get_mut(&req_id).expect("pending exists");
             let object = pending.object;
@@ -410,6 +483,7 @@ impl OwnershipEngine {
                     object: pending.object,
                     kind: pending.kind,
                     epoch: self.epoch,
+                    has_replica: pending.has_replica,
                 },
             });
         }
@@ -427,7 +501,7 @@ impl OwnershipEngine {
     /// arbitration to a decision; every step is idempotent, so replaying an
     /// arbitration that is actually still progressing is harmless.
     pub fn replay_stalled(&mut self, host: &impl OwnershipHost) -> Vec<OwnershipAction> {
-        let stalled: Vec<ObjectId> = self
+        let mut stalled: Vec<ObjectId> = self
             .inflight
             .iter_mut()
             .filter_map(|(&object, inf)| {
@@ -435,6 +509,7 @@ impl OwnershipEngine {
                 (inf.stale_rounds >= 2).then_some(object)
             })
             .collect();
+        stalled.sort_unstable();
         let mut actions = Vec::new();
         for object in stalled {
             self.stats.arb_replays += 1;
@@ -465,6 +540,7 @@ impl OwnershipEngine {
                             old_replicas: inf.old_replicas.clone(),
                             epoch: self.epoch,
                             ack_to_driver: true,
+                            requester_has_replica: inf.requester_has_replica,
                         },
                     })
                     .collect();
@@ -491,7 +567,8 @@ impl OwnershipEngine {
                 object,
                 kind,
                 epoch,
-            } => self.on_req(req_id, object, kind, epoch, host),
+                has_replica,
+            } => self.on_req(req_id, object, kind, epoch, has_replica, host),
             OwnershipMsg::Inv {
                 req_id,
                 object,
@@ -501,6 +578,7 @@ impl OwnershipEngine {
                 old_replicas,
                 epoch,
                 ack_to_driver,
+                requester_has_replica,
             } => self.on_inv(
                 from,
                 req_id,
@@ -511,6 +589,7 @@ impl OwnershipEngine {
                 old_replicas,
                 epoch,
                 ack_to_driver,
+                requester_has_replica,
                 host,
             ),
             OwnershipMsg::Ack {
@@ -559,10 +638,18 @@ impl OwnershipEngine {
 
     /// Installs a new membership view: bumps the epoch, prunes dead replicas
     /// and starts arb-replays for every pending arbitration (§4.1 recovery).
+    ///
+    /// `rejoined` lists the nodes this view re-admits *with wiped state*:
+    /// they are pruned from every replica set exactly like dead nodes —
+    /// their copies are gone — even though they are live. This also covers
+    /// followers that missed intermediate views (a node jumping several
+    /// epochs learns the rejoins from the view that reaches it), keeping
+    /// directory replicas in agreement.
     pub fn on_view_change(
         &mut self,
         epoch: Epoch,
         live: Vec<NodeId>,
+        rejoined: &[NodeId],
         host: &impl OwnershipHost,
     ) -> Vec<OwnershipAction> {
         if epoch <= self.epoch && !self.live.is_empty() {
@@ -578,10 +665,38 @@ impl OwnershipEngine {
         let mut actions = Vec::new();
         for meta in self.meta.values_mut() {
             meta.replicas.retain_live(&self.live);
+            for &r in rejoined {
+                meta.replicas.remove_node(r);
+            }
+        }
+        // Arbitrations whose requester rejoined are orphaned: the requester
+        // wiped its pending-request state and will re-request with a fresh
+        // id. Drop them (everyone processes the same view change, so this is
+        // symmetric) and release the per-object drive state.
+        let mut orphaned: Vec<ObjectId> = self
+            .inflight
+            .iter()
+            .filter(|(_, inf)| rejoined.contains(&inf.requester))
+            .map(|(&object, _)| object)
+            .collect();
+        orphaned.sort_unstable();
+        for object in orphaned {
+            self.inflight.remove(&object);
+            if let Some(meta) = self.meta.get_mut(&object) {
+                meta.o_state = OState::Valid;
+            }
+        }
+        for inf in self.inflight.values_mut() {
+            for &r in rejoined {
+                inf.new_replicas.remove_node(r);
+                inf.old_replicas.remove_node(r);
+            }
         }
 
-        // Arb-replay every pending arbitration this node knows about.
-        let objects: Vec<ObjectId> = self.inflight.keys().copied().collect();
+        // Arb-replay every pending arbitration this node knows about (in
+        // deterministic object order; see `retransmit`).
+        let mut objects: Vec<ObjectId> = self.inflight.keys().copied().collect();
+        objects.sort_unstable();
         for object in objects {
             self.stats.arb_replays += 1;
             let (arbiters, replay_msgs) = {
@@ -610,6 +725,7 @@ impl OwnershipEngine {
                             old_replicas: inf.old_replicas.clone(),
                             epoch: self.epoch,
                             ack_to_driver: true,
+                            requester_has_replica: inf.requester_has_replica,
                         },
                     })
                     .collect();
@@ -636,6 +752,7 @@ impl OwnershipEngine {
         object: ObjectId,
         kind: OwnershipRequestKind,
         epoch: Epoch,
+        requester_has_replica: bool,
         host: &impl OwnershipHost,
     ) -> Vec<OwnershipAction> {
         let requester = req_id.requester;
@@ -722,7 +839,7 @@ impl OwnershipEngine {
         let old_replicas = meta.replicas.clone();
         let o_ts = meta.o_ts.bump(self.local);
         let new_replicas = Self::apply_kind(&old_replicas, kind, requester);
-        let arbiters = self.arbiter_set(&old_replicas);
+        let arbiters = self.arbiter_set(&old_replicas, requester);
 
         let meta = self.meta.get_mut(&object).expect("meta exists");
         meta.o_ts = o_ts;
@@ -733,6 +850,7 @@ impl OwnershipEngine {
             InflightArb {
                 req_id,
                 requester,
+                requester_has_replica,
                 kind,
                 o_ts,
                 new_replicas: new_replicas.clone(),
@@ -746,6 +864,19 @@ impl OwnershipEngine {
         );
 
         let mut actions = Vec::new();
+        // If this driver is also the current owner and the request moves
+        // ownership elsewhere, it must invalidate its own write access *at
+        // drive time* — it will never receive the INV that demotes a remote
+        // owner (see [`OwnershipAction::DemoteSelf`]).
+        let own_level_after = new_replicas.level_of(self.local);
+        if old_replicas.owner == Some(self.local)
+            && own_level_after != zeus_proto::AccessLevel::Owner
+        {
+            actions.push(OwnershipAction::DemoteSelf {
+                object,
+                level: own_level_after,
+            });
+        }
         for &arb in arbiters.iter().filter(|&&n| n != self.local) {
             actions.push(OwnershipAction::Send {
                 to: arb,
@@ -758,11 +889,19 @@ impl OwnershipEngine {
                     old_replicas: old_replicas.clone(),
                     epoch: self.epoch,
                     ack_to_driver: false,
+                    requester_has_replica,
                 },
             });
         }
         // The driver is itself an arbiter: it ACKs the requester directly.
-        let data = self.data_for_requester(object, kind, requester, &old_replicas, host);
+        let data = self.data_for_requester(
+            object,
+            kind,
+            requester,
+            requester_has_replica,
+            &old_replicas,
+            host,
+        );
         actions.push(OwnershipAction::Send {
             to: requester,
             msg: OwnershipMsg::Ack {
@@ -819,11 +958,18 @@ impl OwnershipEngine {
                     old_replicas: inf.old_replicas.clone(),
                     epoch: self.epoch,
                     ack_to_driver: false,
+                    requester_has_replica: inf.requester_has_replica,
                 },
             });
         }
-        let data =
-            self.data_for_requester(object, inf.kind, inf.requester, &inf.old_replicas, host);
+        let data = self.data_for_requester(
+            object,
+            inf.kind,
+            inf.requester,
+            inf.requester_has_replica,
+            &inf.old_replicas,
+            host,
+        );
         actions.push(OwnershipAction::Send {
             to: inf.requester,
             msg: OwnershipMsg::Ack {
@@ -856,6 +1002,7 @@ impl OwnershipEngine {
         old_replicas: ReplicaSet,
         epoch: Epoch,
         ack_to_driver: bool,
+        requester_has_replica: bool,
         host: &impl OwnershipHost,
     ) -> Vec<OwnershipAction> {
         if epoch != self.epoch {
@@ -891,9 +1038,15 @@ impl OwnershipEngine {
             }];
         }
 
-        if o_ts < meta.o_ts {
-            // A stale / losing request: tell its requester to give up.
-            return vec![OwnershipAction::Send {
+        // A drive made from *empty* metadata against an established placement
+        // is a ghost: a re-admitted (amnesiac) directory replica first-touch
+        // created an object its peers already track. Its timestamp may even
+        // win the o_ts comparison (same counter, higher node id), so an
+        // explicit placement check is needed — accepting it would hand the
+        // requester an empty version-0 object and drop every real replica.
+        // Reject it regardless of timestamps and tell the driver to abort.
+        if o_ts > meta.o_ts && old_replicas.is_empty() && !meta.replicas.is_empty() {
+            let mut actions = vec![OwnershipAction::Send {
                 to: requester,
                 msg: OwnershipMsg::Nack {
                     req_id,
@@ -903,6 +1056,52 @@ impl OwnershipEngine {
                     from: self.local,
                 },
             }];
+            if from != requester {
+                actions.push(OwnershipAction::Send {
+                    to: from,
+                    msg: OwnershipMsg::Nack {
+                        req_id,
+                        object,
+                        reason: NackReason::LostArbitration,
+                        epoch: self.epoch,
+                        from: self.local,
+                    },
+                });
+            }
+            return actions;
+        }
+
+        if o_ts < meta.o_ts {
+            // A stale / losing request: tell its requester to give up. Also
+            // tell the *driver* (when it is not the requester itself): a
+            // driver arbitrating from stale or wiped metadata — e.g. a
+            // re-admitted directory replica that first-touch-created an
+            // object its peers already track — would otherwise keep an
+            // in-flight arbitration that can never complete and replay it
+            // forever.
+            let mut actions = vec![OwnershipAction::Send {
+                to: requester,
+                msg: OwnershipMsg::Nack {
+                    req_id,
+                    object,
+                    reason: NackReason::LostArbitration,
+                    epoch: self.epoch,
+                    from: self.local,
+                },
+            }];
+            if from != requester {
+                actions.push(OwnershipAction::Send {
+                    to: from,
+                    msg: OwnershipMsg::Nack {
+                        req_id,
+                        object,
+                        reason: NackReason::LostArbitration,
+                        epoch: self.epoch,
+                        from: self.local,
+                    },
+                });
+            }
+            return actions;
         }
 
         let mut actions = Vec::new();
@@ -927,11 +1126,22 @@ impl OwnershipEngine {
             meta.o_ts = o_ts;
             meta.o_state = OState::Invalid;
             let arbiters = {
-                let owner = old_replicas.owner;
                 let mut set = self.directory.clone();
-                if let Some(o) = owner {
-                    if !set.contains(&o) {
-                        set.push(o);
+                match old_replicas.owner {
+                    Some(o) if o != requester => {
+                        if !set.contains(&o) {
+                            set.push(o);
+                        }
+                    }
+                    // Ownerless object, or the requester is the placement
+                    // owner without data: the surviving readers arbitrate
+                    // (and ship the value).
+                    _ => {
+                        for &reader in &old_replicas.readers {
+                            if !set.contains(&reader) {
+                                set.push(reader);
+                            }
+                        }
                     }
                 }
                 set
@@ -941,6 +1151,7 @@ impl OwnershipEngine {
                 InflightArb {
                     req_id,
                     requester,
+                    requester_has_replica,
                     kind,
                     o_ts,
                     new_replicas: new_replicas.clone(),
@@ -955,7 +1166,14 @@ impl OwnershipEngine {
         }
         // o_ts == meta.o_ts (replay / duplicate): simply ACK again (§4.1).
 
-        let data = self.data_for_requester(object, kind, requester, &old_replicas, host);
+        let data = self.data_for_requester(
+            object,
+            kind,
+            requester,
+            requester_has_replica,
+            &old_replicas,
+            host,
+        );
         actions.push(OwnershipAction::Send {
             to: ack_target,
             msg: OwnershipMsg::Ack {
@@ -969,7 +1187,7 @@ impl OwnershipEngine {
                     .inflight
                     .get(&object)
                     .map(|i| i.arbiters.clone())
-                    .unwrap_or_else(|| self.arbiter_set(&old_replicas)),
+                    .unwrap_or_else(|| self.arbiter_set(&old_replicas, requester)),
                 new_replicas,
             },
         });
@@ -1001,6 +1219,30 @@ impl OwnershipEngine {
         object: ObjectId,
         reason: NackReason,
     ) -> Vec<OwnershipAction> {
+        // Arbiter side: a peer refuted the arbitration we hold in flight for
+        // this request (a drive from stale or wiped metadata lost against an
+        // established placement). Abort it — drop the in-flight entry and
+        // any metadata the refuted drive created (INV/VAL traffic of real
+        // arbitrations rebuilds it) — so the stalled-arbitration replay does
+        // not resurrect it forever, and self-routing does not keep running
+        // into the stuck entry. This must fire at *every* arbiter holding
+        // the refuted arbitration, not just the driver that bumped the
+        // timestamp: wiped arbiters accept a ghost's INV (their metadata is
+        // empty too) and would otherwise keep replaying it to each other.
+        if reason == NackReason::LostArbitration {
+            let ghost = self
+                .inflight
+                .get(&object)
+                .filter(|inf| inf.req_id == req_id)
+                .map(|inf| inf.o_ts);
+            if let Some(o_ts) = ghost {
+                self.inflight.remove(&object);
+                if self.meta.get(&object).is_some_and(|m| m.o_ts == o_ts) {
+                    self.meta.remove(&object);
+                }
+                self.stats.ghost_arbitrations_aborted += 1;
+            }
+        }
         if !self.pending.contains_key(&req_id) {
             return Vec::new();
         }
@@ -1065,8 +1307,12 @@ impl OwnershipEngine {
         }
         pending.arbiters = Some(arbiters);
         pending.new_replicas = Some(new_replicas);
-        if data.is_some() {
-            pending.data = data;
+        // Several arbiters may ship data (readers of an ownerless object);
+        // keep the highest version.
+        if let Some((version, _)) = &data {
+            if pending.data.as_ref().is_none_or(|(v, _)| v < version) {
+                pending.data = data;
+            }
         }
         pending.acks.insert(acker);
 
@@ -1097,7 +1343,7 @@ impl OwnershipEngine {
         if epoch != self.epoch {
             return Vec::new();
         }
-        let default_arbiters = self.arbiter_set(&ReplicaSet::default());
+        let default_arbiters = self.arbiter_set(&ReplicaSet::default(), req_id.requester);
         let Some(pending) = self.pending.get_mut(&req_id) else {
             return Vec::new();
         };
@@ -1190,8 +1436,10 @@ impl OwnershipEngine {
         if !inf.collecting_acks || inf.req_id != req_id || inf.o_ts != o_ts {
             return Vec::new();
         }
-        if data.is_some() {
-            inf.data = data;
+        if let Some((version, _)) = &data {
+            if inf.data.as_ref().is_none_or(|(v, _)| v < version) {
+                inf.data = data;
+            }
         }
         inf.acks.insert(acker);
         inf.stale_rounds = 0;
@@ -1292,12 +1540,27 @@ impl OwnershipEngine {
     }
 
     /// The arbiter set of a request: the directory replicas plus the current
-    /// owner (§4.1).
-    fn arbiter_set(&self, replicas: &ReplicaSet) -> Vec<NodeId> {
+    /// owner (§4.1). When the object is *ownerless* (its owner failed and
+    /// nobody re-acquired it yet) — or the requester is itself the placement
+    /// owner (re-acquiring after losing its copy) — the surviving readers
+    /// arbitrate instead: they hold the only copies of the data and ship it
+    /// to the requester in their ACKs. Without them such an acquisition
+    /// would install an empty version-0 object next to live replicas
+    /// holding the real history.
+    fn arbiter_set(&self, replicas: &ReplicaSet, requester: NodeId) -> Vec<NodeId> {
         let mut set = self.directory.clone();
-        if let Some(owner) = replicas.owner {
-            if !set.contains(&owner) {
-                set.push(owner);
+        match replicas.owner {
+            Some(owner) if owner != requester => {
+                if !set.contains(&owner) {
+                    set.push(owner);
+                }
+            }
+            _ => {
+                for &reader in &replicas.readers {
+                    if !set.contains(&reader) {
+                        set.push(reader);
+                    }
+                }
             }
         }
         set.retain(|n| self.live.contains(n));
@@ -1320,23 +1583,33 @@ impl OwnershipEngine {
         new
     }
 
-    /// Data to ship in an ACK: only the current owner ships it, and only when
-    /// the requester will become a replica but does not yet store one.
+    /// Data to ship in an ACK: the current owner ships it — or, when the
+    /// object is ownerless or the requester is itself the placement owner,
+    /// any surviving reader (the requester keeps the highest-version copy
+    /// it receives). Shipping is driven by the requester's *declared* lack
+    /// of a copy, not by the placement: a placement owner/reader without
+    /// data (wiped on re-admission, or an acquisition decided after the
+    /// requester gave up) must be re-seeded or it would resurrect the
+    /// object empty at version 0.
     fn data_for_requester(
         &self,
         object: ObjectId,
         kind: OwnershipRequestKind,
         requester: NodeId,
+        requester_has_replica: bool,
         old_replicas: &ReplicaSet,
         host: &impl OwnershipHost,
     ) -> Option<(u64, Bytes)> {
-        if !kind.requester_needs_data() {
+        if !kind.requester_needs_data() || requester_has_replica {
             return None;
         }
-        if old_replicas.owner != Some(self.local) {
-            return None;
-        }
-        if old_replicas.level_of(requester).is_replica() {
+        let ships = match old_replicas.owner {
+            Some(owner) if owner == self.local => true,
+            Some(owner) if owner == requester => old_replicas.readers.contains(&self.local),
+            None => old_replicas.readers.contains(&self.local),
+            _ => false,
+        };
+        if !ships {
             return None;
         }
         host.object_value(object)
@@ -1457,7 +1730,8 @@ mod tests {
             let epoch = self.engines[live[0].index()].epoch().next();
             for node in live.clone() {
                 let host = &self.hosts[node.index()];
-                let actions = self.engines[node.index()].on_view_change(epoch, live.clone(), host);
+                let actions =
+                    self.engines[node.index()].on_view_change(epoch, live.clone(), &[], host);
                 self.apply(node, actions);
                 self.engines[node.index()].set_enabled(true);
             }
@@ -1524,6 +1798,106 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn rejoin_reset_fails_pending_and_wipes_meta() {
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        // A request is pending (never delivered) when the node resets.
+        let req = {
+            let host = &c.hosts[2];
+            let (req, _actions) =
+                c.engines[2].request_access(obj(), OwnershipRequestKind::AcquireOwner, host);
+            req
+        };
+        assert_eq!(c.engines[2].pending_requests(), 1);
+        let actions = c.engines[2].reset_for_rejoin();
+        assert_eq!(c.engines[2].pending_requests(), 0);
+        assert!(c.engines[2].replicas_of(obj()).is_none(), "meta wiped");
+        assert!(matches!(
+            actions.as_slice(),
+            [OwnershipAction::Failed {
+                req_id,
+                reason: NackReason::Recovering,
+                ..
+            }] if *req_id == req
+        ));
+        assert_eq!(c.engines[2].stats().rejoin_resets, 1);
+    }
+
+    #[test]
+    fn ghost_arbitration_from_wiped_directory_is_aborted() {
+        let mut c = Cluster::new(4, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        // Establish a non-trivial ownership timestamp everywhere.
+        c.request(NodeId(1), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        // Directory node 2 is expelled and re-admitted: its metadata is
+        // wiped. A REQ from a non-directory requester that happens to pick
+        // node 2 as its driver triggers a first-touch ghost drive whose
+        // timestamp could even *win* the o_ts comparison — the arbiters'
+        // placement check must reject it and tell the driver to abort.
+        c.engines[2].reset_for_rejoin();
+        let ghost_req = RequestId::new(NodeId(3), 77);
+        let actions = {
+            let host = &c.hosts[2];
+            c.engines[2].handle_message(
+                NodeId(3),
+                OwnershipMsg::Req {
+                    req_id: ghost_req,
+                    object: obj(),
+                    kind: OwnershipRequestKind::AcquireOwner,
+                    epoch: Epoch::ZERO,
+                    has_replica: false,
+                },
+                host,
+            )
+        };
+        c.apply(NodeId(2), actions);
+        assert_eq!(c.engines[2].inflight_arbitrations(), 1, "ghost drive");
+        c.run();
+        // The ghost does not survive at the stale driver: no in-flight entry
+        // keeps being replayed, and the bogus first-touch metadata entry is
+        // dropped so the next INV/VAL rebuilds it from real arbitrations.
+        assert_eq!(c.engines[2].inflight_arbitrations(), 0);
+        assert!(
+            c.engines[2].replicas_of(obj()).is_none(),
+            "bogus first-touch metadata must be dropped"
+        );
+        assert!(c.engines[2].stats().ghost_arbitrations_aborted >= 1);
+        // The established placement is untouched at the informed arbiters.
+        for d in [0usize, 1] {
+            assert_eq!(
+                c.engines[d].replicas_of(obj()).unwrap().owner,
+                Some(NodeId(1)),
+                "informed directory node {d} keeps the real owner"
+            );
+        }
+    }
+
+    #[test]
+    fn wiped_directory_requester_routes_to_an_informed_driver() {
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        c.request(NodeId(1), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        // Node 2 rejoins with wiped metadata, then wants the object. It must
+        // not self-drive from vacant metadata; routing to an informed peer
+        // completes the acquisition normally.
+        c.engines[2].reset_for_rejoin();
+        let req = c.request(NodeId(2), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        let done = c
+            .completed(NodeId(2))
+            .iter()
+            .any(|a| matches!(a, OwnershipAction::Completed { req_id, .. } if *req_id == req));
+        assert!(done, "acquisition via informed peer driver must succeed");
+        assert_eq!(
+            c.engines[2].replicas_of(obj()).unwrap().owner,
+            Some(NodeId(2)),
+            "metadata heals as part of completing the request"
+        );
     }
 
     #[test]
@@ -1653,7 +2027,7 @@ mod tests {
         for i in 0..3 {
             let host = &c.hosts[i];
             let live: Vec<NodeId> = (0..3).map(NodeId).collect();
-            let actions = c.engines[i].on_view_change(Epoch(1), live, host);
+            let actions = c.engines[i].on_view_change(Epoch(1), live, &[], host);
             c.apply(NodeId(i as u16), actions);
             c.engines[i].set_enabled(true);
         }
@@ -1664,6 +2038,7 @@ mod tests {
             object: obj(),
             kind: OwnershipRequestKind::AcquireOwner,
             epoch: Epoch::ZERO,
+            has_replica: false,
         };
         let host = &c.hosts[0];
         let actions = c.engines[0].handle_message(NodeId(1), msg, host);

@@ -26,6 +26,12 @@ pub struct OwnershipStats {
     /// REQ messages re-sent for pending requests (reliable-transport
     /// retransmission, §3.1).
     pub requests_retransmitted: u64,
+    /// Times this node discarded its ownership state after being re-admitted
+    /// to the view (false suspicion or restart).
+    pub rejoin_resets: u64,
+    /// Ghost arbitrations aborted after an arbiter reported that a drive
+    /// from stale metadata lost against a higher timestamp.
+    pub ghost_arbitrations_aborted: u64,
 }
 
 impl OwnershipStats {
@@ -45,6 +51,8 @@ impl OwnershipStats {
         self.validations_applied += other.validations_applied;
         self.arb_replays += other.arb_replays;
         self.requests_retransmitted += other.requests_retransmitted;
+        self.rejoin_resets += other.rejoin_resets;
+        self.ghost_arbitrations_aborted += other.ghost_arbitrations_aborted;
     }
 }
 

@@ -68,6 +68,14 @@ pub enum OwnershipMsg {
         kind: OwnershipRequestKind,
         /// Requester's current epoch.
         epoch: Epoch,
+        /// Whether the requester already stores a copy of the object. The
+        /// replica *placement* is not a reliable proxy for this: a node can
+        /// be the placement owner without data (its acquisition decided
+        /// after it gave up, or its state was wiped on re-admission), and
+        /// shipping decisions based on placement alone would hand it an
+        /// empty version-0 object next to replicas holding the real
+        /// history.
+        has_replica: bool,
     },
     /// `INV`: driver → remaining arbiters (other directory nodes and the
     /// current owner). Carries the proposed new ownership metadata.
@@ -90,6 +98,9 @@ pub enum OwnershipMsg {
         /// During arb-replay recovery, ACKs are collected by the driver
         /// instead of the requester (§4.1 failure recovery).
         ack_to_driver: bool,
+        /// Copied from the REQ: whether the requester already stores a copy
+        /// (drives which arbiter ships the value in its ACK).
+        requester_has_replica: bool,
     },
     /// `ACK`: arbiter → requester (or → driver during recovery).
     Ack {
@@ -293,6 +304,27 @@ pub enum MembershipMsg {
         epoch: Epoch,
         /// Live nodes in the new view.
         live: Vec<NodeId>,
+        /// Parallel to `live`: the epoch at which each live node last
+        /// (re)entered the view (`Epoch::ZERO` for initial members). A
+        /// receiver whose previous epoch is older than a node's admission
+        /// epoch missed that node's re-admission: the node re-entered with
+        /// wiped state (committed updates kept flowing while it was out),
+        /// so the receiver must stop treating it as a replica — and if the
+        /// node is the receiver *itself*, it must discard its own replica
+        /// state before serving again. Carrying admissions cumulatively
+        /// (rather than as a per-view delta) makes the reset order survive
+        /// dropped or reordered view changes.
+        admitted: Vec<Epoch>,
+    },
+    /// A node that observed a higher epoch than its own (via a peer's
+    /// heartbeat) asks that peer for the current view. View broadcasts are
+    /// fire-once and may be dropped or sent while the proposer was cut off;
+    /// the pull direction of the anti-entropy pair (the push direction is
+    /// the stale-heartbeat refresh) guarantees views eventually propagate
+    /// to everyone once links heal.
+    ViewPull {
+        /// The node requesting the view.
+        from: NodeId,
     },
     /// A node announces that it finished replaying pending reliable commits
     /// for the new epoch, so the ownership protocol may resume (§5.1).
@@ -301,6 +333,13 @@ pub enum MembershipMsg {
         from: NodeId,
         /// Epoch the recovery refers to.
         epoch: Epoch,
+        /// Nodes whose completion the sender has already recorded (itself
+        /// included). A receiver missing from this set replies with its own
+        /// announcement: that makes the barrier survive arbitrary message
+        /// loss — a stuck node keeps re-announcing from its heartbeat tick,
+        /// and exactly the peers it has not heard answer it — without the
+        /// reply storms an unconditional re-reply would cause.
+        seen: Vec<NodeId>,
     },
 }
 
@@ -329,6 +368,7 @@ mod tests {
             object,
             kind: OwnershipRequestKind::AcquireOwner,
             epoch: Epoch(3),
+            has_replica: true,
         };
         assert_eq!(msg.object(), object);
         assert_eq!(msg.request_id(), req_id);

@@ -145,6 +145,22 @@ impl ReplicaSet {
         self.readers.len() + usize::from(self.owner.is_some())
     }
 
+    /// Whether the set names no replicas at all (the default placement of a
+    /// freshly first-touch-created object).
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_none() && self.readers.is_empty()
+    }
+
+    /// Removes `node` from the set entirely (owner or reader) — used when a
+    /// node re-enters the view with wiped state and therefore stops being a
+    /// replica of everything it used to hold.
+    pub fn remove_node(&mut self, node: NodeId) {
+        if self.owner == Some(node) {
+            self.owner = None;
+        }
+        self.readers.retain(|&r| r != node);
+    }
+
     /// Access level of `node` according to this replica set.
     pub fn level_of(&self, node: NodeId) -> AccessLevel {
         if self.owner == Some(node) {

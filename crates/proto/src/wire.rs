@@ -385,12 +385,14 @@ impl Wire for OwnershipMsg {
                 object,
                 kind,
                 epoch,
+                has_replica,
             } => {
                 buf.push(0);
                 req_id.encode(buf);
                 object.encode(buf);
                 kind.encode(buf);
                 epoch.encode(buf);
+                has_replica.encode(buf);
             }
             OwnershipMsg::Inv {
                 req_id,
@@ -401,6 +403,7 @@ impl Wire for OwnershipMsg {
                 old_replicas,
                 epoch,
                 ack_to_driver,
+                requester_has_replica,
             } => {
                 buf.push(1);
                 req_id.encode(buf);
@@ -411,6 +414,7 @@ impl Wire for OwnershipMsg {
                 old_replicas.encode(buf);
                 epoch.encode(buf);
                 ack_to_driver.encode(buf);
+                requester_has_replica.encode(buf);
             }
             OwnershipMsg::Ack {
                 req_id,
@@ -484,6 +488,7 @@ impl Wire for OwnershipMsg {
                 object: ObjectId::decode(input)?,
                 kind: OwnershipRequestKind::decode(input)?,
                 epoch: Epoch::decode(input)?,
+                has_replica: bool::decode(input)?,
             }),
             1 => Ok(OwnershipMsg::Inv {
                 req_id: RequestId::decode(input)?,
@@ -494,6 +499,7 @@ impl Wire for OwnershipMsg {
                 old_replicas: ReplicaSet::decode(input)?,
                 epoch: Epoch::decode(input)?,
                 ack_to_driver: bool::decode(input)?,
+                requester_has_replica: bool::decode(input)?,
             }),
             2 => Ok(OwnershipMsg::Ack {
                 req_id: RequestId::decode(input)?,
@@ -599,15 +605,25 @@ impl Wire for MembershipMsg {
                 from.encode(buf);
                 epoch.encode(buf);
             }
-            MembershipMsg::ViewChange { epoch, live } => {
+            MembershipMsg::ViewChange {
+                epoch,
+                live,
+                admitted,
+            } => {
                 buf.push(1);
                 epoch.encode(buf);
                 live.encode(buf);
+                admitted.encode(buf);
             }
-            MembershipMsg::RecoveryDone { from, epoch } => {
+            MembershipMsg::RecoveryDone { from, epoch, seen } => {
                 buf.push(2);
                 from.encode(buf);
                 epoch.encode(buf);
+                seen.encode(buf);
+            }
+            MembershipMsg::ViewPull { from } => {
+                buf.push(3);
+                from.encode(buf);
             }
         }
     }
@@ -621,10 +637,15 @@ impl Wire for MembershipMsg {
             1 => Ok(MembershipMsg::ViewChange {
                 epoch: Epoch::decode(input)?,
                 live: Vec::<NodeId>::decode(input)?,
+                admitted: Vec::<Epoch>::decode(input)?,
             }),
             2 => Ok(MembershipMsg::RecoveryDone {
                 from: NodeId::decode(input)?,
                 epoch: Epoch::decode(input)?,
+                seen: Vec::<NodeId>::decode(input)?,
+            }),
+            3 => Ok(MembershipMsg::ViewPull {
+                from: NodeId::decode(input)?,
             }),
             tag => Err(ProtoError::InvalidTag {
                 ty: "MembershipMsg",
@@ -683,6 +704,7 @@ mod tests {
             object,
             kind: OwnershipRequestKind::AcquireOwner,
             epoch: Epoch(1),
+            has_replica: false,
         });
         roundtrip(OwnershipMsg::Inv {
             req_id,
@@ -693,6 +715,7 @@ mod tests {
             old_replicas: ReplicaSet::new(NodeId(2), [NodeId(1)]),
             epoch: Epoch(1),
             ack_to_driver: true,
+            requester_has_replica: true,
         });
         roundtrip(OwnershipMsg::Ack {
             req_id,
@@ -760,11 +783,14 @@ mod tests {
         roundtrip(MembershipMsg::ViewChange {
             epoch: Epoch(3),
             live: vec![NodeId(0), NodeId(2)],
+            admitted: vec![Epoch(0), Epoch(3)],
         });
         roundtrip(MembershipMsg::RecoveryDone {
             from: NodeId(2),
             epoch: Epoch(3),
+            seen: vec![NodeId(0), NodeId(2)],
         });
+        roundtrip(MembershipMsg::ViewPull { from: NodeId(4) });
     }
 
     #[test]

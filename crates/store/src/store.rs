@@ -81,6 +81,13 @@ impl Store {
         self.shard(id).write().remove(&id)
     }
 
+    /// Removes every object (a re-admitted node discarding stale replicas).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
     /// Whether the node stores a replica of the object.
     pub fn contains(&self, id: ObjectId) -> bool {
         self.shard(id).read().contains_key(&id)

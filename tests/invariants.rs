@@ -46,6 +46,7 @@ proptest! {
             drop_probability: 0.0,
             duplicate_probability: 0.0,
             seed,
+            link_overrides: Vec::new(),
         };
         let mut cluster = SimCluster::with_network(ZeusConfig::with_nodes(3), net);
         let mut expected: std::collections::HashMap<u64, u8> = Default::default();
@@ -100,7 +101,8 @@ proptest! {
         crash_after in 1usize..10,
         seed in 0u64..500,
     ) {
-        let net = NetConfig { min_delay: 1, max_delay: 8, drop_probability: 0.0, duplicate_probability: 0.0, seed };
+        let net = NetConfig { min_delay: 1, max_delay: 8, drop_probability: 0.0, duplicate_probability: 0.0, seed ,
+            link_overrides: Vec::new(),};
         let mut cluster = SimCluster::with_network(ZeusConfig::with_nodes(3), net);
         let object = ObjectId(1);
         cluster.create_object(object, vec![0u8], NodeId(0));
