@@ -54,13 +54,17 @@ fn bench_ownership_migration(c: &mut Criterion) {
 
 fn bench_wire_encoding(c: &mut Criterion) {
     use zeus_proto::wire::encode_to_vec;
-    use zeus_proto::{CommitMsg, Epoch, ObjectUpdate, PipelineId, TxId};
+    use zeus_proto::{CommitMsg, DataTs, Epoch, ObjectUpdate, PipelineId, TxId};
     let msg = CommitMsg::RInv {
         tx_id: TxId::new(PipelineId::new(NodeId(0), 0), 42),
         epoch: Epoch(1),
         followers: vec![NodeId(1), NodeId(2)],
         prev_val: true,
-        updates: vec![ObjectUpdate::new(ObjectId(7), 3, vec![0u8; 400])],
+        updates: vec![ObjectUpdate::new(
+            ObjectId(7),
+            DataTs::default(),
+            vec![0u8; 400],
+        )],
     };
     c.bench_function("wire_encode_rinv_400B", |b| b.iter(|| encode_to_vec(&msg)));
 }

@@ -4,9 +4,15 @@
 //! chaos --smoke [--seed N] [--schedules N] [--tag TAG] [--out DIR]
 //! chaos --full --budget-secs S [--seed N] [--tag TAG] [--out DIR]
 //! chaos --replay FILE...
-//! chaos --corpus DIR
+//! chaos --corpus DIR [--validate]
 //! chaos ... --inject-bug no-readmit      (validate the explorer itself)
 //! ```
+//!
+//! `--validate` turns the corpus replay into a strict gate: every file must
+//! parse at the *current* corpus format version, re-render byte-identically
+//! (no format drift), and replay green. CI runs it in the sim-sweep job so
+//! a schema bump that forgets to migrate the committed repros — or a repro
+//! that silently regressed — fails the build instead of being skipped.
 //!
 //! Exploration writes a `BENCH_<tag>.json` report in the bench schema so
 //! the CI sim-sweep job consumes the same artifact format as the perf
@@ -45,6 +51,9 @@ pub struct Args {
     pub replay: Vec<PathBuf>,
     /// Corpus directory to replay (every `*.json` inside).
     pub corpus: Option<PathBuf>,
+    /// Strict corpus validation: files must parse at the current format
+    /// version, re-render byte-identically and replay green.
+    pub validate: bool,
     /// Deliberately injected bug (`no-readmit`), used to validate that the
     /// explorer catches known-bad behaviour.
     pub inject_bug: Option<String>,
@@ -62,6 +71,7 @@ impl Default for Args {
             out: PathBuf::from("."),
             replay: Vec::new(),
             corpus: None,
+            validate: false,
             inject_bug: None,
         }
     }
@@ -70,7 +80,7 @@ impl Default for Args {
 const USAGE: &str = "usage: chaos --smoke [--seed N] [--schedules N] [--tag TAG] [--out DIR]
        chaos --full --budget-secs S [--seed N] [--tag TAG] [--out DIR]
        chaos --replay FILE...
-       chaos --corpus DIR
+       chaos --corpus DIR [--validate]
        chaos ... --inject-bug no-readmit";
 
 impl Args {
@@ -108,6 +118,7 @@ impl Args {
                 "--out" => args.out = PathBuf::from(value(&mut it, "--out")?),
                 "--replay" => args.replay.push(PathBuf::from(value(&mut it, "--replay")?)),
                 "--corpus" => args.corpus = Some(PathBuf::from(value(&mut it, "--corpus")?)),
+                "--validate" => args.validate = true,
                 "--inject-bug" => {
                     let bug = value(&mut it, "--inject-bug")?;
                     if bug != "no-readmit" {
@@ -121,6 +132,9 @@ impl Args {
         }
         if !args.smoke && !args.full && args.replay.is_empty() && args.corpus.is_none() {
             return Err(format!("nothing to do\n{USAGE}"));
+        }
+        if args.validate && args.corpus.is_none() {
+            return Err("--validate needs --corpus".into());
         }
         if args.smoke && args.full {
             return Err("--smoke and --full are mutually exclusive".into());
@@ -161,7 +175,7 @@ pub fn run_driver() -> i32 {
         }
     }
     if !replay_files.is_empty() {
-        let (result, ok) = replay(&replay_files, &args.run_options());
+        let (result, ok) = replay(&replay_files, &args.run_options(), args.validate);
         results.push(result);
         failed |= !ok;
     }
@@ -259,22 +273,37 @@ pub fn corpus_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(files)
 }
 
-fn replay(files: &[PathBuf], opts: &RunOptions) -> (ScenarioResult, bool) {
+fn replay(files: &[PathBuf], opts: &RunOptions, validate: bool) -> (ScenarioResult, bool) {
     let mut violations = 0u64;
     let mut stats_ticks: Vec<u64> = Vec::new();
     let mut committed = 0u64;
     for path in files {
-        let schedule = match std::fs::read_to_string(path)
+        let (schedule, text) = match std::fs::read_to_string(path)
             .map_err(|e| format!("{}: {e}", path.display()))
-            .and_then(|text| Schedule::parse(&text).map_err(|e| format!("{}: {e}", path.display())))
-        {
-            Ok(s) => s,
+            .and_then(|text| {
+                Schedule::parse(&text)
+                    .map(|s| (s, text))
+                    .map_err(|e| format!("{}: {e}", path.display()))
+            }) {
+            Ok(parsed) => parsed,
             Err(e) => {
                 eprintln!("!! {e}");
                 violations += 1;
                 continue;
             }
         };
+        // Strict mode: the committed file must be byte-identical to the
+        // current renderer's output, so format drift (or a version bump
+        // that forgot to migrate the corpus) is caught, not papered over.
+        if validate && schedule.to_corpus_string() != text {
+            eprintln!(
+                "!! corpus {} STALE FORMAT ({}): re-render differs from the committed bytes",
+                schedule.name,
+                path.display()
+            );
+            violations += 1;
+            continue;
+        }
         let outcome = run_schedule(&schedule, opts);
         stats_ticks.push(outcome.stats.sim_ticks);
         committed += outcome.stats.committed_writes + outcome.stats.committed_reads;
@@ -348,5 +377,40 @@ mod tests {
         assert_eq!(args.replay.len(), 2);
         let args = parse(&["--corpus", "tests/chaos_corpus"]).unwrap();
         assert_eq!(args.corpus, Some(PathBuf::from("tests/chaos_corpus")));
+        assert!(!args.validate);
+    }
+
+    #[test]
+    fn parses_validate_and_requires_corpus() {
+        let args = parse(&["--corpus", "tests/chaos_corpus", "--validate"]).unwrap();
+        assert!(args.validate);
+        assert!(
+            parse(&["--smoke", "--validate"]).is_err(),
+            "--validate without --corpus has nothing to validate"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_stale_format_and_old_versions() {
+        let dir = std::env::temp_dir().join(format!("chaos-validate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A well-formed v2 schedule, but committed with drifted formatting
+        // (trailing newline stripped / whitespace collapsed).
+        let schedule = crate::generate::generate_schedule(1, 0);
+        let drifted = schedule.to_corpus_string().replace("\n  ", "\n   ");
+        std::fs::write(dir.join("drifted.json"), drifted).unwrap();
+        let (_, ok) = replay(&[dir.join("drifted.json")], &RunOptions::default(), true);
+        assert!(!ok, "drifted rendering must fail strict validation");
+        // The same bytes pass a plain (non-validating) replay.
+        let (_, ok) = replay(&[dir.join("drifted.json")], &RunOptions::default(), false);
+        assert!(ok, "plain replay tolerates formatting drift");
+        // An old-version file fails both (parse rejects it).
+        let old = schedule
+            .to_corpus_string()
+            .replace("\"version\": 2", "\"version\": 1");
+        std::fs::write(dir.join("old.json"), old).unwrap();
+        let (_, ok) = replay(&[dir.join("old.json")], &RunOptions::default(), true);
+        assert!(!ok, "v1 corpus files must be rejected");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -33,7 +33,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use bytes::Bytes;
 use zeus_core::{NodeId, ObjectId, SimCluster, ZeusConfig};
 use zeus_net::sim::{LinkOverride, NetConfig};
-use zeus_proto::TState;
+use zeus_proto::{DataTs, TState};
 
 use crate::schedule::{ChaosStep, Schedule};
 
@@ -142,6 +142,14 @@ struct WriteRec {
     /// Whether losing this write is excusable: its coordinator was at risk
     /// (crashed / cut off / expelled) at some point after the commit.
     excusable: bool,
+    /// Owner-qualified commit timestamp the coordinator assigned to this
+    /// write (read off its store right after the local commit; `None` only
+    /// if the entry vanished before it could be sampled). Keys the
+    /// per-object order oracle: committed writes of one object must carry
+    /// unique, and — for writes whose loss is not excusable — strictly
+    /// increasing `DataTs`, which kills the version-fork class by
+    /// construction.
+    ts: Option<DataTs>,
 }
 
 struct Harness<'a> {
@@ -215,6 +223,7 @@ impl<'a> Harness<'a> {
         log.push(WriteRec {
             coordinator,
             excusable,
+            ts: None,
         });
         self.values.insert(value, (object, log.len() - 1));
         value
@@ -294,6 +303,18 @@ impl<'a> Harness<'a> {
         }) {
             Ok(()) => {
                 self.stats.committed_writes += 1;
+                // Sample the commit timestamp the coordinator assigned.
+                // Steps run sequentially, so right after the commit the
+                // owner's entry still holds exactly this write's DataTs.
+                let ts = self
+                    .cluster
+                    .node(NodeId(node))
+                    .store()
+                    .get(ObjectId(object))
+                    .map(|e| e.ts);
+                if let Some((obj, idx)) = self.values.get(&value).copied() {
+                    self.log.get_mut(&obj).expect("log exists")[idx].ts = ts;
+                }
             }
             Err(_) => {
                 self.stats.failed_ops += 1;
@@ -480,11 +501,13 @@ impl<'a> Harness<'a> {
         for object in 0..self.schedule.objects {
             let owner = NodeId((object % u64::from(self.schedule.nodes)) as u16);
             let value = self.alloc_value(object, None);
+            self.log.get_mut(&object).expect("log exists")[0].ts = Some(DataTs::ZERO);
             self.cluster
                 .create_object(ObjectId(object), Self::encode(value), owner);
         }
 
         let mut violation = None;
+        let trace = std::env::var_os("CHAOS_TRACE").is_some();
         let steps = self.schedule.steps.clone();
         for (index, step) in steps.iter().enumerate() {
             if let Some(v) = self.apply_step(index, step) {
@@ -492,6 +515,9 @@ impl<'a> Harness<'a> {
                 break;
             }
             self.refresh_at_risk();
+            if trace {
+                self.trace_state(index, step);
+            }
         }
 
         if violation.is_none() {
@@ -562,11 +588,86 @@ impl<'a> Harness<'a> {
         if let Err(detail) = self.cluster.check_invariants() {
             return Some(Violation::new("invariant", detail, None));
         }
+        if let Some(v) = self.data_ts_order_oracle() {
+            return Some(v);
+        }
         self.history_convergence_oracle()
+    }
+
+    /// Per-object commit-timestamp oracle: every committed write of an
+    /// object must carry a unique [`DataTs`] (two commits sharing one is a
+    /// version fork — the exact class the owner-qualified timestamp exists
+    /// to kill), and writes whose loss is not excusable must carry strictly
+    /// increasing timestamps in commit order (a regression means a later
+    /// owner overwrote surviving history it never observed).
+    fn data_ts_order_oracle(&self) -> Option<Violation> {
+        for object in 0..self.schedule.objects {
+            let log = &self.log[&object];
+            let mut last_durable: Option<(usize, DataTs)> = None;
+            let mut seen: Vec<(DataTs, usize)> = Vec::new();
+            for (idx, rec) in log.iter().enumerate() {
+                let Some(ts) = rec.ts else { continue };
+                if let Some(&(prev_idx, _)) = seen.iter().find(|(t, _)| *t == ts) {
+                    return Some(Violation::new(
+                        "history",
+                        format!(
+                            "object {object}: committed writes #{prev_idx} and #{idx} share commit timestamp {ts} (version fork)"
+                        ),
+                        None,
+                    ));
+                }
+                seen.push((ts, idx));
+                if rec.excusable {
+                    continue;
+                }
+                if let Some((prev_idx, prev_ts)) = last_durable {
+                    if ts <= prev_ts {
+                        return Some(Violation::new(
+                            "history",
+                            format!(
+                                "object {object}: durable write #{idx} at {ts} does not supersede durable write #{prev_idx} at {prev_ts}"
+                            ),
+                            None,
+                        ));
+                    }
+                }
+                last_durable = Some((idx, ts));
+            }
+        }
+        None
     }
 
     fn settle_budget(&self) -> usize {
         self.settle_budget
+    }
+
+    /// Debug dump of per-object state after a step (`CHAOS_TRACE=1`).
+    fn trace_state(&self, index: usize, step: &ChaosStep) {
+        eprintln!("--- step {index}: {step:?} (t={})", self.cluster.now());
+        for object in 0..self.schedule.objects {
+            let mut parts = Vec::new();
+            for n in 0..self.schedule.nodes {
+                if self.crashed.contains(&n) {
+                    parts.push(format!("n{n}:CRASHED"));
+                    continue;
+                }
+                let node = self.cluster.node(NodeId(n));
+                let entry = node.store().get(ObjectId(object));
+                let dir = node.directory_owner(ObjectId(object));
+                parts.push(format!(
+                    "n{n}:{}dir={}",
+                    entry
+                        .map(|e| format!("{:?}@{} {:?} {:?} ", e.level, e.ts, e.t_state, e.o_ts))
+                        .unwrap_or_else(|| "- ".into()),
+                    match dir {
+                        None => "-".into(),
+                        Some(None) => "none".into(),
+                        Some(Some(o)) => format!("{o}"),
+                    },
+                ));
+            }
+            eprintln!("  o{object}: {}", parts.join(" | "));
+        }
     }
 
     /// Per-node protocol state summary embedded in liveness violations, so

@@ -9,9 +9,19 @@
 //!
 //! # Corpus format
 //!
+//! Format history: **v1** (PR 3) carried bare `t_version` counters in the
+//! engine it replayed against; **v2** (current) marks schedules recorded
+//! against the owner-qualified [`DataTs`](zeus_proto::DataTs) engine —
+//! replicas order committed data by `<t_version, o_ts>`, the oracles key
+//! on `DataTs`, and acquisitions can abort with `DataLoss`. The schedule
+//! *fields* are unchanged, but v1-era runs are not comparable (the same
+//! steps exercise different semantics), so v1 files are rejected rather
+//! than silently replayed; migrate by re-validating the repro under the
+//! current engine and bumping `version` to 2.
+//!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "name": "seed42-0007",
 //!   "seed": 42,
 //!   "nodes": 3,
@@ -187,8 +197,9 @@ pub struct Schedule {
     pub steps: Vec<ChaosStep>,
 }
 
-/// Corpus format version this build writes and accepts.
-pub const CORPUS_VERSION: u64 = 1;
+/// Corpus format version this build writes and accepts (see the module
+/// docs for the v1 → v2 migration note).
+pub const CORPUS_VERSION: u64 = 2;
 
 impl ChaosStep {
     /// Serialises the step to its corpus JSON object.

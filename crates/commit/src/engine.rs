@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use zeus_proto::{CommitMsg, Epoch, NodeId, ObjectId, ObjectUpdate, PipelineId, TxId};
+use zeus_proto::{CommitMsg, DataTs, Epoch, NodeId, ObjectId, ObjectUpdate, PipelineId, TxId};
 
 use crate::pipeline::ClearedTracker;
 use crate::stats::CommitStats;
@@ -19,12 +19,13 @@ pub enum CommitAction {
     },
     /// Coordinator side: the transaction is now reliably committed (every
     /// follower acknowledged). The host validates the listed objects at the
-    /// listed versions (`t_state := Valid`, pending count decremented).
+    /// listed commit timestamps (`t_state := Valid`, pending count
+    /// decremented).
     ReliablyCommitted {
         /// The committed transaction.
         tx_id: TxId,
-        /// `(object, version)` pairs to validate locally.
-        objects: Vec<(ObjectId, u64)>,
+        /// `(object, d_ts)` pairs to validate locally.
+        objects: Vec<(ObjectId, DataTs)>,
     },
     /// Follower side: install these updates (newer data, `t_state :=
     /// Invalid`) in the local store.
@@ -34,13 +35,13 @@ pub enum CommitAction {
         /// Updated objects.
         updates: Vec<ObjectUpdate>,
     },
-    /// Follower side: validate these objects at these versions (`t_state :=
-    /// Valid` iff the version still matches).
+    /// Follower side: validate these objects at these commit timestamps
+    /// (`t_state := Valid` iff the timestamp still matches).
     ValidateUpdates {
         /// The transaction being validated.
         tx_id: TxId,
-        /// `(object, version)` pairs to validate.
-        objects: Vec<(ObjectId, u64)>,
+        /// `(object, d_ts)` pairs to validate.
+        objects: Vec<(ObjectId, DataTs)>,
     },
     /// Failure recovery for the current epoch has finished on this node (no
     /// pending reliable commits from dead coordinators remain). The host
@@ -69,8 +70,8 @@ struct Outstanding {
 }
 
 impl Outstanding {
-    fn object_versions(&self) -> Vec<(ObjectId, u64)> {
-        self.updates.iter().map(|u| (u.object, u.version)).collect()
+    fn object_versions(&self) -> Vec<(ObjectId, DataTs)> {
+        self.updates.iter().map(|u| (u.object, u.ts)).collect()
     }
 }
 
@@ -105,6 +106,13 @@ pub struct CommitEngine {
     cleared: HashMap<PipelineId, ClearedTracker>,
     /// Follower-side R-INVs buffered for pipeline order.
     buffered: HashMap<PipelineId, BTreeMap<u64, BufferedRInv>>,
+    /// Coordinator-side: the most recently completed (cleared) slot per
+    /// pipeline and the targets its R-VAL went to. R-VALs are fire-once, so
+    /// a lost one can wedge a follower that buffered the next slot waiting
+    /// for pipeline order; re-broadcasting the last cleared slot's R-VAL on
+    /// the retransmission tick (while later slots are still outstanding)
+    /// unwedges it. Receivers treat duplicate R-VALs idempotently.
+    last_cleared: HashMap<PipelineId, (u64, Vec<NodeId>)>,
     /// Set when a view change started a recovery that has not yet finished.
     recovering: bool,
     stats: CommitStats,
@@ -123,6 +131,7 @@ impl CommitEngine {
             stored: HashMap::new(),
             cleared: HashMap::new(),
             buffered: HashMap::new(),
+            last_cleared: HashMap::new(),
             recovering: false,
             stats: CommitStats::new(),
         }
@@ -179,6 +188,7 @@ impl CommitEngine {
         self.outstanding.clear();
         self.stored.clear();
         self.buffered.clear();
+        self.last_cleared.clear();
     }
 
     /// Starts the reliable commit of a locally committed transaction executed
@@ -230,7 +240,7 @@ impl CommitEngine {
             // Replication degree 1 (or all replicas dead): the local commit
             // is immediately reliable.
             self.stats.commits_completed += 1;
-            let objects = updates.iter().map(|u| (u.object, u.version)).collect();
+            let objects = updates.iter().map(|u| (u.object, u.ts)).collect();
             return (
                 tx_id,
                 vec![CommitAction::ReliablyCommitted { tx_id, objects }],
@@ -367,11 +377,7 @@ impl CommitEngine {
                 // We are the only surviving replica: validate immediately.
                 actions.push(CommitAction::ValidateUpdates {
                     tx_id,
-                    objects: stored
-                        .updates
-                        .iter()
-                        .map(|u| (u.object, u.version))
-                        .collect(),
+                    objects: stored.updates.iter().map(|u| (u.object, u.ts)).collect(),
                 });
                 self.stored.remove(&tx_id);
                 continue;
@@ -421,6 +427,14 @@ impl CommitEngine {
         tx_ids.sort_unstable();
         for tx_id in tx_ids {
             let entry = &self.outstanding[&tx_id];
+            // Recompute the prev-VAL bit: the previous slot may have
+            // completed since this R-INV was first built, and a follower
+            // that never saw that slot needs the refreshed bit to apply
+            // this one in pipeline order.
+            let prev_val = entry.prev_val
+                || tx_id
+                    .prev()
+                    .is_none_or(|p| !self.outstanding.contains_key(&p));
             for &to in entry.followers.iter().filter(|f| !entry.acks.contains(f)) {
                 actions.push(CommitAction::Send {
                     to,
@@ -428,13 +442,41 @@ impl CommitEngine {
                         tx_id,
                         epoch: self.epoch,
                         followers: entry.followers.clone(),
-                        prev_val: entry.prev_val,
+                        prev_val,
                         updates: entry.updates.clone(),
                     },
                 });
             }
         }
         self.stats.rinvs_retransmitted += actions.len() as u64;
+        // Re-broadcast the last cleared slot's R-VAL for every pipeline that
+        // still has later slots outstanding: a follower whose R-VAL for the
+        // cleared slot was lost (and that buffered a later slot waiting for
+        // pipeline order) would otherwise never ACK, pinning the owner in
+        // PendingCommit NACKs forever.
+        let mut pipelines: Vec<PipelineId> = self.last_cleared.keys().copied().collect();
+        pipelines.sort_unstable();
+        for pipeline in pipelines {
+            let slot = self.last_cleared[&pipeline].0;
+            let waiting = self
+                .outstanding
+                .keys()
+                .any(|tx| tx.pipeline == pipeline && tx.local > slot);
+            if !waiting {
+                continue;
+            }
+            let targets = self.last_cleared[&pipeline].1.clone();
+            self.stats.rvals_retransmitted += targets.len() as u64;
+            for to in targets {
+                actions.push(CommitAction::Send {
+                    to,
+                    msg: CommitMsg::RVal {
+                        tx_id: TxId::new(pipeline, slot),
+                        epoch: self.epoch,
+                    },
+                });
+            }
+        }
         actions
     }
 
@@ -555,11 +597,7 @@ impl CommitEngine {
             self.stats.rvals_applied += 1;
             actions.push(CommitAction::ValidateUpdates {
                 tx_id,
-                objects: stored
-                    .updates
-                    .iter()
-                    .map(|u| (u.object, u.version))
-                    .collect(),
+                objects: stored.updates.iter().map(|u| (u.object, u.ts)).collect(),
             });
         }
         actions.extend(self.drain_buffered(tx_id.pipeline));
@@ -644,6 +682,16 @@ impl CommitEngine {
                 targets.push(extra);
             }
         }
+        // Remember the cleared slot and its targets so the retransmission
+        // tick can re-broadcast this R-VAL while later slots of the same
+        // pipeline are still in flight (see `retransmit`).
+        let remembered = self
+            .last_cleared
+            .entry(tx_id.pipeline)
+            .or_insert((0, Vec::new()));
+        if remembered.1.is_empty() || tx_id.local >= remembered.0 {
+            *remembered = (tx_id.local, targets.clone());
+        }
         for to in targets {
             actions.push(CommitAction::Send {
                 to,
@@ -686,7 +734,7 @@ mod tests {
     fn upd(object: u64, version: u64) -> ObjectUpdate {
         ObjectUpdate::new(
             ObjectId(object),
-            version,
+            DataTs::new(version, zeus_proto::OwnershipTs::default()),
             Bytes::from(vec![version as u8; 16]),
         )
     }
@@ -913,6 +961,87 @@ mod tests {
         assert!(actions
             .iter()
             .any(|a| matches!(a, CommitAction::ApplyUpdates { tx_id, .. } if tx_id.local == 4)));
+    }
+
+    #[test]
+    fn retransmission_unwedges_follower_buffered_behind_lost_rval() {
+        // Coordinator n0 commits slot 0 (follower n1) and slot 1 (follower
+        // n2). n2 buffers slot 1 (prev_val=false, never saw slot 0). Slot 0
+        // completes via n1's ack, but the R-VAL broadcast does not reach n2
+        // (it was not a target). Without the retransmission-tick R-VAL
+        // re-broadcast, n2 would buffer slot 1 forever.
+        let mut coord = CommitEngine::new(n(0), 3);
+        let mut follower = CommitEngine::new(n(2), 3);
+        let (t0, _a0) = coord.begin_commit(0, vec![upd(1, 1)], vec![n(1)]);
+        let (t1, _a1) = coord.begin_commit(0, vec![upd(2, 1)], vec![n(2)]);
+        // n2 receives slot 1 out of order: buffered, no ack.
+        assert!(follower
+            .handle_message(
+                n(0),
+                CommitMsg::RInv {
+                    tx_id: t1,
+                    epoch: Epoch::ZERO,
+                    followers: vec![n(2)],
+                    prev_val: false,
+                    updates: vec![upd(2, 1)],
+                },
+            )
+            .is_empty());
+        // Slot 0 completes (n1 acked); its R-VAL targeted n1 only.
+        let done = coord.handle_message(
+            n(1),
+            CommitMsg::RAck {
+                tx_id: t0,
+                from: n(1),
+                epoch: Epoch::ZERO,
+            },
+        );
+        assert!(done
+            .iter()
+            .any(|a| matches!(a, CommitAction::ReliablyCommitted { tx_id, .. } if *tx_id == t0)));
+        assert_eq!(coord.outstanding_commits(), 1, "slot 1 still in flight");
+
+        // The retransmission tick re-broadcasts slot 0's R-VAL (and slot 1's
+        // R-INV with a refreshed prev-VAL bit); either unwedges n2.
+        let retrans = coord.retransmit();
+        let rval_slot0 = retrans.iter().find_map(|a| match a {
+            CommitAction::Send {
+                msg: msg @ CommitMsg::RVal { tx_id, .. },
+                ..
+            } if *tx_id == t0 => Some(msg.clone()),
+            _ => None,
+        });
+        let rval_slot0 = rval_slot0.expect("cleared slot's R-VAL must be retransmitted");
+        assert!(coord.stats().rvals_retransmitted >= 1);
+        let refreshed_prev_val = retrans.iter().any(|a| {
+            matches!(
+                a,
+                CommitAction::Send {
+                    msg: CommitMsg::RInv {
+                        tx_id,
+                        prev_val: true,
+                        ..
+                    },
+                    ..
+                } if *tx_id == t1
+            )
+        });
+        assert!(
+            refreshed_prev_val,
+            "retransmitted R-INV recomputes prev_val"
+        );
+        // Delivering the retransmitted R-VAL alone drains n2's buffer.
+        let actions = follower.handle_message(n(0), rval_slot0);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, CommitAction::ApplyUpdates { tx_id, .. } if *tx_id == t1)));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            CommitAction::Send {
+                msg: CommitMsg::RAck { tx_id, .. },
+                ..
+            } if *tx_id == t1
+        )));
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct CommitStats {
     /// R-INV messages re-sent to unresponsive followers (reliable-transport
     /// retransmission, §3.1).
     pub rinvs_retransmitted: u64,
+    /// R-VAL messages re-broadcast for already-cleared slots while later
+    /// slots of the same pipeline were outstanding (the pipeline-order
+    /// unwedge of the retransmission tick).
+    pub rvals_retransmitted: u64,
     /// Times this node discarded its commit state after being re-admitted to
     /// the view (false suspicion or restart).
     pub rejoin_resets: u64,
@@ -39,6 +43,7 @@ impl CommitStats {
         self.rvals_applied += other.rvals_applied;
         self.replays += other.replays;
         self.rinvs_retransmitted += other.rinvs_retransmitted;
+        self.rvals_retransmitted += other.rvals_retransmitted;
         self.rejoin_resets += other.rejoin_resets;
     }
 }

@@ -75,7 +75,11 @@ mod tests {
             epoch: Epoch::ZERO,
             followers: vec![NodeId(1)],
             prev_val: true,
-            updates: vec![ObjectUpdate::new(ObjectId(1), 1, vec![0u8; 16])],
+            updates: vec![ObjectUpdate::new(
+                ObjectId(1),
+                zeus_proto::DataTs::default(),
+                vec![0u8; 16],
+            )],
         }
         .into();
         let large: Message = CommitMsg::RInv {
@@ -83,7 +87,11 @@ mod tests {
             epoch: Epoch::ZERO,
             followers: vec![NodeId(1)],
             prev_val: true,
-            updates: vec![ObjectUpdate::new(ObjectId(1), 1, vec![0u8; 400])],
+            updates: vec![ObjectUpdate::new(
+                ObjectId(1),
+                zeus_proto::DataTs::default(),
+                vec![0u8; 400],
+            )],
         }
         .into();
         assert_eq!(large.payload_bytes() - small.payload_bytes(), 384);

@@ -8,7 +8,7 @@ use zeus_membership::{MembershipEngine, MembershipEvent};
 use zeus_ownership::{OwnershipAction, OwnershipEngine, OwnershipHost};
 use zeus_proto::messages::NackReason;
 use zeus_proto::{
-    AccessLevel, Epoch, NodeId, ObjectId, ObjectUpdate, OwnershipRequestKind, ReplicaSet,
+    AccessLevel, DataTs, Epoch, NodeId, ObjectId, ObjectUpdate, OwnershipRequestKind, ReplicaSet,
     RequestId, TState,
 };
 use zeus_store::{LockManager, ObjectEntry, Store};
@@ -25,8 +25,8 @@ struct HostView<'a> {
 }
 
 impl OwnershipHost for HostView<'_> {
-    fn object_value(&self, object: ObjectId) -> Option<(u64, Bytes)> {
-        self.store.with(object, |e| (e.version, e.data.clone()))
+    fn object_value(&self, object: ObjectId) -> Option<(DataTs, Bytes)> {
+        self.store.with(object, |e| (e.ts, e.data.clone()))
     }
     fn has_pending_commits(&self, object: ObjectId) -> bool {
         self.commit.object_has_pending_commit(object)
@@ -316,7 +316,7 @@ impl ZeusNode {
                 error: TxError::LockConflict,
             };
         }
-        let reads_valid = ws.validate_reads(|id| self.store.with(id, |e| e.version));
+        let reads_valid = ws.validate_reads(|id| self.store.with(id, |e| e.ts));
         if !reads_valid {
             self.locks.release_all(thread, &write_ids);
             self.stats.txs_aborted += 1;
@@ -329,14 +329,14 @@ impl ZeusNode {
         let mut updates = Vec::with_capacity(write_ids.len());
         let mut followers: Vec<NodeId> = Vec::new();
         for (object, data) in ws.write_set() {
-            let (version, readers) = self
+            let (ts, readers) = self
                 .store
                 .with_mut(object, |e| {
                     e.apply_local_write(data.clone());
-                    (e.version, e.replicas.readers.clone())
+                    (e.ts, e.replicas.readers.clone())
                 })
                 .expect("written object exists at owner");
-            updates.push(ObjectUpdate::new(object, version, data.clone()));
+            updates.push(ObjectUpdate::new(object, ts, data.clone()));
             for r in readers {
                 if r != self.id && !followers.contains(&r) {
                     followers.push(r);
@@ -379,11 +379,9 @@ impl ZeusNode {
         };
         // Local commit of a read-only transaction: every object read must
         // still be Valid at an unchanged version.
-        let consistent = ws.read_set().all(|(object, version)| {
+        let consistent = ws.read_set().all(|(object, ts)| {
             self.store
-                .with(object, |e| {
-                    e.t_state == TState::Valid && e.version == version
-                })
+                .with(object, |e| e.t_state == TState::Valid && e.ts == ts)
                 .unwrap_or(false)
         });
         if consistent {
@@ -540,7 +538,7 @@ impl ZeusNode {
                 OwnershipAction::Completed {
                     req_id,
                     object,
-                    o_ts: _,
+                    o_ts,
                     kind,
                     new_replicas,
                     data,
@@ -551,7 +549,7 @@ impl ZeusNode {
                             .record(self.now.saturating_sub(start).max(1));
                     }
                     self.completed_reqs.insert(req_id);
-                    self.apply_acquisition(object, kind, new_replicas, data);
+                    self.apply_acquisition(object, kind, o_ts, new_replicas, data);
                 }
                 OwnershipAction::Failed {
                     req_id,
@@ -577,22 +575,29 @@ impl ZeusNode {
                 }
                 OwnershipAction::ApplyReplicaChange {
                     object,
-                    o_ts: _,
+                    o_ts,
                     new_replicas,
                 } => {
-                    self.apply_replica_change(object, new_replicas);
+                    self.apply_replica_change(object, o_ts, new_replicas);
                 }
             }
         }
     }
 
     /// Installs the outcome of a completed acquisition in the local store.
+    ///
+    /// Shipped data installs by ts-compare only (regression refusal): a copy
+    /// that is not strictly newer than what this node already stores never
+    /// overwrites it, so a stale arbiter's ship cannot roll the object back.
+    /// The winning ownership timestamp is recorded as the owner's tenure —
+    /// subsequent local writes stamp it into their [`DataTs`].
     fn apply_acquisition(
         &mut self,
         object: ObjectId,
         kind: OwnershipRequestKind,
+        o_ts: zeus_proto::OwnershipTs,
         new_replicas: ReplicaSet,
-        data: Option<(u64, Bytes)>,
+        data: Option<(DataTs, Bytes)>,
     ) {
         let level = new_replicas.level_of(self.id);
         if !level.is_replica() {
@@ -600,6 +605,7 @@ impl ZeusNode {
             // we hold nothing new.
             self.store.with_mut(object, |e| {
                 e.replicas = new_replicas.clone();
+                e.o_ts = o_ts;
             });
             return;
         }
@@ -608,9 +614,10 @@ impl ZeusNode {
             .with_mut(object, |e| {
                 e.level = level;
                 e.replicas = new_replicas.clone();
-                if let Some((version, bytes)) = &data {
-                    if *version > e.version {
-                        e.version = *version;
+                e.o_ts = o_ts;
+                if let Some((ts, bytes)) = &data {
+                    if *ts > e.ts {
+                        e.ts = *ts;
                         e.data = bytes.clone();
                         e.t_state = TState::Valid;
                     }
@@ -618,9 +625,10 @@ impl ZeusNode {
             })
             .is_some();
         if !updated {
-            let (version, bytes) = data.unwrap_or((0, Bytes::new()));
+            let (ts, bytes) = data.unwrap_or((DataTs::ZERO, Bytes::new()));
             let mut entry = ObjectEntry::new(bytes, level, new_replicas);
-            entry.version = version;
+            entry.ts = ts;
+            entry.o_ts = o_ts;
             self.store.insert(object, entry);
         }
         let _ = kind;
@@ -628,7 +636,12 @@ impl ZeusNode {
 
     /// Applies an ownership change this node witnessed as an arbiter or old
     /// owner (demotion to reader, reader removal, etc.).
-    fn apply_replica_change(&mut self, object: ObjectId, new_replicas: ReplicaSet) {
+    fn apply_replica_change(
+        &mut self,
+        object: ObjectId,
+        o_ts: zeus_proto::OwnershipTs,
+        new_replicas: ReplicaSet,
+    ) {
         let level = new_replicas.level_of(self.id);
         if level == AccessLevel::NonReplica {
             self.store.remove(object);
@@ -636,6 +649,7 @@ impl ZeusNode {
             self.store.with_mut(object, |e| {
                 e.level = level;
                 e.replicas = new_replicas.clone();
+                e.o_ts = o_ts;
             });
         }
     }
@@ -645,8 +659,8 @@ impl ZeusNode {
             match action {
                 CommitAction::Send { to, msg } => self.send(to, msg),
                 CommitAction::ReliablyCommitted { tx_id: _, objects } => {
-                    for (object, version) in objects {
-                        self.store.with_mut(object, |e| e.validate_at(version));
+                    for (object, ts) in objects {
+                        self.store.with_mut(object, |e| e.validate_at(ts));
                     }
                 }
                 CommitAction::ApplyUpdates { tx_id: _, updates } => {
@@ -661,15 +675,15 @@ impl ZeusNode {
                                 )
                             },
                             |e| {
-                                e.apply_follower_update(update.version, update.data.clone());
+                                e.apply_follower_update(update.ts, update.data.clone());
                             },
                         );
                     }
                 }
                 CommitAction::ValidateUpdates { tx_id: _, objects } => {
-                    for (object, version) in objects {
+                    for (object, ts) in objects {
                         self.store.with_mut(object, |e| {
-                            if e.version == version && e.t_state == TState::Invalid {
+                            if e.ts == ts && e.t_state == TState::Invalid {
                                 e.t_state = TState::Valid;
                             }
                         });
@@ -697,6 +711,20 @@ impl ZeusNode {
                     // the ownership protocol instead of serving stale state.
                     if rejoined.contains(&self.id) {
                         self.reset_for_rejoin();
+                    }
+                    // Prune the replica placements cached on store entries:
+                    // dead nodes lost their copies and re-admitted nodes
+                    // were wiped, so keeping them in an entry's reader list
+                    // would keep streaming R-INVs to nodes outside the real
+                    // placement — zombie followers that re-install data
+                    // (and later serve or fork it) without being replicas.
+                    for object in self.store.object_ids() {
+                        self.store.with_mut(object, |e| {
+                            e.replicas.retain_live(&view.live);
+                            for &r in &rejoined {
+                                e.replicas.remove_node(r);
+                            }
+                        });
                     }
                     let host = HostView {
                         store: &self.store,
@@ -870,7 +898,11 @@ mod tests {
                 epoch: Epoch::ZERO,
                 followers: vec![NodeId(1)],
                 prev_val: true,
-                updates: vec![ObjectUpdate::new(object, 1, Bytes::from_static(b"new"))],
+                updates: vec![ObjectUpdate::new(
+                    object,
+                    DataTs::new(1, Default::default()),
+                    Bytes::from_static(b"new"),
+                )],
             }),
         );
         let outcome = node.execute_read(|tx| tx.read(object));

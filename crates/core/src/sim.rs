@@ -13,7 +13,7 @@ use bytes::Bytes;
 use zeus_net::sim::{NetConfig, SimNetwork};
 use zeus_net::Envelope;
 use zeus_proto::messages::NackReason;
-use zeus_proto::{AccessLevel, NodeId, ObjectId, OwnershipRequestKind, RequestId, TState};
+use zeus_proto::{AccessLevel, DataTs, NodeId, ObjectId, OwnershipRequestKind, RequestId, TState};
 
 use crate::config::ZeusConfig;
 use crate::message::Message;
@@ -348,6 +348,10 @@ impl SimCluster {
                     RequestState::Pending => {
                         all_done = false;
                     }
+                    RequestState::Failed(NackReason::DataLoss) => {
+                        self.abandon_requests(node, requests);
+                        return Err(TxError::DataLoss);
+                    }
                     RequestState::Failed(reason) => {
                         self.abandon_requests(node, requests);
                         return Err(TxError::OwnershipFailed {
@@ -522,39 +526,39 @@ impl SimCluster {
         objects.sort_unstable();
         for object in objects {
             let mut owners = Vec::new();
-            let mut max_version = 0u64;
-            let mut owner_version = None;
-            let mut valid_versions: Vec<(NodeId, u64, Bytes)> = Vec::new();
+            let mut max_ts = DataTs::ZERO;
+            let mut owner_ts = None;
+            let mut valid_entries: Vec<(NodeId, DataTs, Bytes)> = Vec::new();
             for &id in &live {
                 let node = &self.nodes[id.index()];
                 if let Some(entry) = node.store().get(object) {
-                    max_version = max_version.max(entry.version);
+                    max_ts = max_ts.max(entry.ts);
                     if entry.level == AccessLevel::Owner {
                         owners.push(id);
-                        owner_version = Some(entry.version);
+                        owner_ts = Some(entry.ts);
                     }
                     if entry.t_state == TState::Valid {
-                        valid_versions.push((id, entry.version, entry.data.clone()));
+                        valid_entries.push((id, entry.ts, entry.data.clone()));
                     }
                 }
             }
             if owners.len() > 1 {
                 return Err(format!("object {object} has multiple owners: {owners:?}"));
             }
-            if let (Some(ov), [_single_owner]) = (owner_version, owners.as_slice()) {
-                if ov < max_version {
+            if let (Some(ots), [_single_owner]) = (owner_ts, owners.as_slice()) {
+                if ots < max_ts {
                     return Err(format!(
-                        "object {object}: owner holds version {ov} < max replica version {max_version}"
+                        "object {object}: owner holds {ots} < max replica timestamp {max_ts}"
                     ));
                 }
             }
-            for window in valid_versions.windows(2) {
-                let (a_node, a_ver, a_data) = &window[0];
-                let (b_node, b_ver, b_data) = &window[1];
-                if a_ver == b_ver && a_data != b_data {
-                    return Err(format!(
-                        "object {object}: valid replicas {a_node} and {b_node} diverge at version {a_ver}"
-                    ));
+            for (i, (a_node, a_ts, a_data)) in valid_entries.iter().enumerate() {
+                for (b_node, b_ts, b_data) in valid_entries.iter().skip(i + 1) {
+                    if a_ts == b_ts && a_data != b_data {
+                        return Err(format!(
+                            "object {object}: valid replicas {a_node} and {b_node} diverge at {a_ts}"
+                        ));
+                    }
                 }
             }
             // Directory agreement: all live directory replicas that hold

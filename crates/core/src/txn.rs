@@ -59,6 +59,13 @@ pub enum TxError {
     /// node-side lease contract, §3.1). Route the request to another node
     /// and retry once the node is re-admitted.
     Fenced,
+    /// An ownership acquisition decided without any surviving data-bearing
+    /// arbiter, and the placement proves the object is not a genuine first
+    /// touch: its committed history is (currently) unreachable. The
+    /// transaction aborts instead of fabricating an empty version-0 object;
+    /// a retry re-fetches the value from the surviving readers named in the
+    /// placement once they answer.
+    DataLoss,
 }
 
 /// Outcome of a write-transaction execution attempt on a node.
@@ -187,7 +194,7 @@ impl<'a> TxCtx<'a> {
                     // neither the old nor the new value (§5.3).
                     return Err(TxError::ReadConflict);
                 }
-                self.ws.record_read(object, entry.version);
+                self.ws.record_read(object, entry.ts);
                 Ok(entry.data)
             }
             Some(_) | None if self.read_only => Err(TxError::NotReplicated { object }),
@@ -207,7 +214,7 @@ impl<'a> TxCtx<'a> {
         }
         match self.store.get(object) {
             Some(entry) if entry.level.can_write() => {
-                self.ws.record_read(object, entry.version);
+                self.ws.record_read(object, entry.ts);
                 self.ws.record_write(object, data.into());
                 Ok(())
             }
@@ -354,7 +361,10 @@ mod tests {
         let store = store_with(AccessLevel::Reader);
         store
             .with_mut(ObjectId(1), |e| {
-                e.apply_follower_update(5, Bytes::from_static(b"new"));
+                e.apply_follower_update(
+                    zeus_proto::DataTs::new(5, Default::default()),
+                    Bytes::from_static(b"new"),
+                );
             })
             .unwrap();
         let mut ctx = TxCtx::read_tx(&store);

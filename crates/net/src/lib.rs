@@ -32,4 +32,4 @@ pub use envelope::Envelope;
 pub use reliable::{ReliableEndpoint, ReliableMsg};
 pub use sim::{FaultPlan, LinkOverride, NetConfig, SimNetwork};
 pub use stats::NetStats;
-pub use threaded::{NodeMailbox, ThreadedNet};
+pub use threaded::{LinkFaults, NodeMailbox, ThreadedNet};

@@ -5,14 +5,57 @@
 //! matches what the paper's reliable messaging layer provides to the
 //! protocols, so no retransmission layer is needed here.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
 use zeus_proto::NodeId;
 
 use crate::envelope::Envelope;
 use crate::stats::NetStats;
+
+/// Shared table of injected link faults for the threaded transport.
+///
+/// The simulated transport models partitions inside its event queue; the
+/// threaded transport needs an equivalent so fig11-style scenarios (isolate
+/// a node mid-run, assert it fences itself, heal, assert recovery) can run
+/// against real OS threads. Cuts are directed pairs checked at send time: a
+/// cut message is counted as dropped, exactly like a send to a crashed
+/// peer. Mailboxes consult the table on every send, so cuts take effect
+/// immediately for traffic not yet handed to the channel.
+#[derive(Debug, Default)]
+pub struct LinkFaults {
+    /// Directed `(from, to)` pairs whose traffic is dropped.
+    cut: RwLock<HashSet<(NodeId, NodeId)>>,
+}
+
+impl LinkFaults {
+    /// Cuts both directions between `a` and `b`.
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        let mut cut = self.cut.write();
+        cut.insert((a, b));
+        cut.insert((b, a));
+    }
+
+    /// Heals both directions between `a` and `b`.
+    pub fn heal_partition(&self, a: NodeId, b: NodeId) {
+        let mut cut = self.cut.write();
+        cut.remove(&(a, b));
+        cut.remove(&(b, a));
+    }
+
+    /// Heals every injected cut.
+    pub fn heal_all(&self) {
+        self.cut.write().clear();
+    }
+
+    /// Whether traffic `from → to` is currently cut.
+    pub fn is_cut(&self, from: NodeId, to: NodeId) -> bool {
+        self.cut.read().contains(&(from, to))
+    }
+}
 
 /// Shared atomic traffic counters for the threaded transport.
 #[derive(Debug, Default)]
@@ -71,6 +114,7 @@ pub struct NodeMailbox<M> {
     inbox: Receiver<Envelope<M>>,
     peers: Vec<Sender<Envelope<M>>>,
     counters: Arc<SharedCounters>,
+    faults: Arc<LinkFaults>,
 }
 
 impl<M> Clone for NodeMailbox<M> {
@@ -80,6 +124,7 @@ impl<M> Clone for NodeMailbox<M> {
             inbox: self.inbox.clone(),
             peers: self.peers.clone(),
             counters: Arc::clone(&self.counters),
+            faults: Arc::clone(&self.faults),
         }
     }
 }
@@ -92,6 +137,12 @@ impl<M> NodeMailbox<M> {
     pub fn send(&self, to: NodeId, msg: M, payload_bytes: usize) -> bool {
         let env = Envelope::with_payload_bytes(self.id, to, msg, payload_bytes);
         let wire_bytes = env.wire_bytes;
+        // Injected link faults (fig11-style partitions): a cut link drops
+        // the message at send time, exactly like a send to a crashed peer.
+        if self.faults.is_cut(self.id, to) {
+            self.counters.record_failed(wire_bytes);
+            return false;
+        }
         match self.peers.get(to.index()) {
             Some(tx) => {
                 // `send_counting` reports the depth right after the push
@@ -148,12 +199,14 @@ impl<M> NodeMailbox<M> {
 pub struct ThreadedNet<M> {
     mailboxes: Vec<NodeMailbox<M>>,
     counters: Arc<SharedCounters>,
+    faults: Arc<LinkFaults>,
 }
 
 impl<M> ThreadedNet<M> {
     /// Creates a fully connected transport for `n` nodes with ids `0..n`.
     pub fn new(n: usize) -> Self {
         let counters = Arc::new(SharedCounters::default());
+        let faults = Arc::new(LinkFaults::default());
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -169,12 +222,20 @@ impl<M> ThreadedNet<M> {
                 inbox,
                 peers: senders.clone(),
                 counters: Arc::clone(&counters),
+                faults: Arc::clone(&faults),
             })
             .collect();
         ThreadedNet {
             mailboxes,
             counters,
+            faults,
         }
+    }
+
+    /// The shared link-fault table: cuts injected here take effect for every
+    /// mailbox of this transport immediately.
+    pub fn faults(&self) -> &Arc<LinkFaults> {
+        &self.faults
     }
 
     /// Number of nodes.

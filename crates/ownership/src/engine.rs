@@ -5,8 +5,8 @@ use std::collections::{HashMap, HashSet};
 use bytes::Bytes;
 use zeus_proto::messages::NackReason;
 use zeus_proto::{
-    Epoch, NodeId, OState, ObjectId, OwnershipMsg, OwnershipRequestKind, OwnershipTs, ReplicaSet,
-    RequestId,
+    DataTs, Epoch, NodeId, OState, ObjectId, OwnershipMsg, OwnershipRequestKind, OwnershipTs,
+    ReplicaSet, RequestId,
 };
 
 use crate::stats::OwnershipStats;
@@ -14,10 +14,11 @@ use crate::stats::OwnershipStats;
 /// Interface through which the ownership engine queries node-local state it
 /// does not itself own (the object store and the commit protocol).
 pub trait OwnershipHost {
-    /// Current `(t_version, t_data)` of the object at this node, if this node
+    /// Current `(d_ts, t_data)` of the object at this node, if this node
     /// stores a replica. Used by the current owner to ship the value to a
-    /// non-replica requester inside its ACK.
-    fn object_value(&self, object: ObjectId) -> Option<(u64, Bytes)>;
+    /// non-replica requester inside its ACK; requesters shipped several
+    /// copies keep the max-by-[`DataTs`] one.
+    fn object_value(&self, object: ObjectId) -> Option<(DataTs, Bytes)>;
 
     /// Whether the object has reliable commits in flight at this node. The
     /// owner rejects ownership requests for such objects (§4.1).
@@ -30,7 +31,7 @@ pub trait OwnershipHost {
 pub struct NullHost;
 
 impl OwnershipHost for NullHost {
-    fn object_value(&self, _object: ObjectId) -> Option<(u64, Bytes)> {
+    fn object_value(&self, _object: ObjectId) -> Option<(DataTs, Bytes)> {
         None
     }
     fn has_pending_commits(&self, _object: ObjectId) -> bool {
@@ -65,8 +66,10 @@ pub enum OwnershipAction {
         /// Replica placement after the request.
         new_replicas: ReplicaSet,
         /// Object value shipped by the previous owner (for non-replica
-        /// requesters).
-        data: Option<(u64, Bytes)>,
+        /// requesters), tagged with its commit timestamp. The host installs
+        /// it only if it is strictly newer than what it already stores
+        /// (regression refusal).
+        data: Option<(DataTs, Bytes)>,
     },
     /// A request issued by this node failed terminally (the transaction
     /// layer aborts/retries the transaction with back-off, §6.2).
@@ -139,7 +142,7 @@ struct InflightArb {
     /// ACKs go to the requester; a recovery driver sets true).
     collecting_acks: bool,
     acks: HashSet<NodeId>,
-    data: Option<(u64, Bytes)>,
+    data: Option<(DataTs, Bytes)>,
     /// Retransmit rounds this arbitration has sat without progress; the
     /// staleness replay (`replay_stalled`) fires once it reaches 2.
     stale_rounds: u32,
@@ -156,7 +159,11 @@ struct PendingRequest {
     arbiters: Option<Vec<NodeId>>,
     o_ts: Option<OwnershipTs>,
     new_replicas: Option<ReplicaSet>,
-    data: Option<(u64, Bytes)>,
+    data: Option<(DataTs, Bytes)>,
+    /// Whether the deciding arbitration first-touch-created the object
+    /// (learned from ACKs / the recovery RESP; `None` until one arrives).
+    /// Gates the fail-instead-of-fabricate check at completion.
+    first_touch: Option<bool>,
 }
 
 /// The per-node ownership protocol engine (requester, driver and arbiter
@@ -385,6 +392,7 @@ impl OwnershipEngine {
                 o_ts: None,
                 new_replicas: None,
                 data: None,
+                first_touch: None,
             },
         );
 
@@ -601,6 +609,7 @@ impl OwnershipEngine {
                 from: acker,
                 arbiters,
                 new_replicas,
+                first_touch,
             } => self.on_ack(
                 req_id,
                 object,
@@ -610,6 +619,7 @@ impl OwnershipEngine {
                 acker,
                 arbiters,
                 new_replicas,
+                first_touch,
                 host,
             ),
             OwnershipMsg::Val {
@@ -632,7 +642,17 @@ impl OwnershipEngine {
                 epoch,
                 data,
                 new_replicas,
-            } => self.on_resp(req_id, object, o_ts, epoch, data, new_replicas),
+                first_touch,
+            } => self.on_resp(
+                req_id,
+                object,
+                o_ts,
+                epoch,
+                data,
+                new_replicas,
+                first_touch,
+                host,
+            ),
         }
     }
 
@@ -669,23 +689,16 @@ impl OwnershipEngine {
                 meta.replicas.remove_node(r);
             }
         }
-        // Arbitrations whose requester rejoined are orphaned: the requester
-        // wiped its pending-request state and will re-request with a fresh
-        // id. Drop them (everyone processes the same view change, so this is
-        // symmetric) and release the per-object drive state.
-        let mut orphaned: Vec<ObjectId> = self
-            .inflight
-            .iter()
-            .filter(|(_, inf)| rejoined.contains(&inf.requester))
-            .map(|(&object, _)| object)
-            .collect();
-        orphaned.sort_unstable();
-        for object in orphaned {
-            self.inflight.remove(&object);
-            if let Some(meta) = self.meta.get_mut(&object) {
-                meta.o_state = OState::Valid;
-            }
-        }
+        // Arbitrations whose requester rejoined (wiped) are NOT dropped:
+        // dropping is only symmetric if every arbiter still holds the
+        // in-flight entry, but a replay from an earlier view change may
+        // already have applied the arbitration at some arbiters — dropping
+        // at the rest would freeze the directory in disagreement (some at
+        // the decided placement, some at the stale one). Instead the
+        // requester is pruned from the replica sets like any dead node and
+        // the arbitration is driven to a decision by the replay below; the
+        // rejoined requester ignores the eventual RESP (its pending state
+        // was wiped) and re-requests with a fresh id.
         for inf in self.inflight.values_mut() {
             for &r in rejoined {
                 inf.new_replicas.remove_node(r);
@@ -807,6 +820,12 @@ impl OwnershipEngine {
                     epoch: self.epoch,
                     data: host.object_value(object),
                     new_replicas: meta.replicas.clone(),
+                    // Lenient only when no node besides the requester is
+                    // placed (nobody else could hold committed data): a
+                    // still-waiting requester then completes without data
+                    // rather than wedging a genuine first touch whose
+                    // original completion was lost.
+                    first_touch: meta.replicas.replicas().all(|n| n == requester),
                 },
             }];
         }
@@ -913,6 +932,7 @@ impl OwnershipEngine {
                 from: self.local,
                 arbiters,
                 new_replicas,
+                first_touch: old_replicas.is_empty(),
             },
         });
         actions
@@ -981,6 +1001,7 @@ impl OwnershipEngine {
                 from: self.local,
                 arbiters: inf.arbiters.clone(),
                 new_replicas: inf.new_replicas.clone(),
+                first_touch: inf.old_replicas.is_empty(),
             },
         });
         actions
@@ -1189,6 +1210,7 @@ impl OwnershipEngine {
                     .map(|i| i.arbiters.clone())
                     .unwrap_or_else(|| self.arbiter_set(&old_replicas, requester)),
                 new_replicas,
+                first_touch: old_replicas.is_empty(),
             },
         });
         actions
@@ -1254,7 +1276,10 @@ impl OwnershipEngine {
                     reason,
                 }]
             }
-            NackReason::LostArbitration | NackReason::NotDirectory | NackReason::UnknownObject => {
+            NackReason::LostArbitration
+            | NackReason::NotDirectory
+            | NackReason::UnknownObject
+            | NackReason::DataLoss => {
                 self.pending.remove(&req_id);
                 self.stats.requests_failed += 1;
                 vec![OwnershipAction::Failed {
@@ -1277,10 +1302,11 @@ impl OwnershipEngine {
         object: ObjectId,
         o_ts: OwnershipTs,
         epoch: Epoch,
-        data: Option<(u64, Bytes)>,
+        data: Option<(DataTs, Bytes)>,
         acker: NodeId,
         arbiters: Vec<NodeId>,
         new_replicas: ReplicaSet,
+        first_touch: bool,
         host: &impl OwnershipHost,
     ) -> Vec<OwnershipAction> {
         if epoch != self.epoch {
@@ -1307,10 +1333,11 @@ impl OwnershipEngine {
         }
         pending.arbiters = Some(arbiters);
         pending.new_replicas = Some(new_replicas);
+        pending.first_touch = Some(first_touch);
         // Several arbiters may ship data (readers of an ownerless object);
-        // keep the highest version.
-        if let Some((version, _)) = &data {
-            if pending.data.as_ref().is_none_or(|(v, _)| v < version) {
+        // keep the max-by-DataTs copy.
+        if let Some((ts, _)) = &data {
+            if pending.data.as_ref().is_none_or(|(t, _)| t < ts) {
                 pending.data = data;
             }
         }
@@ -1328,17 +1355,20 @@ impl OwnershipEngine {
         if !complete {
             return Vec::new();
         }
-        self.complete_request(req_id)
+        self.complete_request(req_id, host)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_resp(
         &mut self,
         req_id: RequestId,
         object: ObjectId,
         o_ts: OwnershipTs,
         epoch: Epoch,
-        data: Option<(u64, Bytes)>,
+        data: Option<(DataTs, Bytes)>,
         new_replicas: ReplicaSet,
+        first_touch: bool,
+        host: &impl OwnershipHost,
     ) -> Vec<OwnershipAction> {
         if epoch != self.epoch {
             return Vec::new();
@@ -1350,29 +1380,58 @@ impl OwnershipEngine {
         debug_assert_eq!(pending.object, object);
         pending.o_ts = Some(o_ts);
         pending.new_replicas = Some(new_replicas);
-        if data.is_some() {
-            pending.data = data;
+        // Keep the max-by-DataTs copy: a RESP may race ACKs that already
+        // shipped a newer value.
+        if let Some((ts, _)) = &data {
+            if pending.data.as_ref().is_none_or(|(t, _)| t < ts) {
+                pending.data = data;
+            }
         }
+        pending.first_touch = Some(first_touch);
         if pending.arbiters.is_none() {
             pending.arbiters = Some(default_arbiters);
         }
-        self.complete_request(req_id)
+        self.complete_request(req_id, host)
     }
 
-    /// Applies a completed request at the requester and validates arbiters.
-    fn complete_request(&mut self, req_id: RequestId) -> Vec<OwnershipAction> {
+    /// Applies a decided request at the requester and validates arbiters.
+    ///
+    /// The outcome handed to the host is [`OwnershipAction::Completed`] —
+    /// or, when the arbitration decided without any surviving data-bearing
+    /// arbiter shipping the value for an object whose placement proves it
+    /// is *not* a genuine first touch, [`OwnershipAction::Failed`] with
+    /// [`NackReason::DataLoss`]: installing would fabricate an empty
+    /// version-0 object next to a committed history (fail-instead-of-
+    /// fabricate). The decided placement metadata is applied and the
+    /// arbiters validated either way — the arbitration *is* decided; only
+    /// the data install and the host-visible outcome differ. The surviving
+    /// readers named in the placement re-seed the value on the
+    /// transaction's retry.
+    fn complete_request(
+        &mut self,
+        req_id: RequestId,
+        host: &impl OwnershipHost,
+    ) -> Vec<OwnershipAction> {
         let Some(pending) = self.pending.remove(&req_id) else {
             return Vec::new();
         };
         let object = pending.object;
         self.mark_decided(req_id, object);
+        // Re-sample the local store *now* rather than trusting the
+        // `has_replica` declared at request time: a replica-change applied
+        // while the acquisition was in flight can have removed the local
+        // copy (so shipping was skipped on a promise the store no longer
+        // keeps), and completing without data would fabricate version 0.
+        let data_loss = pending.kind.requester_needs_data()
+            && pending.data.is_none()
+            && host.object_value(object).is_none()
+            && pending.first_touch == Some(false);
         let o_ts = pending.o_ts.expect("completed request has o_ts");
         let mut new_replicas = pending
             .new_replicas
             .clone()
             .expect("completed request has replica set");
         new_replicas.retain_live(&self.live);
-        self.stats.requests_completed += 1;
 
         // The requester applies the request before any arbiter (§4.1): it
         // now stores authoritative ownership metadata if it became the owner
@@ -1391,14 +1450,26 @@ impl OwnershipEngine {
         }
         self.inflight.remove(&object);
 
-        let mut actions = vec![OwnershipAction::Completed {
-            req_id,
-            object,
-            kind: pending.kind,
-            o_ts,
-            new_replicas: new_replicas.clone(),
-            data: pending.data.clone(),
-        }];
+        let outcome = if data_loss {
+            self.stats.requests_failed += 1;
+            self.stats.data_loss_aborts += 1;
+            OwnershipAction::Failed {
+                req_id,
+                object,
+                reason: NackReason::DataLoss,
+            }
+        } else {
+            self.stats.requests_completed += 1;
+            OwnershipAction::Completed {
+                req_id,
+                object,
+                kind: pending.kind,
+                o_ts,
+                new_replicas: new_replicas.clone(),
+                data: pending.data.clone(),
+            }
+        };
+        let mut actions = vec![outcome];
         let arbiters = pending.arbiters.unwrap_or_default();
         for arb in arbiters
             .into_iter()
@@ -1426,7 +1497,7 @@ impl OwnershipEngine {
         req_id: RequestId,
         object: ObjectId,
         o_ts: OwnershipTs,
-        data: Option<(u64, Bytes)>,
+        data: Option<(DataTs, Bytes)>,
         acker: NodeId,
         host: &impl OwnershipHost,
     ) -> Vec<OwnershipAction> {
@@ -1436,8 +1507,8 @@ impl OwnershipEngine {
         if !inf.collecting_acks || inf.req_id != req_id || inf.o_ts != o_ts {
             return Vec::new();
         }
-        if let Some((version, _)) = &data {
-            if inf.data.as_ref().is_none_or(|(v, _)| v < version) {
+        if let Some((ts, _)) = &data {
+            if inf.data.as_ref().is_none_or(|(t, _)| t < ts) {
                 inf.data = data;
             }
         }
@@ -1472,7 +1543,10 @@ impl OwnershipEngine {
             // ignores this RESP — so the driver must NOT rely on the
             // requester to validate: it applies and validates below either
             // way. Both paths are idempotent at every receiver.
-            let data = inf.data.clone().or_else(|| host.object_value(object));
+            let data = match (inf.data.clone(), host.object_value(object)) {
+                (Some(a), Some(b)) => Some(if a.0 >= b.0 { a } else { b }),
+                (a, b) => a.or(b),
+            };
             actions.push(OwnershipAction::Send {
                 to: inf.requester,
                 msg: OwnershipMsg::Resp {
@@ -1482,6 +1556,10 @@ impl OwnershipEngine {
                     epoch: self.epoch,
                     data,
                     new_replicas: inf.new_replicas.clone(),
+                    // Only an arbitration that created the object out of an
+                    // empty placement may legitimately complete without
+                    // data; the requester aborts with DataLoss otherwise.
+                    first_touch: inf.old_replicas.is_empty(),
                 },
             });
         }
@@ -1599,7 +1677,7 @@ impl OwnershipEngine {
         requester_has_replica: bool,
         old_replicas: &ReplicaSet,
         host: &impl OwnershipHost,
-    ) -> Option<(u64, Bytes)> {
+    ) -> Option<(DataTs, Bytes)> {
         if !kind.requester_needs_data() || requester_has_replica {
             return None;
         }
@@ -1624,12 +1702,12 @@ mod tests {
     /// Test host backed by a simple map.
     #[derive(Default)]
     struct MapHost {
-        values: HashMap<ObjectId, (u64, Bytes)>,
+        values: HashMap<ObjectId, (DataTs, Bytes)>,
         pending: HashSet<ObjectId>,
     }
 
     impl OwnershipHost for MapHost {
-        fn object_value(&self, object: ObjectId) -> Option<(u64, Bytes)> {
+        fn object_value(&self, object: ObjectId) -> Option<(DataTs, Bytes)> {
             self.values.get(&object).cloned()
         }
         fn has_pending_commits(&self, object: ObjectId) -> bool {
@@ -1668,7 +1746,7 @@ mod tests {
                 if replicas.contains(NodeId(i as u16)) {
                     self.hosts[i]
                         .values
-                        .insert(object, (0, Bytes::copy_from_slice(value)));
+                        .insert(object, (DataTs::ZERO, Bytes::copy_from_slice(value)));
                 }
             }
         }
@@ -1791,8 +1869,8 @@ mod tests {
             OwnershipAction::Completed {
                 data, new_replicas, ..
             } => {
-                let (ver, bytes) = data.as_ref().expect("owner must ship the value");
-                assert_eq!(*ver, 0);
+                let (ts, bytes) = data.as_ref().expect("owner must ship the value");
+                assert_eq!(*ts, DataTs::ZERO);
                 assert_eq!(bytes.as_ref(), b"payload");
                 assert_eq!(new_replicas.owner, Some(NodeId(3)));
             }

@@ -32,6 +32,10 @@ pub struct OwnershipStats {
     /// Ghost arbitrations aborted after an arbiter reported that a drive
     /// from stale metadata lost against a higher timestamp.
     pub ghost_arbitrations_aborted: u64,
+    /// Acquisitions aborted with `DataLoss` because they decided without a
+    /// surviving data-bearing arbiter while the placement proved the object
+    /// was not a genuine first touch (fail-instead-of-fabricate).
+    pub data_loss_aborts: u64,
 }
 
 impl OwnershipStats {
@@ -53,6 +57,7 @@ impl OwnershipStats {
         self.requests_retransmitted += other.requests_retransmitted;
         self.rejoin_resets += other.rejoin_resets;
         self.ghost_arbitrations_aborted += other.ghost_arbitrations_aborted;
+        self.data_loss_aborts += other.data_loss_aborts;
     }
 }
 

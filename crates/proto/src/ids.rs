@@ -237,6 +237,72 @@ impl fmt::Display for OwnershipTs {
     }
 }
 
+/// Owner-qualified commit timestamp of a committed object value:
+/// `d_ts = <t_version, o_ts>`.
+///
+/// A bare `t_version` counter cannot totally order committed data: after an
+/// abandoned-then-replayed acquisition, two owners can both commit "version
+/// n" with different data, and replicas that saw different halves of the
+/// fork diverge forever. Qualifying the counter with the [`OwnershipTs`]
+/// under which the writing owner *acquired* the object restores a total
+/// order, because ownership tenures are themselves totally ordered (§4.1).
+///
+/// Ordering rules (the derived `Ord` is exactly this, by field order):
+///
+/// * **Compare** lexicographically: higher `version` wins; equal versions
+///   are ordered by `acquired` — the commit made under the later ownership
+///   tenure supersedes the one made under the earlier tenure.
+/// * **Install** an incoming update only if its `DataTs` is strictly
+///   greater than the locally stored one (ts-compare-and-install). Replayed
+///   or duplicate updates at the same `DataTs` re-invalidate but never
+///   overwrite.
+/// * **Refuse regressions**: a requester offered several copies of an
+///   object (readers of an ownerless object each ship theirs) keeps the
+///   max-by-`DataTs` copy, and never replaces local data with a copy whose
+///   `DataTs` is not strictly newer.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DataTs {
+    /// Per-object write counter (`t_version`), incremented by every
+    /// committing write transaction.
+    pub version: u64,
+    /// Ownership timestamp under which the writing owner held the object
+    /// when it committed this version.
+    pub acquired: OwnershipTs,
+}
+
+impl DataTs {
+    /// The timestamp of a freshly created object (version 0 under the
+    /// initial, pre-arbitration ownership tenure).
+    pub const ZERO: DataTs = DataTs {
+        version: 0,
+        acquired: OwnershipTs::new(0, NodeId(0)),
+    };
+
+    /// Convenience constructor.
+    pub const fn new(version: u64, acquired: OwnershipTs) -> Self {
+        DataTs { version, acquired }
+    }
+
+    /// The timestamp a committing owner assigns to its next write: the
+    /// version counter advances, and the tenure is stamped from the o_ts
+    /// under which the owner currently holds the object.
+    #[must_use]
+    pub fn next_write(self, tenure: OwnershipTs) -> DataTs {
+        DataTs {
+            version: self.version + 1,
+            acquired: tenure,
+        }
+    }
+}
+
+impl fmt::Display for DataTs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dts({},{})", self.version, self.acquired)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +347,26 @@ mod tests {
         assert_eq!(b.version, 8);
         assert_eq!(b.node, NodeId(9));
         assert!(b > a);
+    }
+
+    #[test]
+    fn data_ts_orders_version_first_then_tenure() {
+        let a = DataTs::new(5, OwnershipTs::new(1, NodeId(0)));
+        let b = DataTs::new(5, OwnershipTs::new(2, NodeId(3)));
+        let c = DataTs::new(6, OwnershipTs::new(1, NodeId(0)));
+        assert!(a < b, "same version: later ownership tenure wins");
+        assert!(b < c, "higher version wins regardless of tenure");
+        assert!(DataTs::ZERO < a);
+    }
+
+    #[test]
+    fn data_ts_next_write_advances_version_and_stamps_tenure() {
+        let tenure = OwnershipTs::new(3, NodeId(2));
+        let ts = DataTs::new(7, OwnershipTs::new(1, NodeId(0)));
+        let next = ts.next_write(tenure);
+        assert_eq!(next.version, 8);
+        assert_eq!(next.acquired, tenure);
+        assert!(next > ts);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
-use crate::ids::{Epoch, NodeId, ObjectId, OwnershipTs, RequestId, TxId};
+use crate::ids::{DataTs, Epoch, NodeId, ObjectId, OwnershipTs, RequestId, TxId};
 use crate::state::ReplicaSet;
 
 /// What an ownership request asks for (§4, §6.2).
@@ -53,6 +53,12 @@ pub enum NackReason {
     /// The ownership protocol is paused while commit recovery for a new
     /// membership epoch is in progress (§5.1).
     Recovering,
+    /// The acquisition decided, but no surviving arbiter holds the object
+    /// data and the placement shows the object is *not* a genuine first
+    /// touch: completing would fabricate an empty version-0 object next to
+    /// a committed history. The requester aborts instead (fail-instead-of-
+    /// fabricate) and surfaces the loss to the transaction layer.
+    DataLoss,
 }
 
 /// Messages of the reliable ownership protocol (§4.1, Figure 3).
@@ -112,9 +118,10 @@ pub enum OwnershipMsg {
         o_ts: OwnershipTs,
         /// Epoch of the acknowledging arbiter.
         epoch: Epoch,
-        /// Present iff the sender is the current owner and the requester
-        /// needs the data (non-replica requester): `(t_version, t_data)`.
-        data: Option<(u64, Bytes)>,
+        /// Present iff the sender holds the object data and the requester
+        /// needs it (non-replica requester): `(d_ts, t_data)`. The requester
+        /// keeps the max-by-[`DataTs`] copy it receives.
+        data: Option<(DataTs, Bytes)>,
         /// The acknowledging arbiter.
         from: NodeId,
         /// The full arbiter set of this request (directory nodes plus the
@@ -122,6 +129,14 @@ pub enum OwnershipMsg {
         arbiters: Vec<NodeId>,
         /// The replica set as it will look once the request is applied.
         new_replicas: ReplicaSet,
+        /// Whether this arbitration first-touch-created the object (the
+        /// placement named no replica before the request). Only a
+        /// first-touch acquisition may legitimately complete without
+        /// shipped data; otherwise the absence of data means the committed
+        /// history was lost and the requester must abort
+        /// ([`NackReason::DataLoss`]) instead of installing an empty
+        /// version-0 object.
+        first_touch: bool,
     },
     /// `VAL`: requester → arbiters after it has applied the request locally.
     Val {
@@ -159,11 +174,17 @@ pub enum OwnershipMsg {
         o_ts: OwnershipTs,
         /// Epoch.
         epoch: Epoch,
-        /// Current object value, included when the requester lacks it (e.g.
-        /// the previous owner died before sending its ACK with data).
-        data: Option<(u64, Bytes)>,
+        /// Current object value `(d_ts, t_data)`, included when the
+        /// requester lacks it (e.g. the previous owner died before sending
+        /// its ACK with data).
+        data: Option<(DataTs, Bytes)>,
         /// The replica set as it will look once the request is applied.
         new_replicas: ReplicaSet,
+        /// Whether the decided arbitration first-touch-created the object
+        /// (see [`OwnershipMsg::Ack::first_touch`]). A recovery RESP with
+        /// `data: None`, `first_touch: false` to a data-less requester is a
+        /// data-loss signal, not a licence to fabricate version 0.
+        first_touch: bool,
     },
 }
 
@@ -210,18 +231,20 @@ impl OwnershipMsg {
 pub struct ObjectUpdate {
     /// Updated object.
     pub object: ObjectId,
-    /// New `t_version` of the object.
-    pub version: u64,
+    /// Owner-qualified commit timestamp of the new value (`<t_version,
+    /// o_ts>`). Followers install by ts-compare: only a strictly greater
+    /// [`DataTs`] overwrites the stored value.
+    pub ts: DataTs,
     /// New `t_data` of the object.
     pub data: Bytes,
 }
 
 impl ObjectUpdate {
     /// Convenience constructor.
-    pub fn new(object: ObjectId, version: u64, data: impl Into<Bytes>) -> Self {
+    pub fn new(object: ObjectId, ts: DataTs, data: impl Into<Bytes>) -> Self {
         ObjectUpdate {
             object,
-            version,
+            ts,
             data: data.into(),
         }
     }
@@ -388,12 +411,13 @@ mod tests {
     #[test]
     fn commit_msg_accessors() {
         let tx = TxId::new(PipelineId::new(n(2), 1), 9);
+        let ts = DataTs::new(4, OwnershipTs::new(1, n(2)));
         let msg = CommitMsg::RInv {
             tx_id: tx,
             epoch: Epoch(1),
             followers: vec![n(3)],
             prev_val: true,
-            updates: vec![ObjectUpdate::new(ObjectId(1), 4, vec![1, 2, 3])],
+            updates: vec![ObjectUpdate::new(ObjectId(1), ts, vec![1, 2, 3])],
         };
         assert_eq!(msg.tx_id(), tx);
         assert_eq!(msg.epoch(), Epoch(1));
@@ -407,9 +431,10 @@ mod tests {
 
     #[test]
     fn object_update_holds_data() {
-        let u = ObjectUpdate::new(ObjectId(9), 2, vec![0xAB; 8]);
+        let ts = DataTs::new(2, OwnershipTs::new(1, n(1)));
+        let u = ObjectUpdate::new(ObjectId(9), ts, vec![0xAB; 8]);
         assert_eq!(u.object, ObjectId(9));
-        assert_eq!(u.version, 2);
+        assert_eq!(u.ts, ts);
         assert_eq!(u.data.len(), 8);
     }
 }

@@ -10,7 +10,7 @@
 use bytes::Bytes;
 
 use crate::error::ProtoError;
-use crate::ids::{Epoch, NodeId, ObjectId, OwnershipTs, PipelineId, RequestId, TxId};
+use crate::ids::{DataTs, Epoch, NodeId, ObjectId, OwnershipTs, PipelineId, RequestId, TxId};
 use crate::messages::{
     CommitMsg, MembershipMsg, NackReason, ObjectUpdate, OwnershipMsg, OwnershipRequestKind,
 };
@@ -292,6 +292,22 @@ impl Wire for OwnershipTs {
     }
 }
 
+impl Wire for DataTs {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.version.encode(buf);
+        self.acquired.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        Ok(DataTs {
+            version: u64::decode(input)?,
+            acquired: OwnershipTs::decode(input)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        18
+    }
+}
+
 impl Wire for ReplicaSet {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.owner.encode(buf);
@@ -340,6 +356,7 @@ impl Wire for NackReason {
             NackReason::NotDirectory => 3,
             NackReason::UnknownObject => 4,
             NackReason::Recovering => 5,
+            NackReason::DataLoss => 6,
         };
         buf.push(tag);
     }
@@ -351,6 +368,7 @@ impl Wire for NackReason {
             3 => Ok(NackReason::NotDirectory),
             4 => Ok(NackReason::UnknownObject),
             5 => Ok(NackReason::Recovering),
+            6 => Ok(NackReason::DataLoss),
             tag => Err(ProtoError::InvalidTag {
                 ty: "NackReason",
                 tag,
@@ -365,13 +383,13 @@ impl Wire for NackReason {
 impl Wire for ObjectUpdate {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.object.encode(buf);
-        self.version.encode(buf);
+        self.ts.encode(buf);
         self.data.encode(buf);
     }
     fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
         Ok(ObjectUpdate {
             object: ObjectId::decode(input)?,
-            version: u64::decode(input)?,
+            ts: DataTs::decode(input)?,
             data: Bytes::decode(input)?,
         })
     }
@@ -425,6 +443,7 @@ impl Wire for OwnershipMsg {
                 from,
                 arbiters,
                 new_replicas,
+                first_touch,
             } => {
                 buf.push(2);
                 req_id.encode(buf);
@@ -435,6 +454,7 @@ impl Wire for OwnershipMsg {
                 from.encode(buf);
                 arbiters.encode(buf);
                 new_replicas.encode(buf);
+                first_touch.encode(buf);
             }
             OwnershipMsg::Val {
                 req_id,
@@ -469,6 +489,7 @@ impl Wire for OwnershipMsg {
                 epoch,
                 data,
                 new_replicas,
+                first_touch,
             } => {
                 buf.push(5);
                 req_id.encode(buf);
@@ -477,6 +498,7 @@ impl Wire for OwnershipMsg {
                 epoch.encode(buf);
                 data.encode(buf);
                 new_replicas.encode(buf);
+                first_touch.encode(buf);
             }
         }
     }
@@ -506,10 +528,11 @@ impl Wire for OwnershipMsg {
                 object: ObjectId::decode(input)?,
                 o_ts: OwnershipTs::decode(input)?,
                 epoch: Epoch::decode(input)?,
-                data: Option::<(u64, Bytes)>::decode(input)?,
+                data: Option::<(DataTs, Bytes)>::decode(input)?,
                 from: NodeId::decode(input)?,
                 arbiters: Vec::<NodeId>::decode(input)?,
                 new_replicas: ReplicaSet::decode(input)?,
+                first_touch: bool::decode(input)?,
             }),
             3 => Ok(OwnershipMsg::Val {
                 req_id: RequestId::decode(input)?,
@@ -529,8 +552,9 @@ impl Wire for OwnershipMsg {
                 object: ObjectId::decode(input)?,
                 o_ts: OwnershipTs::decode(input)?,
                 epoch: Epoch::decode(input)?,
-                data: Option::<(u64, Bytes)>::decode(input)?,
+                data: Option::<(DataTs, Bytes)>::decode(input)?,
                 new_replicas: ReplicaSet::decode(input)?,
+                first_touch: bool::decode(input)?,
             }),
             tag => Err(ProtoError::InvalidTag {
                 ty: "OwnershipMsg",
@@ -691,6 +715,7 @@ mod tests {
         roundtrip(TxId::new(PipelineId::new(NodeId(1), 3), 42));
         roundtrip(RequestId::new(NodeId(2), 17));
         roundtrip(OwnershipTs::new(5, NodeId(3)));
+        roundtrip(DataTs::new(9, OwnershipTs::new(5, NodeId(3))));
         roundtrip(ReplicaSet::new(NodeId(0), [NodeId(1), NodeId(2)]));
     }
 
@@ -722,10 +747,11 @@ mod tests {
             object,
             o_ts,
             epoch: Epoch(1),
-            data: Some((3, Bytes::from(vec![9u8; 400]))),
+            data: Some((DataTs::new(3, o_ts), Bytes::from(vec![9u8; 400]))),
             from: NodeId(5),
             arbiters: vec![NodeId(0), NodeId(1), NodeId(5)],
             new_replicas: ReplicaSet::new(NodeId(1), [NodeId(5)]),
+            first_touch: false,
         });
         roundtrip(OwnershipMsg::Val {
             req_id,
@@ -740,6 +766,13 @@ mod tests {
             epoch: Epoch(2),
             from: NodeId(3),
         });
+        roundtrip(OwnershipMsg::Nack {
+            req_id,
+            object,
+            reason: NackReason::DataLoss,
+            epoch: Epoch(2),
+            from: NodeId(3),
+        });
         roundtrip(OwnershipMsg::Resp {
             req_id,
             object,
@@ -747,6 +780,7 @@ mod tests {
             epoch: Epoch(2),
             data: None,
             new_replicas: ReplicaSet::new(NodeId(1), [NodeId(2)]),
+            first_touch: true,
         });
     }
 
@@ -759,8 +793,16 @@ mod tests {
             followers: vec![NodeId(1), NodeId(2)],
             prev_val: false,
             updates: vec![
-                ObjectUpdate::new(ObjectId(1), 10, vec![1u8; 64]),
-                ObjectUpdate::new(ObjectId(2), 11, vec![2u8; 128]),
+                ObjectUpdate::new(
+                    ObjectId(1),
+                    DataTs::new(10, OwnershipTs::new(2, NodeId(3))),
+                    vec![1u8; 64],
+                ),
+                ObjectUpdate::new(
+                    ObjectId(2),
+                    DataTs::new(11, OwnershipTs::new(2, NodeId(3))),
+                    vec![2u8; 128],
+                ),
             ],
         });
         roundtrip(CommitMsg::RAck {
@@ -835,14 +877,22 @@ mod tests {
             epoch: Epoch(0),
             followers: vec![NodeId(1)],
             prev_val: false,
-            updates: vec![ObjectUpdate::new(ObjectId(1), 1, vec![0u8; 16])],
+            updates: vec![ObjectUpdate::new(
+                ObjectId(1),
+                DataTs::default(),
+                vec![0u8; 16],
+            )],
         };
         let large = CommitMsg::RInv {
             tx_id: TxId::default(),
             epoch: Epoch(0),
             followers: vec![NodeId(1)],
             prev_val: false,
-            updates: vec![ObjectUpdate::new(ObjectId(1), 1, vec![0u8; 400])],
+            updates: vec![ObjectUpdate::new(
+                ObjectId(1),
+                DataTs::default(),
+                vec![0u8; 400],
+            )],
         };
         assert_eq!(large.encoded_len() - small.encoded_len(), 400 - 16);
     }

@@ -1,7 +1,7 @@
 //! Per-object replica state: data plus transactional and ownership metadata.
 
 use bytes::Bytes;
-use zeus_proto::{AccessLevel, OState, OwnershipTs, ReplicaSet, TState};
+use zeus_proto::{AccessLevel, DataTs, OState, OwnershipTs, ReplicaSet, TState};
 
 /// Everything a node stores about one object it replicates (Table 1).
 ///
@@ -10,16 +10,21 @@ use zeus_proto::{AccessLevel, OState, OwnershipTs, ReplicaSet, TState};
 pub struct ObjectEntry {
     /// The application data of the object (`t_data`).
     pub data: Bytes,
-    /// Version incremented by every transaction that modifies the object
-    /// (`t_version`).
-    pub version: u64,
+    /// Owner-qualified commit timestamp of the stored value
+    /// (`<t_version, o_ts>`): the write counter plus the ownership tenure
+    /// under which the writing owner committed it. Totally ordered, so
+    /// replicas install strictly-newer values and refuse regressions even
+    /// when two tenures produced the same counter value.
+    pub ts: DataTs,
     /// Transactional state (`t_state`).
     pub t_state: TState,
     /// This node's access level for the object.
     pub level: AccessLevel,
     /// Ownership state (`o_state`); meaningful on arbiters (owner/directory).
     pub o_state: OState,
-    /// Ownership timestamp (`o_ts`).
+    /// Ownership timestamp (`o_ts`) — on the owner, the tenure under which
+    /// it holds the object; new local writes stamp it into their
+    /// [`DataTs::acquired`].
     pub o_ts: OwnershipTs,
     /// Replica placement (`o_replicas`); authoritative on the owner and the
     /// directory, best-effort elsewhere.
@@ -31,11 +36,11 @@ pub struct ObjectEntry {
 }
 
 impl ObjectEntry {
-    /// Creates a fresh, valid entry with version 0.
+    /// Creates a fresh, valid entry with commit timestamp [`DataTs::ZERO`].
     pub fn new(data: impl Into<Bytes>, level: AccessLevel, replicas: ReplicaSet) -> Self {
         ObjectEntry {
             data: data.into(),
-            version: 0,
+            ts: DataTs::ZERO,
             t_state: TState::Valid,
             level,
             o_state: OState::Valid,
@@ -57,39 +62,44 @@ impl ObjectEntry {
         self.level.can_write()
     }
 
-    /// Applies a committed local write: installs the new data, bumps the
-    /// version and marks the object as pending reliable commit.
+    /// Applies a committed local write: installs the new data, advances the
+    /// commit timestamp (stamping the owner's current tenure) and marks the
+    /// object as pending reliable commit.
     pub fn apply_local_write(&mut self, data: Bytes) {
         self.data = data;
-        self.version += 1;
+        self.ts = self.ts.next_write(self.o_ts);
         self.t_state = TState::Write;
         self.pending_commits += 1;
     }
 
-    /// Applies an incoming R-INV update on a follower: installs the newer
-    /// data/version and invalidates the object. Skips updates that are not
-    /// newer than the local version (idempotent replay, §5.1), returning
-    /// whether the update was applied.
-    pub fn apply_follower_update(&mut self, version: u64, data: Bytes) -> bool {
-        if version <= self.version {
-            // Still invalidate: the commit for our current version may not
+    /// Applies an incoming R-INV update on a follower by
+    /// ts-compare-and-install: installs the data iff its [`DataTs`] is
+    /// strictly newer than the stored one and invalidates the object. An
+    /// update at the stored timestamp still re-invalidates (a replayed
+    /// R-INV must keep the object unreadable until its R-VAL, §5.1) but
+    /// never overwrites data; older timestamps are refused entirely.
+    /// Returns whether the update was installed.
+    pub fn apply_follower_update(&mut self, ts: DataTs, data: Bytes) -> bool {
+        if ts <= self.ts {
+            // Still invalidate: the commit for our current value may not
             // have validated yet, and a replayed R-INV must keep the object
             // unreadable until its R-VAL arrives.
-            if version == self.version && self.t_state == TState::Valid {
+            if ts == self.ts && self.t_state == TState::Valid {
                 self.t_state = TState::Invalid;
             }
             return false;
         }
         self.data = data;
-        self.version = version;
+        self.ts = ts;
         self.t_state = TState::Invalid;
         true
     }
 
     /// Validates the object after the reliable commit finished, but only if
-    /// its version still matches (a newer pending commit keeps it invalid).
-    pub fn validate_at(&mut self, version: u64) {
-        if self.version == version {
+    /// its commit timestamp still matches (a newer pending commit keeps it
+    /// invalid).
+    pub fn validate_at(&mut self, ts: DataTs) {
+        if self.ts == ts {
             self.t_state = TState::Valid;
         }
         // Owner-side bookkeeping of in-flight commits.
@@ -117,10 +127,14 @@ mod tests {
         )
     }
 
+    fn ts(version: u64) -> DataTs {
+        DataTs::new(version, OwnershipTs::default())
+    }
+
     #[test]
     fn new_entry_is_valid_and_version_zero() {
         let e = entry(AccessLevel::Owner);
-        assert_eq!(e.version, 0);
+        assert_eq!(e.ts, DataTs::ZERO);
         assert!(e.readable());
         assert!(e.writable());
         assert!(!e.has_pending_commits());
@@ -137,7 +151,7 @@ mod tests {
     fn local_write_bumps_version_and_marks_pending() {
         let mut e = entry(AccessLevel::Owner);
         e.apply_local_write(Bytes::from_static(b"v1"));
-        assert_eq!(e.version, 1);
+        assert_eq!(e.ts.version, 1);
         assert_eq!(e.t_state, TState::Write);
         assert!(e.has_pending_commits());
         assert!(
@@ -147,40 +161,67 @@ mod tests {
     }
 
     #[test]
-    fn follower_update_applies_only_newer_versions() {
+    fn local_write_stamps_the_owning_tenure() {
+        let mut e = entry(AccessLevel::Owner);
+        e.o_ts = OwnershipTs::new(4, NodeId(2));
+        e.apply_local_write(Bytes::from_static(b"v1"));
+        assert_eq!(e.ts, DataTs::new(1, OwnershipTs::new(4, NodeId(2))));
+    }
+
+    #[test]
+    fn follower_update_applies_only_newer_timestamps() {
         let mut e = entry(AccessLevel::Reader);
-        assert!(e.apply_follower_update(2, Bytes::from_static(b"v2")));
-        assert_eq!(e.version, 2);
+        assert!(e.apply_follower_update(ts(2), Bytes::from_static(b"v2")));
+        assert_eq!(e.ts, ts(2));
         assert_eq!(e.t_state, TState::Invalid);
-        // Older or equal versions are skipped.
-        assert!(!e.apply_follower_update(1, Bytes::from_static(b"old")));
+        // Older or equal timestamps are skipped.
+        assert!(!e.apply_follower_update(ts(1), Bytes::from_static(b"old")));
         assert_eq!(e.data, Bytes::from_static(b"v2"));
-        assert!(!e.apply_follower_update(2, Bytes::from_static(b"dup")));
+        assert!(!e.apply_follower_update(ts(2), Bytes::from_static(b"dup")));
         assert_eq!(e.data, Bytes::from_static(b"v2"));
+    }
+
+    #[test]
+    fn follower_update_orders_equal_versions_by_tenure() {
+        // Two commits can share a version counter after an ownership fork;
+        // the one made under the later tenure must win at every replica,
+        // regardless of arrival order.
+        let early = DataTs::new(2, OwnershipTs::new(1, NodeId(0)));
+        let late = DataTs::new(2, OwnershipTs::new(3, NodeId(4)));
+        let mut e = entry(AccessLevel::Reader);
+        assert!(e.apply_follower_update(early, Bytes::from_static(b"a")));
+        assert!(e.apply_follower_update(late, Bytes::from_static(b"b")));
+        assert_eq!(e.data, Bytes::from_static(b"b"));
+        // The earlier-tenure value never overwrites the later one.
+        assert!(!e.apply_follower_update(early, Bytes::from_static(b"a")));
+        assert_eq!(e.data, Bytes::from_static(b"b"));
+        assert_eq!(e.ts, late);
     }
 
     #[test]
     fn replayed_rinv_for_current_version_reinvalidates() {
         let mut e = entry(AccessLevel::Reader);
-        e.apply_follower_update(1, Bytes::from_static(b"v1"));
-        e.validate_at(1);
+        e.apply_follower_update(ts(1), Bytes::from_static(b"v1"));
+        e.validate_at(ts(1));
         assert!(e.readable());
-        // A replayed R-INV (same version) must re-invalidate until R-VAL.
-        assert!(!e.apply_follower_update(1, Bytes::from_static(b"v1")));
+        // A replayed R-INV (same timestamp) must re-invalidate until R-VAL.
+        assert!(!e.apply_follower_update(ts(1), Bytes::from_static(b"v1")));
         assert!(!e.readable());
     }
 
     #[test]
-    fn validate_matches_version() {
+    fn validate_matches_timestamp() {
         let mut e = entry(AccessLevel::Owner);
         e.apply_local_write(Bytes::from_static(b"v1"));
+        let first = e.ts;
         e.apply_local_write(Bytes::from_static(b"v2"));
-        assert_eq!(e.version, 2);
+        assert_eq!(e.ts.version, 2);
         // Validation of the older commit must not validate the newer data.
-        e.validate_at(1);
+        e.validate_at(first);
         assert_eq!(e.t_state, TState::Write);
         assert_eq!(e.pending_commits, 1);
-        e.validate_at(2);
+        let second = e.ts;
+        e.validate_at(second);
         assert_eq!(e.t_state, TState::Valid);
         assert!(!e.has_pending_commits());
     }

@@ -176,7 +176,7 @@ impl Store {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use zeus_proto::NodeId;
+    use zeus_proto::{DataTs, NodeId, OwnershipTs};
 
     fn replicas() -> ReplicaSet {
         ReplicaSet::new(NodeId(0), [NodeId(1)])
@@ -210,7 +210,7 @@ mod tests {
         store
             .with_mut(id, |e| e.apply_local_write(Bytes::from_static(b"x")))
             .unwrap();
-        assert_eq!(store.get(id).unwrap().version, 1);
+        assert_eq!(store.get(id).unwrap().ts.version, 1);
         assert!(store.with(ObjectId(999), |_| ()).is_none());
     }
 
@@ -218,15 +218,18 @@ mod tests {
     fn with_mut_or_insert_creates_missing_entries() {
         let store = Store::new(8);
         let id = ObjectId(7);
-        let version = store.with_mut_or_insert(
+        let ts = store.with_mut_or_insert(
             id,
             || ObjectEntry::new(Bytes::new(), AccessLevel::Reader, ReplicaSet::default()),
             |e| {
-                e.apply_follower_update(5, Bytes::from_static(b"new"));
-                e.version
+                e.apply_follower_update(
+                    DataTs::new(5, OwnershipTs::default()),
+                    Bytes::from_static(b"new"),
+                );
+                e.ts
             },
         );
-        assert_eq!(version, 5);
+        assert_eq!(ts.version, 5);
         assert!(store.contains(id));
     }
 

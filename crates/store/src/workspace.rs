@@ -2,7 +2,8 @@
 //!
 //! Before its first update to an object, a Zeus transaction creates a private
 //! copy and performs all further accesses on that copy (§3.2, step 1). The
-//! workspace also records the version of every object read so that the local
+//! workspace also records the commit timestamp ([`DataTs`]) of every object
+//! read so that the local
 //! commit can verify that the transaction observed a consistent snapshot —
 //! this is the opacity guarantee of §6.2: even transactions that abort never
 //! observe inconsistent state.
@@ -10,13 +11,14 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use zeus_proto::ObjectId;
+use zeus_proto::{DataTs, ObjectId};
 
 /// Read and write sets of one in-flight transaction.
 #[derive(Debug, Default, Clone)]
 pub struct TxWorkspace {
-    /// Version of each object at the time the transaction first read it.
-    reads: HashMap<ObjectId, u64>,
+    /// Commit timestamp of each object at the time the transaction first
+    /// read it.
+    reads: HashMap<ObjectId, DataTs>,
     /// Private copies of objects the transaction has written.
     writes: HashMap<ObjectId, Bytes>,
 }
@@ -27,11 +29,12 @@ impl TxWorkspace {
         Self::default()
     }
 
-    /// Records that the transaction read `object` at `version`. The first
-    /// recorded version wins: later reads of the same object inside the same
-    /// transaction are served from the private copy or the same snapshot.
-    pub fn record_read(&mut self, object: ObjectId, version: u64) {
-        self.reads.entry(object).or_insert(version);
+    /// Records that the transaction read `object` at commit timestamp `ts`.
+    /// The first recorded timestamp wins: later reads of the same object
+    /// inside the same transaction are served from the private copy or the
+    /// same snapshot.
+    pub fn record_read(&mut self, object: ObjectId, ts: DataTs) {
+        self.reads.entry(object).or_insert(ts);
     }
 
     /// Records a write of `data` to `object` (creating/replacing the private
@@ -45,13 +48,14 @@ impl TxWorkspace {
         self.writes.get(&object)
     }
 
-    /// Returns the version at which `object` was first read, if recorded.
-    pub fn read_version(&self, object: ObjectId) -> Option<u64> {
+    /// Returns the commit timestamp at which `object` was first read, if
+    /// recorded.
+    pub fn read_ts(&self, object: ObjectId) -> Option<DataTs> {
         self.reads.get(&object).copied()
     }
 
     /// Objects in the read set.
-    pub fn read_set(&self) -> impl Iterator<Item = (ObjectId, u64)> + '_ {
+    pub fn read_set(&self) -> impl Iterator<Item = (ObjectId, DataTs)> + '_ {
         self.reads.iter().map(|(&k, &v)| (k, v))
     }
 
@@ -81,11 +85,12 @@ impl TxWorkspace {
         self.writes.is_empty()
     }
 
-    /// Verifies the read set against current versions supplied by `current`:
-    /// returns `true` iff every object read still has the version observed.
-    /// Objects that were subsequently written by this same transaction are
-    /// still validated against their *read* version, preserving opacity.
-    pub fn validate_reads(&self, mut current: impl FnMut(ObjectId) -> Option<u64>) -> bool {
+    /// Verifies the read set against current commit timestamps supplied by
+    /// `current`: returns `true` iff every object read still has the
+    /// timestamp observed. Objects that were subsequently written by this
+    /// same transaction are still validated against their *read* timestamp,
+    /// preserving opacity.
+    pub fn validate_reads(&self, mut current: impl FnMut(ObjectId) -> Option<DataTs>) -> bool {
         self.reads
             .iter()
             .all(|(&id, &ver)| current(id) == Some(ver))
@@ -101,13 +106,18 @@ impl TxWorkspace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zeus_proto::OwnershipTs;
+
+    fn ts(version: u64) -> DataTs {
+        DataTs::new(version, OwnershipTs::default())
+    }
 
     #[test]
     fn first_read_version_wins() {
         let mut ws = TxWorkspace::new();
-        ws.record_read(ObjectId(1), 5);
-        ws.record_read(ObjectId(1), 9);
-        assert_eq!(ws.read_version(ObjectId(1)), Some(5));
+        ws.record_read(ObjectId(1), ts(5));
+        ws.record_read(ObjectId(1), ts(9));
+        assert_eq!(ws.read_ts(ObjectId(1)), Some(ts(5)));
         assert_eq!(ws.read_count(), 1);
     }
 
@@ -126,16 +136,16 @@ mod tests {
     #[test]
     fn validate_reads_detects_version_changes() {
         let mut ws = TxWorkspace::new();
-        ws.record_read(ObjectId(1), 3);
-        ws.record_read(ObjectId(2), 7);
+        ws.record_read(ObjectId(1), ts(3));
+        ws.record_read(ObjectId(2), ts(7));
         assert!(ws.validate_reads(|id| match id {
-            ObjectId(1) => Some(3),
-            ObjectId(2) => Some(7),
+            ObjectId(1) => Some(ts(3)),
+            ObjectId(2) => Some(ts(7)),
             _ => None,
         }));
         assert!(!ws.validate_reads(|id| match id {
-            ObjectId(1) => Some(4),
-            ObjectId(2) => Some(7),
+            ObjectId(1) => Some(ts(4)),
+            ObjectId(2) => Some(ts(7)),
             _ => None,
         }));
         assert!(
@@ -147,7 +157,7 @@ mod tests {
     #[test]
     fn clear_resets_both_sets() {
         let mut ws = TxWorkspace::new();
-        ws.record_read(ObjectId(1), 1);
+        ws.record_read(ObjectId(1), ts(1));
         ws.record_write(ObjectId(1), Bytes::new());
         ws.clear();
         assert_eq!(ws.read_count(), 0);
@@ -158,7 +168,7 @@ mod tests {
     #[test]
     fn iterators_expose_sets() {
         let mut ws = TxWorkspace::new();
-        ws.record_read(ObjectId(1), 1);
+        ws.record_read(ObjectId(1), ts(1));
         ws.record_write(ObjectId(2), Bytes::from_static(b"x"));
         assert_eq!(ws.read_set().count(), 1);
         assert_eq!(ws.write_set().count(), 1);
