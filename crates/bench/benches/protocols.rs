@@ -3,10 +3,10 @@
 //! pipelined reliable commit, message-free read-only transactions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use zeus_core::{NodeId, ObjectId, SimCluster, ZeusConfig};
+use zeus_core::{ClusterDriver, NodeId, ObjectId, Session, SimCluster, ZeusConfig};
 
 fn setup(objects: u64) -> SimCluster {
-    let mut cluster = SimCluster::new(ZeusConfig::with_nodes(3));
+    let cluster = SimCluster::new(ZeusConfig::with_nodes(3));
     for i in 0..objects {
         cluster.create_object(ObjectId(i), vec![0u8; 64], NodeId(0));
     }
@@ -14,33 +14,40 @@ fn setup(objects: u64) -> SimCluster {
 }
 
 fn bench_local_write(c: &mut Criterion) {
-    let mut cluster = setup(16);
+    let cluster = setup(16);
+    let session = cluster.handle(NodeId(0));
     c.bench_function("local_write_commit_pipelined", |b| {
         b.iter(|| {
-            cluster
-                .execute_write(NodeId(0), |tx| tx.update(ObjectId(1), |old| old.to_vec()))
+            session
+                .write_txn(|tx| {
+                    tx.update(ObjectId(1), |old| old.to_vec())?;
+                    Ok(())
+                })
                 .unwrap();
         })
     });
 }
 
 fn bench_read_only(c: &mut Criterion) {
-    let mut cluster = setup(16);
+    let cluster = setup(16);
     cluster
-        .execute_write(NodeId(0), |tx| tx.write(ObjectId(2), vec![1u8; 64]))
+        .handle(NodeId(0))
+        .write_txn(|tx| {
+            tx.write(ObjectId(2), vec![1u8; 64])?;
+            Ok(())
+        })
         .unwrap();
-    cluster.run_until_quiescent(10_000);
+    cluster.quiesce();
+    let reader = cluster.handle(NodeId(1));
     c.bench_function("read_only_tx_any_replica", |b| {
         b.iter(|| {
-            cluster
-                .execute_read(NodeId(1), |tx| tx.read(ObjectId(2)))
-                .unwrap();
+            reader.read_txn(|tx| tx.read(ObjectId(2))).unwrap();
         })
     });
 }
 
 fn bench_ownership_migration(c: &mut Criterion) {
-    let mut cluster = setup(4096);
+    let cluster = setup(4096);
     let mut next = 0u64;
     c.bench_function("ownership_migration_reader_to_owner", |b| {
         b.iter(|| {

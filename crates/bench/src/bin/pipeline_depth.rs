@@ -1,0 +1,6 @@
+//! Pipeline-depth sweep binary: `Session::submit_write` throughput vs
+//! in-flight depth (see `scenarios::pipeline_depth`).
+
+fn main() {
+    std::process::exit(zeus_bench::cli::run_single("pipeline_depth"));
+}

@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 
 use zeus_baseline::model::{BaselineKind, CostModel, TxProfile};
 use zeus_core::balancer::PlacementPolicy;
-use zeus_core::{LatencyHistogram, LoadBalancer, ThreadedCluster, ZeusConfig};
+use zeus_core::{
+    ClusterDriver, LatencyHistogram, LoadBalancer, Session, ThreadedCluster, ZeusConfig,
+};
 use zeus_workloads::{Operation, Workload};
 
 /// Result of one measured run.
@@ -119,7 +121,22 @@ where
     F: Fn(usize) -> W,
 {
     let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(nodes));
-    let balancer = load_workload(&cluster, &make(0));
+    let stats = run_instrumented_on(&cluster, opts, make);
+    cluster.shutdown();
+    stats
+}
+
+/// [`run_instrumented`] against an already-running cluster: the driver loop
+/// is written once against [`ClusterDriver`]/[`Session`] and runs unchanged
+/// on the threaded runtime or the simulator.
+pub fn run_instrumented_on<C, W, F>(cluster: &C, opts: &MeasureOpts, make: F) -> RunStats
+where
+    C: ClusterDriver + Sync,
+    W: Workload,
+    F: Fn(usize) -> W,
+{
+    let nodes = cluster.nodes();
+    let balancer = load_workload(cluster, &make(0));
     let clients = nodes * opts.clients_per_node.max(1);
     // Pre-generate every client's operation stream BEFORE starting the
     // warmup clock: generation is sequential on this thread, and charging
@@ -143,9 +160,12 @@ where
     std::thread::scope(|scope| {
         let mut threads = Vec::new();
         for (c, ops) in op_streams.into_iter().enumerate() {
-            let cluster = &cluster;
+            let cluster = &*cluster;
             let balancer = &balancer;
             threads.push(scope.spawn(move || {
+                // One session per node per client thread, built outside the
+                // measured loop.
+                let sessions = sessions_per_node(cluster);
                 let mut hist = LatencyHistogram::default();
                 let mut committed = 0u64;
                 let mut aborted = 0u64;
@@ -156,7 +176,7 @@ where
                         break;
                     }
                     let op = &ops[i % ops.len()];
-                    let ok = execute_operation(cluster, balancer, op);
+                    let ok = execute_operation(&sessions, balancer, op);
                     if t0 >= warmup_end {
                         hist.record(t0.elapsed().as_micros() as u64);
                         if ok {
@@ -182,7 +202,6 @@ where
 
     let final_stats = cluster.aggregate_stats();
     let net = cluster.net_stats();
-    cluster.shutdown();
 
     let mut latency_us = LatencyHistogram::default();
     let mut committed = 0u64;
@@ -207,42 +226,50 @@ where
     }
 }
 
-/// Loads a workload's objects into a threaded cluster, spreading home keys
-/// over nodes with the load balancer, and returns the balancer.
-pub fn load_workload(cluster: &ThreadedCluster, workload: &impl Workload) -> LoadBalancer {
-    let balancer = LoadBalancer::new(cluster.config().nodes, PlacementPolicy::Hash);
+/// Loads a workload's objects into a cluster, spreading home keys over
+/// nodes with the load balancer, and returns the balancer.
+pub fn load_workload<C: ClusterDriver>(cluster: &C, workload: &impl Workload) -> LoadBalancer {
+    let balancer = LoadBalancer::new(cluster.nodes(), PlacementPolicy::Hash);
     for obj in workload.initial_objects() {
         let home = balancer.route(obj.home_key);
-        cluster.create_object(obj.id, vec![0u8; obj.size], home);
+        cluster.create_object(obj.id, vec![0u8; obj.size].into(), home);
     }
     balancer
 }
 
-/// Executes `op` against the cluster node chosen by the balancer, returning
-/// whether it committed.
-pub fn execute_operation(
-    cluster: &ThreadedCluster,
+/// One prebuilt session per node, so the per-operation hot path pays a
+/// routing decision instead of a session construction.
+pub fn sessions_per_node<C: ClusterDriver>(cluster: &C) -> Vec<C::Session> {
+    (0..cluster.nodes() as u16)
+        .map(|i| cluster.handle(zeus_proto::NodeId(i)))
+        .collect()
+}
+
+/// Executes `op` through the prebuilt session of the node chosen by the
+/// balancer (see [`sessions_per_node`]), returning whether it committed.
+pub fn execute_operation<S: Session>(
+    sessions: &[S],
     balancer: &LoadBalancer,
     op: &Operation,
 ) -> bool {
     let node = balancer.route(op.routing_key);
-    let handle = cluster.handle(node);
+    let session = &sessions[node.index()];
     if op.read_only {
         let reads = op.reads.clone();
-        handle
-            .execute_read(move |tx| {
-                let mut total = 0usize;
+        session
+            .read_txn(move |tx| {
+                let mut total = 0u64;
                 for &o in &reads {
-                    total += tx.read(o)?.len();
+                    total += tx.read(o)?.len() as u64;
                 }
-                Ok(total.to_le_bytes().to_vec())
+                Ok(total)
             })
             .is_ok()
     } else {
         let reads = op.reads.clone();
         let writes = op.writes.clone();
-        handle
-            .execute_write(move |tx| {
+        session
+            .write_txn(move |tx| {
                 for &o in &reads {
                     let _ = tx.read(o)?;
                 }
@@ -254,7 +281,7 @@ pub fn execute_operation(
                         v
                     })?;
                 }
-                Ok(Vec::new())
+                Ok(())
             })
             .is_ok()
     }
@@ -269,12 +296,13 @@ pub fn run_measured(nodes: usize, mut workload: impl Workload, duration: Duratio
     // Pre-generate a batch of operations so generation cost stays out of the
     // measured loop; clients replay the batch round-robin.
     let ops: Vec<Operation> = (0..20_000).map(|_| workload.next_operation()).collect();
+    let sessions = sessions_per_node(&cluster);
     let start = Instant::now();
     let mut committed = 0u64;
     let mut i = 0usize;
     while start.elapsed() < duration {
         let op = &ops[i % ops.len()];
-        if execute_operation(&cluster, &balancer, op) {
+        if execute_operation(&sessions, &balancer, op) {
             committed += 1;
         }
         i += 1;

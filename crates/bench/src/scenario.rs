@@ -103,7 +103,7 @@ pub struct ScenarioSpec {
 
 /// Names of all scenarios a complete report must contain (the CI perf-smoke
 /// gate fails if any is missing from `BENCH_PR.json`).
-pub const REQUIRED_SCENARIOS: [&str; 11] = [
+pub const REQUIRED_SCENARIOS: [&str; 12] = [
     "fig07_handovers",
     "fig08_smallbank",
     "fig09_tatp",
@@ -114,6 +114,7 @@ pub const REQUIRED_SCENARIOS: [&str; 11] = [
     "fig14_sctp",
     "fig15_nginx",
     "locality_analysis",
+    "pipeline_depth",
     "table2",
 ];
 
@@ -169,6 +170,11 @@ pub fn registry() -> Vec<ScenarioSpec> {
             name: "locality_analysis",
             about: "Remote-transaction fractions of the studied workloads",
             run: scenarios::locality::run,
+        },
+        ScenarioSpec {
+            name: "pipeline_depth",
+            about: "Pipelined submission: throughput/p99 vs in-flight depth (measured)",
+            run: scenarios::pipeline_depth::run,
         },
         ScenarioSpec {
             name: "table2",

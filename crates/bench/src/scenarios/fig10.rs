@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use zeus_core::{NodeId, SimCluster, ZeusConfig};
+use zeus_core::{ClusterDriver, NodeId, Session, SimCluster, ZeusConfig};
 use zeus_workloads::voter::VoterWorkload;
 use zeus_workloads::Workload;
 
@@ -20,7 +20,7 @@ use crate::scenarios::fill_percentiles;
 pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
     let voters = ctx.pop(20_000, 2_000);
     let workload = VoterWorkload::new(voters, 20, ctx.seed);
-    let mut cluster = SimCluster::new(ZeusConfig::with_nodes(3));
+    let cluster = SimCluster::new(ZeusConfig::with_nodes(3));
     for obj in workload.initial_objects() {
         cluster.create_object(obj.id, vec![0u8; obj.size], NodeId(0));
     }
@@ -54,7 +54,11 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
             .with_config("voters", voters);
         result.throughput_ops = objects_per_sec_per_thread;
         result.handover_count = voters;
-        let latency = cluster.node(target).ownership_latency().clone();
+        let latency = cluster
+            .handle(target)
+            .stats()
+            .map(|(_, latency)| latency)
+            .unwrap_or_default();
         results.push(ctx.stamp(fill_percentiles(result, &latency)));
     }
     ScenarioOutcome {

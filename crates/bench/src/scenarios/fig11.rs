@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use zeus_core::{NodeId, ThreadedCluster, ZeusConfig};
+use zeus_core::{NodeId, Session, ThreadedCluster, ZeusConfig};
 use zeus_proto::OwnershipRequestKind;
 use zeus_workloads::voter::VoterWorkload;
 use zeus_workloads::{Operation, Workload};
@@ -34,7 +34,7 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
     // Vote traffic on node 0.
     let mut vote_threads = Vec::new();
     for _ in 0..2 {
-        let handle = cluster.handle(NodeId(0));
+        let session = cluster.handle(NodeId(0));
         let stop = Arc::clone(&stop);
         let votes = Arc::clone(&votes);
         let ops: Vec<Operation> = (0..5_000).map(|_| workload.next_operation()).collect();
@@ -43,7 +43,7 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
             while !stop.load(Ordering::Relaxed) {
                 let op = &ops[i % ops.len()];
                 let writes = op.writes.clone();
-                let ok = handle.execute_write(move |tx| {
+                let ok = session.write_txn(move |tx| {
                     for &(o, size) in &writes {
                         tx.update(o, |old| {
                             let mut v = old.to_vec();
@@ -52,7 +52,7 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
                             v
                         })?;
                     }
-                    Ok(Vec::new())
+                    Ok(())
                 });
                 if ok.is_ok() {
                     votes.fetch_add(1, Ordering::Relaxed);
@@ -69,9 +69,9 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
     let migration_start = Instant::now();
     let mut moved = 0u64;
     for target in [NodeId(1), NodeId(2)] {
-        let handle = cluster.handle(target);
+        let session = cluster.handle(target);
         for v in 0..hot_voters {
-            if handle
+            if session
                 .acquire(VoterWorkload::voter(v), OwnershipRequestKind::AcquireOwner)
                 .is_ok()
             {
@@ -101,8 +101,15 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
     ]];
 
     // Ownership latency as seen by the migration targets.
-    let mut latency = cluster.handle(NodeId(1)).stats().1;
-    latency.merge(&cluster.handle(NodeId(2)).stats().1);
+    let session_latency = |node| {
+        cluster
+            .handle(node)
+            .stats()
+            .map(|(_, latency)| latency)
+            .unwrap_or_default()
+    };
+    let mut latency = session_latency(NodeId(1));
+    latency.merge(&session_latency(NodeId(2)));
     let net = cluster.net_stats();
     let mut result = ScenarioResult::new("fig11_voter_hot")
         .with_config("voters", voters)

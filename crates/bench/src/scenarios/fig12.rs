@@ -6,7 +6,7 @@
 //! 3 hops ~ 6-8 simulated us; the *shape* (tight CDF idle, longer tail under
 //! load) is what this harness reproduces.
 
-use zeus_core::{NodeId, SimCluster, ZeusConfig};
+use zeus_core::{ClusterDriver, NodeId, Session, SimCluster, ZeusConfig};
 use zeus_net::sim::NetConfig;
 use zeus_workloads::voter::VoterWorkload;
 use zeus_workloads::Workload;
@@ -31,33 +31,47 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
         link_overrides: Vec::new(),
     };
 
-    // Experiment 1: idle bulk migration.
-    let mut idle = SimCluster::with_network(ZeusConfig::with_nodes(3), net.clone());
+    // Experiment 1: idle bulk migration, driven through a session on the
+    // target node.
+    let idle = SimCluster::with_network(ZeusConfig::with_nodes(3), net.clone());
     for obj in workload.initial_objects() {
         idle.create_object(obj.id, vec![0u8; obj.size], NodeId(0));
     }
+    let idle_target = idle.handle(NodeId(1));
     for v in 0..voters {
-        idle.migrate(VoterWorkload::voter(v), NodeId(1)).unwrap();
+        idle_target
+            .acquire(
+                VoterWorkload::voter(v),
+                zeus_proto::OwnershipRequestKind::AcquireOwner,
+            )
+            .unwrap();
     }
 
     // Experiment 2: migration while votes keep modifying the hot objects
     // (pending reliable commits force ownership retries, lengthening the tail).
-    let mut busy = SimCluster::with_network(ZeusConfig::with_nodes(3), net);
+    let busy = SimCluster::with_network(ZeusConfig::with_nodes(3), net);
     for obj in workload.initial_objects() {
         busy.create_object(obj.id, vec![0u8; obj.size], NodeId(0));
     }
+    let voter_session = busy.handle(NodeId(0));
+    let busy_target = busy.handle(NodeId(2));
     for v in 0..voters {
         let contestant = VoterWorkload::contestant(v % 20);
         let voter_obj = VoterWorkload::voter(v);
         // A vote on node 0 (current owner) right before the migration, so the
         // object still has a reliable commit in flight when the request lands.
+        // The commit pipelines: `submit_write` returns without driving the
+        // simulated network, leaving the R-INV traffic in flight.
         for _ in 0..3 {
-            busy.node_mut(NodeId(0)).execute_write(0, |tx| {
+            let _ = voter_session.submit_write(move |tx| {
                 tx.update(contestant, |old| old.to_vec())?;
-                tx.update(voter_obj, |old| old.to_vec())
+                tx.update(voter_obj, |old| old.to_vec())?;
+                Ok(())
             });
         }
-        busy.migrate(voter_obj, NodeId(2)).unwrap();
+        busy_target
+            .acquire(voter_obj, zeus_proto::OwnershipRequestKind::AcquireOwner)
+            .unwrap();
     }
 
     let mut rows = Vec::new();
@@ -67,7 +81,12 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
         ("idle bulk move", "idle", &idle, NodeId(1)),
         ("hot move under load", "under_load", &busy, NodeId(2)),
     ] {
-        let hist = cluster.node(node).ownership_latency();
+        let hist = cluster
+            .handle(node)
+            .stats()
+            .map(|(_, latency)| latency)
+            .unwrap_or_default();
+        let hist = &hist;
         rows.push(vec![
             name.to_string(),
             hist.count().to_string(),

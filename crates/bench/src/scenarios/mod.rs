@@ -16,6 +16,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod locality;
+pub mod pipeline_depth;
 pub mod table2;
 
 use zeus_core::LatencyHistogram;

@@ -1,0 +1,245 @@
+//! Pipeline depth: open-loop submission through `Session::submit_write`.
+//!
+//! Zeus's client surface used to allow exactly one transaction in flight per
+//! client thread, so a transaction that had to *acquire ownership* (1.5 RTT
+//! to the directory, §4) left the client dead in the water for the whole
+//! acquisition. The session API's non-blocking submission
+//! ([`Session::submit_write`] → [`zeus_core::TxTicket`]) keeps N
+//! transactions in flight: their acquisitions proceed concurrently (the node
+//! parks each transaction and works on the rest), so a single client thread
+//! overlaps N handovers instead of serialising them.
+//!
+//! The scenario sweeps the in-flight depth over a pure-handover workload —
+//! every write targets a fresh object owned by another node — and reports
+//! throughput and completion-latency percentiles per depth. Pipelining is
+//! real only if throughput rises from depth 1 to some depth > 1; the
+//! scenario test below and the CI perf gate (a `pipeline_depth` result per
+//! depth in `BENCH_baseline.json`) both hold it to that.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use zeus_core::{
+    LatencyHistogram, NodeId, ObjectId, Session, ThreadedCluster, TxTicket, ZeusConfig,
+};
+
+use crate::report::ScenarioResult;
+use crate::scenario::{RunCtx, ScenarioOutcome, TableData};
+use crate::scenarios::fill_percentiles;
+
+/// In-flight depths swept (1 = the old blocking client).
+pub const DEPTHS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Throughput/latency of one depth setting.
+#[derive(Debug, Clone)]
+pub struct DepthStats {
+    /// In-flight window size.
+    pub depth: usize,
+    /// Committed transactions per second.
+    pub throughput_ops: f64,
+    /// Transactions completed (client view).
+    pub committed: u64,
+    /// Transactions that failed (client view).
+    pub aborted: u64,
+    /// Submit-to-resolve latency per transaction.
+    pub latency_us: LatencyHistogram,
+}
+
+/// Runs one depth setting: a single client on node 0 keeps `depth`
+/// submissions in flight, every one against a fresh object in
+/// `first..first + count` owned by node 1 — a pure ownership-handover
+/// stream, the workload whose latency pipelining exists to hide. The run
+/// ends at `window` or when the objects are exhausted, whichever is first.
+pub fn run_depth(
+    cluster: &ThreadedCluster,
+    first: u64,
+    count: u64,
+    depth: usize,
+    window: Duration,
+) -> DepthStats {
+    let session = cluster.handle(NodeId(0));
+    let mut latency_us = LatencyHistogram::default();
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut inflight: VecDeque<(Instant, TxTicket<()>)> = VecDeque::new();
+    let start = Instant::now();
+    let end = start + window;
+    let mut next = first;
+    let exhausted = first + count;
+    let mut last_resolved = start;
+    let mut record = |result: Result<(), zeus_core::TxError>,
+                      t0: Instant,
+                      latency_us: &mut LatencyHistogram|
+     -> Instant {
+        match result {
+            Ok(()) => committed += 1,
+            Err(_) => aborted += 1,
+        }
+        latency_us.record(t0.elapsed().as_micros() as u64);
+        Instant::now()
+    };
+    while Instant::now() < end && next < exhausted {
+        // Harvest everything that already resolved without blocking — one
+        // client wake-up collects a whole batch of completions.
+        while let Some((t0, ticket)) = inflight.front_mut() {
+            let t0 = *t0;
+            match ticket.try_poll() {
+                Some(result) => {
+                    last_resolved = record(result, t0, &mut latency_us);
+                    inflight.pop_front();
+                }
+                None => break,
+            }
+        }
+        // Refill the window: each submission targets a fresh remote object,
+        // so `depth` ownership acquisitions proceed concurrently.
+        while inflight.len() < depth && next < exhausted {
+            let object = ObjectId(next);
+            next += 1;
+            let t0 = Instant::now();
+            let ticket = session.submit_write(move |tx| {
+                tx.update(object, |old| {
+                    let mut v = old.to_vec();
+                    v[0] = v[0].wrapping_add(1);
+                    v
+                })?;
+                Ok(())
+            });
+            inflight.push_back((t0, ticket));
+        }
+        // The window is full again: block on the oldest submission only.
+        if let Some((t0, ticket)) = inflight.pop_front() {
+            last_resolved = record(ticket.wait(), t0, &mut latency_us);
+        }
+    }
+    // Resolve the tail, then hit the barrier: every submission accounted.
+    for (t0, ticket) in inflight {
+        last_resolved = record(ticket.wait(), t0, &mut latency_us);
+    }
+    session.drain().expect("drain after the tail resolved");
+    let elapsed = last_resolved.saturating_duration_since(start);
+    DepthStats {
+        depth,
+        throughput_ops: committed as f64 / elapsed.as_secs_f64().max(1e-9),
+        committed,
+        aborted,
+        latency_us,
+    }
+}
+
+/// Trials per depth; the best is reported. Scheduler interference on a
+/// shared machine stalls individual short windows by tens of percent, and
+/// the interference is one-sided (it only ever slows a run down), so
+/// best-of-N estimates the machine's actual capability with far less
+/// variance than any single window — which is what the CI regression gate
+/// needs.
+pub const TRIALS: usize = 3;
+
+/// Runs the full sweep on a fresh cluster. Every trial of every depth gets
+/// its own batch of `per_trial` objects homed on node 1, so each
+/// submission is a genuine first-touch handover.
+pub fn sweep(ctx: &RunCtx) -> Vec<DepthStats> {
+    let per_trial = ctx.pop(8_192, 2_048);
+    let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
+    // Batch 0 is warmup; the rest are the measured trials.
+    let batches = (DEPTHS.len() * TRIALS + 1) as u64;
+    for i in 0..per_trial * batches {
+        cluster.create_object(ObjectId(i), vec![0u8; 64], NodeId(1));
+    }
+    // Warmup outside the measured windows: fault in the command and
+    // handover paths before depth 1 is measured.
+    run_depth(&cluster, 0, per_trial, 4, Duration::from_millis(50));
+    let window = if ctx.smoke {
+        Duration::from_millis(100)
+    } else {
+        Duration::from_millis(400)
+    };
+    let stats = DEPTHS
+        .iter()
+        .enumerate()
+        .map(|(i, &depth)| {
+            (0..TRIALS)
+                .map(|trial| {
+                    let batch = (i * TRIALS + trial + 1) as u64;
+                    run_depth(&cluster, per_trial * batch, per_trial, depth, window)
+                })
+                .max_by(|a, b| a.throughput_ops.total_cmp(&b.throughput_ops))
+                .expect("TRIALS > 0")
+        })
+        .collect();
+    cluster.shutdown();
+    stats
+}
+
+/// Runs the scenario.
+pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
+    let sweep = sweep(ctx);
+    let base = sweep[0].throughput_ops;
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for s in &sweep {
+        rows.push(vec![
+            s.depth.to_string(),
+            format!("{:.0}", s.throughput_ops),
+            format!("{:.2}x", s.throughput_ops / base.max(1.0)),
+            s.latency_us.percentile(50.0).to_string(),
+            s.latency_us.percentile(99.0).to_string(),
+            s.committed.to_string(),
+            s.aborted.to_string(),
+        ]);
+        let mut result = ScenarioResult::new("pipeline_depth")
+            .with_config("depth", s.depth)
+            .with_config("nodes", 3)
+            .with_config("workload", "first_touch_handovers");
+        result.throughput_ops = s.throughput_ops;
+        result.handover_count = s.committed;
+        result.aborts = s.aborted;
+        results.push(ctx.stamp(fill_percentiles(result, &s.latency_us)));
+    }
+    ScenarioOutcome {
+        tables: vec![TableData {
+            title: "Pipeline depth: single-client handover throughput vs in-flight submissions (depth 1 = the old blocking client; pipelining must beat it)".into(),
+            header: vec![
+                "depth",
+                "throughput [tps]",
+                "vs depth 1",
+                "p50 [us]",
+                "p99 [us]",
+                "committed",
+                "failed",
+            ],
+            rows,
+        }],
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelining_beats_the_blocking_client() {
+        // The acceptance bar of the session redesign: throughput must rise
+        // strictly from depth 1 to some depth > 1, on a smoke-sized sweep.
+        // Depth 1 serialises full ownership acquisitions (1.5 RTT each);
+        // pipelined depths overlap them, so the gap is structural, not
+        // scheduler noise.
+        let ctx = RunCtx {
+            smoke: true,
+            seed: 42,
+        };
+        let sweep = sweep(&ctx);
+        assert_eq!(sweep.len(), DEPTHS.len());
+        let base = sweep[0].throughput_ops;
+        assert!(base > 0.0, "depth-1 run committed nothing");
+        let best = sweep[1..]
+            .iter()
+            .map(|s| s.throughput_ops)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best > base,
+            "pipelining is cosmetic: depth 1 at {base:.0} tps, best deeper depth at {best:.0} tps"
+        );
+    }
+}

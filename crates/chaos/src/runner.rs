@@ -31,7 +31,7 @@ use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use bytes::Bytes;
-use zeus_core::{NodeId, ObjectId, SimCluster, ZeusConfig};
+use zeus_core::{ClusterDriver, NodeId, ObjectId, Session, SimCluster, ZeusConfig};
 use zeus_net::sim::{LinkOverride, NetConfig};
 use zeus_proto::{DataTs, TState};
 
@@ -298,9 +298,11 @@ impl<'a> Harness<'a> {
         }
         let value = self.alloc_value(object, Some(node));
         let data = Self::encode(value);
-        match self.cluster.execute_write(NodeId(node), move |tx| {
-            tx.write(ObjectId(object), data.clone())
-        }) {
+        match self
+            .cluster
+            .handle(NodeId(node))
+            .write_txn(move |tx| tx.write(ObjectId(object), data.clone()))
+        {
             Ok(()) => {
                 self.stats.committed_writes += 1;
                 // Sample the commit timestamp the coordinator assigned.
@@ -348,7 +350,8 @@ impl<'a> Harness<'a> {
         }
         match self
             .cluster
-            .execute_read(NodeId(node), move |tx| tx.read(ObjectId(object)))
+            .handle(NodeId(node))
+            .read_txn(move |tx| tx.read(ObjectId(object)))
         {
             Ok(data) => {
                 self.stats.committed_reads += 1;

@@ -1,0 +1,549 @@
+//! Session-first client API: one driver surface over both runtimes.
+//!
+//! Zeus's pitch (§7 of the paper) is that transactions run as *local* code —
+//! so the client surface must not throttle that locality behind one blocking
+//! round trip per transaction. This module defines the surface every
+//! consumer (benches, examples, chaos, integration tests) is written
+//! against, exactly once:
+//!
+//! * [`ClusterDriver`] — a running cluster, simulated
+//!   ([`crate::SimCluster`]) or threaded ([`crate::ThreadedCluster`]):
+//!   object loading, per-node sessions, stats, and the link-fault hooks the
+//!   fault scenarios need.
+//! * [`Session`] — a client's connection to one node: typed
+//!   [`write_txn`](Session::write_txn)/[`read_txn`](Session::read_txn)
+//!   closures generic over a [`TxPayload`] result, explicit ownership
+//!   migration via [`acquire`](Session::acquire), and *pipelined*
+//!   non-blocking submission ([`submit_write`](Session::submit_write) →
+//!   [`TxTicket`]) so a single client keeps N transactions in flight.
+//! * [`RetryPolicy`] — how transient aborts are retried (budget, back-off,
+//!   and the [`TxError::is_retryable`] classification), an explicit
+//!   object instead of retry loops baked into the runtimes.
+//!
+//! # Writing and reading through a session
+//!
+//! ```
+//! use zeus_core::{ClusterDriver, NodeId, ObjectId, Session, SimCluster, ZeusConfig};
+//!
+//! let cluster = SimCluster::new(ZeusConfig::with_nodes(3));
+//! let account = ObjectId(1);
+//! cluster.create_object(account, 100u64.to_le_bytes().to_vec(), NodeId(0));
+//!
+//! // Transactions are typed: the closure's Ok value is returned directly.
+//! let session = cluster.handle(NodeId(0));
+//! let balance: u64 = session
+//!     .write_txn(move |tx| {
+//!         let mut balance = u64::from_le_bytes(tx.read(account)?.as_ref().try_into().unwrap());
+//!         balance -= 30;
+//!         tx.write(account, balance.to_le_bytes().to_vec())?;
+//!         Ok(balance)
+//!     })
+//!     .unwrap();
+//! assert_eq!(balance, 70);
+//!
+//! // Read-only transactions run locally on any replica, zero messages.
+//! cluster.quiesce();
+//! let read = cluster.handle(NodeId(1));
+//! let seen: u64 = read
+//!     .read_txn(move |tx| {
+//!         Ok(u64::from_le_bytes(tx.read(account)?.as_ref().try_into().unwrap()))
+//!     })
+//!     .unwrap();
+//! assert_eq!(seen, 70);
+//! ```
+//!
+//! # Pipelined submission
+//!
+//! ```
+//! use zeus_core::{ClusterDriver, NodeId, ObjectId, Session, ThreadedCluster, ZeusConfig};
+//!
+//! let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
+//! for i in 0..8u64 {
+//!     cluster.create_object(ObjectId(i), vec![0u8], NodeId(0));
+//! }
+//! let session = cluster.handle(NodeId(0));
+//! // Keep 8 transactions in flight from one client thread...
+//! let tickets: Vec<_> = (0..8u64)
+//!     .map(|i| {
+//!         session.submit_write(move |tx| {
+//!             tx.update(ObjectId(i), |old| {
+//!                 let mut v = old.to_vec();
+//!                 v[0] = v[0].wrapping_add(1);
+//!                 v
+//!             })?;
+//!             Ok(())
+//!         })
+//!     })
+//!     .collect();
+//! // ...then collect the results (or call `session.drain()` as a barrier).
+//! for ticket in tickets {
+//!     ticket.wait().unwrap();
+//! }
+//! session.drain().unwrap();
+//! cluster.shutdown();
+//! ```
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use zeus_proto::{NodeId, ObjectId, OwnershipRequestKind};
+
+use crate::stats::{LatencyHistogram, NodeStats};
+use crate::txn::{TxCtx, TxError};
+
+// ---------------------------------------------------------------------------
+// Typed transaction payloads
+// ---------------------------------------------------------------------------
+
+/// A transaction result that can cross the node command channel.
+///
+/// The threaded runtime executes transaction closures on the node thread and
+/// ships the result back over an object-safe channel, so results are encoded
+/// to bytes in flight and decoded on arrival; the simulated runtime returns
+/// them directly. Implementations must round-trip: `decode(encode(x)) ==
+/// Some(x)`.
+pub trait TxPayload: Sized + Send + 'static {
+    /// Serialises the value.
+    fn encode(&self) -> Vec<u8>;
+    /// Deserialises a value previously produced by [`TxPayload::encode`].
+    /// `None` means the bytes are not a valid encoding (a type mismatch,
+    /// which is a caller bug — the session surfaces it as a panic).
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+impl TxPayload for () {
+    fn encode(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(())
+    }
+}
+
+impl TxPayload for bool {
+    fn encode(&self) -> Vec<u8> {
+        vec![u8::from(*self)]
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! int_payload {
+    ($($ty:ty),*) => {$(
+        impl TxPayload for $ty {
+            fn encode(&self) -> Vec<u8> {
+                self.to_le_bytes().to_vec()
+            }
+            fn decode(bytes: &[u8]) -> Option<Self> {
+                Some(<$ty>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+int_payload!(u32, u64, i64, f64);
+
+impl TxPayload for usize {
+    fn encode(&self) -> Vec<u8> {
+        (*self as u64).to_le_bytes().to_vec()
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        u64::decode(bytes).map(|v| v as usize)
+    }
+}
+
+impl TxPayload for Vec<u8> {
+    fn encode(&self) -> Vec<u8> {
+        self.clone()
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(bytes.to_vec())
+    }
+}
+
+impl TxPayload for Bytes {
+    fn encode(&self) -> Vec<u8> {
+        self.to_vec()
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(Bytes::from(bytes.to_vec()))
+    }
+}
+
+impl TxPayload for String {
+    fn encode(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl<A: TxPayload, B: TxPayload> TxPayload for (A, B) {
+    fn encode(&self) -> Vec<u8> {
+        let a = self.0.encode();
+        let b = self.1.encode();
+        let mut out = Vec::with_capacity(8 + a.len() + b.len());
+        out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+        out.extend_from_slice(&a);
+        out.extend_from_slice(&b);
+        out
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let len = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+        let rest = bytes.get(8..)?;
+        if rest.len() < len {
+            return None;
+        }
+        Some((A::decode(&rest[..len])?, B::decode(&rest[len..])?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// How a session retries transient transaction aborts.
+///
+/// Retryability is classified by [`TxError::is_retryable`]; the policy
+/// supplies the budget and the exponential back-off the paper's §6.2
+/// deadlock-avoidance scheme requires (contending coordinators must stop
+/// ping-ponging ownership). The default mirrors the runtimes' historical
+/// behavior: the cluster's `max_ownership_retries` budget with a 100 µs
+/// back-off base capped at 6.4 ms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum transaction attempts (including the first) before the
+    /// session gives up with [`TxError::RetriesExhausted`].
+    pub max_attempts: usize,
+    /// Back-off before the second attempt; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on the per-attempt back-off.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 256,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(6_400),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with the given attempt budget and the default back-off.
+    pub fn with_budget(max_attempts: usize) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// A policy that never retries: the first abort is returned as-is.
+    pub fn no_retry() -> Self {
+        Self::with_budget(1)
+    }
+
+    /// The back-off to sleep before attempt `attempt` (0-based: the first
+    /// retry is attempt 1), exponential and capped at `max_backoff`.
+    pub fn backoff(&self, attempt: usize) -> Duration {
+        let factor = 1u32 << attempt.min(16) as u32;
+        (self.base_backoff * factor).min(self.max_backoff)
+    }
+
+    /// Whether a transaction that has completed `attempts` attempts and
+    /// aborted with `error` should be retried.
+    pub fn should_retry(&self, error: &TxError, attempts: usize) -> bool {
+        attempts < self.max_attempts && error.is_retryable()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tickets
+// ---------------------------------------------------------------------------
+
+/// A transaction submitted with [`Session::submit_write`], resolving to its
+/// typed result.
+///
+/// Dropping a ticket abandons the *result*, not the transaction: the
+/// submission still executes (and still counts toward
+/// [`Session::drain`]'s barrier).
+#[derive(Debug)]
+pub struct TxTicket<T: TxPayload> {
+    state: TicketState<T>,
+}
+
+#[derive(Debug)]
+enum TicketState<T> {
+    /// The result is already known (simulated runtime, or polled).
+    Ready(Option<Result<T, TxError>>),
+    /// The node thread will ship the encoded result over this channel.
+    Pending(crossbeam::channel::Receiver<Result<Vec<u8>, TxError>>),
+}
+
+impl<T: TxPayload> TxTicket<T> {
+    /// A ticket that is already resolved.
+    pub(crate) fn ready(result: Result<T, TxError>) -> Self {
+        TxTicket {
+            state: TicketState::Ready(Some(result)),
+        }
+    }
+
+    /// A ticket resolved by a future message on `rx`.
+    pub(crate) fn pending(rx: crossbeam::channel::Receiver<Result<Vec<u8>, TxError>>) -> Self {
+        TxTicket {
+            state: TicketState::Pending(rx),
+        }
+    }
+
+    fn decode(encoded: Result<Vec<u8>, TxError>) -> Result<T, TxError> {
+        encoded.map(|bytes| {
+            T::decode(&bytes).expect("TxPayload type mismatch between submit and wait")
+        })
+    }
+
+    /// Blocks until the transaction resolves and returns its result. A
+    /// ticket whose node shut down resolves to [`TxError::NodeUnavailable`].
+    pub fn wait(self) -> Result<T, TxError> {
+        match self.state {
+            TicketState::Ready(result) => result.expect("ticket already consumed"),
+            TicketState::Pending(rx) => {
+                Self::decode(rx.recv().unwrap_or(Err(TxError::NodeUnavailable)))
+            }
+        }
+    }
+
+    /// Returns the result if the transaction has resolved, `None` if it is
+    /// still in flight. After `Some` is returned the ticket is spent.
+    pub fn try_poll(&mut self) -> Option<Result<T, TxError>> {
+        match &mut self.state {
+            TicketState::Ready(result) => result.take(),
+            TicketState::Pending(rx) => {
+                use crossbeam::channel::TryRecvError;
+                match rx.try_recv() {
+                    Ok(encoded) => {
+                        self.state = TicketState::Ready(None);
+                        Some(Self::decode(encoded))
+                    }
+                    Err(TryRecvError::Disconnected) => {
+                        self.state = TicketState::Ready(None);
+                        Some(Err(TxError::NodeUnavailable))
+                    }
+                    Err(TryRecvError::Empty) => None,
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// A client's connection to one node of a cluster.
+///
+/// Obtained from [`ClusterDriver::handle`]; cloneable and sendable, so one
+/// session can be shared across client threads (clones share the
+/// [`drain`](Session::drain) barrier). See the [module docs](self) for
+/// worked examples.
+pub trait Session: Clone + Send + 'static {
+    /// The node this session talks to.
+    fn node(&self) -> NodeId;
+
+    /// Replaces the session's retry policy (builder style).
+    #[must_use]
+    fn with_retry(self, policy: RetryPolicy) -> Self;
+
+    /// The session's current retry policy.
+    fn retry_policy(&self) -> &RetryPolicy;
+
+    /// Executes a write transaction, blocking while ownership of the objects
+    /// it touches is acquired (the paper's §3.2 blocking model: transactions
+    /// pipeline, ownership requests stall). Transient aborts are retried per
+    /// the session's [`RetryPolicy`].
+    fn write_txn<T, F>(&self, f: F) -> Result<T, TxError>
+    where
+        T: TxPayload,
+        F: FnMut(&mut TxCtx<'_>) -> Result<T, TxError> + Send + 'static;
+
+    /// Executes a strictly serializable read-only transaction locally on
+    /// this node's replicas (§5.3) — no network traffic either way.
+    fn read_txn<T, F>(&self, f: F) -> Result<T, TxError>
+    where
+        T: TxPayload,
+        F: FnMut(&mut TxCtx<'_>) -> Result<T, TxError> + Send + 'static;
+
+    /// Submits a write transaction without waiting for it: the returned
+    /// [`TxTicket`] resolves when it commits or terminally aborts. On the
+    /// threaded runtime a single client thread can keep N submissions in
+    /// flight (they batch into the node's command path); on the simulated
+    /// runtime submission executes synchronously and the ticket is born
+    /// resolved.
+    fn submit_write<T, F>(&self, f: F) -> TxTicket<T>
+    where
+        T: TxPayload,
+        F: FnMut(&mut TxCtx<'_>) -> Result<T, TxError> + Send + 'static;
+
+    /// Barrier: blocks until every transaction submitted through this
+    /// session (and its clones) has resolved. Tickets dropped without
+    /// [`TxTicket::wait`] are still awaited.
+    fn drain(&self) -> Result<(), TxError>;
+
+    /// Explicitly migrates `object` to this node (the bulk-migration and
+    /// hot-object scenarios of Figures 10–11).
+    fn acquire(&self, object: ObjectId, kind: OwnershipRequestKind) -> Result<(), TxError>;
+
+    /// This node's statistics and ownership-latency histogram.
+    /// [`TxError::NodeUnavailable`] if the node is gone.
+    fn stats(&self) -> Result<(NodeStats, LatencyHistogram), TxError>;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster driver
+// ---------------------------------------------------------------------------
+
+/// A running Zeus cluster, driven uniformly across runtimes.
+///
+/// Implemented by [`crate::SimCluster`] (deterministic, single-threaded) and
+/// [`crate::ThreadedCluster`] (one OS thread per node): benches, examples,
+/// chaos scenarios and integration tests write their driver loops once
+/// against this trait and run them on either.
+pub trait ClusterDriver {
+    /// The session type this driver hands out.
+    type Session: Session;
+
+    /// Number of nodes in the deployment.
+    fn nodes(&self) -> usize;
+
+    /// Opens a session to node `id`. Each call returns an independent
+    /// session (its own [`Session::drain`] barrier).
+    fn handle(&self, id: NodeId) -> Self::Session;
+
+    /// Creates `object` on every node with its home placement: `owner` plus
+    /// the configured number of reader replicas.
+    fn create_object(&self, object: ObjectId, data: Bytes, owner: NodeId);
+
+    /// Migrates `object` to `to` (acquire-owner), returning the observed
+    /// ownership latency in microseconds (simulated ticks on the simulated
+    /// runtime, wall clock on the threaded one).
+    fn migrate(&self, object: ObjectId, to: NodeId) -> Result<u64, TxError>;
+
+    /// Statistics aggregated over all live nodes.
+    fn aggregate_stats(&self) -> NodeStats;
+
+    /// Transport-level traffic counters.
+    fn net_stats(&self) -> zeus_net::NetStats;
+
+    /// Lets in-flight protocol work (pipelined reliable commits, pending
+    /// recoveries) finish: the simulated runtime drives the network until
+    /// quiescent, the threaded runtime's node threads are always running so
+    /// this is a no-op.
+    fn quiesce(&self);
+
+    // ------------------------------------------------------------------
+    // Fault hooks (the fig11-class partition scenarios)
+    // ------------------------------------------------------------------
+
+    /// Cuts every link between `node` and the rest of the cluster. The node
+    /// keeps running — it stops hearing heartbeats, fences itself after a
+    /// lease of silence ([`TxError::Fenced`]) and is eventually expelled.
+    fn isolate_node(&self, node: NodeId);
+
+    /// Heals every link between `node` and the rest of the cluster; its
+    /// next heartbeat re-admits it (or renews its leases if it was never
+    /// expelled).
+    fn heal_node(&self, node: NodeId);
+
+    /// Heals every injected link fault at once.
+    fn heal_all_links(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: TxPayload + PartialEq + std::fmt::Debug>(value: T) {
+        assert_eq!(T::decode(&value.encode()), Some(value));
+    }
+
+    #[test]
+    fn payloads_round_trip() {
+        round_trip(());
+        round_trip(true);
+        round_trip(false);
+        round_trip(42u32);
+        round_trip(u64::MAX);
+        round_trip(-7i64);
+        round_trip(3.25f64);
+        round_trip(123usize);
+        round_trip(vec![1u8, 2, 3]);
+        round_trip(Bytes::from_static(b"abc"));
+        round_trip("héllo".to_string());
+        round_trip((9u64, "pair".to_string()));
+        round_trip(((1u32, 2u64), vec![3u8]));
+    }
+
+    #[test]
+    fn payload_decode_rejects_malformed() {
+        assert_eq!(<()>::decode(&[1]), None);
+        assert_eq!(bool::decode(&[2]), None);
+        assert_eq!(u64::decode(&[0; 7]), None);
+        assert_eq!(<(u32, u32)>::decode(&[0; 4]), None);
+        assert_eq!(String::decode(&[0xff, 0xfe]), None);
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_exponential_and_capped() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), Duration::from_micros(100));
+        assert_eq!(p.backoff(1), Duration::from_micros(200));
+        assert_eq!(p.backoff(6), Duration::from_micros(6_400));
+        assert_eq!(p.backoff(60), Duration::from_micros(6_400), "capped");
+    }
+
+    #[test]
+    fn retry_policy_classifies_with_budget() {
+        let p = RetryPolicy::with_budget(3);
+        assert!(p.should_retry(&TxError::LockConflict, 1));
+        assert!(p.should_retry(&TxError::LockConflict, 2));
+        assert!(!p.should_retry(&TxError::LockConflict, 3), "budget spent");
+        assert!(!p.should_retry(&TxError::Fenced, 1), "not retryable");
+        assert!(!RetryPolicy::no_retry().should_retry(&TxError::LockConflict, 1));
+    }
+
+    #[test]
+    fn ready_tickets_resolve_immediately() {
+        let mut t: TxTicket<u64> = TxTicket::ready(Ok(7));
+        assert_eq!(t.try_poll(), Some(Ok(7)));
+        assert_eq!(t.try_poll(), None, "spent");
+        let t: TxTicket<u64> = TxTicket::ready(Err(TxError::Fenced));
+        assert_eq!(t.wait(), Err(TxError::Fenced));
+    }
+
+    #[test]
+    fn pending_tickets_poll_and_wait() {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let mut t: TxTicket<u64> = TxTicket::pending(rx);
+        assert_eq!(t.try_poll(), None);
+        tx.send(Ok(9u64.encode())).unwrap();
+        assert_eq!(t.try_poll(), Some(Ok(9)));
+
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let t: TxTicket<u64> = TxTicket::pending(rx);
+        tx.send(Ok(11u64.encode())).unwrap();
+        assert_eq!(t.wait(), Ok(11));
+
+        // A dropped node thread resolves tickets to NodeUnavailable.
+        let (tx, rx) = crossbeam::channel::bounded::<Result<Vec<u8>, TxError>>(1);
+        drop(tx);
+        let t: TxTicket<u64> = TxTicket::pending(rx);
+        assert_eq!(t.wait(), Err(TxError::NodeUnavailable));
+    }
+}

@@ -18,6 +18,12 @@
 //! * [`txn`] — the transactional-memory-style API surface
 //!   (read/write/abort inside closures, as in the paper's
 //!   `tr_open_read`/`tr_open_write`, §7).
+//! * [`client`] — the session-first client API: one [`ClusterDriver`]
+//!   surface over both runtimes, typed transactions
+//!   ([`Session::write_txn`]/[`Session::read_txn`] over a
+//!   [`client::TxPayload`] result), explicit [`client::RetryPolicy`] retry
+//!   classification, and pipelined non-blocking submission
+//!   ([`Session::submit_write`] → [`client::TxTicket`]).
 //! * [`sim::SimCluster`] — a deterministic multi-node harness over the
 //!   simulated network, used by tests, fault injection and the bounded
 //!   model-checking harness.
@@ -32,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod balancer;
+pub mod client;
 pub mod config;
 pub mod message;
 pub mod node;
@@ -41,11 +48,12 @@ pub mod stats;
 pub mod txn;
 
 pub use balancer::LoadBalancer;
+pub use client::{ClusterDriver, RetryPolicy, Session, TxPayload, TxTicket};
 pub use config::ZeusConfig;
 pub use message::Message;
 pub use node::ZeusNode;
-pub use runtime::ThreadedCluster;
-pub use sim::SimCluster;
+pub use runtime::{ThreadedCluster, ThreadedSession};
+pub use sim::{SimCluster, SimSession};
 pub use stats::{LatencyHistogram, NodeStats};
 pub use txn::{ReadOutcome, TxCtx, TxError, WriteOutcome};
 

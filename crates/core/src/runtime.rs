@@ -3,11 +3,16 @@
 //! This is the runtime the throughput experiments use. Each node runs an
 //! event loop on its own thread (network messages, client commands, parked
 //! transactions waiting for ownership); application threads interact with a
-//! node through a cloneable [`ZeusHandle`], whose `execute_write` blocks only
-//! while ownership is being acquired — exactly the blocking model of the
-//! paper (§3.2): transactions pipeline, ownership requests stall.
+//! node through a cloneable [`ThreadedSession`] obtained from
+//! [`ThreadedCluster::handle`]. A session's blocking
+//! [`write_txn`](Session::write_txn) stalls only while ownership is being
+//! acquired — exactly the blocking model of the paper (§3.2): transactions
+//! pipeline, ownership requests stall — and its non-blocking
+//! [`submit_write`](Session::submit_write) keeps N transactions in flight
+//! from a single client thread, batched into the node's command path.
 
 use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -16,6 +21,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use zeus_net::{Envelope, NodeMailbox, ThreadedNet};
 use zeus_proto::{NodeId, ObjectId, OwnershipRequestKind, ReplicaSet, RequestId};
 
+use crate::client::{ClusterDriver, RetryPolicy, Session, TxPayload, TxTicket};
 use crate::config::ZeusConfig;
 use crate::message::Message;
 use crate::node::{RequestState, ZeusNode};
@@ -23,17 +29,78 @@ use crate::stats::{LatencyHistogram, NodeStats};
 use crate::txn::{ReadOutcome, TxCtx, TxError, WriteOutcome};
 
 /// A transaction closure executed on the node thread. The result payload is
-/// an opaque byte vector so the command channel stays object-safe.
-pub type TxFn = Box<dyn FnMut(&mut TxCtx<'_>) -> Result<Vec<u8>, TxError> + Send>;
+/// an opaque byte vector so the command channel stays object-safe; the
+/// session layer encodes/decodes the typed [`TxPayload`] result.
+type TxFn = Box<dyn FnMut(&mut TxCtx<'_>) -> Result<Vec<u8>, TxError> + Send>;
+
+// ---------------------------------------------------------------------------
+// In-flight accounting (the Session::drain barrier)
+// ---------------------------------------------------------------------------
+
+/// Counts submissions that have not resolved yet; `drain` blocks on zero.
+#[derive(Debug, Default)]
+struct Inflight {
+    count: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Inflight {
+    fn increment(&self) {
+        *self.count.lock().unwrap() += 1;
+    }
+
+    fn wait_zero(&self) {
+        let mut count = self.count.lock().unwrap();
+        while *count > 0 {
+            count = self.done.wait(count).unwrap();
+        }
+    }
+}
+
+/// Decrements the session's in-flight count when dropped — which happens
+/// exactly when the command's reply slot is consumed or discarded, on every
+/// path (reply sent, node loop exited, command never delivered).
+#[derive(Debug)]
+struct InflightGuard(Arc<Inflight>);
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        let mut count = self.0.count.lock().unwrap();
+        *count = count.saturating_sub(1);
+        drop(count);
+        self.0.done.notify_all();
+    }
+}
+
+/// The reply channel of a submitted transaction plus its drain-barrier
+/// guard; sending the result (or dropping the slot) releases the guard.
+#[derive(Debug)]
+struct ReplySlot {
+    tx: Sender<Result<Vec<u8>, TxError>>,
+    _guard: InflightGuard,
+}
+
+impl ReplySlot {
+    fn send(self, result: Result<Vec<u8>, TxError>) {
+        let _ = self.tx.send(result);
+        // `_guard` drops here: the submission has resolved.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
 
 enum Command {
     Write {
         tx: TxFn,
-        reply: Sender<Result<Vec<u8>, TxError>>,
+        policy: RetryPolicy,
+        reply: ReplySlot,
     },
     Read {
         tx: TxFn,
-        reply: Sender<Result<Vec<u8>, TxError>>,
+        policy: RetryPolicy,
+        reply: ReplySlot,
     },
     Acquire {
         object: ObjectId,
@@ -54,7 +121,8 @@ enum Command {
 struct Parked {
     tx: TxFn,
     requests: Vec<RequestId>,
-    reply: Sender<Result<Vec<u8>, TxError>>,
+    policy: RetryPolicy,
+    reply: ReplySlot,
     attempts: usize,
     /// Exponential back-off deadline: do not re-execute before this instant
     /// (the paper's deadlock/contention avoidance, §6.2).
@@ -66,52 +134,106 @@ struct AcquireWait {
     reply: Sender<Result<(), TxError>>,
 }
 
-/// Client handle to one node of a [`ThreadedCluster`]. Cloneable; all
-/// methods block until the node thread answers.
-#[derive(Clone)]
-pub struct ZeusHandle {
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// Client session to one node of a [`ThreadedCluster`] (see [`Session`]).
+///
+/// Cloneable and sendable; clones share the [`Session::drain`] barrier.
+/// Every command path reports a closed node loop as
+/// [`TxError::NodeUnavailable`].
+#[derive(Debug, Clone)]
+pub struct ThreadedSession {
     node: NodeId,
     commands: Sender<Command>,
+    inflight: Arc<Inflight>,
+    policy: RetryPolicy,
 }
 
-impl ZeusHandle {
-    /// The node this handle talks to.
-    pub fn node(&self) -> NodeId {
+impl ThreadedSession {
+    /// Boxes a typed closure into the byte-payload form the command channel
+    /// carries.
+    fn erase<T, F>(mut f: F) -> TxFn
+    where
+        T: TxPayload,
+        F: FnMut(&mut TxCtx<'_>) -> Result<T, TxError> + Send + 'static,
+    {
+        Box::new(move |ctx| f(ctx).map(|v| v.encode()))
+    }
+
+    /// Enqueues a transaction command built by `make` from the erased
+    /// closure and a reply slot wired to the session's drain barrier,
+    /// returning the ticket that resolves with the result. A failed send
+    /// drops the command — releasing the guard and the reply sender, so the
+    /// ticket resolves to [`TxError::NodeUnavailable`].
+    fn submit<T, F>(
+        &self,
+        f: F,
+        make: impl FnOnce(TxFn, RetryPolicy, ReplySlot) -> Command,
+    ) -> TxTicket<T>
+    where
+        T: TxPayload,
+        F: FnMut(&mut TxCtx<'_>) -> Result<T, TxError> + Send + 'static,
+    {
+        self.inflight.increment();
+        let (reply, rx) = bounded(1);
+        let slot = ReplySlot {
+            tx: reply,
+            _guard: InflightGuard(Arc::clone(&self.inflight)),
+        };
+        let _ = self
+            .commands
+            .send(make(Self::erase(f), self.policy.clone(), slot));
+        TxTicket::pending(rx)
+    }
+}
+
+impl Session for ThreadedSession {
+    fn node(&self) -> NodeId {
         self.node
     }
 
-    /// Executes a write transaction, blocking while ownership is acquired.
-    pub fn execute_write(
-        &self,
-        tx: impl FnMut(&mut TxCtx<'_>) -> Result<Vec<u8>, TxError> + Send + 'static,
-    ) -> Result<Vec<u8>, TxError> {
-        let (reply, rx) = bounded(1);
-        self.commands
-            .send(Command::Write {
-                tx: Box::new(tx),
-                reply,
-            })
-            .map_err(|_| TxError::RetriesExhausted)?;
-        rx.recv().unwrap_or(Err(TxError::RetriesExhausted))
+    fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
-    /// Executes a local read-only transaction.
-    pub fn execute_read(
-        &self,
-        tx: impl FnMut(&mut TxCtx<'_>) -> Result<Vec<u8>, TxError> + Send + 'static,
-    ) -> Result<Vec<u8>, TxError> {
-        let (reply, rx) = bounded(1);
-        self.commands
-            .send(Command::Read {
-                tx: Box::new(tx),
-                reply,
-            })
-            .map_err(|_| TxError::RetriesExhausted)?;
-        rx.recv().unwrap_or(Err(TxError::RetriesExhausted))
+    fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
     }
 
-    /// Explicitly migrates an object to this node (Figures 10–11).
-    pub fn acquire(&self, object: ObjectId, kind: OwnershipRequestKind) -> Result<(), TxError> {
+    fn write_txn<T, F>(&self, f: F) -> Result<T, TxError>
+    where
+        T: TxPayload,
+        F: FnMut(&mut TxCtx<'_>) -> Result<T, TxError> + Send + 'static,
+    {
+        self.submit_write(f).wait()
+    }
+
+    fn read_txn<T, F>(&self, f: F) -> Result<T, TxError>
+    where
+        T: TxPayload,
+        F: FnMut(&mut TxCtx<'_>) -> Result<T, TxError> + Send + 'static,
+    {
+        self.submit(f, |tx, policy, reply| Command::Read { tx, policy, reply })
+            .wait()
+    }
+
+    fn submit_write<T, F>(&self, f: F) -> TxTicket<T>
+    where
+        T: TxPayload,
+        F: FnMut(&mut TxCtx<'_>) -> Result<T, TxError> + Send + 'static,
+    {
+        self.submit(f, |tx, policy, reply| Command::Write { tx, policy, reply })
+    }
+
+    fn drain(&self) -> Result<(), TxError> {
+        self.inflight.wait_zero();
+        Ok(())
+    }
+
+    fn acquire(&self, object: ObjectId, kind: OwnershipRequestKind) -> Result<(), TxError> {
         let (reply, rx) = bounded(1);
         self.commands
             .send(Command::Acquire {
@@ -119,55 +241,61 @@ impl ZeusHandle {
                 kind,
                 reply,
             })
-            .map_err(|_| TxError::RetriesExhausted)?;
-        rx.recv().unwrap_or(Err(TxError::RetriesExhausted))
+            .map_err(|_| TxError::NodeUnavailable)?;
+        rx.recv().unwrap_or(Err(TxError::NodeUnavailable))
     }
 
-    /// Creates an object on this node (the cluster calls this on every node).
-    fn create_object(&self, object: ObjectId, data: Bytes, replicas: ReplicaSet) {
-        let _ = self.commands.send(Command::CreateObject {
-            object,
-            data,
-            replicas,
-        });
-    }
-
-    /// Fetches this node's statistics and ownership-latency histogram.
-    pub fn stats(&self) -> (NodeStats, LatencyHistogram) {
+    fn stats(&self) -> Result<(NodeStats, LatencyHistogram), TxError> {
         let (reply, rx) = bounded(1);
-        if self.commands.send(Command::Stats { reply }).is_err() {
-            return (NodeStats::default(), LatencyHistogram::default());
-        }
-        rx.recv()
-            .unwrap_or((NodeStats::default(), LatencyHistogram::default()))
+        self.commands
+            .send(Command::Stats { reply })
+            .map_err(|_| TxError::NodeUnavailable)?;
+        rx.recv().map_err(|_| TxError::NodeUnavailable)
     }
 }
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
 
 /// A Zeus cluster where every node runs on its own OS thread.
 pub struct ThreadedCluster {
     config: ZeusConfig,
-    handles: Vec<ZeusHandle>,
+    commands: Vec<Sender<Command>>,
     threads: Vec<JoinHandle<()>>,
-    shutdown: Vec<Sender<Command>>,
     net: ThreadedNet<Message>,
 }
 
+/// Retransmission interval the threaded runtime substitutes for the
+/// sim-tuned default (see [`ThreadedCluster::start`]).
+const THREADED_RETRANSMIT_TICKS: u64 = 1_000;
+
 impl ThreadedCluster {
     /// Starts a cluster with the given configuration.
-    pub fn start(config: ZeusConfig) -> Self {
+    ///
+    /// One tick is one microsecond on this runtime, and the in-process
+    /// transport is lossless (only injected partitions drop), so the
+    /// simulator-tuned default retransmission interval (64 ticks, sized for
+    /// 2–4-tick RTTs) would re-send every protocol message of an ordinary
+    /// ~100 µs ownership acquisition several times — with a window of
+    /// pipelined acquisitions in flight that snowballs into a retransmit
+    /// storm that slows the very requests it is retrying. The default is
+    /// therefore floored to 1 ms here; an explicitly configured non-default
+    /// interval is kept as-is. (Setting the field to exactly the default
+    /// value is indistinguishable from leaving it unset and is also
+    /// floored — pick 63 or 65 to experiment near the sim default.)
+    pub fn start(mut config: ZeusConfig) -> Self {
+        if config.retransmit_ticks == ZeusConfig::default().retransmit_ticks {
+            config.retransmit_ticks = THREADED_RETRANSMIT_TICKS;
+        }
         let net: ThreadedNet<Message> = ThreadedNet::new(config.nodes);
-        let mut handles = Vec::new();
+        let mut commands = Vec::new();
         let mut threads = Vec::new();
-        let mut shutdown = Vec::new();
         for i in 0..config.nodes as u16 {
             let id = NodeId(i);
             let mailbox = net.mailbox(id);
             let (cmd_tx, cmd_rx) = unbounded();
-            handles.push(ZeusHandle {
-                node: id,
-                commands: cmd_tx.clone(),
-            });
-            shutdown.push(cmd_tx);
+            commands.push(cmd_tx);
             let node_config = config.clone();
             threads.push(std::thread::spawn(move || {
                 node_loop(ZeusNode::new(id, node_config), mailbox, cmd_rx);
@@ -175,9 +303,8 @@ impl ThreadedCluster {
         }
         ThreadedCluster {
             config,
-            handles,
+            commands,
             threads,
-            shutdown,
             net,
         }
     }
@@ -187,17 +314,26 @@ impl ThreadedCluster {
         &self.config
     }
 
-    /// A client handle to node `id`.
-    pub fn handle(&self, id: NodeId) -> ZeusHandle {
-        self.handles[id.index()].clone()
+    /// A client session on node `id` (see also [`ClusterDriver::handle`]).
+    pub fn handle(&self, id: NodeId) -> ThreadedSession {
+        ThreadedSession {
+            node: id,
+            commands: self.commands[id.index()].clone(),
+            inflight: Arc::new(Inflight::default()),
+            policy: RetryPolicy::with_budget(self.config.max_ownership_retries),
+        }
     }
 
     /// Creates an object on every node with its home placement.
     pub fn create_object(&self, object: ObjectId, data: impl Into<Bytes>, owner: NodeId) {
         let data = data.into();
         let replicas = self.config.default_replicas(owner);
-        for handle in &self.handles {
-            handle.create_object(object, data.clone(), replicas.clone());
+        for commands in &self.commands {
+            let _ = commands.send(Command::CreateObject {
+                object,
+                data: data.clone(),
+                replicas: replicas.clone(),
+            });
         }
     }
 
@@ -241,11 +377,13 @@ impl ThreadedCluster {
         self.net.faults().heal_all();
     }
 
-    /// Aggregated statistics over all nodes.
+    /// Aggregated statistics over all reachable nodes.
     pub fn aggregate_stats(&self) -> NodeStats {
         let mut total = NodeStats::default();
-        for handle in &self.handles {
-            total.merge(&handle.stats().0);
+        for i in 0..self.config.nodes as u16 {
+            if let Ok((stats, _)) = self.handle(NodeId(i)).stats() {
+                total.merge(&stats);
+            }
         }
         total
     }
@@ -256,7 +394,7 @@ impl ThreadedCluster {
     }
 
     fn shutdown_inner(&mut self) {
-        for tx in &self.shutdown {
+        for tx in &self.commands {
             let _ = tx.send(Command::Shutdown);
         }
         for t in self.threads.drain(..) {
@@ -273,6 +411,57 @@ impl Drop for ThreadedCluster {
     }
 }
 
+impl ClusterDriver for ThreadedCluster {
+    type Session = ThreadedSession;
+
+    fn nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    fn handle(&self, id: NodeId) -> ThreadedSession {
+        ThreadedCluster::handle(self, id)
+    }
+
+    fn create_object(&self, object: ObjectId, data: Bytes, owner: NodeId) {
+        ThreadedCluster::create_object(self, object, data, owner);
+    }
+
+    fn migrate(&self, object: ObjectId, to: NodeId) -> Result<u64, TxError> {
+        let start = Instant::now();
+        ThreadedCluster::handle(self, to).acquire(object, OwnershipRequestKind::AcquireOwner)?;
+        Ok((start.elapsed().as_micros() as u64).max(1))
+    }
+
+    fn aggregate_stats(&self) -> NodeStats {
+        ThreadedCluster::aggregate_stats(self)
+    }
+
+    fn net_stats(&self) -> zeus_net::NetStats {
+        ThreadedCluster::net_stats(self)
+    }
+
+    fn quiesce(&self) {
+        // Node threads run continuously; in-flight replication drains on its
+        // own. Nothing to drive.
+    }
+
+    fn isolate_node(&self, node: NodeId) {
+        ThreadedCluster::isolate_node(self, node);
+    }
+
+    fn heal_node(&self, node: NodeId) {
+        ThreadedCluster::heal_node(self, node);
+    }
+
+    fn heal_all_links(&self) {
+        ThreadedCluster::heal_all_links(self);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node event loop
+// ---------------------------------------------------------------------------
+
 /// How long an idle node loop blocks waiting for the next event before
 /// re-checking periodic work. Bounds the latency of network traffic that
 /// arrives while the loop waits on the other channel (same bound the old
@@ -285,7 +474,6 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
     let started = Instant::now();
     let mut parked: Vec<Parked> = Vec::new();
     let mut acquiring: Vec<AcquireWait> = Vec::new();
-    let max_attempts = node.config().max_ownership_retries;
     // Batch buffers: the shim's channels are Mutex-backed, so popping a
     // burst one `try_recv` at a time pays one lock round-trip per message.
     // Draining into these local buffers pays one per *batch* instead.
@@ -322,31 +510,46 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
         }
 
         // 2. Client commands: batch-drain, then process the whole batch.
+        //    Pipelined submissions land here together — one lock round-trip
+        //    per burst (`drain_into`), executed back to back.
         commands.drain_into(&mut cmd_buf, 64);
         for command in cmd_buf.drain(..) {
             match command {
-                Command::Write { mut tx, reply } => {
+                Command::Write {
+                    mut tx,
+                    policy,
+                    reply,
+                } => {
                     did_work = true;
-                    match attempt_write(&mut node, tx.as_mut()) {
-                        AttemptResult::Done(result) => {
-                            let _ = reply.send(result);
-                        }
+                    match attempt_write(&mut node, tx.as_mut(), &policy) {
+                        AttemptResult::Done(result) => reply.send(result),
                         AttemptResult::Park(requests) => parked.push(Parked {
                             tx,
                             requests,
+                            policy,
                             reply,
                             attempts: 0,
                             not_before: Instant::now(),
                         }),
                     }
                 }
-                Command::Read { mut tx, reply } => {
+                Command::Read {
+                    mut tx,
+                    policy,
+                    reply,
+                } => {
                     did_work = true;
                     // Read-only transactions abort on in-flight reliable
                     // commits (§5.3); retry locally after letting the commit
-                    // traffic drain.
-                    let mut result = Err(TxError::RetriesExhausted);
-                    for _ in 0..256 {
+                    // traffic drain, within the session's retry budget. A
+                    // spent multi-attempt budget reports RetriesExhausted; a
+                    // no-retry policy surfaces the conflict as-is.
+                    let mut result = Err(if policy.max_attempts > 1 {
+                        TxError::RetriesExhausted
+                    } else {
+                        TxError::ReadConflict
+                    });
+                    for _ in 0..policy.max_attempts.max(1) {
                         match node.execute_read(|ctx| tx(ctx)) {
                             ReadOutcome::Committed { value } => {
                                 result = Ok(value);
@@ -390,7 +593,7 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
                             }
                         }
                     }
-                    let _ = reply.send(result);
+                    reply.send(result);
                 }
                 Command::Acquire {
                     object,
@@ -423,44 +626,59 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
                 still_parked.push(p);
                 continue;
             }
-            let state = requests_state(&node, &p.requests);
-            let retry_now = match &state {
-                Some(Ok(())) => true,
-                // Losing an ownership arbitration is transient: re-execute
-                // the transaction, which re-issues the acquisition (§6.2).
-                Some(Err(TxError::OwnershipFailed {
-                    reason: zeus_proto::messages::NackReason::LostArbitration,
-                    ..
-                })) => true,
-                Some(Err(_)) => false,
+            match requests_state(&node, &p.requests) {
+                // The acquisition succeeded: re-executing the transaction is
+                // the normal continuation of its *first* attempt, not a
+                // retry — it is never charged against the policy budget
+                // (with `RetryPolicy::no_retry()` a remote write still
+                // commits once its ownership arrives).
+                Some(Ok(())) => {}
+                // A transient acquisition failure (lost arbitration, pending
+                // commit, recovery in progress) is retried within the
+                // session's policy: re-execute the transaction, which
+                // re-issues the acquisition (§6.2). Each failure costs one
+                // attempt.
+                Some(Err(error)) => {
+                    did_work = true;
+                    p.attempts += 1;
+                    if !p.policy.should_retry(&error, p.attempts) {
+                        let terminal = if error.is_retryable() {
+                            TxError::RetriesExhausted
+                        } else {
+                            error
+                        };
+                        p.reply.send(Err(terminal));
+                        continue;
+                    }
+                }
                 None => {
                     still_parked.push(p);
                     continue;
                 }
-            };
+            }
             did_work = true;
-            if !retry_now {
-                let _ = p
-                    .reply
-                    .send(Err(state.expect("checked above").unwrap_err()));
-                continue;
-            }
-            p.attempts += 1;
-            if p.attempts > max_attempts {
-                let _ = p.reply.send(Err(TxError::RetriesExhausted));
-                continue;
-            }
-            match attempt_write(&mut node, p.tx.as_mut()) {
-                AttemptResult::Done(result) => {
-                    let _ = p.reply.send(result);
-                }
+            match attempt_write(&mut node, p.tx.as_mut(), &p.policy) {
+                AttemptResult::Done(result) => p.reply.send(result),
                 AttemptResult::Park(requests) => {
-                    // Exponential back-off, capped at ~6 ms, so contending
-                    // coordinators stop ping-ponging ownership.
-                    let backoff = Duration::from_micros(100 << p.attempts.min(6));
+                    // The object was stolen back before the transaction ran:
+                    // a fresh acquisition round, charged as one attempt,
+                    // with exponential back-off so contending coordinators
+                    // stop ping-ponging ownership.
+                    p.attempts += 1;
+                    if p.attempts >= p.policy.max_attempts {
+                        for &req in &requests {
+                            if node.request_state(req) == RequestState::Pending {
+                                node.abandon_request(req);
+                            }
+                        }
+                        p.reply.send(Err(TxError::RetriesExhausted));
+                        continue;
+                    }
+                    let backoff = p.policy.backoff(p.attempts);
                     still_parked.push(Parked {
                         tx: p.tx,
                         requests,
+                        policy: p.policy,
                         reply: p.reply,
                         attempts: p.attempts,
                         not_before: Instant::now() + backoff,
@@ -490,7 +708,32 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
         }
         acquiring = still_acquiring;
 
-        // 5. Ship outgoing traffic and advance the clock.
+        // 5. A fenced node must not leave clients wedged: its outstanding
+        //    ownership requests cannot decide while it is cut off from every
+        //    peer (and the cluster may already have expelled it and moved
+        //    on), so every parked transaction and pending acquisition
+        //    resolves to Fenced now — pipelined submissions across a
+        //    partition all land, none hang. The requests themselves are
+        //    abandoned so they stop retransmitting into the partition.
+        if node.is_fenced() && !(parked.is_empty() && acquiring.is_empty()) {
+            did_work = true;
+            for p in parked.drain(..) {
+                for &req in &p.requests {
+                    if node.request_state(req) == RequestState::Pending {
+                        node.abandon_request(req);
+                    }
+                }
+                p.reply.send(Err(TxError::Fenced));
+            }
+            for a in acquiring.drain(..) {
+                if node.request_state(a.request) == RequestState::Pending {
+                    node.abandon_request(a.request);
+                }
+                let _ = a.reply.send(Err(TxError::Fenced));
+            }
+        }
+
+        // 6. Ship outgoing traffic and advance the clock.
         for (to, msg) in node.drain_outbox() {
             let bytes = msg.payload_bytes();
             mailbox.send(to, msg, bytes);
@@ -525,24 +768,39 @@ enum AttemptResult {
 }
 
 /// Executes a write transaction, retrying transient local aborts (lock or
-/// validation conflicts between worker threads) in place.
+/// validation conflicts between worker threads) in place within the
+/// session's retry budget.
 fn attempt_write(
     node: &mut ZeusNode,
     tx: &mut (dyn FnMut(&mut TxCtx<'_>) -> Result<Vec<u8>, TxError> + Send),
+    policy: &RetryPolicy,
 ) -> AttemptResult {
-    for _ in 0..64 {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
         match node.execute_write(0, |ctx| tx(ctx)) {
             WriteOutcome::Committed { value, .. } => return AttemptResult::Done(Ok(value)),
             WriteOutcome::OwnershipPending { requests } => return AttemptResult::Park(requests),
-            WriteOutcome::Aborted { error } => match error {
-                TxError::LockConflict | TxError::ValidationFailed | TxError::ReadConflict => {
-                    continue
+            WriteOutcome::Aborted { error } => {
+                // Only purely local conflicts are retried in place; protocol
+                // failures go back through the parked path so the back-off
+                // applies.
+                let local_transient = matches!(
+                    error,
+                    TxError::LockConflict | TxError::ValidationFailed | TxError::ReadConflict
+                );
+                if local_transient && policy.should_retry(&error, attempts) {
+                    continue;
                 }
-                other => return AttemptResult::Done(Err(other)),
-            },
+                // A spent multi-attempt budget reports RetriesExhausted; a
+                // no-retry policy surfaces the first abort as-is.
+                if local_transient && policy.max_attempts > 1 && attempts >= policy.max_attempts {
+                    return AttemptResult::Done(Err(TxError::RetriesExhausted));
+                }
+                return AttemptResult::Done(Err(error));
+            }
         }
     }
-    AttemptResult::Done(Err(TxError::RetriesExhausted))
 }
 
 fn requests_state(node: &ZeusNode, requests: &[RequestId]) -> Option<Result<(), TxError>> {
@@ -576,25 +834,29 @@ mod tests {
         let object = ObjectId(1);
         cluster.create_object(object, Bytes::from_static(b"0"), NodeId(0));
 
-        // Local write on the owner.
-        let h0 = cluster.handle(NodeId(0));
-        let r = h0.execute_write(move |tx| {
-            tx.write(object, Bytes::from_static(b"a"))?;
-            Ok(vec![1])
-        });
-        assert_eq!(r.unwrap(), vec![1]);
+        // Local write on the owner; the closure's Ok value is typed.
+        let s0 = cluster.handle(NodeId(0));
+        let r: u64 = s0
+            .write_txn(move |tx| {
+                tx.write(object, Bytes::from_static(b"a"))?;
+                Ok(1u64)
+            })
+            .unwrap();
+        assert_eq!(r, 1);
 
         // Remote write: node 2 must first acquire ownership (blocking).
-        let h2 = cluster.handle(NodeId(2));
-        let r = h2.execute_write(move |tx| {
-            tx.write(object, Bytes::from_static(b"b"))?;
-            Ok(vec![2])
-        });
-        assert_eq!(r.unwrap(), vec![2]);
+        let s2 = cluster.handle(NodeId(2));
+        let r: u64 = s2
+            .write_txn(move |tx| {
+                tx.write(object, Bytes::from_static(b"b"))?;
+                Ok(2u64)
+            })
+            .unwrap();
+        assert_eq!(r, 2);
 
         // Read back from node 2 (now the owner).
-        let value = h2
-            .execute_read(move |tx| Ok(tx.read(object)?.to_vec()))
+        let value: Vec<u8> = s2
+            .read_txn(move |tx| Ok(tx.read(object)?.to_vec()))
             .unwrap();
         assert_eq!(value, b"b");
 
@@ -608,12 +870,92 @@ mod tests {
         let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
         let object = ObjectId(9);
         cluster.create_object(object, Bytes::from_static(b"x"), NodeId(0));
-        let h1 = cluster.handle(NodeId(1));
-        h1.acquire(object, OwnershipRequestKind::AcquireOwner)
+        let s1 = cluster.handle(NodeId(1));
+        s1.acquire(object, OwnershipRequestKind::AcquireOwner)
             .unwrap();
-        let (stats, latency) = h1.stats();
+        let (stats, latency) = s1.stats().unwrap();
         assert_eq!(stats.ownership_completed, 1);
         assert_eq!(latency.count(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn no_retry_policy_still_commits_remote_writes() {
+        // A successful ownership grant is the continuation of the first
+        // attempt, not a retry: even with a budget of 1 a remote write must
+        // park, receive its grant, and commit.
+        let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
+        let object = ObjectId(2);
+        cluster.create_object(object, Bytes::from_static(b"0"), NodeId(0));
+        let session = cluster
+            .handle(NodeId(2))
+            .with_retry(RetryPolicy::no_retry());
+        session
+            .write_txn(move |tx| {
+                tx.write(object, Bytes::from_static(b"remote"))?;
+                Ok(())
+            })
+            .expect("grant is not charged against the retry budget");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_makes_sessions_report_node_unavailable() {
+        let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
+        let object = ObjectId(3);
+        cluster.create_object(object, Bytes::from_static(b"v"), NodeId(0));
+        let session = cluster.handle(NodeId(0));
+        cluster.shutdown();
+        assert_eq!(
+            session.write_txn(move |tx| {
+                tx.write(object, Bytes::from_static(b"w"))?;
+                Ok(())
+            }),
+            Err(TxError::NodeUnavailable)
+        );
+        assert_eq!(
+            session.read_txn(move |tx| Ok(tx.read(object)?.to_vec())),
+            Err(TxError::NodeUnavailable)
+        );
+        assert_eq!(
+            session.acquire(object, OwnershipRequestKind::AcquireOwner),
+            Err(TxError::NodeUnavailable)
+        );
+        assert_eq!(session.stats().unwrap_err(), TxError::NodeUnavailable);
+        // Dangling submissions resolve too (and drain does not wedge).
+        let ticket: TxTicket<()> = session.submit_write(move |tx| {
+            tx.write(object, Bytes::from_static(b"x"))?;
+            Ok(())
+        });
+        assert_eq!(ticket.wait(), Err(TxError::NodeUnavailable));
+        session.drain().unwrap();
+    }
+
+    #[test]
+    fn pipelined_submissions_all_resolve_in_order_of_completion() {
+        let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
+        for i in 0..16u64 {
+            cluster.create_object(ObjectId(i), Bytes::from_static(b"0"), NodeId(0));
+        }
+        let session = cluster.handle(NodeId(0));
+        let tickets: Vec<TxTicket<u64>> = (0..16u64)
+            .map(|i| {
+                session.submit_write(move |tx| {
+                    tx.update(ObjectId(i), |old| {
+                        let mut v = old.to_vec();
+                        v[0] = v[0].wrapping_add(1);
+                        v
+                    })?;
+                    Ok(i)
+                })
+            })
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(ticket.wait().unwrap(), i as u64);
+        }
+        session.drain().unwrap();
+        let stats = cluster.aggregate_stats();
+        assert!(stats.write_txs_committed >= 16);
         cluster.shutdown();
     }
 
@@ -631,30 +973,30 @@ mod tests {
         let object = ObjectId(5);
         cluster.create_object(object, Bytes::from_static(b"v0"), NodeId(0));
 
-        let h0 = cluster.handle(NodeId(0));
-        let h2 = cluster.handle(NodeId(2));
-        h0.execute_write(move |tx| {
+        let s0 = cluster.handle(NodeId(0));
+        let s2 = cluster.handle(NodeId(2));
+        s0.write_txn(move |tx| {
             tx.write(object, Bytes::from_static(b"v1"))?;
-            Ok(Vec::new())
+            Ok(())
         })
         .unwrap();
 
         // Cut node 2 off and wait past its lease: it must fence itself.
         cluster.isolate_node(NodeId(2));
         std::thread::sleep(Duration::from_millis(120));
-        let write = h2.execute_write(move |tx| {
+        let write = s2.write_txn(move |tx| {
             tx.write(object, Bytes::from_static(b"stale"))?;
-            Ok(Vec::new())
+            Ok(())
         });
         assert_eq!(write.unwrap_err(), TxError::Fenced);
-        let read = h2.execute_read(move |tx| Ok(tx.read(object)?.to_vec()));
+        let read = s2.read_txn(move |tx| Ok(tx.read(object)?.to_vec()));
         assert_eq!(read.unwrap_err(), TxError::Fenced);
-        assert!(h2.stats().0.txs_fenced >= 2);
+        assert!(s2.stats().unwrap().0.txs_fenced >= 2);
 
         // The surviving majority keeps committing while node 2 is out.
-        h0.execute_write(move |tx| {
+        s0.write_txn(move |tx| {
             tx.write(object, Bytes::from_static(b"v2"))?;
-            Ok(Vec::new())
+            Ok(())
         })
         .unwrap();
 
@@ -666,7 +1008,7 @@ mod tests {
         let mut recovered = false;
         while Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(50));
-            let r = h2.execute_write(move |tx| {
+            let r = s2.write_txn(move |tx| {
                 let v = tx.read(object)?;
                 assert_ne!(
                     v.as_ref(),
@@ -674,7 +1016,7 @@ mod tests {
                     "re-admitted node must not serve pre-expulsion state"
                 );
                 tx.write(object, Bytes::from_static(b"v3"))?;
-                Ok(Vec::new())
+                Ok(())
             });
             if r.is_ok() {
                 recovered = true;
@@ -682,6 +1024,71 @@ mod tests {
             }
         }
         assert!(recovered, "healed node must serve transactions again");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pipelined_submissions_across_partition_all_resolve_and_resume_after_heal() {
+        // The satellite scenario of the session API: a client has a window
+        // of submissions in flight against a node that gets isolated. Every
+        // ticket must resolve — to a commit or TxError::Fenced, none wedged
+        // — the drain barrier must fall, and after heal_node the same
+        // session serves again.
+        let mut config = ZeusConfig::with_nodes(3);
+        config.lease_ticks = 40_000;
+        let cluster = ThreadedCluster::start(config);
+        // Objects owned by node 0: transactions on node 2 need ownership
+        // acquisitions, which cannot decide while node 2 is cut off.
+        for i in 0..8u64 {
+            cluster.create_object(ObjectId(i), Bytes::from_static(b"0"), NodeId(0));
+        }
+        let s2 = cluster.handle(NodeId(2));
+
+        // Cut the node off, then submit a full window of writes. The
+        // acquisitions cannot reach the directory; once the node fences
+        // itself the loop must fail them all instead of parking forever.
+        cluster.isolate_node(NodeId(2));
+        let tickets: Vec<TxTicket<()>> = (0..8u64)
+            .map(|i| {
+                s2.submit_write(move |tx| {
+                    tx.update(ObjectId(i), |old| old.to_vec())?;
+                    Ok(())
+                })
+            })
+            .collect();
+        let mut fenced = 0;
+        for ticket in tickets {
+            match ticket.wait() {
+                // A submission that raced ahead of the fence may have lost
+                // its acquisition some other terminal way; what is
+                // disallowed is wedging or committing.
+                Err(TxError::Fenced) => fenced += 1,
+                Err(_) => {}
+                Ok(()) => panic!("write committed on an isolated minority node"),
+            }
+        }
+        assert!(fenced > 0, "the fence must have failed the window");
+        // The barrier falls: nothing is left in flight.
+        s2.drain().unwrap();
+
+        // Heal and poll: the same session must serve again.
+        cluster.heal_node(NodeId(2));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut recovered = false;
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+            if s2
+                .write_txn(move |tx| {
+                    tx.update(ObjectId(0), |old| old.to_vec())?;
+                    Ok(())
+                })
+                .is_ok()
+            {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "healed node must serve pipelined sessions again");
         cluster.shutdown();
     }
 
@@ -697,18 +1104,18 @@ mod tests {
         }
         let mut clients = Vec::new();
         for c in 0..3u16 {
-            let handle = cluster.handle(NodeId(c));
+            let session = cluster.handle(NodeId(c));
             clients.push(std::thread::spawn(move || {
                 let mut committed = 0;
                 for i in 0..30u64 {
                     let object = ObjectId(i);
-                    let r = handle.execute_write(move |tx| {
+                    let r = session.write_txn(move |tx| {
                         tx.update(object, |old| {
                             let mut v = old.to_vec();
                             v.push(1);
                             v
                         })?;
-                        Ok(Vec::new())
+                        Ok(())
                     });
                     if r.is_ok() {
                         committed += 1;

@@ -6,8 +6,17 @@
 //! integration tests, the fault-injection tests and the bounded
 //! model-checking harness (`check_invariants`, reproducing the paper's TLA+
 //! invariants) run on this runtime.
+//!
+//! The cluster state lives behind one mutex so `SimCluster` can hand out
+//! [`SimSession`]s implementing the session-first client API
+//! ([`crate::client`]) next to the direct `&mut self` protocol-driving
+//! surface the invariant tests use. The simulator stays single-threaded and
+//! deterministic — the lock only decouples session lifetimes from the
+//! cluster borrow, it is never contended in a deterministic run.
 
 use std::collections::HashSet;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use bytes::Bytes;
 use zeus_net::sim::{NetConfig, SimNetwork};
@@ -15,19 +24,62 @@ use zeus_net::Envelope;
 use zeus_proto::messages::NackReason;
 use zeus_proto::{AccessLevel, DataTs, NodeId, ObjectId, OwnershipRequestKind, RequestId, TState};
 
+use crate::client::{ClusterDriver, RetryPolicy, Session, TxPayload, TxTicket};
 use crate::config::ZeusConfig;
 use crate::message::Message;
 use crate::node::{RequestState, ZeusNode};
-use crate::stats::NodeStats;
+use crate::stats::{LatencyHistogram, NodeStats};
 use crate::txn::{ReadOutcome, TxCtx, TxError, WriteOutcome};
 
 /// A deterministic, single-threaded Zeus cluster over the simulated network.
 #[derive(Debug)]
 pub struct SimCluster {
     config: ZeusConfig,
+    inner: Arc<Mutex<SimInner>>,
+}
+
+/// The cluster state proper; every method that was on `SimCluster` before
+/// the session API lives here, shared between the cluster facade and its
+/// sessions.
+#[derive(Debug)]
+struct SimInner {
+    config: ZeusConfig,
     nodes: Vec<ZeusNode>,
     net: SimNetwork<Message>,
     crashed: HashSet<NodeId>,
+}
+
+/// Shared read access to one node of a [`SimCluster`] (assertions in tests).
+pub struct NodeRef<'a> {
+    guard: MutexGuard<'a, SimInner>,
+    index: usize,
+}
+
+impl Deref for NodeRef<'_> {
+    type Target = ZeusNode;
+    fn deref(&self) -> &ZeusNode {
+        &self.guard.nodes[self.index]
+    }
+}
+
+/// Exclusive access to one node of a [`SimCluster`] (direct protocol-level
+/// manipulation).
+pub struct NodeRefMut<'a> {
+    guard: MutexGuard<'a, SimInner>,
+    index: usize,
+}
+
+impl Deref for NodeRefMut<'_> {
+    type Target = ZeusNode;
+    fn deref(&self) -> &ZeusNode {
+        &self.guard.nodes[self.index]
+    }
+}
+
+impl DerefMut for NodeRefMut<'_> {
+    fn deref_mut(&mut self) -> &mut ZeusNode {
+        &mut self.guard.nodes[self.index]
+    }
 }
 
 impl SimCluster {
@@ -43,11 +95,18 @@ impl SimCluster {
             .map(|i| ZeusNode::new(NodeId(i), config.clone()))
             .collect();
         SimCluster {
-            nodes,
-            net: SimNetwork::new(net),
-            crashed: HashSet::new(),
+            inner: Arc::new(Mutex::new(SimInner {
+                config: config.clone(),
+                nodes,
+                net: SimNetwork::new(net),
+                crashed: HashSet::new(),
+            })),
             config,
         }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SimInner> {
+        self.inner.lock().unwrap()
     }
 
     /// The deployment configuration.
@@ -57,51 +116,362 @@ impl SimCluster {
 
     /// Number of nodes (live and crashed).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.config.nodes
     }
 
     /// Whether the cluster has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.config.nodes == 0
     }
 
-    /// Immutable access to a node (assertions in tests).
-    pub fn node(&self, id: NodeId) -> &ZeusNode {
-        &self.nodes[id.index()]
+    /// Acquires the state lock for a node accessor, turning the
+    /// hold-a-guard-across-another-cluster-call mistake into an immediate
+    /// panic instead of a silent self-deadlock (the mutex is not
+    /// reentrant). Node accessors are a single-threaded inspection API;
+    /// concurrent access belongs on sessions, which block normally.
+    fn lock_for_node_access(&self) -> MutexGuard<'_, SimInner> {
+        match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => panic!(
+                "SimCluster::node()/node_mut(): cluster state is already locked — \
+                 a NodeRef/NodeRefMut is being held across another SimCluster or \
+                 SimSession call (drop it first), or node accessors are being used \
+                 across threads (use sessions for concurrent access)"
+            ),
+            Err(std::sync::TryLockError::Poisoned(e)) => panic!("SimCluster poisoned: {e}"),
+        }
     }
 
-    /// Mutable access to a node (direct protocol-level manipulation).
-    pub fn node_mut(&mut self, id: NodeId) -> &mut ZeusNode {
-        &mut self.nodes[id.index()]
+    /// Immutable access to a node (assertions in tests). The returned guard
+    /// locks the whole cluster: drop it before the next `SimCluster` /
+    /// `SimSession` call. A *second* `node()`/`node_mut()` while one is
+    /// held panics with a diagnostic; the other methods block, so holding a
+    /// guard across them deadlocks — keep node accessors to single
+    /// statements (see [`SimCluster::node_mut`]).
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        NodeRef {
+            guard: self.lock_for_node_access(),
+            index: id.index(),
+        }
+    }
+
+    /// Mutable access to a node (direct protocol-level manipulation). The
+    /// returned guard locks the whole cluster — the accessor itself panics
+    /// with a diagnostic instead of blocking when the state is already
+    /// locked (e.g. two `node()` temporaries in one expression), but other
+    /// cluster/session methods use plain blocking locks, so holding a guard
+    /// across *them* still deadlocks. Keep node accessors to single
+    /// statements.
+    pub fn node_mut(&mut self, id: NodeId) -> NodeRefMut<'_> {
+        NodeRefMut {
+            guard: self.lock_for_node_access(),
+            index: id.index(),
+        }
     }
 
     /// The network's current simulated time.
     pub fn now(&self) -> u64 {
-        self.net.now()
+        self.lock().net.now()
     }
 
     /// Aggregate network statistics.
-    pub fn net_stats(&self) -> &zeus_net::NetStats {
-        self.net.stats()
+    pub fn net_stats(&self) -> zeus_net::NetStats {
+        self.lock().net.stats().clone()
     }
 
     /// Nodes currently considered live by the harness.
     pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.lock().live_nodes()
+    }
+
+    /// Creates `object` on every node with its home placement: `owner` plus
+    /// the configured number of reader replicas.
+    pub fn create_object(&self, object: ObjectId, data: impl Into<Bytes>, owner: NodeId) {
+        self.lock().create_object(object, data.into(), owner);
+    }
+
+    /// Delivers one batch of in-flight messages (advancing simulated time)
+    /// and lets every live node tick. Returns how many messages were
+    /// delivered.
+    pub fn step(&mut self) -> usize {
+        self.lock().step()
+    }
+
+    /// Advances simulated time by `dt` ticks, delivering everything that
+    /// falls due along the way and ticking the live nodes so periodic work
+    /// (heartbeats, lease expiry, retransmission) runs. Unlike
+    /// [`SimCluster::settle`] this drives the clock even when nothing is in
+    /// flight — it is how the chaos harness opens lease-expiry windows.
+    pub fn advance_ticks(&mut self, dt: u64) {
+        self.lock().advance_ticks(dt)
+    }
+
+    /// Steps until no node has outgoing traffic and nothing is in flight, or
+    /// until `max_steps` is exceeded (which panics — a protocol liveness
+    /// failure in tests).
+    pub fn run_until_quiescent(&mut self, max_steps: usize) {
+        self.lock().run_until_quiescent(max_steps)
+    }
+
+    /// Like [`SimCluster::run_until_quiescent`] but without panicking:
+    /// returns `true` if the cluster reached quiescence within the budget.
+    /// Used by randomised fault-injection tests where a schedule may leave
+    /// recovery work pending at the end of the exploration window.
+    pub fn settle(&mut self, max_steps: usize) -> bool {
+        self.lock().settle(max_steps)
+    }
+
+    /// Runs a write transaction on `node`, transparently acquiring ownership
+    /// (and retrying aborts) until it commits or the retry budget is
+    /// exhausted — the synchronous façade an application thread sees.
+    /// Sessions ([`SimCluster::handle`]) are the same path with an explicit
+    /// [`RetryPolicy`].
+    pub fn execute_write<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnMut(&mut TxCtx<'_>) -> Result<R, TxError>,
+    ) -> Result<R, TxError> {
+        let attempts = self.config.max_ownership_retries;
+        self.lock().execute_write(node, attempts, f)
+    }
+
+    /// Runs a read-only transaction on `node`, retrying transient conflicts
+    /// (in-flight reliable commits) a bounded number of times.
+    pub fn execute_read<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnMut(&mut TxCtx<'_>) -> Result<R, TxError>,
+    ) -> Result<R, TxError> {
+        let attempts = self.config.max_ownership_retries;
+        self.lock().execute_read(node, attempts, f)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// The node currently entitled to install views: the manager of the
+    /// highest-epoch view among non-crashed nodes (walking past crashed or
+    /// excluded members). Admin operations must be issued there — routing
+    /// them through an arbitrary node (e.g. one cut off behind a partition
+    /// with a stale view) would let two proposers install *different* views
+    /// under the same epoch, permanently splitting the cluster. The real
+    /// system's membership service is serial (ZooKeeper, §3.1); this picks
+    /// the node acting in that role.
+    pub fn acting_manager(&self, exclude: Option<NodeId>) -> Option<NodeId> {
+        self.lock().acting_manager(exclude)
+    }
+
+    /// Crashes `node` and triggers a membership reconfiguration on the
+    /// surviving manager.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.lock().fail_node(node)
+    }
+
+    /// Restarts a node previously crashed with [`SimCluster::fail_node`]:
+    /// the process comes back (with whatever frozen state it had — the
+    /// re-admission path wipes it) and the operator re-admits it. The
+    /// rejoining view change carries the node's admission epoch, so the
+    /// node discards its stale replica state before serving again.
+    pub fn restart_node(&mut self, node: NodeId) {
+        self.lock().restart_node(node)
+    }
+
+    /// Cuts both directions between `a` and `b` (messages already in flight
+    /// still deliver; new sends are dropped).
+    pub fn partition_pair(&mut self, a: NodeId, b: NodeId) {
+        self.lock().net.faults_mut().partition(a, b);
+    }
+
+    /// Cuts every link between `node` and the rest of the cluster — the
+    /// fault behind false suspicions: the node stays alive (and eventually
+    /// fences itself) while its heartbeats stop reaching the manager.
+    pub fn isolate_node(&self, node: NodeId) {
+        self.lock().isolate_node(node)
+    }
+
+    /// Heals every link between `node` and the rest of the cluster.
+    pub fn heal_node(&self, node: NodeId) {
+        self.lock().heal_node(node)
+    }
+
+    /// Adds `extra` ticks of one-way latency on `from → to`.
+    pub fn spike_link(&mut self, from: NodeId, to: NodeId, extra: u64) {
+        self.lock().net.faults_mut().spike(from, to, extra);
+    }
+
+    /// Drops the next `count` messages sent on `from → to`.
+    pub fn drop_burst(&mut self, from: NodeId, to: NodeId, count: u64) {
+        self.lock().net.faults_mut().drop_burst(from, to, count);
+    }
+
+    /// Heals every injected link fault (cuts, spikes, drop bursts) at once.
+    /// Crashed nodes stay crashed.
+    pub fn heal_all_links(&self) {
+        self.lock().net.faults_mut().heal_all();
+    }
+
+    /// Administratively removes a live node from the membership without
+    /// crashing it (operator scale-in). The removed node keeps running —
+    /// and must fence itself once it learns (or suspects) it is out.
+    pub fn admin_remove(&mut self, node: NodeId) {
+        self.lock().admin_remove(node)
+    }
+
+    /// Aggregated statistics over live nodes.
+    pub fn aggregate_stats(&self) -> NodeStats {
+        self.lock().aggregate_stats()
+    }
+
+    /// Checks the paper's safety invariants over the current (quiescent)
+    /// state, returning a description of the first violation found:
+    ///
+    /// 1. at most one live owner per object, holding the most recent value,
+    /// 2. live replicas in `t_state = Valid` with the same version hold
+    ///    identical data, and no valid reader is newer than the owner,
+    /// 3. live directory replicas agree on each object's owner.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.lock().check_invariants()
+    }
+}
+
+impl ClusterDriver for SimCluster {
+    type Session = SimSession;
+
+    fn nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    fn handle(&self, id: NodeId) -> SimSession {
+        SimSession {
+            node: id,
+            inner: Arc::clone(&self.inner),
+            policy: RetryPolicy::with_budget(self.config.max_ownership_retries),
+        }
+    }
+
+    fn create_object(&self, object: ObjectId, data: Bytes, owner: NodeId) {
+        SimCluster::create_object(self, object, data, owner);
+    }
+
+    fn migrate(&self, object: ObjectId, to: NodeId) -> Result<u64, TxError> {
+        let attempts = self.config.max_ownership_retries;
+        self.lock()
+            .acquire(to, object, OwnershipRequestKind::AcquireOwner, attempts)
+    }
+
+    fn aggregate_stats(&self) -> NodeStats {
+        SimCluster::aggregate_stats(self)
+    }
+
+    fn net_stats(&self) -> zeus_net::NetStats {
+        SimCluster::net_stats(self)
+    }
+
+    fn quiesce(&self) {
+        self.lock().settle(200_000);
+    }
+
+    fn isolate_node(&self, node: NodeId) {
+        SimCluster::isolate_node(self, node);
+    }
+
+    fn heal_node(&self, node: NodeId) {
+        SimCluster::heal_node(self, node);
+    }
+
+    fn heal_all_links(&self) {
+        SimCluster::heal_all_links(self);
+    }
+}
+
+/// Client session to one node of a [`SimCluster`] (see [`Session`]).
+///
+/// Transactions execute synchronously — the session drives the simulated
+/// network under the hood, so a `write_txn` observes exactly the semantics
+/// the cluster's own `execute_write` façade provides, and
+/// [`Session::submit_write`] returns an already-resolved ticket.
+#[derive(Debug, Clone)]
+pub struct SimSession {
+    node: NodeId,
+    inner: Arc<Mutex<SimInner>>,
+    policy: RetryPolicy,
+}
+
+impl Session for SimSession {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn write_txn<T, F>(&self, f: F) -> Result<T, TxError>
+    where
+        T: TxPayload,
+        F: FnMut(&mut TxCtx<'_>) -> Result<T, TxError> + Send + 'static,
+    {
+        self.inner
+            .lock()
+            .unwrap()
+            .execute_write(self.node, self.policy.max_attempts, f)
+    }
+
+    fn read_txn<T, F>(&self, f: F) -> Result<T, TxError>
+    where
+        T: TxPayload,
+        F: FnMut(&mut TxCtx<'_>) -> Result<T, TxError> + Send + 'static,
+    {
+        self.inner
+            .lock()
+            .unwrap()
+            .execute_read(self.node, self.policy.max_attempts, f)
+    }
+
+    fn submit_write<T, F>(&self, f: F) -> TxTicket<T>
+    where
+        T: TxPayload,
+        F: FnMut(&mut TxCtx<'_>) -> Result<T, TxError> + Send + 'static,
+    {
+        TxTicket::ready(self.write_txn(f))
+    }
+
+    fn drain(&self) -> Result<(), TxError> {
+        // Submissions resolve synchronously; nothing can be in flight.
+        Ok(())
+    }
+
+    fn acquire(&self, object: ObjectId, kind: OwnershipRequestKind) -> Result<(), TxError> {
+        self.inner
+            .lock()
+            .unwrap()
+            .acquire(self.node, object, kind, self.policy.max_attempts)
+            .map(|_| ())
+    }
+
+    fn stats(&self) -> Result<(NodeStats, LatencyHistogram), TxError> {
+        let inner = self.inner.lock().unwrap();
+        let node = &inner.nodes[self.node.index()];
+        Ok((node.stats(), node.ownership_latency().clone()))
+    }
+}
+
+impl SimInner {
+    fn live_nodes(&self) -> Vec<NodeId> {
         (0..self.nodes.len() as u16)
             .map(NodeId)
             .filter(|n| !self.crashed.contains(n))
             .collect()
     }
 
-    // ------------------------------------------------------------------
-    // Object loading
-    // ------------------------------------------------------------------
-
-    /// Creates `object` on every node with its home placement: `owner` plus
-    /// the configured number of reader replicas.
-    pub fn create_object(&mut self, object: ObjectId, data: impl Into<Bytes>, owner: NodeId) {
+    fn create_object(&mut self, object: ObjectId, data: Bytes, owner: NodeId) {
         let replicas = self.config.default_replicas(owner);
-        let data = data.into();
         for node in &mut self.nodes {
             node.create_object(object, data.clone(), replicas.clone());
         }
@@ -111,10 +481,7 @@ impl SimCluster {
     // Execution driver
     // ------------------------------------------------------------------
 
-    /// Delivers one batch of in-flight messages (advancing simulated time)
-    /// and lets every live node tick. Returns how many messages were
-    /// delivered.
-    pub fn step(&mut self) -> usize {
+    fn step(&mut self) -> usize {
         self.ship_outboxes();
         // Deliver.
         let batch = self.net.step();
@@ -162,12 +529,7 @@ impl SimCluster {
         }
     }
 
-    /// Advances simulated time by `dt` ticks, delivering everything that
-    /// falls due along the way and ticking the live nodes so periodic work
-    /// (heartbeats, lease expiry, retransmission) runs. Unlike
-    /// [`SimCluster::settle`] this drives the clock even when nothing is in
-    /// flight — it is how the chaos harness opens lease-expiry windows.
-    pub fn advance_ticks(&mut self, dt: u64) {
+    fn advance_ticks(&mut self, dt: u64) {
         let target = self.net.now().saturating_add(dt);
         // Advance in retransmission-interval chunks: periodic work
         // (heartbeats, retransmissions) only runs when nodes tick, so a
@@ -217,10 +579,7 @@ impl SimCluster {
         }
     }
 
-    /// Steps until no node has outgoing traffic and nothing is in flight, or
-    /// until `max_steps` is exceeded (which panics — a protocol liveness
-    /// failure in tests).
-    pub fn run_until_quiescent(&mut self, max_steps: usize) {
+    fn run_until_quiescent(&mut self, max_steps: usize) {
         for _ in 0..max_steps {
             if self.is_cluster_quiescent() {
                 return;
@@ -234,11 +593,7 @@ impl SimCluster {
         );
     }
 
-    /// Like [`SimCluster::run_until_quiescent`] but without panicking:
-    /// returns `true` if the cluster reached quiescence within the budget.
-    /// Used by randomised fault-injection tests where a schedule may leave
-    /// recovery work pending at the end of the exploration window.
-    pub fn settle(&mut self, max_steps: usize) -> bool {
+    fn settle(&mut self, max_steps: usize) -> bool {
         for _ in 0..max_steps {
             if self.is_cluster_quiescent() {
                 return true;
@@ -248,20 +603,40 @@ impl SimCluster {
         self.is_cluster_quiescent()
     }
 
-    /// Runs a write transaction on `node`, transparently acquiring ownership
-    /// (and retrying aborts) until it commits or the retry budget is
-    /// exhausted — the synchronous façade an application thread sees.
-    pub fn execute_write<R>(
+    fn execute_write<R>(
         &mut self,
         node: NodeId,
-        f: impl Fn(&mut TxCtx<'_>) -> Result<R, TxError>,
+        max_attempts: usize,
+        mut f: impl FnMut(&mut TxCtx<'_>) -> Result<R, TxError>,
     ) -> Result<R, TxError> {
-        for _attempt in 0..self.config.max_ownership_retries {
-            let outcome = self.nodes[node.index()].execute_write(0, &f);
+        // `attempts` counts *retries*: transient aborts, failed acquisition
+        // rounds, and repeated acquisition rounds after the object was
+        // stolen back. Re-executing after the transaction's first
+        // successful ownership grant is the normal continuation of the same
+        // attempt and is never charged — with a budget of 1 a remote write
+        // still commits once its ownership arrives. The loop stays bounded:
+        // every iteration either returns or charges, except the one free
+        // first-grant continuation.
+        let mut attempts = 0;
+        let mut granted_rounds = 0usize;
+        loop {
+            let outcome = self.nodes[node.index()].execute_write(0, &mut f);
             match outcome {
                 WriteOutcome::Committed { value, .. } => return Ok(value),
                 WriteOutcome::Aborted { error } => match error {
                     TxError::LockConflict | TxError::ValidationFailed | TxError::ReadConflict => {
+                        attempts += 1;
+                        if attempts >= max_attempts {
+                            // A spent multi-attempt budget reports
+                            // RetriesExhausted; a no-retry budget surfaces
+                            // the first abort as-is (same contract as the
+                            // threaded runtime's attempt_write).
+                            return Err(if max_attempts > 1 {
+                                TxError::RetriesExhausted
+                            } else {
+                                error
+                            });
+                        }
                         // Let in-flight protocol work drain, then retry. This
                         // must not assert quiescence: after a fault the
                         // cluster may legitimately still be recovering.
@@ -271,11 +646,22 @@ impl SimCluster {
                 },
                 WriteOutcome::OwnershipPending { requests } => {
                     match self.wait_for_requests(node, &requests) {
-                        Ok(()) => {}
+                        Ok(()) => {
+                            granted_rounds += 1;
+                            if granted_rounds > 1 {
+                                // The object was stolen back after an
+                                // earlier grant: a fresh round, charged.
+                                attempts += 1;
+                                if attempts >= max_attempts {
+                                    return Err(TxError::RetriesExhausted);
+                                }
+                            }
+                        }
                         // Losing an arbitration (or racing a recovery) is a
                         // transient condition: abort the acquisition and
                         // retry the whole transaction, as the paper's
-                        // back-off scheme does (§6.2).
+                        // back-off scheme does (§6.2). Each failed round
+                        // costs one attempt.
                         Err(TxError::OwnershipFailed {
                             reason:
                                 NackReason::LostArbitration
@@ -283,6 +669,10 @@ impl SimCluster {
                                 | NackReason::Recovering,
                             ..
                         }) => {
+                            attempts += 1;
+                            if attempts >= max_attempts {
+                                return Err(TxError::RetriesExhausted);
+                            }
                             self.settle(10_000);
                         }
                         Err(other) => return Err(other),
@@ -290,18 +680,16 @@ impl SimCluster {
                 }
             }
         }
-        Err(TxError::RetriesExhausted)
     }
 
-    /// Runs a read-only transaction on `node`, retrying transient conflicts
-    /// (in-flight reliable commits) a bounded number of times.
-    pub fn execute_read<R>(
+    fn execute_read<R>(
         &mut self,
         node: NodeId,
-        f: impl Fn(&mut TxCtx<'_>) -> Result<R, TxError>,
+        max_attempts: usize,
+        mut f: impl FnMut(&mut TxCtx<'_>) -> Result<R, TxError>,
     ) -> Result<R, TxError> {
-        for _ in 0..self.config.max_ownership_retries {
-            match self.nodes[node.index()].execute_read(&f) {
+        for _ in 0..max_attempts.max(1) {
+            match self.nodes[node.index()].execute_read(&mut f) {
                 ReadOutcome::Committed { value } => return Ok(value),
                 ReadOutcome::Aborted {
                     error: TxError::ReadConflict,
@@ -311,20 +699,33 @@ impl SimCluster {
                 ReadOutcome::Aborted { error } => return Err(error),
             }
         }
-        Err(TxError::RetriesExhausted)
+        // Same contract as the threaded read path: a spent multi-attempt
+        // budget reports RetriesExhausted, a no-retry budget surfaces the
+        // conflict as-is.
+        Err(if max_attempts > 1 {
+            TxError::RetriesExhausted
+        } else {
+            TxError::ReadConflict
+        })
     }
 
-    /// Explicitly migrates `object` to `node` (acquire-owner), driving the
-    /// protocol to completion and retrying transient rejections like the
-    /// write path does (§6.2). Returns the ownership latency in ticks.
-    pub fn migrate(&mut self, object: ObjectId, to: NodeId) -> Result<u64, TxError> {
+    /// Drives an explicit acquisition of `object` at `node` to completion,
+    /// retrying transient rejections like the write path does (§6.2).
+    /// Returns the ownership latency in ticks.
+    fn acquire(
+        &mut self,
+        node: NodeId,
+        object: ObjectId,
+        kind: OwnershipRequestKind,
+        max_attempts: usize,
+    ) -> Result<u64, TxError> {
         let start = self.net.now();
-        for _ in 0..self.config.max_ownership_retries {
-            if self.nodes[to.index()].owns(object) {
+        for _ in 0..max_attempts {
+            if kind == OwnershipRequestKind::AcquireOwner && self.nodes[node.index()].owns(object) {
                 return Ok(self.net.now().saturating_sub(start).max(1));
             }
-            let req = self.nodes[to.index()].acquire(object, OwnershipRequestKind::AcquireOwner);
-            match self.wait_for_requests(to, &[req]) {
+            let req = self.nodes[node.index()].acquire(object, kind);
+            match self.wait_for_requests(node, &[req]) {
                 Ok(()) => return Ok(self.net.now().saturating_sub(start).max(1)),
                 Err(TxError::OwnershipFailed {
                     reason:
@@ -393,15 +794,7 @@ impl SimCluster {
     // Fault injection
     // ------------------------------------------------------------------
 
-    /// The node currently entitled to install views: the manager of the
-    /// highest-epoch view among non-crashed nodes (walking past crashed or
-    /// excluded members). Admin operations must be issued there — routing
-    /// them through an arbitrary node (e.g. one cut off behind a partition
-    /// with a stale view) would let two proposers install *different* views
-    /// under the same epoch, permanently splitting the cluster. The real
-    /// system's membership service is serial (ZooKeeper, §3.1); this picks
-    /// the node acting in that role.
-    pub fn acting_manager(&self, exclude: Option<NodeId>) -> Option<NodeId> {
+    fn acting_manager(&self, exclude: Option<NodeId>) -> Option<NodeId> {
         let authoritative = self
             .live_nodes()
             .into_iter()
@@ -414,9 +807,7 @@ impl SimCluster {
             .or(Some(authoritative))
     }
 
-    /// Crashes `node` and triggers a membership reconfiguration on the
-    /// surviving manager.
-    pub fn fail_node(&mut self, node: NodeId) {
+    fn fail_node(&mut self, node: NodeId) {
         self.crashed.insert(node);
         self.net.faults_mut().crash(node);
         // Tell the surviving membership manager to reconfigure (stand-in for
@@ -426,12 +817,7 @@ impl SimCluster {
         }
     }
 
-    /// Restarts a node previously crashed with [`SimCluster::fail_node`]:
-    /// the process comes back (with whatever frozen state it had — the
-    /// re-admission path wipes it) and the operator re-admits it. The
-    /// rejoining view change carries the node's admission epoch, so the
-    /// node discards its stale replica state before serving again.
-    pub fn restart_node(&mut self, node: NodeId) {
+    fn restart_node(&mut self, node: NodeId) {
         if !self.crashed.remove(&node) {
             return;
         }
@@ -441,16 +827,7 @@ impl SimCluster {
         }
     }
 
-    /// Cuts both directions between `a` and `b` (messages already in flight
-    /// still deliver; new sends are dropped).
-    pub fn partition_pair(&mut self, a: NodeId, b: NodeId) {
-        self.net.faults_mut().partition(a, b);
-    }
-
-    /// Cuts every link between `node` and the rest of the cluster — the
-    /// fault behind false suspicions: the node stays alive (and eventually
-    /// fences itself) while its heartbeats stop reaching the manager.
-    pub fn isolate_node(&mut self, node: NodeId) {
+    fn isolate_node(&mut self, node: NodeId) {
         for i in 0..self.nodes.len() as u16 {
             let peer = NodeId(i);
             if peer != node {
@@ -459,8 +836,7 @@ impl SimCluster {
         }
     }
 
-    /// Heals every link between `node` and the rest of the cluster.
-    pub fn heal_node(&mut self, node: NodeId) {
+    fn heal_node(&mut self, node: NodeId) {
         for i in 0..self.nodes.len() as u16 {
             let peer = NodeId(i);
             if peer != node {
@@ -469,33 +845,13 @@ impl SimCluster {
         }
     }
 
-    /// Adds `extra` ticks of one-way latency on `from → to`.
-    pub fn spike_link(&mut self, from: NodeId, to: NodeId, extra: u64) {
-        self.net.faults_mut().spike(from, to, extra);
-    }
-
-    /// Drops the next `count` messages sent on `from → to`.
-    pub fn drop_burst(&mut self, from: NodeId, to: NodeId, count: u64) {
-        self.net.faults_mut().drop_burst(from, to, count);
-    }
-
-    /// Heals every injected link fault (cuts, spikes, drop bursts) at once.
-    /// Crashed nodes stay crashed.
-    pub fn heal_all_links(&mut self) {
-        self.net.faults_mut().heal_all();
-    }
-
-    /// Administratively removes a live node from the membership without
-    /// crashing it (operator scale-in). The removed node keeps running —
-    /// and must fence itself once it learns (or suspects) it is out.
-    pub fn admin_remove(&mut self, node: NodeId) {
+    fn admin_remove(&mut self, node: NodeId) {
         if let Some(manager) = self.acting_manager(Some(node)) {
             self.nodes[manager.index()].admin_remove_node(node);
         }
     }
 
-    /// Aggregated statistics over live nodes.
-    pub fn aggregate_stats(&self) -> NodeStats {
+    fn aggregate_stats(&self) -> NodeStats {
         let mut total = NodeStats::default();
         for id in self.live_nodes() {
             total.merge(&self.nodes[id.index()].stats());
@@ -507,14 +863,7 @@ impl SimCluster {
     // Invariant checking (TLA+ stand-in, §8 "Formal verification")
     // ------------------------------------------------------------------
 
-    /// Checks the paper's safety invariants over the current (quiescent)
-    /// state, returning a description of the first violation found:
-    ///
-    /// 1. at most one live owner per object, holding the most recent value,
-    /// 2. live replicas in `t_state = Valid` with the same version hold
-    ///    identical data, and no valid reader is newer than the owner,
-    /// 3. live directory replicas agree on each object's owner.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    fn check_invariants(&self) -> Result<(), String> {
         let live = self.live_nodes();
         let mut objects: HashSet<ObjectId> = HashSet::new();
         for &id in &live {
@@ -632,6 +981,23 @@ mod tests {
     }
 
     #[test]
+    fn no_retry_session_still_commits_remote_writes() {
+        // Same contract as the threaded runtime: the first successful
+        // ownership grant is free even under RetryPolicy::no_retry().
+        let c = cluster(3);
+        let object = ObjectId(8);
+        c.create_object(object, Bytes::from_static(b"x"), NodeId(0));
+        let session = c.handle(NodeId(2)).with_retry(RetryPolicy::no_retry());
+        session
+            .write_txn(move |tx| {
+                tx.write(object, Bytes::from_static(b"y"))?;
+                Ok(())
+            })
+            .expect("grant is not charged against the retry budget");
+        assert!(c.node(NodeId(2)).owns(object));
+    }
+
+    #[test]
     fn read_only_transactions_run_on_any_replica() {
         let mut c = cluster(3);
         let object = ObjectId(3);
@@ -700,7 +1066,7 @@ mod tests {
 
     #[test]
     fn migration_latency_is_measured() {
-        let mut c = cluster(3);
+        let c = cluster(3);
         let object = ObjectId(70);
         c.create_object(object, Bytes::from_static(b"m"), NodeId(0));
         let latency = c.migrate(object, NodeId(2)).unwrap();

@@ -66,6 +66,46 @@ pub enum TxError {
     /// a retry re-fetches the value from the surviving readers named in the
     /// placement once they answer.
     DataLoss,
+    /// The node could not be reached at all: its command channel is closed
+    /// (the node thread exited or the cluster shut down). Unlike
+    /// [`TxError::RetriesExhausted`] this is not a protocol outcome — the
+    /// transaction was never handed to the node. Route the request to
+    /// another node.
+    NodeUnavailable,
+}
+
+impl TxError {
+    /// Whether a transaction aborted with this error may be retried with a
+    /// fresh execution — the classification a
+    /// [`crate::client::RetryPolicy`] applies.
+    ///
+    /// Retryable: transient local conflicts ([`TxError::LockConflict`],
+    /// [`TxError::ValidationFailed`], [`TxError::ReadConflict`]) and
+    /// transient ownership-protocol rejections (lost arbitration, pending
+    /// commit, in-progress recovery — the paper's §6.2 back-off cases).
+    /// Everything else is terminal for the issuing session: application
+    /// aborts, fencing, missing replicas, data loss, exhausted budgets and
+    /// unreachable nodes.
+    pub fn is_retryable(&self) -> bool {
+        use zeus_proto::messages::NackReason;
+        match self {
+            TxError::LockConflict | TxError::ValidationFailed | TxError::ReadConflict => true,
+            TxError::OwnershipFailed { reason, .. } => matches!(
+                reason,
+                NackReason::LostArbitration | NackReason::PendingCommit | NackReason::Recovering
+            ),
+            // `NeedsOwnership` is not an abort: the runtimes park the
+            // transaction until the acquisition completes.
+            TxError::NeedsOwnership { .. } => false,
+            TxError::NotReplicated { .. }
+            | TxError::WriteInReadOnly
+            | TxError::UserAbort
+            | TxError::RetriesExhausted
+            | TxError::Fenced
+            | TxError::DataLoss
+            | TxError::NodeUnavailable => false,
+        }
+    }
 }
 
 /// Outcome of a write-transaction execution attempt on a node.

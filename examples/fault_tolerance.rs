@@ -1,19 +1,23 @@
 //! Fault tolerance demo: kill the owner of a hot object mid-stream and watch
 //! the survivors recover every committed write and elect a new owner.
 //!
-//! Run with: cargo run -p zeus-bench --example fault_tolerance
+//! Run with: cargo run --release --example fault_tolerance
 
-use zeus_core::{NodeId, ObjectId, SimCluster, ZeusConfig};
+use zeus_core::{ClusterDriver, NodeId, ObjectId, Session, SimCluster, ZeusConfig};
 
 fn main() {
     let mut cluster = SimCluster::new(ZeusConfig::with_nodes(3));
     let object = ObjectId(7);
     cluster.create_object(object, vec![0u8], NodeId(0));
 
-    // Commit a stream of writes on node 0 (the owner).
+    // Commit a stream of writes through a session on node 0 (the owner).
+    let owner = cluster.handle(NodeId(0));
     for i in 1..=10u8 {
-        cluster
-            .execute_write(NodeId(0), move |tx| tx.write(object, vec![i]))
+        owner
+            .write_txn(move |tx| {
+                tx.write(object, vec![i])?;
+                Ok(())
+            })
             .unwrap();
     }
     cluster.run_until_quiescent(10_000);
@@ -30,7 +34,8 @@ fn main() {
 
     // A surviving replica reads the last committed value...
     let value = cluster
-        .execute_read(NodeId(1), |tx| tx.read(object))
+        .handle(NodeId(1))
+        .read_txn(move |tx| tx.read(object))
         .unwrap();
     println!(
         "node 1 still reads the latest committed value: {:?}",
@@ -40,7 +45,11 @@ fn main() {
 
     // ...and can take over as the new owner and keep writing.
     cluster
-        .execute_write(NodeId(2), |tx| tx.write(object, vec![42]))
+        .handle(NodeId(2))
+        .write_txn(move |tx| {
+            tx.write(object, vec![42])?;
+            Ok(())
+        })
         .unwrap();
     cluster.run_until_quiescent(100_000);
     assert!(cluster.node(NodeId(2)).owns(object));

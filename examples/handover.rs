@@ -2,9 +2,9 @@
 //! service requests, and hand over between stations as they move — the
 //! motivating workload of the paper (§2, §8.1).
 //!
-//! Run with: cargo run -p zeus-bench --example handover
+//! Run with: cargo run --release --example handover
 
-use zeus_core::{NodeId, SimCluster, ZeusConfig};
+use zeus_core::{ClusterDriver, NodeId, Session, SimCluster, ZeusConfig};
 use zeus_workloads::handovers::HandoverWorkload;
 use zeus_workloads::{Operation, Workload};
 
@@ -27,10 +27,12 @@ fn main() {
         } else {
             requests += 1;
         }
-        let node = NodeId((op.routing_key % 3) as u16);
+        // Route each control-plane transaction to the session of the node
+        // the load balancer would pick; locality keeps it a local commit.
+        let session = cluster.handle(NodeId((op.routing_key % 3) as u16));
         let writes = op.writes.clone();
-        cluster
-            .execute_write(node, move |tx| {
+        session
+            .write_txn(move |tx| {
                 for &(o, size) in &writes {
                     tx.update(o, |old| {
                         let mut v = old.to_vec();

@@ -1,47 +1,63 @@
-//! Quickstart: bring up a 3-node Zeus cluster, write and read a bank account.
+//! Quickstart: the canonical session-API walkthrough.
 //!
-//! Run with: cargo run -p zeus-bench --example quickstart
+//! Brings up a 3-node Zeus cluster, opens per-node [`Session`]s, runs typed
+//! write/read transactions (with transparent ownership migration), pipelines
+//! non-blocking submissions, and tunes a retry policy — every client-facing
+//! feature in one tour.
+//!
+//! Run with: cargo run --release --example quickstart
 
-use zeus_core::{NodeId, ObjectId, SimCluster, ZeusConfig};
+use zeus_core::{
+    ClusterDriver, NodeId, ObjectId, RetryPolicy, Session, SimCluster, ThreadedCluster, TxError,
+    ZeusConfig,
+};
 
 fn main() {
-    // A 3-node deployment with 3-way replication (the paper's setup).
-    let mut cluster = SimCluster::new(ZeusConfig::with_nodes(3));
+    // A 3-node deployment with 3-way replication (the paper's setup). The
+    // same code drives a `ThreadedCluster` — both implement `ClusterDriver`.
+    let cluster = SimCluster::new(ZeusConfig::with_nodes(3));
 
     // Create an object, initially owned by node 0 and replicated on 1 and 2.
     let account = ObjectId(1);
     cluster.create_object(account, 100u64.to_le_bytes().to_vec(), NodeId(0));
 
-    // A write transaction on the owner: withdraw 30.
-    cluster
-        .execute_write(NodeId(0), |tx| {
-            tx.update(account, |old| {
-                let mut balance = u64::from_le_bytes(old.try_into().unwrap());
-                balance -= 30;
-                balance.to_le_bytes().to_vec()
-            })
+    // A session is a client's connection to one node. Transactions are
+    // *typed*: the closure's Ok value comes back directly — here a u64.
+    let teller0 = cluster.handle(NodeId(0));
+    let balance: u64 = teller0
+        .write_txn(move |tx| {
+            let mut balance = u64::from_le_bytes(tx.read(account)?.as_ref().try_into().unwrap());
+            balance -= 30; // withdraw 30
+            tx.write(account, balance.to_le_bytes().to_vec())?;
+            Ok(balance)
         })
         .expect("withdraw commits");
+    println!("balance after withdrawal: {balance}");
 
     // A write transaction issued on node 2, which does NOT own the account:
     // Zeus transparently migrates ownership and then commits locally.
-    cluster
-        .execute_write(NodeId(2), |tx| {
+    let teller2 = cluster.handle(NodeId(2));
+    teller2
+        .write_txn(move |tx| {
             tx.update(account, |old| {
                 let mut balance = u64::from_le_bytes(old.try_into().unwrap());
-                balance += 5;
+                balance += 5; // deposit 5
                 balance.to_le_bytes().to_vec()
-            })
+            })?;
+            Ok(())
         })
         .expect("deposit commits after ownership migration");
-    cluster.run_until_quiescent(10_000);
+    cluster.quiesce(); // let the pipelined replication finish
 
-    // Strictly serializable read-only transactions run locally on ANY replica.
+    // Strictly serializable read-only transactions run locally on ANY
+    // replica — zero messages.
     for node in [NodeId(0), NodeId(1), NodeId(2)] {
-        let balance = cluster
-            .execute_read(node, |tx| {
-                let bytes = tx.read(account)?;
-                Ok(u64::from_le_bytes(bytes.as_ref().try_into().unwrap()))
+        let balance: u64 = cluster
+            .handle(node)
+            .read_txn(move |tx| {
+                Ok(u64::from_le_bytes(
+                    tx.read(account)?.as_ref().try_into().unwrap(),
+                ))
             })
             .unwrap();
         println!("replica {node:?} sees balance = {balance}");
@@ -52,4 +68,48 @@ fn main() {
         cluster.node(NodeId(2)).owns(account)
     );
     cluster.check_invariants().expect("safety invariants hold");
+
+    // Retry policies are explicit objects: this session surfaces the first
+    // transient conflict instead of retrying (`TxError::is_retryable`
+    // classifies what the default policy would have retried).
+    let impatient = cluster
+        .handle(NodeId(1))
+        .with_retry(RetryPolicy::no_retry());
+    match impatient.read_txn(move |tx| tx.read(account)) {
+        Ok(_) => println!("impatient read committed on the first attempt"),
+        Err(e) => println!(
+            "impatient read aborted: {e:?} (retryable: {})",
+            e.is_retryable()
+        ),
+    }
+
+    // Pipelined submission needs real concurrency: on a ThreadedCluster a
+    // single client keeps a window of transactions in flight and collects
+    // the tickets afterwards (or calls `session.drain()` as a barrier).
+    let threaded = ThreadedCluster::start(ZeusConfig::with_nodes(3));
+    for i in 0..8u64 {
+        threaded.create_object(ObjectId(i), vec![0u8], NodeId(0));
+    }
+    let session = threaded.handle(NodeId(0));
+    let tickets: Vec<_> = (0..8u64)
+        .map(|i| {
+            session.submit_write(move |tx| {
+                tx.update(ObjectId(i), |old| {
+                    let mut v = old.to_vec();
+                    v[0] = v[0].wrapping_add(1);
+                    v
+                })?;
+                Ok(i)
+            })
+        })
+        .collect();
+    let committed = tickets
+        .into_iter()
+        .map(zeus_core::TxTicket::wait)
+        .filter(Result::is_ok)
+        .count();
+    let _: Result<(), TxError> = session.drain(); // barrier: nothing left in flight
+    println!("pipelined window: {committed}/8 committed without blocking per-transaction");
+    assert_eq!(committed, 8);
+    threaded.shutdown();
 }

@@ -1,10 +1,10 @@
 //! Smallbank on Zeus vs the statically-sharded two-phase-commit baseline:
 //! same workload, two very different execution strategies (§6.1).
 //!
-//! Run with: cargo run -p zeus-bench --example smallbank
+//! Run with: cargo run --release --example smallbank
 
 use zeus_baseline::exec::StaticShardedStore;
-use zeus_core::{NodeId, SimCluster, ZeusConfig};
+use zeus_core::{ClusterDriver, NodeId, Session, SimCluster, ZeusConfig};
 use zeus_workloads::{SmallbankWorkload, Workload};
 
 fn main() {
@@ -22,11 +22,12 @@ fn main() {
     let mut committed = 0;
     for _ in 0..1_000 {
         let op = workload.next_operation();
-        let node = NodeId((op.routing_key % 3) as u16);
+        // One session per routed node; transactions are typed closures.
+        let session = zeus.handle(NodeId((op.routing_key % 3) as u16));
         if op.read_only {
             let reads = op.reads.clone();
-            if zeus
-                .execute_read(node, move |tx| {
+            if session
+                .read_txn(move |tx| {
                     for &o in &reads {
                         tx.read(o)?;
                     }
@@ -39,8 +40,8 @@ fn main() {
         } else {
             let writes = op.writes.clone();
             let reads = op.reads.clone();
-            if zeus
-                .execute_write(node, move |tx| {
+            if session
+                .write_txn(move |tx| {
                     for &o in &reads {
                         tx.read(o)?;
                     }

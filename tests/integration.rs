@@ -1,31 +1,37 @@
 //! End-to-end integration tests spanning every crate: workloads executed on
-//! a simulated Zeus cluster, legacy-app models, baseline cross-checks and
-//! the bench harness plumbing.
+//! a simulated Zeus cluster through the session-first client API
+//! ([`ClusterDriver`]/[`Session`]), legacy-app models, baseline cross-checks
+//! and the bench harness plumbing.
 
 use zeus_baseline::exec::StaticShardedStore;
 use zeus_baseline::model::{BaselineKind, CostModel, TxProfile};
-use zeus_core::{NodeId, ObjectId, SimCluster, ZeusConfig};
+use zeus_core::{ClusterDriver, NodeId, ObjectId, Session, SimCluster, ZeusConfig};
 use zeus_workloads::{
     HandoverWorkload, Operation, SmallbankWorkload, TatpWorkload, VoterWorkload, Workload,
 };
 
 /// Executes `count` operations of a workload on a 3-node simulated cluster,
-/// returning (committed, aborted-or-failed).
-fn run_workload_on_sim(workload: &mut dyn FnMut() -> Operation, count: usize) -> (u64, u64) {
-    // Objects are created lazily through first-touch ownership acquisition.
-    let mut cluster = SimCluster::new(ZeusConfig::with_nodes(3));
+/// returning (committed, aborted-or-failed). The driver loop is written
+/// against [`ClusterDriver`], so the same code would run on a
+/// `ThreadedCluster`.
+fn run_workload_on_driver<C: ClusterDriver>(
+    cluster: &C,
+    workload: &mut dyn FnMut() -> Operation,
+    count: usize,
+) -> (u64, u64) {
+    let nodes = cluster.nodes() as u64;
     let mut committed = 0;
     let mut failed = 0;
     for _ in 0..count {
         let op = workload();
-        let node = NodeId((op.routing_key % 3) as u16);
+        let session = cluster.handle(NodeId((op.routing_key % nodes) as u16));
         let ok = if op.read_only {
             // Read-only transactions need the objects to exist; skip unknown.
             true
         } else {
             let writes = op.writes.clone();
-            cluster
-                .execute_write(node, move |tx| {
+            session
+                .write_txn(move |tx| {
                     for &(o, size) in &writes {
                         tx.update(o, |old| {
                             let mut v = old.to_vec();
@@ -45,8 +51,6 @@ fn run_workload_on_sim(workload: &mut dyn FnMut() -> Operation, count: usize) ->
             failed += 1;
         }
     }
-    cluster.run_until_quiescent(200_000);
-    cluster.check_invariants().expect("invariants hold");
     (committed, failed)
 }
 
@@ -64,11 +68,11 @@ fn smallbank_runs_end_to_end_with_preloaded_objects() {
     let mut committed = 0;
     for _ in 0..400 {
         let op = workload.next_operation();
-        let node = NodeId((op.routing_key % 3) as u16);
+        let session = cluster.handle(NodeId((op.routing_key % 3) as u16));
         let ok = if op.read_only {
             let reads = op.reads.clone();
-            cluster
-                .execute_read(node, move |tx| {
+            session
+                .read_txn(move |tx| {
                     for &o in &reads {
                         tx.read(o)?;
                     }
@@ -78,8 +82,8 @@ fn smallbank_runs_end_to_end_with_preloaded_objects() {
         } else {
             let reads = op.reads.clone();
             let writes = op.writes.clone();
-            cluster
-                .execute_write(node, move |tx| {
+            session
+                .write_txn(move |tx| {
                     for &o in &reads {
                         tx.read(o)?;
                     }
@@ -115,10 +119,10 @@ fn handover_workload_needs_few_ownership_changes() {
     }
     for _ in 0..600 {
         let op = workload.next_operation();
-        let node = NodeId((op.routing_key % 3) as u16);
+        let session = cluster.handle(NodeId((op.routing_key % 3) as u16));
         let writes = op.writes.clone();
-        cluster
-            .execute_write(node, move |tx| {
+        session
+            .write_txn(move |tx| {
                 for &(o, _) in &writes {
                     tx.update(o, |old| old.to_vec())?;
                 }
@@ -155,10 +159,10 @@ fn tatp_reads_never_generate_network_traffic() {
             continue;
         }
         reads += 1;
-        let node = NodeId((op.routing_key % 3) as u16);
+        let session = cluster.handle(NodeId((op.routing_key % 3) as u16));
         let reads_set = op.reads.clone();
-        cluster
-            .execute_read(node, move |tx| {
+        session
+            .read_txn(move |tx| {
                 for &o in &reads_set {
                     tx.read(o)?;
                 }
@@ -184,11 +188,13 @@ fn voter_hot_object_migration_under_load() {
     let hot = workload.hot_contestant();
     // Vote a bit, migrate the hot contestant, keep voting, migrate again.
     for round in 0..3 {
+        let session = cluster.handle(NodeId(round % 3));
         for v in 0..50u64 {
-            cluster
-                .execute_write(NodeId(round % 3), move |tx| {
+            session
+                .write_txn(move |tx| {
                     tx.update(hot, |old| old.to_vec())?;
-                    tx.update(VoterWorkload::voter(v), |old| old.to_vec())
+                    tx.update(VoterWorkload::voter(v), |old| old.to_vec())?;
+                    Ok(())
                 })
                 .unwrap();
         }
@@ -202,11 +208,16 @@ fn voter_hot_object_migration_under_load() {
 
 #[test]
 fn first_touch_creation_via_workload_stream() {
+    // Objects are created lazily through first-touch ownership acquisition.
+    let cluster = SimCluster::new(ZeusConfig::with_nodes(3));
     let mut workload = VoterWorkload::new(30, 3, 9);
     let mut gen = move || workload.next_operation();
-    let (committed, failed) = run_workload_on_sim(&mut gen, 100);
+    let (committed, failed) = run_workload_on_driver(&cluster, &mut gen, 100);
     assert_eq!(failed, 0);
     assert_eq!(committed, 100);
+    let mut cluster = cluster;
+    cluster.run_until_quiescent(200_000);
+    cluster.check_invariants().expect("invariants hold");
 }
 
 #[test]
@@ -225,16 +236,18 @@ fn baseline_and_zeus_agree_on_final_state() {
         let value = vec![(i % 251) as u8 + 1];
         let coordinator = NodeId((i % 3) as u16);
         let vz = value.clone();
-        zeus.execute_write(coordinator, move |tx| tx.write(o, vz.clone()))
+        zeus.handle(coordinator)
+            .write_txn(move |tx| {
+                tx.write(o, vz.clone())?;
+                Ok(())
+            })
             .unwrap();
         assert!(baseline.write_tx(coordinator, &[(o, value.into())]));
     }
     zeus.run_until_quiescent(200_000);
     for &o in &objects {
-        let z = zeus
-            .execute_read(NodeId(0), move |tx| tx.read(o))
-            .or_else(|_| zeus.execute_read(NodeId(1), move |tx| tx.read(o)))
-            .unwrap();
+        let read_at = |node: NodeId| zeus.handle(node).read_txn(move |tx| tx.read(o));
+        let z = read_at(NodeId(0)).or_else(|_| read_at(NodeId(1))).unwrap();
         let b = baseline.get(o).unwrap();
         assert_eq!(z, b, "object {o:?} diverged");
     }

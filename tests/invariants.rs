@@ -3,7 +3,7 @@
 //! simulator so every counterexample would be reproducible from its seed.
 
 use proptest::prelude::*;
-use zeus_core::{NodeId, ObjectId, SimCluster, ZeusConfig};
+use zeus_core::{ClusterDriver, NodeId, ObjectId, SimCluster, ZeusConfig};
 use zeus_net::sim::NetConfig;
 
 /// A randomised schedule of writes, migrations and crashes.
