@@ -1,0 +1,6 @@
+//! Saturation sweep binary: open-loop latency under offered load, batched
+//! node loop vs the `--no-batch` control (see `scenarios::saturation`).
+
+fn main() {
+    std::process::exit(zeus_bench::cli::run_single("saturation"));
+}

@@ -240,8 +240,15 @@ fn run_diff(baseline: &Path, new: &Path, fail_on_regress: Option<f64>) -> i32 {
         "{:<52} {:>14} {:>14} {:>8}",
         "scenario", "baseline ops/s", "new ops/s", "delta"
     );
-    let rows = new_report.diff(&base);
-    if rows.is_empty() {
+    let outcome = new_report.diff(&base);
+    // Name what the gate is NOT covering: a matched pair with no comparable
+    // throughput (metric marked absent, or a legacy all-zero analysis row)
+    // is listed instead of silently vanishing from the regression gate.
+    for (label, reason) in &outcome.skipped {
+        println!("{label:<52} {:>14} {:>14} {:>8}", "-", "-", reason);
+    }
+    let rows = outcome.rows;
+    if rows.is_empty() && outcome.skipped.is_empty() {
         // Results pair up by scenario name + full config, and every result's
         // config carries the run's mode and seed — so comparing a smoke run
         // against a full run (or runs with different seeds) matches nothing.

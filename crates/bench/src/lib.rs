@@ -3,6 +3,8 @@
 //!
 //! * [`harness`] — measurement plumbing: instrumented warmup/measure runs on
 //!   the threaded runtime, latency histograms, cost-model mixes.
+//! * [`openloop`] — open-loop load generation: deterministic Poisson
+//!   arrival schedules, pipelined submission, latency-under-load sweeps.
 //! * [`scenario`] + [`scenarios`] — the registry of named scenarios (one per
 //!   figure/table) the driver and the per-figure binaries share.
 //! * [`report`] + [`json`] — the machine-readable `BENCH_<tag>.json` result
@@ -19,6 +21,7 @@
 pub mod cli;
 pub mod harness;
 pub mod json;
+pub mod openloop;
 pub mod report;
 pub mod scenario;
 pub mod scenarios;

@@ -1,0 +1,363 @@
+//! Open-loop load generation: Poisson arrivals at a target rate, pipelined
+//! through [`Session::submit_write`], with latency measured from each
+//! operation's *scheduled* arrival.
+//!
+//! The closed-loop harness ([`crate::harness::run_instrumented`]) can never
+//! overload the cluster: each client submits its next operation only after
+//! the previous one resolved, so offered load collapses to whatever the
+//! system sustains and the latency knee is invisible. This module drives the
+//! opposite regime. Every session draws a deterministic Poisson arrival
+//! schedule (seeded, so two runs — on either runtime — submit at identical
+//! offsets), submits at the scheduled instants whether or not earlier
+//! operations resolved, and records per-operation latency as *resolve minus
+//! scheduled arrival*. An operation that sat in a backlog is charged its
+//! queueing delay even though the client thread was late submitting it —
+//! the standard correction for coordinated omission.
+//!
+//! The saturation scenarios sweep the offered rate through
+//! [`run_open_loop`] and report `(offered_rate, achieved_rate,
+//! p50/p99/p999)` rows; the knee is where achieved stops tracking offered.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zeus_core::{ClusterDriver, LatencyHistogram, NodeId, ObjectId, Session, TxTicket};
+
+/// Upper bound on unresolved submissions per session. Deep overload would
+/// otherwise grow the in-flight queue without bound; past the cap the
+/// generator blocks on the oldest ticket, so far beyond the knee the offered
+/// rate degrades gracefully instead of the backlog (and the run's drain
+/// time) ballooning. Keep `objects_per_session >= MAX_INFLIGHT`: tickets
+/// resolve in FIFO order, so the cap then guarantees a session never has two
+/// writes to the same round-robin object in flight — overload measures the
+/// node loop's capacity, not a same-object lock-conflict retry storm.
+const MAX_INFLIGHT: usize = 128;
+
+/// Parameters of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopOpts {
+    /// Concurrent generator sessions per node (each its own thread and its
+    /// own arrival schedule).
+    pub sessions_per_node: usize,
+    /// Target arrival rate per session, in operations per second. The total
+    /// offered rate is `sessions_per_node * nodes * rate_per_session`.
+    pub rate_per_session: f64,
+    /// Length of the submission window. Tickets still in flight when the
+    /// window closes are drained and recorded before the run returns.
+    pub window: Duration,
+    /// Objects created per session (written round-robin), homed on the
+    /// session's node so the workload stresses the node loop and commit
+    /// pipeline rather than ownership migration.
+    pub objects_per_session: usize,
+    /// First object id to allocate from; successive runs on one cluster
+    /// must use disjoint ranges.
+    pub first_object: u64,
+}
+
+impl OpenLoopOpts {
+    /// Total offered rate across all sessions of an `nodes`-node run.
+    pub fn offered_rate(&self, nodes: usize) -> f64 {
+        self.rate_per_session * (self.sessions_per_node * nodes) as f64
+    }
+}
+
+/// Aggregated outcome of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopRun {
+    /// Total target arrival rate across all sessions (ops/s).
+    pub offered_rate: f64,
+    /// Committed operations divided by the time from the window start to
+    /// the last resolve — the rate the cluster actually sustained.
+    pub achieved_rate: f64,
+    /// Operations committed.
+    pub committed: u64,
+    /// Operations that resolved with an error.
+    pub aborted: u64,
+    /// Per-operation latency (resolve minus scheduled arrival), merged
+    /// across sessions.
+    pub latency_us: LatencyHistogram,
+    /// Commits per generator session, for starvation checks: cross-session
+    /// batching must not let one session's stream crowd out another's.
+    pub per_session_committed: Vec<u64>,
+}
+
+/// Deterministic Poisson arrival schedule: offsets from the window start at
+/// which a `rate` ops/s generator submits, drawn from the seeded shim RNG
+/// (exponential inter-arrival times). Equal seeds produce equal schedules on
+/// every runtime and every run — the property the determinism tests pin.
+pub fn poisson_schedule(seed: u64, rate: f64, window: Duration) -> Vec<Duration> {
+    assert!(rate > 0.0, "arrival rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let end = window.as_secs_f64();
+    let mut at = 0.0f64;
+    let mut out = Vec::new();
+    loop {
+        // Exponential inter-arrival: -ln(1-u)/rate, u uniform in [0,1).
+        let u: f64 = rng.gen();
+        at += -(1.0 - u).ln() / rate;
+        if at >= end {
+            return out;
+        }
+        out.push(Duration::from_secs_f64(at));
+    }
+}
+
+/// The arrival schedules of every session of a run, in session order
+/// (node-major: node 0's sessions first). Derived purely from `(seed,
+/// opts)`, so the threaded runtime and the simulator — and any two runs —
+/// submit at identical offsets.
+pub fn session_schedules(seed: u64, opts: &OpenLoopOpts, nodes: usize) -> Vec<Vec<Duration>> {
+    (0..nodes * opts.sessions_per_node)
+        .map(|s| {
+            // Distinct stream per session: offset the seed by the session
+            // index (the same convention the closed-loop harness uses).
+            poisson_schedule(
+                seed.wrapping_add(s as u64),
+                opts.rate_per_session,
+                opts.window,
+            )
+        })
+        .collect()
+}
+
+/// Sleeps until `target`, coarsely via the OS for the bulk and yielding the
+/// last stretch. Yield, not a spin loop: generator threads share cores with
+/// the node threads they are measuring (CI runners have 1–2 cores), and a
+/// spinning generator starves the very node loop under test. The price is
+/// submission jitter around the scheduled instant — which the latency
+/// accounting charges honestly, since latency is measured from the
+/// *scheduled* arrival, not the actual submit.
+fn sleep_until(target: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= target {
+            return;
+        }
+        let left = target - now;
+        if left > Duration::from_micros(200) {
+            std::thread::sleep(left - Duration::from_micros(100));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Runs one open-loop measurement against an already-running cluster: one
+/// generator thread per session, each following its own deterministic
+/// arrival schedule, submitting through [`Session::submit_write`] and
+/// harvesting completions without blocking. Works unchanged on the threaded
+/// runtime and the simulator (where submissions resolve synchronously and
+/// the schedule's lateness accumulates into the measured latency).
+///
+/// The caller owns cluster lifetime and warmup; this function creates its
+/// own objects (from `opts.first_object`) and measures the whole window.
+pub fn run_open_loop<C>(cluster: &C, seed: u64, opts: &OpenLoopOpts) -> OpenLoopRun
+where
+    C: ClusterDriver + Sync,
+{
+    let nodes = cluster.nodes();
+    let sessions = nodes * opts.sessions_per_node;
+    let per_session = opts.objects_per_session.max(1) as u64;
+    for s in 0..sessions as u64 {
+        let node = NodeId((s as usize / opts.sessions_per_node) as u16);
+        for k in 0..per_session {
+            cluster.create_object(
+                ObjectId(opts.first_object + s * per_session + k),
+                vec![0u8; 64].into(),
+                node,
+            );
+        }
+    }
+    let schedules = session_schedules(seed, opts, nodes);
+
+    let mut per_session_stats: Vec<(LatencyHistogram, u64, u64, Instant)> = Vec::new();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let mut threads = Vec::new();
+        for (s, schedule) in schedules.iter().enumerate() {
+            let cluster = &*cluster;
+            threads.push(scope.spawn(move || {
+                let node = NodeId((s / opts.sessions_per_node) as u16);
+                let session = cluster.handle(node);
+                let first = opts.first_object + s as u64 * per_session;
+                let mut hist = LatencyHistogram::default();
+                let mut committed = 0u64;
+                let mut aborted = 0u64;
+                let mut last_resolve = start;
+                let mut inflight: VecDeque<(Instant, TxTicket<()>)> = VecDeque::new();
+                let mut record = |result: Result<(), zeus_core::TxError>,
+                                  scheduled: Instant,
+                                  resolved: Instant,
+                                  hist: &mut LatencyHistogram| {
+                    match result {
+                        Ok(()) => committed += 1,
+                        Err(_) => aborted += 1,
+                    }
+                    hist.record(resolved.saturating_duration_since(scheduled).as_micros() as u64);
+                };
+                for (i, &offset) in schedule.iter().enumerate() {
+                    let scheduled = start + offset;
+                    sleep_until(scheduled);
+                    // Harvest whatever resolved while we waited; latency is
+                    // charged from the *scheduled* arrival, so backlog delay
+                    // stays visible even when this thread submits late.
+                    while let Some((at, ticket)) = inflight.front_mut() {
+                        let at = *at;
+                        match ticket.try_poll_timed() {
+                            Some((result, resolved)) => {
+                                record(result, at, resolved, &mut hist);
+                                last_resolve = last_resolve.max(resolved);
+                                inflight.pop_front();
+                            }
+                            None => break,
+                        }
+                    }
+                    if inflight.len() >= MAX_INFLIGHT {
+                        let (at, ticket) = inflight.pop_front().expect("non-empty");
+                        let (result, resolved) = ticket.wait_timed();
+                        record(result, at, resolved, &mut hist);
+                        last_resolve = last_resolve.max(resolved);
+                    }
+                    let object = ObjectId(first + i as u64 % per_session);
+                    let ticket = session.submit_write(move |tx| {
+                        tx.update(object, |old| {
+                            let mut v = old.to_vec();
+                            v[0] = v[0].wrapping_add(1);
+                            v
+                        })?;
+                        Ok(())
+                    });
+                    inflight.push_back((scheduled, ticket));
+                }
+                // Window closed: drain the tail so every arrival is
+                // accounted exactly once.
+                for (at, ticket) in inflight {
+                    let (result, resolved) = ticket.wait_timed();
+                    record(result, at, resolved, &mut hist);
+                    last_resolve = last_resolve.max(resolved);
+                }
+                (hist, committed, aborted, last_resolve)
+            }));
+        }
+        per_session_stats = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    });
+
+    let mut latency_us = LatencyHistogram::default();
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut last_resolve = start;
+    let mut per_session_committed = Vec::with_capacity(sessions);
+    for (hist, c, a, last) in &per_session_stats {
+        latency_us.merge(hist);
+        committed += c;
+        aborted += a;
+        last_resolve = last_resolve.max(*last);
+        per_session_committed.push(*c);
+    }
+    // Achieved rate over submission window plus completion tail: beyond the
+    // knee the tail stretches, so achieved falls below offered instead of
+    // flattering the run by ignoring the backlog it left behind.
+    let elapsed = last_resolve
+        .saturating_duration_since(start)
+        .max(opts.window);
+    OpenLoopRun {
+        offered_rate: opts.offered_rate(nodes),
+        achieved_rate: committed as f64 / elapsed.as_secs_f64(),
+        committed,
+        aborted,
+        latency_us,
+        per_session_committed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_core::{SimCluster, ThreadedCluster, ZeusConfig};
+
+    #[test]
+    fn same_seed_produces_identical_schedules() {
+        let a = poisson_schedule(7, 5_000.0, Duration::from_millis(100));
+        let b = poisson_schedule(7, 5_000.0, Duration::from_millis(100));
+        assert_eq!(a, b, "schedules must be a pure function of the seed");
+        assert!(!a.is_empty());
+        let c = poisson_schedule(8, 5_000.0, Duration::from_millis(100));
+        assert_ne!(a, c, "different seeds must diverge");
+        // And so for whole runs: every session's schedule, twice.
+        let opts = OpenLoopOpts {
+            sessions_per_node: 2,
+            rate_per_session: 2_000.0,
+            window: Duration::from_millis(50),
+            objects_per_session: 4,
+            first_object: 0,
+        };
+        assert_eq!(
+            session_schedules(42, &opts, 3),
+            session_schedules(42, &opts, 3)
+        );
+    }
+
+    #[test]
+    fn schedule_approximates_the_target_rate() {
+        let window = Duration::from_millis(500);
+        let rate = 10_000.0;
+        let arrivals = poisson_schedule(1, rate, window);
+        let expected = rate * window.as_secs_f64();
+        // Poisson count over 5k expected arrivals: +-10% is ~7 sigma.
+        assert!(
+            (arrivals.len() as f64) > expected * 0.9 && (arrivals.len() as f64) < expected * 1.1,
+            "got {} arrivals, expected ~{expected}",
+            arrivals.len()
+        );
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "monotonic");
+        assert!(arrivals.last().unwrap() < &window);
+    }
+
+    #[test]
+    fn open_loop_on_the_simulator_is_deterministic_per_seed() {
+        let opts = OpenLoopOpts {
+            sessions_per_node: 2,
+            rate_per_session: 1_000.0,
+            window: Duration::from_millis(60),
+            objects_per_session: 4,
+            first_object: 0,
+        };
+        let run = |seed: u64| {
+            let cluster = SimCluster::new(ZeusConfig::with_nodes(3));
+            run_open_loop(&cluster, seed, &opts)
+        };
+        let (a, b) = (run(42), run(42));
+        // The arrival schedules are identical, every local write commits:
+        // both runs execute exactly the same operations.
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.aborted, b.aborted);
+        assert_eq!(a.per_session_committed, b.per_session_committed);
+        assert!(a.committed > 0, "simulated open loop committed nothing");
+        assert_eq!(a.aborted, 0, "local writes must not abort");
+    }
+
+    #[test]
+    fn open_loop_drives_the_threaded_runtime_and_accounts_every_arrival() {
+        let opts = OpenLoopOpts {
+            sessions_per_node: 2,
+            rate_per_session: 2_000.0,
+            window: Duration::from_millis(80),
+            objects_per_session: 4,
+            first_object: 0,
+        };
+        let cluster = ThreadedCluster::start(ZeusConfig::with_nodes(3));
+        let run = run_open_loop(&cluster, 42, &opts);
+        let arrivals: usize = session_schedules(42, &opts, 3).iter().map(Vec::len).sum();
+        assert_eq!(
+            (run.committed + run.aborted) as usize,
+            arrivals,
+            "every scheduled arrival must resolve exactly once"
+        );
+        assert_eq!(run.latency_us.count(), arrivals as u64);
+        assert!(run.achieved_rate > 0.0);
+        assert!(run.latency_us.percentile(50.0) <= run.latency_us.percentile(99.9));
+        cluster.shutdown();
+    }
+}

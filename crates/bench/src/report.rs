@@ -48,7 +48,24 @@ pub struct ScenarioResult {
     pub aborts: u64,
     /// High-water mark of the transport inbox depth (threaded runs only).
     pub queue_depth_hwm: u64,
+    /// Metric fields this scenario does not measure (e.g. modelled rows
+    /// have no latency distribution; analysis rows have no throughput). An
+    /// absent metric's value field still serialises (as 0) for backward
+    /// compatibility, but consumers — `--diff` above all — must skip it
+    /// instead of reading the 0 as a measurement.
+    pub absent: Vec<String>,
 }
+
+/// The metric field names [`ScenarioResult::absent`] may reference.
+pub const METRIC_FIELDS: [&str; 7] = [
+    "throughput_ops",
+    "p50_us",
+    "p99_us",
+    "p999_us",
+    "handover_count",
+    "aborts",
+    "queue_depth_hwm",
+];
 
 impl ScenarioResult {
     /// A result with the given name and all metrics zeroed; scenarios fill
@@ -64,6 +81,7 @@ impl ScenarioResult {
             handover_count: 0,
             aborts: 0,
             queue_depth_hwm: 0,
+            absent: Vec::new(),
         }
     }
 
@@ -73,9 +91,34 @@ impl ScenarioResult {
         self
     }
 
-    /// Serialises to the common JSON schema.
+    /// Marks metric fields as not measured by this scenario (builder
+    /// style). Names must come from [`METRIC_FIELDS`];
+    /// [`BenchReport::validate`] rejects anything else.
+    pub fn with_absent(mut self, metrics: &[&str]) -> Self {
+        for m in metrics {
+            if !self.absent.iter().any(|a| a == m) {
+                self.absent.push((*m).to_string());
+            }
+        }
+        self
+    }
+
+    /// Marks every latency percentile as not measured.
+    pub fn with_latency_absent(self) -> Self {
+        self.with_absent(&["p50_us", "p99_us", "p999_us"])
+    }
+
+    /// Whether `metric` is marked as not measured.
+    pub fn is_absent(&self, metric: &str) -> bool {
+        self.absent.iter().any(|a| a == metric)
+    }
+
+    /// Serialises to the common JSON schema. The `absent` key is emitted
+    /// only when non-empty, so reports from scenarios that measure
+    /// everything — chaos explorer reports included — are byte-identical to
+    /// the pre-`absent` schema.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("scenario", Json::str(&self.scenario)),
             (
                 "config",
@@ -93,7 +136,14 @@ impl ScenarioResult {
             ("handover_count", Json::u64(self.handover_count)),
             ("aborts", Json::u64(self.aborts)),
             ("queue_depth_hwm", Json::u64(self.queue_depth_hwm)),
-        ])
+        ];
+        if !self.absent.is_empty() {
+            fields.push((
+                "absent",
+                Json::Arr(self.absent.iter().map(Json::str).collect()),
+            ));
+        }
+        Json::obj(fields)
     }
 
     /// Deserialises from the common JSON schema, validating every required
@@ -132,6 +182,24 @@ impl ScenarioResult {
                 ))
             }
         };
+        // Optional for backward compatibility: pre-`absent` reports (and
+        // every scenario that measures all its metrics) omit the key.
+        let absent = match v.get("absent") {
+            None => Vec::new(),
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|m| {
+                    m.as_str().map(str::to_string).ok_or_else(|| {
+                        format!("scenario '{scenario}': 'absent' entries must be strings")
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => {
+                return Err(format!(
+                    "scenario '{scenario}': 'absent' must be an array of metric names"
+                ))
+            }
+        };
         Ok(ScenarioResult {
             config,
             throughput_ops: field("throughput_ops")?,
@@ -141,21 +209,30 @@ impl ScenarioResult {
             handover_count: int_field("handover_count")?,
             aborts: int_field("aborts")?,
             queue_depth_hwm: int_field("queue_depth_hwm")?,
+            absent,
             scenario,
         })
     }
 
-    /// One-line human summary for the driver's stdout.
+    /// One-line human summary for the driver's stdout; absent metrics print
+    /// as `-` instead of a zero that reads as a measurement.
     pub fn summary_line(&self) -> String {
+        let num = |name: &str, v: String| {
+            if self.is_absent(name) {
+                "-".to_string()
+            } else {
+                v
+            }
+        };
         format!(
-            "{:<28} {:>12.0} ops/s  p50 {:>6} us  p99 {:>6} us  p99.9 {:>7} us  handovers {:>6}  aborts {:>4}",
+            "{:<28} {:>12} ops/s  p50 {:>6} us  p99 {:>6} us  p99.9 {:>7} us  handovers {:>6}  aborts {:>4}",
             self.scenario,
-            self.throughput_ops,
-            self.p50_us,
-            self.p99_us,
-            self.p999_us,
-            self.handover_count,
-            self.aborts
+            num("throughput_ops", format!("{:.0}", self.throughput_ops)),
+            num("p50_us", self.p50_us.to_string()),
+            num("p99_us", self.p99_us.to_string()),
+            num("p999_us", self.p999_us.to_string()),
+            num("handover_count", self.handover_count.to_string()),
+            num("aborts", self.aborts.to_string())
         )
     }
 }
@@ -246,9 +323,18 @@ impl BenchReport {
     }
 
     /// Checks that every scenario in `required` has at least one result and
-    /// that every result is well-formed (finite, non-negative throughput).
+    /// that every result is well-formed (finite, non-negative throughput;
+    /// `absent` names that are actual metric fields).
     pub fn validate(&self, required: &[&str]) -> Result<(), String> {
         for r in &self.results {
+            for a in &r.absent {
+                if !METRIC_FIELDS.contains(&a.as_str()) {
+                    return Err(format!(
+                        "scenario '{}' marks unknown metric '{a}' absent",
+                        r.scenario
+                    ));
+                }
+            }
             if !r.throughput_ops.is_finite() || r.throughput_ops < 0.0 {
                 return Err(format!(
                     "scenario '{}' has malformed throughput {}",
@@ -270,12 +356,17 @@ impl BenchReport {
         Ok(())
     }
 
-    /// Per-scenario throughput comparison against a baseline report,
-    /// returning `(scenario, baseline_ops, new_ops, delta_fraction)` rows.
-    /// Scenarios are matched by name + config; analysis rows (0 throughput
-    /// on both sides) are skipped.
-    pub fn diff(&self, baseline: &BenchReport) -> Vec<(String, f64, f64, f64)> {
-        let mut rows = Vec::new();
+    /// Per-scenario throughput comparison against a baseline report.
+    ///
+    /// Scenarios are matched by name + config. `rows` carries `(label,
+    /// baseline_ops, new_ops, delta_fraction)` for every compared pair;
+    /// `skipped` carries `(label, reason)` for pairs that have no comparable
+    /// throughput — either side marks the metric absent, or both report 0
+    /// (a legacy analysis row predating absent-marking). Skips are returned
+    /// rather than swallowed so `--diff` output shows what the regression
+    /// gate is *not* covering.
+    pub fn diff(&self, baseline: &BenchReport) -> DiffOutcome {
+        let mut outcome = DiffOutcome::default();
         for r in &self.results {
             let Some(b) = baseline
                 .results
@@ -284,7 +375,22 @@ impl BenchReport {
             else {
                 continue;
             };
+            let label = if r.config.is_empty() {
+                r.scenario.clone()
+            } else {
+                let cfg: Vec<String> = r.config.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{} [{}]", r.scenario, cfg.join(","))
+            };
+            if r.is_absent("throughput_ops") || b.is_absent("throughput_ops") {
+                outcome
+                    .skipped
+                    .push((label, "throughput marked absent".to_string()));
+                continue;
+            }
             if b.throughput_ops == 0.0 && r.throughput_ops == 0.0 {
+                outcome
+                    .skipped
+                    .push((label, "no throughput on either side".to_string()));
                 continue;
             }
             let delta = if b.throughput_ops > 0.0 {
@@ -292,16 +398,21 @@ impl BenchReport {
             } else {
                 f64::INFINITY
             };
-            let label = if r.config.is_empty() {
-                r.scenario.clone()
-            } else {
-                let cfg: Vec<String> = r.config.iter().map(|(k, v)| format!("{k}={v}")).collect();
-                format!("{} [{}]", r.scenario, cfg.join(","))
-            };
-            rows.push((label, b.throughput_ops, r.throughput_ops, delta));
+            outcome
+                .rows
+                .push((label, b.throughput_ops, r.throughput_ops, delta));
         }
-        rows
+        outcome
     }
+}
+
+/// What [`BenchReport::diff`] produced: compared rows plus explicit skips.
+#[derive(Debug, Clone, Default)]
+pub struct DiffOutcome {
+    /// `(label, baseline_ops, new_ops, delta_fraction)` per compared pair.
+    pub rows: Vec<(String, f64, f64, f64)>,
+    /// `(label, reason)` per matched pair with nothing to compare.
+    pub skipped: Vec<(String, String)>,
 }
 
 #[cfg(test)]
@@ -322,6 +433,7 @@ mod tests {
             handover_count: 7,
             aborts: 2,
             queue_depth_hwm: 12,
+            absent: Vec::new(),
         }
     }
 
@@ -375,8 +487,86 @@ mod tests {
         let mut r = sample();
         r.throughput_ops = 1358.0;
         new.results.push(r);
-        let rows = new.diff(&base);
-        assert_eq!(rows.len(), 1);
-        assert!((rows[0].3 - 0.1) < 0.01, "expected ~+10%: {}", rows[0].3);
+        let outcome = new.diff(&base);
+        assert_eq!(outcome.rows.len(), 1);
+        assert!(outcome.skipped.is_empty());
+        assert!(
+            (outcome.rows[0].3 - 0.1) < 0.01,
+            "expected ~+10%: {}",
+            outcome.rows[0].3
+        );
+    }
+
+    #[test]
+    fn absent_metrics_round_trip_and_stay_off_the_wire_when_empty() {
+        // No absent metrics: the key is omitted entirely, so pre-`absent`
+        // consumers (and byte-compared chaos reports) see the old schema.
+        let text = sample().to_json().pretty();
+        assert!(!text.contains("absent"));
+
+        let r = sample().with_latency_absent().with_absent(&["aborts"]);
+        assert_eq!(r.absent, vec!["p50_us", "p99_us", "p999_us", "aborts"]);
+        assert!(r.is_absent("p99_us") && !r.is_absent("throughput_ops"));
+        let parsed = ScenarioResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        // Marking twice does not duplicate.
+        assert_eq!(r.clone().with_absent(&["aborts"]).absent.len(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_absent_names() {
+        let mut report = BenchReport::new("x", "smoke", 1);
+        report
+            .results
+            .push(sample().with_absent(&["p99_us", "warp_factor"]));
+        let err = report.validate(&[]).unwrap_err();
+        assert!(err.contains("warp_factor"), "unexpected error: {err}");
+        let mut ok = BenchReport::new("x", "smoke", 1);
+        ok.results.push(sample().with_latency_absent());
+        assert!(ok.validate(&[]).is_ok());
+    }
+
+    #[test]
+    fn diff_skips_absent_throughput_with_a_reason() {
+        let mut base = BenchReport::new("base", "smoke", 1);
+        base.results.push(sample());
+        let mut analysis = sample();
+        analysis.scenario = "locality_analysis".into();
+        analysis.throughput_ops = 0.0;
+        base.results
+            .push(analysis.clone().with_absent(&["throughput_ops"]));
+
+        let mut new = BenchReport::new("new", "smoke", 1);
+        // New side marks the measured scenario's throughput absent: the
+        // pair must drop out of the gate *visibly*, not silently.
+        new.results.push(sample().with_absent(&["throughput_ops"]));
+        new.results.push(analysis.with_absent(&["throughput_ops"]));
+        let outcome = new.diff(&base);
+        assert!(outcome.rows.is_empty());
+        assert_eq!(outcome.skipped.len(), 2);
+        assert!(outcome
+            .skipped
+            .iter()
+            .all(|(_, why)| why.contains("absent")));
+    }
+
+    #[test]
+    fn diff_reports_legacy_zero_zero_rows_as_skipped() {
+        let mut base = BenchReport::new("base", "smoke", 1);
+        let mut zero = sample();
+        zero.throughput_ops = 0.0;
+        base.results.push(zero.clone());
+        let mut new = BenchReport::new("new", "smoke", 1);
+        new.results.push(zero);
+        let outcome = new.diff(&base);
+        assert!(outcome.rows.is_empty());
+        assert_eq!(outcome.skipped.len(), 1, "zero/zero must surface as a skip");
+    }
+
+    #[test]
+    fn summary_line_prints_dashes_for_absent_metrics() {
+        let line = sample().with_latency_absent().summary_line();
+        assert!(line.contains('-'));
+        assert!(!line.contains(" 40 us"), "absent p50 must not print its 0");
     }
 }

@@ -103,7 +103,7 @@ pub struct ScenarioSpec {
 
 /// Names of all scenarios a complete report must contain (the CI perf-smoke
 /// gate fails if any is missing from `BENCH_PR.json`).
-pub const REQUIRED_SCENARIOS: [&str; 12] = [
+pub const REQUIRED_SCENARIOS: [&str; 13] = [
     "fig07_handovers",
     "fig08_smallbank",
     "fig09_tatp",
@@ -115,6 +115,7 @@ pub const REQUIRED_SCENARIOS: [&str; 12] = [
     "fig15_nginx",
     "locality_analysis",
     "pipeline_depth",
+    "saturation",
     "table2",
 ];
 
@@ -175,6 +176,11 @@ pub fn registry() -> Vec<ScenarioSpec> {
             name: "pipeline_depth",
             about: "Pipelined submission: throughput/p99 vs in-flight depth (measured)",
             run: scenarios::pipeline_depth::run,
+        },
+        ScenarioSpec {
+            name: "saturation",
+            about: "Open-loop latency under load: batched vs no-batch node loop (measured)",
+            run: scenarios::saturation::run,
         },
         ScenarioSpec {
             name: "table2",

@@ -37,9 +37,14 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
     let results = configs
         .iter()
         .map(|(_, key, tps)| {
+            // Modelled rate only: no latency distribution, no cluster
+            // counters — mark them absent rather than reporting zeros the
+            // regression gate would silently skip.
             let mut result = ScenarioResult::new("fig13_gateway")
                 .with_config("datastore", *key)
-                .with_config("kind", "modelled");
+                .with_config("kind", "modelled")
+                .with_latency_absent()
+                .with_absent(&["handover_count", "aborts", "queue_depth_hwm"]);
             result.throughput_ops = *tps;
             ctx.stamp(result)
         })

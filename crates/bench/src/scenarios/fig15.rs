@@ -31,9 +31,12 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
             format!("{:.1}", nodes as f64 * per_node / 1e3),
         ]);
     }
+    // Modelled rate only: no latency distribution, no cluster counters.
     let mut result = ScenarioResult::new("fig15_nginx")
         .with_config("kind", "modelled")
-        .with_config("peak_nodes", 2);
+        .with_config("peak_nodes", 2)
+        .with_latency_absent()
+        .with_absent(&["handover_count", "aborts", "queue_depth_hwm"]);
     result.throughput_ops = 2.0 * per_node;
     ScenarioOutcome {
         tables: vec![TableData {

@@ -43,8 +43,11 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
         "-".to_string(),
         format!("{:.2}%", tpcc_remote_fraction() * 100.0),
     ]);
+    // Pure analysis: the interesting numbers live in the config keys below;
+    // every numeric metric of the common schema is explicitly not measured.
     let result = ctx.stamp(
         ScenarioResult::new("locality_analysis")
+            .with_absent(&crate::report::METRIC_FIELDS)
             .with_config("kind", "analysis")
             .with_config("venmo_remote_3nodes", format!("{venmo_3nodes:.4}"))
             .with_config(

@@ -17,6 +17,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod locality;
 pub mod pipeline_depth;
+pub mod saturation;
 pub mod table2;
 
 use zeus_core::LatencyHistogram;

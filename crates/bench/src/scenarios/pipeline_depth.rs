@@ -67,25 +67,30 @@ pub fn run_depth(
     let mut next = first;
     let exhausted = first + count;
     let mut last_resolved = start;
+    // Latency is per ticket: submit instant to the *node-side* resolve
+    // instant (`wait_timed`/`try_poll_timed`), so a pipelined run reports
+    // each transaction's true service time, not how long the result sat in
+    // the reply channel before this loop got around to harvesting it.
     let mut record = |result: Result<(), zeus_core::TxError>,
                       t0: Instant,
+                      resolved_at: Instant,
                       latency_us: &mut LatencyHistogram|
      -> Instant {
         match result {
             Ok(()) => committed += 1,
             Err(_) => aborted += 1,
         }
-        latency_us.record(t0.elapsed().as_micros() as u64);
-        Instant::now()
+        latency_us.record(resolved_at.saturating_duration_since(t0).as_micros() as u64);
+        resolved_at
     };
     while Instant::now() < end && next < exhausted {
         // Harvest everything that already resolved without blocking — one
         // client wake-up collects a whole batch of completions.
         while let Some((t0, ticket)) = inflight.front_mut() {
             let t0 = *t0;
-            match ticket.try_poll() {
-                Some(result) => {
-                    last_resolved = record(result, t0, &mut latency_us);
+            match ticket.try_poll_timed() {
+                Some((result, resolved_at)) => {
+                    last_resolved = record(result, t0, resolved_at, &mut latency_us);
                     inflight.pop_front();
                 }
                 None => break,
@@ -109,12 +114,14 @@ pub fn run_depth(
         }
         // The window is full again: block on the oldest submission only.
         if let Some((t0, ticket)) = inflight.pop_front() {
-            last_resolved = record(ticket.wait(), t0, &mut latency_us);
+            let (result, resolved_at) = ticket.wait_timed();
+            last_resolved = record(result, t0, resolved_at, &mut latency_us);
         }
     }
     // Resolve the tail, then hit the barrier: every submission accounted.
     for (t0, ticket) in inflight {
-        last_resolved = record(ticket.wait(), t0, &mut latency_us);
+        let (result, resolved_at) = ticket.wait_timed();
+        last_resolved = record(result, t0, resolved_at, &mut latency_us);
     }
     session.drain().expect("drain after the tail resolved");
     let elapsed = last_resolved.saturating_duration_since(start);

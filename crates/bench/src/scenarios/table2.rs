@@ -21,8 +21,10 @@ pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
             ]
         })
         .collect();
+    // Pure analysis: every numeric metric is explicitly not measured.
     let result = ctx.stamp(
         ScenarioResult::new("table2")
+            .with_absent(&crate::report::METRIC_FIELDS)
             .with_config("kind", "analysis")
             .with_config("benchmarks", summaries.len()),
     );

@@ -83,7 +83,7 @@
 //! cluster.shutdown();
 //! ```
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use zeus_proto::{NodeId, ObjectId, OwnershipRequestKind};
@@ -269,6 +269,17 @@ impl RetryPolicy {
 // Tickets
 // ---------------------------------------------------------------------------
 
+/// The encoded result of a submitted transaction plus the instant the node
+/// resolved it, shipped over the ticket's reply channel. The timestamp is
+/// recorded on the node thread, so per-ticket latency (resolve minus
+/// submit) reflects when the transaction actually finished — not whenever
+/// the client got around to polling or draining.
+#[derive(Debug)]
+pub(crate) struct TicketReply {
+    pub(crate) result: Result<Vec<u8>, TxError>,
+    pub(crate) resolved_at: Instant,
+}
+
 /// A transaction submitted with [`Session::submit_write`], resolving to its
 /// typed result.
 ///
@@ -282,22 +293,23 @@ pub struct TxTicket<T: TxPayload> {
 
 #[derive(Debug)]
 enum TicketState<T> {
-    /// The result is already known (simulated runtime, or polled).
-    Ready(Option<Result<T, TxError>>),
+    /// The result is already known (simulated runtime, or polled), plus the
+    /// instant it resolved.
+    Ready(Option<Result<T, TxError>>, Instant),
     /// The node thread will ship the encoded result over this channel.
-    Pending(crossbeam::channel::Receiver<Result<Vec<u8>, TxError>>),
+    Pending(crossbeam::channel::Receiver<TicketReply>),
 }
 
 impl<T: TxPayload> TxTicket<T> {
     /// A ticket that is already resolved.
     pub(crate) fn ready(result: Result<T, TxError>) -> Self {
         TxTicket {
-            state: TicketState::Ready(Some(result)),
+            state: TicketState::Ready(Some(result), Instant::now()),
         }
     }
 
     /// A ticket resolved by a future message on `rx`.
-    pub(crate) fn pending(rx: crossbeam::channel::Receiver<Result<Vec<u8>, TxError>>) -> Self {
+    pub(crate) fn pending(rx: crossbeam::channel::Receiver<TicketReply>) -> Self {
         TxTicket {
             state: TicketState::Pending(rx),
         }
@@ -312,29 +324,45 @@ impl<T: TxPayload> TxTicket<T> {
     /// Blocks until the transaction resolves and returns its result. A
     /// ticket whose node shut down resolves to [`TxError::NodeUnavailable`].
     pub fn wait(self) -> Result<T, TxError> {
+        self.wait_timed().0
+    }
+
+    /// Like [`TxTicket::wait`], additionally returning the instant the node
+    /// resolved the transaction — the end point for per-ticket latency
+    /// measurements of pipelined submissions.
+    pub fn wait_timed(self) -> (Result<T, TxError>, Instant) {
         match self.state {
-            TicketState::Ready(result) => result.expect("ticket already consumed"),
-            TicketState::Pending(rx) => {
-                Self::decode(rx.recv().unwrap_or(Err(TxError::NodeUnavailable)))
-            }
+            TicketState::Ready(result, at) => (result.expect("ticket already consumed"), at),
+            TicketState::Pending(rx) => match rx.recv() {
+                Ok(reply) => (Self::decode(reply.result), reply.resolved_at),
+                Err(_) => (Err(TxError::NodeUnavailable), Instant::now()),
+            },
         }
     }
 
     /// Returns the result if the transaction has resolved, `None` if it is
     /// still in flight. After `Some` is returned the ticket is spent.
     pub fn try_poll(&mut self) -> Option<Result<T, TxError>> {
+        self.try_poll_timed().map(|(result, _)| result)
+    }
+
+    /// Like [`TxTicket::try_poll`], additionally returning the instant the
+    /// node resolved the transaction.
+    pub fn try_poll_timed(&mut self) -> Option<(Result<T, TxError>, Instant)> {
         match &mut self.state {
-            TicketState::Ready(result) => result.take(),
+            TicketState::Ready(result, at) => result.take().map(|r| (r, *at)),
             TicketState::Pending(rx) => {
                 use crossbeam::channel::TryRecvError;
                 match rx.try_recv() {
-                    Ok(encoded) => {
-                        self.state = TicketState::Ready(None);
-                        Some(Self::decode(encoded))
+                    Ok(reply) => {
+                        let at = reply.resolved_at;
+                        self.state = TicketState::Ready(None, at);
+                        Some((Self::decode(reply.result), at))
                     }
                     Err(TryRecvError::Disconnected) => {
-                        self.state = TicketState::Ready(None);
-                        Some(Err(TxError::NodeUnavailable))
+                        let at = Instant::now();
+                        self.state = TicketState::Ready(None, at);
+                        Some((Err(TxError::NodeUnavailable), at))
                     }
                     Err(TryRecvError::Empty) => None,
                 }
@@ -527,23 +555,57 @@ mod tests {
         assert_eq!(t.wait(), Err(TxError::Fenced));
     }
 
+    fn reply(result: Result<Vec<u8>, TxError>) -> TicketReply {
+        TicketReply {
+            result,
+            resolved_at: Instant::now(),
+        }
+    }
+
     #[test]
     fn pending_tickets_poll_and_wait() {
         let (tx, rx) = crossbeam::channel::bounded(1);
         let mut t: TxTicket<u64> = TxTicket::pending(rx);
         assert_eq!(t.try_poll(), None);
-        tx.send(Ok(9u64.encode())).unwrap();
+        tx.send(reply(Ok(9u64.encode()))).unwrap();
         assert_eq!(t.try_poll(), Some(Ok(9)));
 
         let (tx, rx) = crossbeam::channel::bounded(1);
         let t: TxTicket<u64> = TxTicket::pending(rx);
-        tx.send(Ok(11u64.encode())).unwrap();
+        tx.send(reply(Ok(11u64.encode()))).unwrap();
         assert_eq!(t.wait(), Ok(11));
 
         // A dropped node thread resolves tickets to NodeUnavailable.
-        let (tx, rx) = crossbeam::channel::bounded::<Result<Vec<u8>, TxError>>(1);
+        let (tx, rx) = crossbeam::channel::bounded::<TicketReply>(1);
         drop(tx);
         let t: TxTicket<u64> = TxTicket::pending(rx);
         assert_eq!(t.wait(), Err(TxError::NodeUnavailable));
+    }
+
+    #[test]
+    fn timed_accessors_expose_the_resolve_instant() {
+        let before = Instant::now();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let mut t: TxTicket<u64> = TxTicket::pending(rx);
+        assert!(t.try_poll_timed().is_none());
+        let sent_at = Instant::now();
+        tx.send(TicketReply {
+            result: Ok(5u64.encode()),
+            resolved_at: sent_at,
+        })
+        .unwrap();
+        let (result, at) = t.try_poll_timed().unwrap();
+        assert_eq!(result, Ok(5));
+        assert_eq!(
+            at, sent_at,
+            "resolve instant is the sender's, not poll time"
+        );
+        assert!(at >= before);
+
+        // Ready tickets are stamped at creation, and wait_timed agrees.
+        let t: TxTicket<u64> = TxTicket::ready(Ok(7));
+        let (result, at) = t.wait_timed();
+        assert_eq!(result, Ok(7));
+        assert!(at >= before && at <= Instant::now());
     }
 }

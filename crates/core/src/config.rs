@@ -32,6 +32,14 @@ pub struct ZeusConfig {
     /// configurations; the chaos harness flips it to false to re-create the
     /// pre-fix expulsion wedge and prove the explorer catches it.
     pub readmit_suspects: bool,
+    /// Whether the threaded node loop executes its drained command batch as
+    /// one unit (writes back-to-back into the commit pipeline, coalesced
+    /// ownership acquisitions, one outbox flush per batch). Disabled, the
+    /// loop processes one command per iteration with per-message sends —
+    /// the `--no-batch` control of the saturation benchmarks. The simulator
+    /// executes sessions synchronously, so it always behaves like batches
+    /// of one regardless of this flag.
+    pub batch_commands: bool,
 }
 
 impl Default for ZeusConfig {
@@ -54,6 +62,7 @@ impl Default for ZeusConfig {
             max_ownership_retries: 256,
             retransmit_ticks: 64,
             readmit_suspects: true,
+            batch_commands: true,
         }
     }
 }

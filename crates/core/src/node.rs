@@ -69,11 +69,45 @@ pub struct ZeusNode {
     failed_reqs: HashMap<RequestId, NackReason>,
     retry_queue: Vec<RequestId>,
     request_started_at: HashMap<RequestId, u64>,
+    /// In-flight acquisitions keyed by what they ask for, so batched
+    /// transactions needing the same object can share one protocol request
+    /// (only consulted when `coalesce_acquires` is on).
+    inflight_acquires: HashMap<(ObjectId, OwnershipRequestKind), RequestId>,
+    /// How many waiters reference each in-flight request. A request is only
+    /// really abandoned when its last waiter gives up — otherwise one parked
+    /// transaction's back-off would cancel a request its batch peers still
+    /// wait on.
+    acquire_refs: HashMap<RequestId, usize>,
+    /// Whether `acquire` may return an already-in-flight request for the
+    /// same `(object, kind)`. Enabled by the threaded runtime's batched
+    /// command loop; the simulator leaves it off so chaos replay semantics
+    /// are untouched.
+    coalesce_acquires: bool,
     ownership_latency: LatencyHistogram,
     stats: NodeStats,
     now: u64,
     last_retransmit: u64,
+    /// Inbox-backlog signal from the runtime (see [`ZeusNode::set_congested`]).
+    congested: bool,
+    /// Current congestion back-off multiplier, 1..=`CONGESTED_RETRANSMIT_STRETCH_MAX`.
+    congestion_stretch: u64,
 }
+
+/// Cap on the congestion back-off multiplier of the retransmit interval.
+/// The in-process transports never lose messages, so when the inbox is
+/// backlogged every unacknowledged R-INV/REQ is either queued at the peer or
+/// queued *here* — retransmitting it only adds to the backlog. Unchecked,
+/// that feedback loop is a congestion collapse: a node that falls one
+/// retransmit interval behind under open-loop overload re-sends every
+/// in-flight message each interval, which grows the very backlog that made
+/// it late (observed as multi-GB mailboxes and 100x throughput loss past
+/// the saturation knee). The interval therefore doubles on every interval
+/// that still sees a backlog (up to this cap) and snaps back to 1x the
+/// moment the inbox is clear — retransmit traffic provably decays below any
+/// fixed drain rate, while genuine loss recovery (partitions drop messages;
+/// receivers drop stale-epoch messages) stays live at a bounded rate and at
+/// full speed on an idle node.
+const CONGESTED_RETRANSMIT_STRETCH_MAX: u64 = 256;
 
 impl ZeusNode {
     /// Creates node `id` of a deployment described by `config`.
@@ -93,10 +127,15 @@ impl ZeusNode {
             failed_reqs: HashMap::new(),
             retry_queue: Vec::new(),
             request_started_at: HashMap::new(),
+            inflight_acquires: HashMap::new(),
+            acquire_refs: HashMap::new(),
+            coalesce_acquires: false,
             ownership_latency: LatencyHistogram::default(),
             stats: NodeStats::default(),
             now: 0,
             last_retransmit: 0,
+            congested: false,
+            congestion_stretch: 1,
             config,
         }
     }
@@ -226,6 +265,17 @@ impl ZeusNode {
     /// transaction layer and directly by the migration experiments of
     /// Figures 10–11).
     pub fn acquire(&mut self, object: ObjectId, kind: OwnershipRequestKind) -> RequestId {
+        if self.coalesce_acquires {
+            if let Some(&req) = self.inflight_acquires.get(&(object, kind)) {
+                if self.request_state(req) == RequestState::Pending {
+                    // Another transaction of the current batch already asked
+                    // for exactly this access: share its request instead of
+                    // putting a second REQ on the wire.
+                    *self.acquire_refs.entry(req).or_insert(1) += 1;
+                    return req;
+                }
+            }
+        }
         self.stats.ownership_requests += 1;
         let host = HostView {
             store: &self.store,
@@ -233,8 +283,32 @@ impl ZeusNode {
         };
         let (req_id, actions) = self.ownership.request_access(object, kind, &host);
         self.request_started_at.insert(req_id, self.now);
+        self.acquire_refs.insert(req_id, 1);
+        if self.coalesce_acquires {
+            self.inflight_acquires.insert((object, kind), req_id);
+        }
         self.process_ownership_actions(actions);
         req_id
+    }
+
+    /// Enables (or disables) sharing of in-flight ownership requests across
+    /// the transactions of one command batch. See [`ZeusNode::acquire`].
+    pub fn set_coalesce_acquires(&mut self, on: bool) {
+        self.coalesce_acquires = on;
+        if !on {
+            self.inflight_acquires.clear();
+        }
+    }
+
+    /// Records that the hosting runtime executed a batch of `n` drained
+    /// commands as one unit (one inbox drain, one outbox flush). Feeds the
+    /// `batched_commands` / `batch_occupancy_hwm` counters of [`NodeStats`].
+    pub fn note_command_batch(&mut self, n: usize) {
+        let n = n as u64;
+        if n >= 2 {
+            self.stats.batched_commands += n;
+        }
+        self.stats.batch_occupancy_hwm = self.stats.batch_occupancy_hwm.max(n);
     }
 
     /// Abandons a pending ownership request the caller gave up waiting for
@@ -243,6 +317,14 @@ impl ZeusNode {
     /// retransmit forever, pinning the node in a non-quiescent state long
     /// after its transaction moved on.
     pub fn abandon_request(&mut self, req: RequestId) {
+        if let Some(refs) = self.acquire_refs.get_mut(&req) {
+            if *refs > 1 {
+                *refs -= 1;
+                return;
+            }
+            self.acquire_refs.remove(&req);
+        }
+        self.inflight_acquires.retain(|_, &mut r| r != req);
         self.ownership.abandon_request(req);
         self.retry_queue.retain(|&r| r != req);
         self.request_started_at.remove(&req);
@@ -448,6 +530,17 @@ impl ZeusNode {
         }
     }
 
+    /// Reports whether the runtime's inbox had a backlog this iteration.
+    /// While congested, [`ZeusNode::tick`] stretches the retransmission
+    /// interval (doubling per congested interval, capped at 256x) so
+    /// re-sends cannot
+    /// amplify the backlog into a congestion collapse. The simulator never
+    /// sets this (its delivery is schedule-driven), so sim and chaos
+    /// semantics are untouched.
+    pub fn set_congested(&mut self, congested: bool) {
+        self.congested = congested;
+    }
+
     /// Advances the node's clock and drives periodic work (heartbeats, lease
     /// expiry, ownership retries).
     pub fn tick(&mut self, now: u64) {
@@ -460,8 +553,16 @@ impl ZeusNode {
         // makes the protocols live across epoch transitions (messages
         // carrying a not-yet-installed epoch are dropped by receivers) while
         // keeping retry traffic bounded.
-        if self.now.saturating_sub(self.last_retransmit) >= self.config.retransmit_ticks {
+        if !self.congested {
+            self.congestion_stretch = 1;
+        }
+        let interval = self.config.retransmit_ticks * self.congestion_stretch;
+        if self.now.saturating_sub(self.last_retransmit) >= interval {
             self.last_retransmit = self.now;
+            if self.congested {
+                self.congestion_stretch =
+                    (self.congestion_stretch * 2).min(CONGESTED_RETRANSMIT_STRETCH_MAX);
+            }
             let retried = !self.retry_queue.is_empty();
             if retried {
                 let retries = std::mem::take(&mut self.retry_queue);
@@ -549,6 +650,8 @@ impl ZeusNode {
                             .record(self.now.saturating_sub(start).max(1));
                     }
                     self.completed_reqs.insert(req_id);
+                    self.acquire_refs.remove(&req_id);
+                    self.inflight_acquires.retain(|_, &mut r| r != req_id);
                     self.apply_acquisition(object, kind, o_ts, new_replicas, data);
                 }
                 OwnershipAction::Failed {
@@ -557,6 +660,8 @@ impl ZeusNode {
                     reason,
                 } => {
                     self.request_started_at.remove(&req_id);
+                    self.acquire_refs.remove(&req_id);
+                    self.inflight_acquires.retain(|_, &mut r| r != req_id);
                     self.failed_reqs.insert(req_id, reason);
                 }
                 OwnershipAction::RetryLater { req_id, .. } => {
@@ -756,6 +861,8 @@ impl ZeusNode {
         self.store.clear();
         self.commit.reset_for_rejoin();
         self.retry_queue.clear();
+        self.inflight_acquires.clear();
+        self.acquire_refs.clear();
         let actions = self.ownership.reset_for_rejoin();
         self.process_ownership_actions(actions);
     }

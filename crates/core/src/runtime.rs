@@ -21,7 +21,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use zeus_net::{Envelope, NodeMailbox, ThreadedNet};
 use zeus_proto::{NodeId, ObjectId, OwnershipRequestKind, ReplicaSet, RequestId};
 
-use crate::client::{ClusterDriver, RetryPolicy, Session, TxPayload, TxTicket};
+use crate::client::{ClusterDriver, RetryPolicy, Session, TicketReply, TxPayload, TxTicket};
 use crate::config::ZeusConfig;
 use crate::message::Message;
 use crate::node::{RequestState, ZeusNode};
@@ -76,13 +76,19 @@ impl Drop for InflightGuard {
 /// guard; sending the result (or dropping the slot) releases the guard.
 #[derive(Debug)]
 struct ReplySlot {
-    tx: Sender<Result<Vec<u8>, TxError>>,
+    tx: Sender<TicketReply>,
     _guard: InflightGuard,
 }
 
 impl ReplySlot {
     fn send(self, result: Result<Vec<u8>, TxError>) {
-        let _ = self.tx.send(result);
+        // Stamp the resolve instant on the node thread, so pipelined
+        // tickets expose true per-op latency (resolve minus submit) rather
+        // than whenever the client got around to polling.
+        let _ = self.tx.send(TicketReply {
+            result,
+            resolved_at: Instant::now(),
+        });
         // `_guard` drops here: the submission has resolved.
     }
 }
@@ -469,9 +475,32 @@ impl ClusterDriver for ThreadedCluster {
 /// waited-on channel wake the loop immediately instead of after a sleep.
 const IDLE_WAIT: Duration = Duration::from_micros(20);
 
+/// Command-admission high-water mark on the replication pipeline. Tickets
+/// resolve at commit *initiation* (the pipelined commit of §5), not at
+/// replication completion, so nothing in the client path bounds how many
+/// commits can be outstanding at once: an open-loop generator past the knee
+/// grows the outstanding set without limit, and every periodic
+/// `commit.retransmit()` scan then walks that whole set — the loop slows
+/// down further the further behind it is. Steady state at the measured knee
+/// keeps outstanding in the low tens, so a four-figure mark never throttles
+/// healthy pipelining; past it the loop stops draining new commands (they
+/// queue in the channel as client-visible delay) until R-ACKs drain the
+/// pipeline. Protocol traffic keeps flowing while admission is paused, so
+/// the set always drains: acks shrink it and view changes clean up commits
+/// stranded by dead peers.
+const COMMIT_BACKPRESSURE_HWM: usize = 2_048;
+
 /// The per-node event loop.
 fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiver<Command>) {
     let started = Instant::now();
+    // Cross-session batching (`ZeusConfig::batch_commands`): execute the
+    // drained command batch as one unit — writes back to back into the
+    // commit pipeline, same-object ownership acquisitions shared, one
+    // outbox flush per iteration. Disabled, the loop serves one command per
+    // iteration with per-message sends: the `--no-batch` control the
+    // saturation benchmarks compare against.
+    let batched = node.config().batch_commands;
+    node.set_coalesce_acquires(batched);
     let mut parked: Vec<Parked> = Vec::new();
     let mut acquiring: Vec<AcquireWait> = Vec::new();
     // Batch buffers: the shim's channels are Mutex-backed, so popping a
@@ -482,13 +511,19 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
     let mut inbox_buf: VecDeque<Envelope<Message>> = VecDeque::new();
     let mut drain_buf: Vec<Envelope<Message>> = Vec::new();
     let mut cmd_buf: Vec<Command> = Vec::new();
+    let mut scratch_buf: Vec<Command> = Vec::new();
+    let mut hold_buf: Vec<Command> = Vec::new();
     loop {
         let mut did_work = false;
 
         // 1. Network traffic: drain the mailbox into the local batch, then
-        //    process from the batch.
+        //    process from the batch. A full drain means the mailbox likely
+        //    holds more — the node is running behind its inbox, and
+        //    retransmissions must back off before they amplify the backlog
+        //    (see `ZeusNode::set_congested`).
+        let mut inbox_backlog = !inbox_buf.is_empty();
         if inbox_buf.is_empty() {
-            mailbox.drain_into(&mut drain_buf, 256);
+            inbox_backlog = mailbox.drain_into(&mut drain_buf, 256) == 256;
             inbox_buf.extend(drain_buf.drain(..));
         }
         while let Some(env) = inbox_buf.pop_front() {
@@ -509,10 +544,55 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
             }
         }
 
-        // 2. Client commands: batch-drain, then process the whole batch.
-        //    Pipelined submissions land here together — one lock round-trip
-        //    per burst (`drain_into`), executed back to back.
-        commands.drain_into(&mut cmd_buf, 64);
+        // 2. Client commands: batch-drain, then execute the whole batch as
+        //    one unit. Pipelined and multi-session submissions land here
+        //    together — one lock round-trip per burst (`drain_into`), then
+        //    writes are grouped to the front so the commit pipeline fills
+        //    back to back and same-object acquisitions coalesce before the
+        //    single outbox flush of step 6. Reordering writes ahead of
+        //    reads/acquires preserves per-session order: those commands
+        //    block their session, so no session can have a write queued
+        //    *behind* its own read/acquire within one batch. `CreateObject`
+        //    stays in the front group too — it is fire-and-forget, and a
+        //    write hoisted past it would put its ownership REQ on the wire
+        //    before the object's placement is installed, racing the
+        //    directory's own creation.
+        //    The control path serves strictly one command per iteration,
+        //    counting anything the idle wait below already picked up.
+        //    Admission is gated on the replication pipeline's depth: a
+        //    ticket resolves when its commit *starts* (pipelining, §5), so
+        //    an open-loop client can push commands faster than R-ACKs
+        //    return forever. Unchecked, the outstanding-commit set grows
+        //    without bound and every retransmit scan grows with it — the
+        //    node digs itself a hole at exactly the moment it is behind.
+        //    Past the high-water mark, new commands wait in the channel
+        //    (clients see it as queueing delay) until replication catches
+        //    up; protocol traffic keeps draining meanwhile.
+        let want = if node.outstanding_commits() >= COMMIT_BACKPRESSURE_HWM {
+            0
+        } else if batched {
+            64
+        } else {
+            1usize.saturating_sub(cmd_buf.len())
+        };
+        commands.drain_into(&mut cmd_buf, want);
+        if !cmd_buf.is_empty() {
+            node.note_command_batch(cmd_buf.len());
+        }
+        if batched && cmd_buf.len() > 1 {
+            std::mem::swap(&mut cmd_buf, &mut scratch_buf);
+            for command in scratch_buf.drain(..) {
+                if matches!(
+                    command,
+                    Command::Write { .. } | Command::CreateObject { .. }
+                ) {
+                    cmd_buf.push(command);
+                } else {
+                    hold_buf.push(command);
+                }
+            }
+            cmd_buf.append(&mut hold_buf);
+        }
         for command in cmd_buf.drain(..) {
             match command {
                 Command::Write {
@@ -582,10 +662,7 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
                                     }
                                 }
                                 node.tick(started.elapsed().as_micros() as u64);
-                                for (to, msg) in node.drain_outbox() {
-                                    let bytes = msg.payload_bytes();
-                                    mailbox.send(to, msg, bytes);
-                                }
+                                flush_outbox(&mut node, &mailbox, batched);
                             }
                             ReadOutcome::Aborted { error } => {
                                 result = Err(error);
@@ -733,11 +810,12 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
             }
         }
 
-        // 6. Ship outgoing traffic and advance the clock.
-        for (to, msg) in node.drain_outbox() {
-            let bytes = msg.payload_bytes();
-            mailbox.send(to, msg, bytes);
-        }
+        // 6. Ship outgoing traffic and advance the clock. In batched mode
+        //    this is the batch's single flush: everything the whole command
+        //    batch produced (R-INVs of every commit, coalesced REQs) goes
+        //    out grouped by destination, one channel lock per peer.
+        flush_outbox(&mut node, &mailbox, batched);
+        node.set_congested(inbox_backlog || !inbox_buf.is_empty());
         node.tick(started.elapsed().as_micros() as u64);
 
         if !did_work {
@@ -748,13 +826,41 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
             // to a full 20 us sleep, which dominated closed-loop
             // transaction latency. Traffic on the *other* channel waits at
             // most IDLE_WAIT, exactly the bound the old sleep imposed.
-            if parked.is_empty() && acquiring.is_empty() {
+            if parked.is_empty()
+                && acquiring.is_empty()
+                && node.outstanding_commits() < COMMIT_BACKPRESSURE_HWM
+            {
                 if let Ok(command) = commands.recv_timeout(IDLE_WAIT) {
                     cmd_buf.push(command);
                 }
             } else if let Some(env) = mailbox.recv_timeout(IDLE_WAIT) {
                 inbox_buf.push_back(env);
             }
+        }
+    }
+}
+
+/// Ships everything in the node's outbox: one batched, destination-grouped
+/// flush when cross-session batching is on, per-message sends otherwise
+/// (the `--no-batch` control path).
+fn flush_outbox(node: &mut ZeusNode, mailbox: &NodeMailbox<Message>, batched: bool) {
+    let out = node.drain_outbox();
+    if out.is_empty() {
+        return;
+    }
+    if batched {
+        mailbox.send_batch(
+            out.into_iter()
+                .map(|(to, msg)| {
+                    let bytes = msg.payload_bytes();
+                    (to, msg, bytes)
+                })
+                .collect(),
+        );
+    } else {
+        for (to, msg) in out {
+            let bytes = msg.payload_bytes();
+            mailbox.send(to, msg, bytes);
         }
     }
 }

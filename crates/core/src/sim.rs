@@ -619,6 +619,11 @@ impl SimInner {
         // first-grant continuation.
         let mut attempts = 0;
         let mut granted_rounds = 0usize;
+        // Sessions execute synchronously under the cluster mutex, so every
+        // command is a batch of one — the counters keep the same meaning as
+        // on the threaded runtime without touching message flow (chaos
+        // determinism is preserved).
+        self.nodes[node.index()].note_command_batch(1);
         loop {
             let outcome = self.nodes[node.index()].execute_write(0, &mut f);
             match outcome {
@@ -688,6 +693,7 @@ impl SimInner {
         max_attempts: usize,
         mut f: impl FnMut(&mut TxCtx<'_>) -> Result<R, TxError>,
     ) -> Result<R, TxError> {
+        self.nodes[node.index()].note_command_batch(1);
         for _ in 0..max_attempts.max(1) {
             match self.nodes[node.index()].execute_read(&mut f) {
                 ReadOutcome::Committed { value } => return Ok(value),

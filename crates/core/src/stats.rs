@@ -147,6 +147,13 @@ pub struct NodeStats {
     pub txs_fenced: u64,
     /// Times this node discarded its replica state after re-admission.
     pub rejoin_resets: u64,
+    /// Commands that shared their drained batch with at least one other
+    /// command (cross-session batching). A batch of `n >= 2` adds `n`; the
+    /// simulator's synchronous sessions always run batches of one, so this
+    /// stays 0 there.
+    pub batched_commands: u64,
+    /// Largest command batch the node loop executed as one unit.
+    pub batch_occupancy_hwm: u64,
 }
 
 impl NodeStats {
@@ -161,6 +168,10 @@ impl NodeStats {
         self.objects_owned += other.objects_owned;
         self.txs_fenced += other.txs_fenced;
         self.rejoin_resets += other.rejoin_resets;
+        self.batched_commands += other.batched_commands;
+        // The high-water mark is a maximum, not a volume: the cluster-wide
+        // value is the deepest batch any node executed.
+        self.batch_occupancy_hwm = self.batch_occupancy_hwm.max(other.batch_occupancy_hwm);
     }
 
     /// Total committed transactions (read + write).

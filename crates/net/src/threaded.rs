@@ -81,6 +81,12 @@ impl SharedCounters {
             .fetch_max(queue_depth as u64, Ordering::Relaxed);
     }
 
+    /// Adds delivered bytes without touching message counts (batched sends
+    /// count messages per envelope but bytes per bucket).
+    fn record_bytes(&self, bytes: usize) {
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Records a send that never reached an inbox (unknown peer, or the
     /// destination's node thread exited and closed its channel).
     fn record_failed(&self, bytes: usize) {
@@ -163,6 +169,59 @@ impl<M> NodeMailbox<M> {
             None => {
                 self.counters.record_failed(wire_bytes);
                 false
+            }
+        }
+    }
+
+    /// Sends a whole outbox flush, grouping messages by destination so each
+    /// destination's channel is locked once per batch instead of once per
+    /// message. `msgs` carries `(to, msg, payload_bytes)` triples in send
+    /// order; per-destination FIFO order is preserved. Counter and
+    /// link-fault semantics match per-message [`NodeMailbox::send`]: cut or
+    /// undeliverable messages are recorded as dropped, and the queue-depth
+    /// high-water mark observes the depth after each destination's batch.
+    pub fn send_batch(&self, msgs: Vec<(NodeId, M, usize)>) {
+        if msgs.is_empty() {
+            return;
+        }
+        // Group by destination while preserving order. Destinations per
+        // batch are few (cluster peers), so a linear bucket scan beats a
+        // hash map here.
+        let mut buckets: Vec<(NodeId, Vec<Envelope<M>>, usize)> = Vec::new();
+        for (to, msg, payload_bytes) in msgs {
+            let env = Envelope::with_payload_bytes(self.id, to, msg, payload_bytes);
+            let wire_bytes = env.wire_bytes;
+            if self.faults.is_cut(self.id, to) || self.peers.get(to.index()).is_none() {
+                self.counters.record_failed(wire_bytes);
+                continue;
+            }
+            match buckets.iter_mut().find(|(dest, _, _)| *dest == to) {
+                Some((_, bucket, bytes)) => {
+                    bucket.push(env);
+                    *bytes += wire_bytes;
+                }
+                None => buckets.push((to, vec![env], wire_bytes)),
+            }
+        }
+        for (to, bucket, bytes) in buckets {
+            let count = bucket.len();
+            let tx = &self.peers[to.index()];
+            match tx.send_batch(bucket) {
+                Ok(depth) => {
+                    for _ in 0..count {
+                        self.counters.record(0, depth);
+                    }
+                    // Bytes are recorded once per bucket; the per-message
+                    // calls above only bump message counts and the hwm.
+                    self.counters.record_bytes(bytes);
+                }
+                Err(_) => {
+                    self.counters.record_failed(bytes);
+                    // One failed flush counts each undelivered message.
+                    for _ in 1..count {
+                        self.counters.record_failed(0);
+                    }
+                }
             }
         }
     }
@@ -336,6 +395,31 @@ mod tests {
         let values: Vec<u32> = buf.iter().map(|e| e.msg).collect();
         assert_eq!(values, vec![0, 1, 2, 3, 4, 5]);
         assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn send_batch_matches_per_message_semantics() {
+        let net: ThreadedNet<u32> = ThreadedNet::new(3);
+        let a = net.mailbox(NodeId(0));
+        let b = net.mailbox(NodeId(1));
+        let c = net.mailbox(NodeId(2));
+        net.faults().partition(NodeId(0), NodeId(2));
+        a.send_batch(vec![
+            (NodeId(1), 1, 4),
+            (NodeId(2), 2, 4), // cut link: dropped
+            (NodeId(1), 3, 4),
+            (NodeId(9), 4, 4), // unknown peer: dropped
+        ]);
+        let mut buf = Vec::new();
+        b.drain_into(&mut buf, 10);
+        let values: Vec<u32> = buf.iter().map(|e| e.msg).collect();
+        assert_eq!(values, vec![1, 3], "per-destination FIFO preserved");
+        assert!(c.try_recv().is_none());
+        let stats = net.stats();
+        assert_eq!(stats.messages_sent, 4);
+        assert_eq!(stats.messages_dropped, 2);
+        assert_eq!(stats.messages_delivered, 2);
+        assert!(stats.queue_depth_hwm >= 2);
     }
 
     #[test]

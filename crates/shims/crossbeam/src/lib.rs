@@ -153,6 +153,34 @@ pub mod channel {
             Ok(depth)
         }
 
+        /// Sends every message of `msgs` under a single lock acquisition and
+        /// returns the queue depth right after the last push. (Shim-only
+        /// extension, like [`Sender::send_counting`]: the node event loops
+        /// flush a whole outbox batch to the same destination, and paying a
+        /// lock round-trip plus condvar notify per message dominates the hot
+        /// send path.) Only supported on unbounded channels — a bounded
+        /// channel would need partial-blocking semantics no caller wants.
+        ///
+        /// Returns `Err` with the messages if every receiver has dropped.
+        pub fn send_batch(&self, msgs: Vec<T>) -> Result<usize, SendError<Vec<T>>> {
+            assert!(
+                self.shared.cap.is_none(),
+                "send_batch requires an unbounded channel"
+            );
+            if msgs.is_empty() {
+                return Ok(self.len());
+            }
+            let mut state = self.shared.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(SendError(msgs));
+            }
+            state.queue.extend(msgs);
+            let depth = state.queue.len();
+            drop(state);
+            self.shared.not_empty.notify_all();
+            Ok(depth)
+        }
+
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
             self.shared.state.lock().unwrap().queue.len()
@@ -393,6 +421,26 @@ pub mod channel {
                 std::thread::yield_now();
             }
             assert!(handle.join().unwrap());
+        }
+
+        #[test]
+        fn send_batch_pushes_everything_in_order() {
+            let (tx, rx) = unbounded();
+            tx.send(0u32).unwrap();
+            assert_eq!(tx.send_batch(vec![1, 2, 3]).unwrap(), 4);
+            let mut buf = Vec::new();
+            rx.drain_into(&mut buf, 10);
+            assert_eq!(buf, vec![0, 1, 2, 3]);
+            // Empty batches are free and report the current depth.
+            assert_eq!(tx.send_batch(Vec::new()).unwrap(), 0);
+        }
+
+        #[test]
+        fn send_batch_fails_when_receivers_gone() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            let err = tx.send_batch(vec![1, 2]).unwrap_err();
+            assert_eq!(err.0, vec![1, 2]);
         }
 
         #[test]
