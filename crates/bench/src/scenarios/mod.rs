@@ -19,6 +19,7 @@ pub mod locality;
 pub mod pipeline_depth;
 pub mod saturation;
 pub mod table2;
+pub mod udp_smoke;
 
 use zeus_core::LatencyHistogram;
 

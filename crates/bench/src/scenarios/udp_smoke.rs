@@ -1,0 +1,130 @@
+//! Loopback-UDP smoke: the fig08 smallbank point plus sub-knee open-loop
+//! saturation points, measured on [`zeus_core::UdpCluster`] — the same
+//! workloads the in-process scenarios run, with every protocol message
+//! crossing a real socket, the framing codec, the reliable layer and the
+//! adaptive RTO.
+//!
+//! This arm is **report-only**: it is registered in the scenario registry
+//! and the CI bench job prints it next to the in-process numbers, but it is
+//! *not* part of [`crate::scenario::REQUIRED_SCENARIOS`] and does not feed
+//! `BENCH_baseline.json`. Loopback UDP on a small shared runner mixes
+//! kernel scheduling, socket buffers and retransmission timers into every
+//! number; a 40%-tolerance regression gate over that would be noise
+//! theatre. The value of the arm is (a) CI proof that the full UDP stack
+//! sustains the protocol under workload, and (b) a visible in-process vs
+//! UDP cost ratio on identical workloads.
+
+use std::time::Duration;
+
+use zeus_core::{UdpCluster, ZeusConfig};
+use zeus_workloads::SmallbankWorkload;
+
+use crate::harness::run_instrumented_on;
+use crate::openloop::{run_open_loop, OpenLoopOpts};
+use crate::report::ScenarioResult;
+use crate::scenario::{RunCtx, ScenarioOutcome, TableData};
+use crate::scenarios::fill_percentiles;
+
+/// Nodes in the UDP deployment (matches fig08 and saturation).
+const NODES: usize = 3;
+
+/// Offered-load ladder, total ops/s. Far below the in-process knee on
+/// purpose (see [`crate::scenarios::saturation::rate_ladder`]): every
+/// message here pays two syscalls plus framing, so the UDP knee sits well
+/// left of the in-process one and points near it would be bistable on a
+/// shared runner.
+fn rate_ladder(smoke: bool) -> Vec<f64> {
+    if smoke {
+        vec![1_000.0, 4_000.0]
+    } else {
+        vec![1_000.0, 4_000.0, 12_000.0]
+    }
+}
+
+/// Runs the scenario.
+pub fn run(ctx: &RunCtx) -> ScenarioOutcome {
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+
+    // --- The fig08 smallbank point, over UDP ---
+    let customers = ctx.pop(3_000, 600);
+    let cluster = UdpCluster::start(ZeusConfig::with_nodes(NODES)).expect("bind loopback sockets");
+    let stats = run_instrumented_on(&cluster, &ctx.opts(), |c| {
+        SmallbankWorkload::new(customers, customers / 10, 0.003, ctx.seed + c as u64)
+    });
+    cluster.shutdown();
+    rows.push(vec![
+        "smallbank".into(),
+        "closed".into(),
+        "-".into(),
+        format!("{:.0}", stats.tps()),
+        stats.latency_us.percentile(50.0).to_string(),
+        stats.latency_us.percentile(99.0).to_string(),
+        stats.handovers.to_string(),
+    ]);
+    let mut result = ScenarioResult::new("udp_smoke")
+        .with_config("workload", "smallbank")
+        .with_config("nodes", NODES)
+        .with_config("customers", customers)
+        .with_config("transport", "udp");
+    result.throughput_ops = stats.tps();
+    result.handover_count = stats.handovers;
+    result.aborts = stats.cluster_aborts;
+    results.push(ctx.stamp(fill_percentiles(result, &stats.latency_us)));
+
+    // --- Sub-knee open-loop points, over UDP ---
+    for offered in rate_ladder(ctx.smoke) {
+        let sessions_per_node = 2;
+        let opts = OpenLoopOpts {
+            sessions_per_node,
+            rate_per_session: offered / (sessions_per_node * NODES) as f64,
+            window: if ctx.smoke {
+                Duration::from_millis(120)
+            } else {
+                Duration::from_millis(400)
+            },
+            objects_per_session: 128,
+            first_object: 0,
+        };
+        let cluster =
+            UdpCluster::start(ZeusConfig::with_nodes(NODES)).expect("bind loopback sockets");
+        let run = run_open_loop(&cluster, ctx.seed, &opts);
+        cluster.shutdown();
+        rows.push(vec![
+            "open-loop".into(),
+            "open".into(),
+            format!("{offered:.0}"),
+            format!("{:.0}", run.achieved_rate),
+            run.latency_us.percentile(50.0).to_string(),
+            run.latency_us.percentile(99.0).to_string(),
+            "-".into(),
+        ]);
+        let mut result = ScenarioResult::new("udp_smoke")
+            .with_config("workload", "open_loop")
+            .with_config("nodes", NODES)
+            .with_config("offered_rate", format!("{offered:.0}"))
+            .with_config("transport", "udp");
+        result.throughput_ops = run.achieved_rate;
+        result.aborts = run.aborted;
+        results.push(ctx.stamp(fill_percentiles(result, &run.latency_us)));
+    }
+
+    ScenarioOutcome {
+        tables: vec![TableData {
+            title: "UDP smoke: smallbank + sub-knee open-loop points over loopback UDP \
+                    (report-only; compare against the in-process fig08/saturation rows)"
+                .into(),
+            header: vec![
+                "workload",
+                "loop",
+                "offered ops/s",
+                "achieved ops/s",
+                "p50 us",
+                "p99 us",
+                "handovers",
+            ],
+            rows,
+        }],
+        results,
+    }
+}

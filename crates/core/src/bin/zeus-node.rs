@@ -1,0 +1,32 @@
+//! One Zeus node as an OS process, talking to its peers over UDP.
+//!
+//! ```text
+//! zeus-node --id 0 --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//!           [--ops 200] [--accounts 64] [--lease-us 200000] [--seed 42]
+//! ```
+//!
+//! Prints `READY` once bound, waits for `GO` on stdin, runs the seeded
+//! transfer workload, prints `DONE committed=<n> aborted=<n>`, then keeps
+//! serving as a cluster member until stdin closes. Typically launched by
+//! `zeus-procs` (or the multiprocess CI job); see `zeus_core::procs`.
+
+use std::process::ExitCode;
+
+use zeus_core::procs::{run_node, NodeOpts};
+
+fn main() -> ExitCode {
+    let opts = match NodeOpts::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("zeus-node: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run_node(opts) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("zeus-node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Process-cluster harness: spawns N `zeus-node` processes on loopback,
+//! runs the transfer workload, optionally `kill -9`s one node mid-run and
+//! restarts it on the same address, and exits non-zero unless everything
+//! (including re-admission of the restarted node) completes.
+//!
+//! ```text
+//! zeus-procs [--nodes 3] [--ops 150] [--accounts 48] [--lease-us 200000]
+//!            [--kill 1] [--kill-after-ms 300] [--log-dir procs-logs]
+//!            [--seed 42] [--node-bin path/to/zeus-node]
+//! ```
+//!
+//! `--node-bin` defaults to a `zeus-node` sitting next to this executable
+//! (which is where `cargo build` puts both). Per-node logs are written to
+//! `--log-dir`; the multiprocess CI job uploads them on failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use zeus_core::procs::{run_harness, HarnessOpts};
+use zeus_core::NodeId;
+
+fn parse(args: impl Iterator<Item = String>) -> Result<HarnessOpts, String> {
+    let mut opts = HarnessOpts::default();
+    let mut node_bin: Option<PathBuf> = None;
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--nodes" => {
+                opts.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--ops" => opts.ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--accounts" => {
+                opts.accounts = value("--accounts")?
+                    .parse()
+                    .map_err(|e| format!("--accounts: {e}"))?
+            }
+            "--lease-us" => {
+                opts.lease_us = value("--lease-us")?
+                    .parse()
+                    .map_err(|e| format!("--lease-us: {e}"))?
+            }
+            "--kill" => {
+                opts.kill = Some(NodeId(
+                    value("--kill")?
+                        .parse::<u16>()
+                        .map_err(|e| format!("--kill: {e}"))?,
+                ))
+            }
+            "--kill-after-ms" => {
+                opts.kill_after = Duration::from_millis(
+                    value("--kill-after-ms")?
+                        .parse()
+                        .map_err(|e| format!("--kill-after-ms: {e}"))?,
+                )
+            }
+            "--log-dir" => opts.log_dir = PathBuf::from(value("--log-dir")?),
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--node-bin" => node_bin = Some(PathBuf::from(value("--node-bin")?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    opts.node_bin = match node_bin {
+        Some(p) => p,
+        None => {
+            let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+            me.parent()
+                .ok_or("current_exe has no parent directory")?
+                .join("zeus-node")
+        }
+    };
+    if let Some(victim) = opts.kill {
+        if victim.index() >= opts.nodes {
+            return Err(format!("--kill {} out of range", victim.0));
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("zeus-procs: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "zeus-procs: {} nodes, {} ops/node, kill={:?}, logs in {}",
+        opts.nodes,
+        opts.ops,
+        opts.kill.map(|n| n.0),
+        opts.log_dir.display()
+    );
+    match run_harness(&opts) {
+        Ok(report) => {
+            for (id, outcome) in {
+                let mut v: Vec<_> = report.survivors.iter().collect();
+                v.sort_by_key(|(id, _)| **id);
+                v
+            } {
+                println!(
+                    "node {id}: committed={} aborted={}",
+                    outcome.committed, outcome.aborted
+                );
+            }
+            if let Some(outcome) = report.restarted {
+                println!(
+                    "restarted node: committed={} aborted={}",
+                    outcome.committed, outcome.aborted
+                );
+            }
+            println!("zeus-procs: OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("zeus-procs: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -29,6 +29,9 @@
 //!   model-checking harness.
 //! * [`runtime::ThreadedCluster`] — one OS thread per node, used by the
 //!   throughput experiments (Figures 7–15).
+//! * [`udp_cluster::UdpCluster`] — the same node loops over real loopback
+//!   UDP sockets, and [`procs`] — the process-per-node deployment behind
+//!   the `zeus-node` / `zeus-procs` binaries and the multiprocess CI job.
 //! * [`balancer::LoadBalancer`] — the application-level load balancer that
 //!   steers requests with the same key to the same node (§3.1).
 //! * [`stats`] — latency histograms and per-node statistics backing the
@@ -42,10 +45,12 @@ pub mod client;
 pub mod config;
 pub mod message;
 pub mod node;
+pub mod procs;
 pub mod runtime;
 pub mod sim;
 pub mod stats;
 pub mod txn;
+pub mod udp_cluster;
 
 pub use balancer::LoadBalancer;
 pub use client::{ClusterDriver, RetryPolicy, Session, TxPayload, TxTicket};
@@ -56,5 +61,6 @@ pub use runtime::{ThreadedCluster, ThreadedSession};
 pub use sim::{SimCluster, SimSession};
 pub use stats::{LatencyHistogram, NodeStats};
 pub use txn::{ReadOutcome, TxCtx, TxError, WriteOutcome};
+pub use udp_cluster::UdpCluster;
 
 pub use zeus_proto::{AccessLevel, NodeId, ObjectId};

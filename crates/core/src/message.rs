@@ -1,7 +1,7 @@
 //! The top-level message type exchanged between Zeus nodes.
 
 use zeus_proto::wire::Wire;
-use zeus_proto::{CommitMsg, MembershipMsg, OwnershipMsg};
+use zeus_proto::{CommitMsg, MembershipMsg, OwnershipMsg, ProtoError};
 
 /// Union of all protocol traffic between Zeus nodes.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +42,47 @@ impl Message {
             Message::Membership(MembershipMsg::ViewPull { .. }) => "view-pull",
             Message::Membership(MembershipMsg::RecoveryDone { .. }) => "recovered",
         }
+    }
+}
+
+/// Wire framing: one tag byte selecting the protocol plus the inner
+/// message's own encoding, matching [`Message::payload_bytes`] exactly.
+/// This is what the UDP runtime puts in datagrams.
+impl Wire for Message {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Message::Ownership(m) => {
+                buf.push(0);
+                m.encode(buf);
+            }
+            Message::Commit(m) => {
+                buf.push(1);
+                m.encode(buf);
+            }
+            Message::Membership(m) => {
+                buf.push(2);
+                m.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, ProtoError> {
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            0 => Message::Ownership(OwnershipMsg::decode(buf)?),
+            1 => Message::Commit(CommitMsg::decode(buf)?),
+            2 => Message::Membership(MembershipMsg::decode(buf)?),
+            other => {
+                return Err(ProtoError::InvalidTag {
+                    ty: "Message",
+                    tag: other,
+                })
+            }
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.payload_bytes()
     }
 }
 
@@ -96,6 +137,35 @@ mod tests {
         .into();
         assert_eq!(large.payload_bytes() - small.payload_bytes(), 384);
         assert_eq!(large.kind(), "r-inv");
+    }
+
+    #[test]
+    fn wire_roundtrip_matches_payload_bytes() {
+        let msgs: Vec<Message> = vec![
+            MembershipMsg::Heartbeat {
+                from: NodeId(1),
+                epoch: Epoch::ZERO,
+            }
+            .into(),
+            CommitMsg::RInv {
+                tx_id: TxId::new(PipelineId::new(NodeId(0), 0), 3),
+                epoch: Epoch::ZERO,
+                followers: vec![NodeId(1), NodeId(2)],
+                prev_val: false,
+                updates: vec![ObjectUpdate::new(
+                    ObjectId(7),
+                    zeus_proto::DataTs::default(),
+                    vec![1, 2, 3],
+                )],
+            }
+            .into(),
+        ];
+        for msg in msgs {
+            let bytes = zeus_proto::wire::encode_to_vec(&msg);
+            assert_eq!(bytes.len(), msg.payload_bytes());
+            let back: Message = zeus_proto::wire::decode_from_slice(&bytes).unwrap();
+            assert_eq!(back, msg);
+        }
     }
 
     #[test]

@@ -91,6 +91,10 @@ pub struct ZeusNode {
     congested: bool,
     /// Current congestion back-off multiplier, 1..=`CONGESTED_RETRANSMIT_STRETCH_MAX`.
     congestion_stretch: u64,
+    /// Transport-estimated retransmission interval (see
+    /// [`ZeusNode::set_retransmit_interval`]); `None` keeps the configured
+    /// fixed `retransmit_ticks`.
+    retransmit_override: Option<u64>,
 }
 
 /// Cap on the congestion back-off multiplier of the retransmit interval.
@@ -136,6 +140,7 @@ impl ZeusNode {
             last_retransmit: 0,
             congested: false,
             congestion_stretch: 1,
+            retransmit_override: None,
             config,
         }
     }
@@ -541,6 +546,17 @@ impl ZeusNode {
         self.congested = congested;
     }
 
+    /// Overrides the base retransmission interval with the transport's
+    /// current RTO estimate (`zeus-net`'s per-peer RTT estimators), so the
+    /// protocol-level retry horizon tracks what message round trips
+    /// actually cost instead of a fixed constant. The congestion stretch of
+    /// [`ZeusNode::set_congested`] still multiplies on top. Never calling
+    /// this keeps the configured fixed `retransmit_ticks` — the simulator's
+    /// deterministic policy.
+    pub fn set_retransmit_interval(&mut self, ticks: u64) {
+        self.retransmit_override = Some(ticks.max(1));
+    }
+
     /// Advances the node's clock and drives periodic work (heartbeats, lease
     /// expiry, ownership retries).
     pub fn tick(&mut self, now: u64) {
@@ -556,7 +572,10 @@ impl ZeusNode {
         if !self.congested {
             self.congestion_stretch = 1;
         }
-        let interval = self.config.retransmit_ticks * self.congestion_stretch;
+        let interval = self
+            .retransmit_override
+            .unwrap_or(self.config.retransmit_ticks)
+            .saturating_mul(self.congestion_stretch);
         if self.now.saturating_sub(self.last_retransmit) >= interval {
             self.last_retransmit = self.now;
             if self.congested {

@@ -1,0 +1,566 @@
+//! Process-per-node deployment: the `zeus-node` binary and the harness that
+//! drives N of them as real OS processes.
+//!
+//! [`run_node`] is everything a `zeus-node` process does: bind a
+//! [`UdpTransport`], run the shared [`crate::runtime`] node loop on it,
+//! create the workload's objects, and execute a seeded transfer workload
+//! through the same session API the in-process runtimes use. The process
+//! speaks a tiny line protocol on stdio so a parent can orchestrate it:
+//!
+//! * it prints `READY` once the socket is bound and objects are created,
+//! * it waits for `GO` on stdin before starting the workload (so all peers
+//!   are up first),
+//! * it prints `DONE committed=<n> aborted=<n>` when the workload finishes,
+//! * it keeps serving (heartbeats, replication, ownership) until stdin
+//!   closes — a finished node is still a cluster member.
+//!
+//! [`run_harness`] is the `zeus-procs` binary and the multiprocess CI job:
+//! it spawns the processes, coordinates the line protocol, optionally
+//! `kill -9`s one node mid-workload and restarts it on the same address
+//! (the restarted process comes back with a fresh boot token and empty
+//! state; the survivors' membership layer re-admits it), and asserts the
+//! workload completed. Per-node logs land in a directory the CI job uploads
+//! on failure.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, UdpSocket};
+use std::path::PathBuf;
+use std::process::{Child, Command as ProcCommand, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use zeus_net::{RttConfig, UdpConfig, UdpTransport};
+use zeus_proto::NodeId;
+
+use crate::client::{RetryPolicy, Session};
+use crate::config::ZeusConfig;
+use crate::runtime::{node_loop, Command, ThreadedSession};
+use crate::txn::TxError;
+use crate::{ObjectId, ZeusNode};
+
+// ---------------------------------------------------------------------------
+// The node side (`zeus-node`)
+// ---------------------------------------------------------------------------
+
+/// Command-line options of one `zeus-node` process.
+#[derive(Debug, Clone)]
+pub struct NodeOpts {
+    /// This node's id; `addrs[id]` must be its own address.
+    pub id: NodeId,
+    /// Every node's UDP address, indexed by node id.
+    pub addrs: Vec<SocketAddr>,
+    /// Transfer operations this node executes once released with `GO`.
+    pub ops: u64,
+    /// Number of account objects (shared by all nodes; object `i` is homed
+    /// on node `i % nodes`).
+    pub accounts: u64,
+    /// Failure-detection lease in microseconds.
+    pub lease_us: u64,
+    /// Workload seed (each node decorrelates it with its id).
+    pub seed: u64,
+}
+
+impl NodeOpts {
+    /// Parses `--id N --addrs a:p,b:p,... [--ops N] [--accounts N]
+    /// [--lease-us N] [--seed N]`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<NodeOpts, String> {
+        let mut id = None;
+        let mut addrs: Vec<SocketAddr> = Vec::new();
+        let mut ops = 200u64;
+        let mut accounts = 64u64;
+        let mut lease_us = 200_000u64;
+        let mut seed = 42u64;
+        let mut args = args.peekable();
+        while let Some(flag) = args.next() {
+            let mut value = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--id" => {
+                    id = Some(
+                        value("--id")?
+                            .parse::<u16>()
+                            .map_err(|e| format!("--id: {e}"))?,
+                    )
+                }
+                "--addrs" => {
+                    addrs = value("--addrs")?
+                        .split(',')
+                        .map(|a| a.parse().map_err(|e| format!("--addrs '{a}': {e}")))
+                        .collect::<Result<_, String>>()?;
+                }
+                "--ops" => ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+                "--accounts" => {
+                    accounts = value("--accounts")?
+                        .parse()
+                        .map_err(|e| format!("--accounts: {e}"))?
+                }
+                "--lease-us" => {
+                    lease_us = value("--lease-us")?
+                        .parse()
+                        .map_err(|e| format!("--lease-us: {e}"))?
+                }
+                "--seed" => {
+                    seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        let id = id.ok_or("--id is required")?;
+        if addrs.is_empty() {
+            return Err("--addrs is required".into());
+        }
+        if id as usize >= addrs.len() {
+            return Err(format!("--id {id} out of range for {} addrs", addrs.len()));
+        }
+        Ok(NodeOpts {
+            id: NodeId(id),
+            addrs,
+            ops,
+            accounts,
+            lease_us,
+            seed,
+        })
+    }
+}
+
+/// xorshift64 — the same tiny deterministic generator the lossy socket
+/// wrapper uses; good enough to pick accounts.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// How long one workload operation may retry before it counts as aborted.
+/// Generous on purpose: an operation issued the instant a peer is
+/// `kill -9`ed must survive failure detection (a lease of silence), the
+/// view change and ownership recovery.
+const OP_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Runs one Zeus node process end to end (see the module docs for the
+/// stdio protocol). Returns the `(committed, aborted)` workload counts.
+pub fn run_node(opts: NodeOpts) -> Result<(u64, u64), String> {
+    let nodes = opts.addrs.len();
+    let mut config = ZeusConfig::with_nodes(nodes);
+    config.lease_ticks = opts.lease_us;
+
+    let transport = UdpTransport::bind(UdpConfig {
+        local: opts.id,
+        peers: opts.addrs.clone(),
+        rtt: RttConfig::udp_default(),
+        loss: None,
+    })
+    .map_err(|e| format!("bind {}: {e}", opts.addrs[opts.id.index()]))?;
+
+    let (cmd_tx, cmd_rx) = unbounded();
+    let node_config = config.clone();
+    let id = opts.id;
+    let node_thread =
+        std::thread::spawn(move || node_loop(ZeusNode::new(id, node_config), transport, cmd_rx));
+
+    // Every process creates every object locally with the same deterministic
+    // placement, so the cluster-wide directory agrees without coordination.
+    for i in 0..opts.accounts {
+        let owner = NodeId((i % nodes as u64) as u16);
+        let _ = cmd_tx.send(Command::CreateObject {
+            object: ObjectId(i),
+            data: vec![0u8; 8].into(),
+            replicas: config.default_replicas(owner),
+        });
+    }
+
+    println!("READY");
+    std::io::stdout().flush().ok();
+
+    // Wait for the harness to release the workload; EOF means "serve only".
+    let stdin = std::io::stdin();
+    let mut released = false;
+    let mut lines = stdin.lock().lines();
+    for line in lines.by_ref() {
+        match line {
+            Ok(l) if l.trim() == "GO" => {
+                released = true;
+                break;
+            }
+            Ok(_) => continue,
+            Err(e) => return Err(format!("stdin: {e}")),
+        }
+    }
+
+    let (mut committed, mut aborted) = (0u64, 0u64);
+    if released {
+        let session = ThreadedSession::new(
+            opts.id,
+            cmd_tx.clone(),
+            RetryPolicy::with_budget(config.max_ownership_retries),
+        );
+        let mut rng = opts.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(opts.id.0 as u64 + 1));
+        for _ in 0..opts.ops {
+            let from = ObjectId(next_rand(&mut rng) % opts.accounts);
+            let to = ObjectId(next_rand(&mut rng) % opts.accounts);
+            if transfer(&session, from, to) {
+                committed += 1;
+            } else {
+                aborted += 1;
+            }
+        }
+        let _ = session.drain();
+        println!("DONE committed={committed} aborted={aborted}");
+        std::io::stdout().flush().ok();
+
+        // Stay a live member (replication target, ownership peer) until the
+        // harness closes stdin.
+        for line in lines {
+            if line.is_err() {
+                break;
+            }
+        }
+    }
+
+    let _ = cmd_tx.send(Command::Shutdown);
+    let _ = node_thread.join();
+    Ok((committed, aborted))
+}
+
+/// One transfer: move 1 unit between two 8-byte little-endian i64 balances.
+/// Retries until [`OP_DEADLINE`]; `true` iff it committed.
+fn transfer(session: &ThreadedSession, from: ObjectId, to: ObjectId) -> bool {
+    let deadline = Instant::now() + OP_DEADLINE;
+    loop {
+        let result = session.write_txn(move |tx| {
+            let adjust = |delta: i64| {
+                move |old: &[u8]| {
+                    let mut balance = [0u8; 8];
+                    balance.copy_from_slice(&old[..8]);
+                    (i64::from_le_bytes(balance) + delta).to_le_bytes().to_vec()
+                }
+            };
+            if from == to {
+                tx.update(from, adjust(0))?;
+            } else {
+                tx.update(from, adjust(-1))?;
+                tx.update(to, adjust(1))?;
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => return true,
+            Err(TxError::NodeUnavailable) => return false,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The harness side (`zeus-procs` and the multiprocess CI job)
+// ---------------------------------------------------------------------------
+
+/// Options of a [`run_harness`] run.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Path of the `zeus-node` binary to spawn.
+    pub node_bin: PathBuf,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Workload operations per node.
+    pub ops: u64,
+    /// Account objects shared by the cluster.
+    pub accounts: u64,
+    /// Failure-detection lease in microseconds.
+    pub lease_us: u64,
+    /// Node to `kill -9` mid-workload and then restart on the same
+    /// address; `None` runs the workload undisturbed.
+    pub kill: Option<NodeId>,
+    /// How long after releasing the workload the kill fires.
+    pub kill_after: Duration,
+    /// Directory receiving one `node-<i>.log` per process (stdout+stderr,
+    /// restarts appended). Created if missing.
+    pub log_dir: PathBuf,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            node_bin: PathBuf::from("zeus-node"),
+            nodes: 3,
+            ops: 150,
+            accounts: 48,
+            lease_us: 200_000,
+            kill: None,
+            kill_after: Duration::from_millis(300),
+            log_dir: PathBuf::from("procs-logs"),
+            seed: 42,
+        }
+    }
+}
+
+/// What one node process reported over its lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct NodeOutcome {
+    /// Workload commits it printed in `DONE`.
+    pub committed: u64,
+    /// Workload aborts it printed in `DONE`.
+    pub aborted: u64,
+}
+
+/// The result of a successful harness run.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessReport {
+    /// Outcome per surviving original process, by node id.
+    pub survivors: HashMap<u16, NodeOutcome>,
+    /// Outcome of the restarted process, if a kill was requested.
+    pub restarted: Option<NodeOutcome>,
+}
+
+/// Stdout-derived state of one child, updated by its log-pump thread.
+#[derive(Debug, Default)]
+struct ChildStatus {
+    ready: bool,
+    done: Option<NodeOutcome>,
+}
+
+struct ChildProc {
+    child: Child,
+    stdin: Option<std::process::ChildStdin>,
+    status: Arc<Mutex<ChildStatus>>,
+}
+
+fn spawn_node(opts: &HarnessOpts, id: u16, addrs: &str) -> Result<ChildProc, String> {
+    let log_path = opts.log_dir.join(format!("node-{id}.log"));
+    let log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&log_path)
+        .map_err(|e| format!("open {}: {e}", log_path.display()))?;
+    let stderr_log = log
+        .try_clone()
+        .map_err(|e| format!("clone log handle: {e}"))?;
+    let mut child = ProcCommand::new(&opts.node_bin)
+        .arg("--id")
+        .arg(id.to_string())
+        .arg("--addrs")
+        .arg(addrs)
+        .arg("--ops")
+        .arg(opts.ops.to_string())
+        .arg("--accounts")
+        .arg(opts.accounts.to_string())
+        .arg("--lease-us")
+        .arg(opts.lease_us.to_string())
+        .arg("--seed")
+        .arg(opts.seed.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::from(stderr_log))
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", opts.node_bin.display()))?;
+
+    let stdin = child.stdin.take();
+    let stdout = child.stdout.take().expect("stdout piped");
+    let status = Arc::new(Mutex::new(ChildStatus::default()));
+    let pump_status = status.clone();
+    let mut pump_log = log;
+    // Tee the child's stdout into its log file while parsing the READY /
+    // DONE protocol lines.
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            let _ = writeln!(pump_log, "{line}");
+            let mut status = pump_status.lock().unwrap();
+            if line.trim() == "READY" {
+                status.ready = true;
+            } else if let Some(rest) = line.trim().strip_prefix("DONE ") {
+                let mut outcome = NodeOutcome::default();
+                for part in rest.split_whitespace() {
+                    if let Some(v) = part.strip_prefix("committed=") {
+                        outcome.committed = v.parse().unwrap_or(0);
+                    } else if let Some(v) = part.strip_prefix("aborted=") {
+                        outcome.aborted = v.parse().unwrap_or(0);
+                    }
+                }
+                status.done = Some(outcome);
+            }
+        }
+    });
+    Ok(ChildProc {
+        child,
+        stdin,
+        status,
+    })
+}
+
+fn wait_ready(proc_: &ChildProc, id: u16, deadline: Duration) -> Result<(), String> {
+    let until = Instant::now() + deadline;
+    while Instant::now() < until {
+        if proc_.status.lock().unwrap().ready {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Err(format!("node {id} did not print READY within {deadline:?}"))
+}
+
+fn wait_done(proc_: &ChildProc, id: u16, deadline: Duration) -> Result<NodeOutcome, String> {
+    let until = Instant::now() + deadline;
+    while Instant::now() < until {
+        if let Some(outcome) = proc_.status.lock().unwrap().done.clone() {
+            return Ok(outcome);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    Err(format!("node {id} did not print DONE within {deadline:?}"))
+}
+
+/// Allocates `n` distinct loopback UDP ports by binding and releasing them.
+/// (A released port can in principle be grabbed by another process before
+/// the node binds it; on a CI runner the window is negligible.)
+fn allocate_addrs(n: usize) -> Result<Vec<SocketAddr>, String> {
+    let sockets: Vec<UdpSocket> = (0..n)
+        .map(|_| UdpSocket::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()
+        .map_err(|e| format!("allocate ports: {e}"))?;
+    sockets
+        .iter()
+        .map(|s| s.local_addr().map_err(|e| format!("local_addr: {e}")))
+        .collect()
+}
+
+/// Spawns an N-process cluster, runs the workload, optionally `kill -9`s a
+/// node mid-run and restarts it, and verifies completion. See the module
+/// docs for the full choreography. On failure the per-node logs in
+/// `opts.log_dir` tell the story.
+pub fn run_harness(opts: &HarnessOpts) -> Result<HarnessReport, String> {
+    std::fs::create_dir_all(&opts.log_dir)
+        .map_err(|e| format!("create {}: {e}", opts.log_dir.display()))?;
+    let addrs = allocate_addrs(opts.nodes)?;
+    let addrs_arg = addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let mut procs: Vec<ChildProc> = Vec::new();
+    for id in 0..opts.nodes as u16 {
+        procs.push(spawn_node(opts, id, &addrs_arg)?);
+    }
+    let result = run_harness_inner(opts, &mut procs, &addrs_arg);
+    for p in procs.iter_mut() {
+        let _ = p.child.kill();
+        let _ = p.child.wait();
+    }
+    result
+}
+
+fn run_harness_inner(
+    opts: &HarnessOpts,
+    procs: &mut [ChildProc],
+    addrs_arg: &str,
+) -> Result<HarnessReport, String> {
+    for (id, p) in procs.iter().enumerate() {
+        wait_ready(p, id as u16, Duration::from_secs(30))?;
+    }
+    // Release the workload everywhere only once every process is up.
+    for p in procs.iter_mut() {
+        if let Some(stdin) = p.stdin.as_mut() {
+            writeln!(stdin, "GO").map_err(|e| format!("release workload: {e}"))?;
+        }
+    }
+
+    let mut report = HarnessReport::default();
+    if let Some(victim) = opts.kill {
+        std::thread::sleep(opts.kill_after);
+        let v = victim.index();
+        // SIGKILL: no destructors, no goodbyes — the real crash the
+        // membership layer exists for.
+        procs[v]
+            .child
+            .kill()
+            .map_err(|e| format!("kill node {victim:?}: {e}"))?;
+        let _ = procs[v].child.wait();
+
+        for (id, p) in procs.iter().enumerate() {
+            if id == v {
+                continue;
+            }
+            let outcome = wait_done(p, id as u16, Duration::from_secs(180))?;
+            if outcome.committed + outcome.aborted != opts.ops {
+                return Err(format!(
+                    "survivor {id}: committed {} + aborted {} != ops {}",
+                    outcome.committed, outcome.aborted, opts.ops
+                ));
+            }
+            if outcome.committed == 0 {
+                return Err(format!("survivor {id} committed nothing after the kill"));
+            }
+            report.survivors.insert(id as u16, outcome);
+        }
+
+        // Restart the victim on the same address: fresh process, fresh boot
+        // token, empty state. The survivors must re-admit it and its own
+        // workload must complete.
+        let mut restarted = spawn_node(opts, victim.0, addrs_arg)?;
+        wait_ready(&restarted, victim.0, Duration::from_secs(30))?;
+        if let Some(stdin) = restarted.stdin.as_mut() {
+            writeln!(stdin, "GO").map_err(|e| format!("release restarted node: {e}"))?;
+        }
+        let outcome = wait_done(&restarted, victim.0, Duration::from_secs(180))?;
+        if outcome.committed + outcome.aborted != opts.ops {
+            return Err(format!(
+                "restarted node: committed {} + aborted {} != ops {}",
+                outcome.committed, outcome.aborted, opts.ops
+            ));
+        }
+        if outcome.committed == 0 {
+            return Err("restarted node committed nothing — re-admission failed".into());
+        }
+        report.restarted = Some(outcome);
+        procs[v] = restarted; // so the caller's cleanup tears it down too
+    } else {
+        for (id, p) in procs.iter().enumerate() {
+            let outcome = wait_done(p, id as u16, Duration::from_secs(180))?;
+            if outcome.committed + outcome.aborted != opts.ops {
+                return Err(format!(
+                    "node {id}: committed {} + aborted {} != ops {}",
+                    outcome.committed, outcome.aborted, opts.ops
+                ));
+            }
+            if outcome.aborted != 0 {
+                return Err(format!(
+                    "node {id} aborted {} ops on an undisturbed cluster",
+                    outcome.aborted
+                ));
+            }
+            report.survivors.insert(id as u16, outcome);
+        }
+    }
+
+    // Close every stdin: the processes exit their serve loops.
+    for p in procs.iter_mut() {
+        p.stdin.take();
+    }
+    let until = Instant::now() + Duration::from_secs(20);
+    for (id, p) in procs.iter_mut().enumerate() {
+        loop {
+            match p.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < until => std::thread::sleep(Duration::from_millis(20)),
+                Ok(None) => return Err(format!("node {id} did not exit after stdin closed")),
+                Err(e) => return Err(format!("wait node {id}: {e}")),
+            }
+        }
+    }
+    Ok(report)
+}

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use zeus_net::{Envelope, NodeMailbox, ThreadedNet};
+use zeus_net::{Envelope, LinkMsg, ProbedMailbox, RttConfig, ThreadedNet, Transport};
 use zeus_proto::{NodeId, ObjectId, OwnershipRequestKind, ReplicaSet, RequestId};
 
 use crate::client::{ClusterDriver, RetryPolicy, Session, TicketReply, TxPayload, TxTicket};
@@ -75,7 +75,7 @@ impl Drop for InflightGuard {
 /// The reply channel of a submitted transaction plus its drain-barrier
 /// guard; sending the result (or dropping the slot) releases the guard.
 #[derive(Debug)]
-struct ReplySlot {
+pub(crate) struct ReplySlot {
     tx: Sender<TicketReply>,
     _guard: InflightGuard,
 }
@@ -97,7 +97,7 @@ impl ReplySlot {
 // Commands
 // ---------------------------------------------------------------------------
 
-enum Command {
+pub(crate) enum Command {
     Write {
         tx: TxFn,
         policy: RetryPolicy,
@@ -158,6 +158,17 @@ pub struct ThreadedSession {
 }
 
 impl ThreadedSession {
+    /// Session on `node` talking to a node loop through `commands` (shared
+    /// by the threaded and UDP cluster runtimes).
+    pub(crate) fn new(node: NodeId, commands: Sender<Command>, policy: RetryPolicy) -> Self {
+        ThreadedSession {
+            node,
+            commands,
+            inflight: Arc::new(Inflight::default()),
+            policy,
+        }
+    }
+
     /// Boxes a typed closure into the byte-payload form the command channel
     /// carries.
     fn erase<T, F>(mut f: F) -> TxFn
@@ -269,12 +280,8 @@ pub struct ThreadedCluster {
     config: ZeusConfig,
     commands: Vec<Sender<Command>>,
     threads: Vec<JoinHandle<()>>,
-    net: ThreadedNet<Message>,
+    net: ThreadedNet<LinkMsg<Message>>,
 }
-
-/// Retransmission interval the threaded runtime substitutes for the
-/// sim-tuned default (see [`ThreadedCluster::start`]).
-const THREADED_RETRANSMIT_TICKS: u64 = 1_000;
 
 impl ThreadedCluster {
     /// Starts a cluster with the given configuration.
@@ -285,26 +292,36 @@ impl ThreadedCluster {
     /// 2–4-tick RTTs) would re-send every protocol message of an ordinary
     /// ~100 µs ownership acquisition several times — with a window of
     /// pipelined acquisitions in flight that snowballs into a retransmit
-    /// storm that slows the very requests it is retrying. The default is
-    /// therefore floored to 1 ms here; an explicitly configured non-default
-    /// interval is kept as-is. (Setting the field to exactly the default
-    /// value is indistinguishable from leaving it unset and is also
-    /// floored — pick 63 or 65 to experiment near the sim default.)
-    pub fn start(mut config: ZeusConfig) -> Self {
-        if config.retransmit_ticks == ZeusConfig::default().retransmit_ticks {
-            config.retransmit_ticks = THREADED_RETRANSMIT_TICKS;
-        }
-        let net: ThreadedNet<Message> = ThreadedNet::new(config.nodes);
+    /// storm that slows the very requests it is retrying. When the config
+    /// carries the default interval, each node therefore runs a
+    /// [`ProbedMailbox`]: per-peer RTT probes measure real inbox queueing
+    /// delay and the resulting RTO (floored at the 1 ms the old hard-coded
+    /// constant imposed, see [`RttConfig::inprocess_default`]) continuously
+    /// overrides the protocol retry interval. An explicitly configured
+    /// non-default interval is kept fixed, probes off. (Setting the field
+    /// to exactly the default value is indistinguishable from leaving it
+    /// unset — pick 63 or 65 to experiment near the sim default.)
+    pub fn start(config: ZeusConfig) -> Self {
+        let adaptive = config.retransmit_ticks == ZeusConfig::default().retransmit_ticks;
+        let net: ThreadedNet<LinkMsg<Message>> = ThreadedNet::new(config.nodes);
         let mut commands = Vec::new();
         let mut threads = Vec::new();
         for i in 0..config.nodes as u16 {
             let id = NodeId(i);
-            let mailbox = net.mailbox(id);
+            let transport = if adaptive {
+                ProbedMailbox::adaptive(
+                    net.mailbox(id),
+                    config.nodes,
+                    RttConfig::inprocess_default(),
+                )
+            } else {
+                ProbedMailbox::passthrough(net.mailbox(id))
+            };
             let (cmd_tx, cmd_rx) = unbounded();
             commands.push(cmd_tx);
             let node_config = config.clone();
             threads.push(std::thread::spawn(move || {
-                node_loop(ZeusNode::new(id, node_config), mailbox, cmd_rx);
+                node_loop(ZeusNode::new(id, node_config), transport, cmd_rx);
             }));
         }
         ThreadedCluster {
@@ -322,12 +339,11 @@ impl ThreadedCluster {
 
     /// A client session on node `id` (see also [`ClusterDriver::handle`]).
     pub fn handle(&self, id: NodeId) -> ThreadedSession {
-        ThreadedSession {
-            node: id,
-            commands: self.commands[id.index()].clone(),
-            inflight: Arc::new(Inflight::default()),
-            policy: RetryPolicy::with_budget(self.config.max_ownership_retries),
-        }
+        ThreadedSession::new(
+            id,
+            self.commands[id.index()].clone(),
+            RetryPolicy::with_budget(self.config.max_ownership_retries),
+        )
     }
 
     /// Creates an object on every node with its home placement.
@@ -490,8 +506,14 @@ const IDLE_WAIT: Duration = Duration::from_micros(20);
 /// stranded by dead peers.
 const COMMIT_BACKPRESSURE_HWM: usize = 2_048;
 
-/// The per-node event loop.
-fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiver<Command>) {
+/// The per-node event loop, generic over how bytes move ([`Transport`]):
+/// in-process channels for [`ThreadedCluster`], UDP sockets for the
+/// process-per-node deployments.
+pub(crate) fn node_loop<T: Transport<Message>>(
+    mut node: ZeusNode,
+    transport: T,
+    commands: Receiver<Command>,
+) {
     let started = Instant::now();
     // Cross-session batching (`ZeusConfig::batch_commands`): execute the
     // drained command batch as one unit — writes back to back into the
@@ -523,7 +545,7 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
         //    (see `ZeusNode::set_congested`).
         let mut inbox_backlog = !inbox_buf.is_empty();
         if inbox_buf.is_empty() {
-            inbox_backlog = mailbox.drain_into(&mut drain_buf, 256) == 256;
+            inbox_backlog = transport.drain_into(&mut drain_buf, 256) == 256;
             inbox_buf.extend(drain_buf.drain(..));
         }
         while let Some(env) = inbox_buf.pop_front() {
@@ -648,12 +670,13 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
                                 while let Some(env) = inbox_buf.pop_front() {
                                     node.handle_message(env.from, env.msg);
                                 }
-                                if let Some(env) = mailbox.recv_timeout(Duration::from_micros(200))
+                                if let Some(env) =
+                                    transport.recv_timeout(Duration::from_micros(200))
                                 {
                                     node.handle_message(env.from, env.msg);
                                 }
                                 loop {
-                                    let n = mailbox.drain_into(&mut drain_buf, 256);
+                                    let n = transport.drain_into(&mut drain_buf, 256);
                                     for env in drain_buf.drain(..) {
                                         node.handle_message(env.from, env.msg);
                                     }
@@ -662,7 +685,7 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
                                     }
                                 }
                                 node.tick(started.elapsed().as_micros() as u64);
-                                flush_outbox(&mut node, &mailbox, batched);
+                                flush_outbox(&mut node, &transport, batched);
                             }
                             ReadOutcome::Aborted { error } => {
                                 result = Err(error);
@@ -813,10 +836,20 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
         // 6. Ship outgoing traffic and advance the clock. In batched mode
         //    this is the batch's single flush: everything the whole command
         //    batch produced (R-INVs of every commit, coalesced REQs) goes
-        //    out grouped by destination, one channel lock per peer.
-        flush_outbox(&mut node, &mailbox, batched);
-        node.set_congested(inbox_backlog || !inbox_buf.is_empty());
-        node.tick(started.elapsed().as_micros() as u64);
+        //    out grouped by destination, one channel lock per peer. The
+        //    transport then runs its own periodic work (RTT probes,
+        //    link-layer retransmission) and feeds back its two adaptive
+        //    signals: the RTO estimate becomes the protocol retry
+        //    interval, and a backlogged link counts as congestion exactly
+        //    like a backlogged inbox.
+        flush_outbox(&mut node, &transport, batched);
+        let now = started.elapsed().as_micros() as u64;
+        transport.maintain(now);
+        if let Some(rto) = transport.rto_micros() {
+            node.set_retransmit_interval(rto);
+        }
+        node.set_congested(inbox_backlog || !inbox_buf.is_empty() || transport.congested());
+        node.tick(now);
 
         if !did_work {
             // Nothing to do right now: block on the channel the next event
@@ -833,7 +866,7 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
                 if let Ok(command) = commands.recv_timeout(IDLE_WAIT) {
                     cmd_buf.push(command);
                 }
-            } else if let Some(env) = mailbox.recv_timeout(IDLE_WAIT) {
+            } else if let Some(env) = transport.recv_timeout(IDLE_WAIT) {
                 inbox_buf.push_back(env);
             }
         }
@@ -843,13 +876,13 @@ fn node_loop(mut node: ZeusNode, mailbox: NodeMailbox<Message>, commands: Receiv
 /// Ships everything in the node's outbox: one batched, destination-grouped
 /// flush when cross-session batching is on, per-message sends otherwise
 /// (the `--no-batch` control path).
-fn flush_outbox(node: &mut ZeusNode, mailbox: &NodeMailbox<Message>, batched: bool) {
+fn flush_outbox<T: Transport<Message>>(node: &mut ZeusNode, transport: &T, batched: bool) {
     let out = node.drain_outbox();
     if out.is_empty() {
         return;
     }
     if batched {
-        mailbox.send_batch(
+        transport.send_batch(
             out.into_iter()
                 .map(|(to, msg)| {
                     let bytes = msg.payload_bytes();
@@ -860,7 +893,7 @@ fn flush_outbox(node: &mut ZeusNode, mailbox: &NodeMailbox<Message>, batched: bo
     } else {
         for (to, msg) in out {
             let bytes = msg.payload_bytes();
-            mailbox.send(to, msg, bytes);
+            transport.send(to, msg, bytes);
         }
     }
 }

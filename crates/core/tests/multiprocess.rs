@@ -1,0 +1,63 @@
+//! Process-per-node integration tests: real `zeus-node` binaries on
+//! loopback UDP, driven through `zeus_core::procs` — the same harness the
+//! `multiprocess-smoke` CI job runs via the `zeus-procs` binary.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use zeus_core::procs::{run_harness, HarnessOpts};
+use zeus_core::NodeId;
+
+fn opts(test: &str) -> HarnessOpts {
+    HarnessOpts {
+        node_bin: PathBuf::from(env!("CARGO_BIN_EXE_zeus-node")),
+        log_dir: std::env::temp_dir().join(format!("zeus-procs-{test}-{}", std::process::id())),
+        ops: 60,
+        accounts: 32,
+        ..HarnessOpts::default()
+    }
+}
+
+#[test]
+fn three_processes_complete_the_workload() {
+    let opts = opts("plain");
+    let report = run_harness(&opts).expect("undisturbed 3-process run");
+    assert_eq!(report.survivors.len(), 3);
+    for (id, outcome) in &report.survivors {
+        assert_eq!(
+            outcome.committed, opts.ops,
+            "node {id} must commit everything on a healthy cluster"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&opts.log_dir);
+}
+
+#[test]
+fn kill9_mid_run_heals_and_readmits() {
+    // SIGKILL a non-manager node mid-workload (the lowest-id live node is
+    // the view manager and has no failover — killing it wedges the cluster;
+    // see ROADMAP). Survivors must finish their workload (lease expiry →
+    // view change → ownership recovery), and the restarted process — same
+    // id, same address, fresh boot token, empty state — must be re-admitted
+    // and complete a workload of its own.
+    let mut opts = opts("kill9");
+    opts.kill = Some(NodeId(1));
+    opts.kill_after = Duration::from_millis(250);
+    let report = run_harness(&opts).expect("kill -9 + restart run");
+    assert_eq!(report.survivors.len(), 2, "two survivors report");
+    for (id, outcome) in &report.survivors {
+        assert_eq!(
+            outcome.committed + outcome.aborted,
+            opts.ops,
+            "survivor {id} finished its workload"
+        );
+        assert!(outcome.committed > 0, "survivor {id} kept committing");
+    }
+    let restarted = report.restarted.expect("restarted node reported");
+    assert_eq!(restarted.committed + restarted.aborted, opts.ops);
+    assert!(
+        restarted.committed > 0,
+        "re-admitted node must commit transactions again"
+    );
+    let _ = std::fs::remove_dir_all(&opts.log_dir);
+}

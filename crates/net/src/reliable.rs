@@ -5,12 +5,20 @@
 //! return cumulative acknowledgements, and senders retransmit unacknowledged
 //! messages after a timeout. Duplicates (from retransmission or the network)
 //! are filtered by the sequence number.
+//!
+//! The retransmission timeout is a [`RtoPolicy`]: a fixed interval for the
+//! deterministic simulator, or a per-peer adaptive RTO driven by RTT
+//! samples ([`crate::rtt`]) for the real runtimes. Under the adaptive
+//! policy the endpoint samples the RTT of acknowledged first transmissions
+//! (Karn's algorithm: retransmitted messages yield no sample) and backs the
+//! per-link timeout off exponentially while retransmissions repeat.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use zeus_proto::NodeId;
 
 use crate::envelope::Envelope;
+use crate::rtt::{RtoPolicy, RttEstimator};
 
 /// Wrapper protocol carried on the wire by the reliable layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,20 +39,47 @@ pub enum ReliableMsg<M> {
     },
 }
 
+/// One sent-but-unacknowledged message.
+#[derive(Debug)]
+struct Pending<M> {
+    payload: M,
+    /// Tick of the first transmission — the RTT sample base.
+    first_sent: u64,
+    /// Tick of the most recent (re)transmission.
+    last_sent: u64,
+    bytes: usize,
+    /// Set once retransmitted; such messages never yield RTT samples
+    /// (Karn's algorithm — the ack is ambiguous between transmissions).
+    retransmitted: bool,
+}
+
 /// Per-destination sender state.
 #[derive(Debug)]
 struct SendLink<M> {
     next_seq: u64,
-    /// Unacknowledged messages, keyed by sequence number, with the tick at
-    /// which they were last (re)transmitted and their wire size.
-    unacked: BTreeMap<u64, (M, u64, usize)>,
+    /// Unacknowledged messages, keyed by sequence number.
+    unacked: BTreeMap<u64, Pending<M>>,
+    /// RTT estimator for this link under [`RtoPolicy::Adaptive`].
+    rtt: Option<RttEstimator>,
 }
 
-impl<M> Default for SendLink<M> {
-    fn default() -> Self {
+impl<M> SendLink<M> {
+    fn new(policy: RtoPolicy) -> Self {
         SendLink {
             next_seq: 0,
             unacked: BTreeMap::new(),
+            rtt: match policy {
+                RtoPolicy::Fixed(_) => None,
+                RtoPolicy::Adaptive(config) => Some(RttEstimator::new(config)),
+            },
+        }
+    }
+
+    /// The link's current retransmission timeout.
+    fn rto(&self, policy: RtoPolicy) -> u64 {
+        match (&self.rtt, policy) {
+            (Some(est), _) => est.rto(),
+            (None, policy) => policy.initial_rto(),
         }
     }
 }
@@ -74,11 +109,11 @@ impl<M> Default for RecvLink<M> {
 /// The endpoint is transport-agnostic: [`ReliableEndpoint::send`],
 /// [`ReliableEndpoint::on_receive`] and [`ReliableEndpoint::tick`] produce
 /// wire envelopes that the caller pushes into whichever transport is in use
-/// (the simulator in tests, threads in the throughput harness).
+/// (the simulator in tests, UDP sockets in [`crate::udp`]).
 #[derive(Debug)]
 pub struct ReliableEndpoint<M> {
     local: NodeId,
-    retransmit_after: u64,
+    policy: RtoPolicy,
     send_links: HashMap<NodeId, SendLink<M>>,
     recv_links: HashMap<NodeId, RecvLink<M>>,
     /// Payloads delivered in order, ready for the protocol layer.
@@ -88,12 +123,12 @@ pub struct ReliableEndpoint<M> {
 }
 
 impl<M: Clone> ReliableEndpoint<M> {
-    /// Creates an endpoint for node `local` that retransmits unacknowledged
-    /// messages after `retransmit_after` ticks.
-    pub fn new(local: NodeId, retransmit_after: u64) -> Self {
+    /// Creates an endpoint for node `local` whose retransmission timeout
+    /// follows `policy`.
+    pub fn new(local: NodeId, policy: RtoPolicy) -> Self {
         ReliableEndpoint {
             local,
-            retransmit_after,
+            policy,
             send_links: HashMap::new(),
             recv_links: HashMap::new(),
             delivered: VecDeque::new(),
@@ -111,15 +146,57 @@ impl<M: Clone> ReliableEndpoint<M> {
         self.send_links.values().map(|l| l.unacked.len()).sum()
     }
 
+    /// The largest current per-link retransmission timeout, or the policy's
+    /// initial RTO when no links exist yet. Runtimes feed this back as the
+    /// protocol layer's retry horizon so higher-level retransmissions never
+    /// race the link layer's own.
+    pub fn max_rto(&self) -> u64 {
+        self.send_links
+            .values()
+            .map(|l| l.rto(self.policy))
+            .max()
+            .unwrap_or_else(|| self.policy.initial_rto())
+    }
+
+    /// The smoothed RTT toward `peer`, if the adaptive policy has sampled
+    /// the link at least once.
+    pub fn srtt(&self, peer: NodeId) -> Option<u64> {
+        self.send_links.get(&peer)?.rtt.as_ref()?.srtt()
+    }
+
+    /// Forgets all link state shared with `peer` (both directions).
+    ///
+    /// Used when the peer provably rebooted (its boot token changed): its
+    /// sequence numbers restart at 0, so the old receive cursor would
+    /// silently discard everything it now sends, and the old send window
+    /// would retransmit into a socket that no longer remembers the link.
+    pub fn reset_peer(&mut self, peer: NodeId) {
+        self.send_links.remove(&peer);
+        self.recv_links.remove(&peer);
+        self.outbox.retain(|env| env.to != peer);
+    }
+
     /// Queues `payload` for reliable delivery to `to`.
     ///
     /// `payload_bytes` is the application payload size used for accounting.
     pub fn send(&mut self, to: NodeId, payload: M, payload_bytes: usize, now: u64) {
-        let link = self.send_links.entry(to).or_default();
+        let policy = self.policy;
+        let link = self
+            .send_links
+            .entry(to)
+            .or_insert_with(|| SendLink::new(policy));
         let seq = link.next_seq;
         link.next_seq += 1;
-        link.unacked
-            .insert(seq, (payload.clone(), now, payload_bytes));
+        link.unacked.insert(
+            seq,
+            Pending {
+                payload: payload.clone(),
+                first_sent: now,
+                last_sent: now,
+                bytes: payload_bytes,
+                retransmitted: false,
+            },
+        );
         self.outbox.push(Envelope::with_payload_bytes(
             self.local,
             to,
@@ -130,7 +207,6 @@ impl<M: Clone> ReliableEndpoint<M> {
 
     /// Processes an incoming wire message, buffering/reordering as needed.
     pub fn on_receive(&mut self, from: NodeId, msg: ReliableMsg<M>, now: u64) {
-        let _ = now;
         match msg {
             ReliableMsg::Data { seq, payload } => {
                 let link = self.recv_links.entry(from).or_default();
@@ -152,6 +228,19 @@ impl<M: Clone> ReliableEndpoint<M> {
             }
             ReliableMsg::Ack { next_expected } => {
                 if let Some(link) = self.send_links.get_mut(&from) {
+                    // Sample the newest first-transmission the ack covers;
+                    // one sample per cumulative ack keeps the estimator from
+                    // over-weighting bursts.
+                    if let Some(est) = link.rtt.as_mut() {
+                        if let Some(p) = link
+                            .unacked
+                            .range(..next_expected)
+                            .map(|(_, p)| p)
+                            .rfind(|p| !p.retransmitted)
+                        {
+                            est.sample(now.saturating_sub(p.first_sent));
+                        }
+                    }
                     link.unacked.retain(|&seq, _| seq >= next_expected);
                 }
             }
@@ -159,21 +248,34 @@ impl<M: Clone> ReliableEndpoint<M> {
     }
 
     /// Retransmits every message that has been unacknowledged for longer
-    /// than the configured timeout.
+    /// than the link's current timeout, backing the adaptive timeout off
+    /// once per link per expiry.
     pub fn tick(&mut self, now: u64) {
         for (&to, link) in &mut self.send_links {
-            for (&seq, (payload, last_sent, bytes)) in &mut link.unacked {
-                if now.saturating_sub(*last_sent) >= self.retransmit_after {
-                    *last_sent = now;
+            let rto = match (&link.rtt, self.policy) {
+                (Some(est), _) => est.rto(),
+                (None, policy) => policy.initial_rto(),
+            };
+            let mut expired = false;
+            for (&seq, pending) in &mut link.unacked {
+                if now.saturating_sub(pending.last_sent) >= rto {
+                    expired = true;
+                    pending.last_sent = now;
+                    pending.retransmitted = true;
                     self.outbox.push(Envelope::with_payload_bytes(
                         self.local,
                         to,
                         ReliableMsg::Data {
                             seq,
-                            payload: payload.clone(),
+                            payload: pending.payload.clone(),
                         },
-                        *bytes + 8,
+                        pending.bytes + 8,
                     ));
+                }
+            }
+            if expired {
+                if let Some(est) = link.rtt.as_mut() {
+                    est.on_timeout();
                 }
             }
         }
@@ -208,6 +310,7 @@ impl<M: Clone> ReliableEndpoint<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rtt::RttConfig;
     use crate::sim::{NetConfig, SimNetwork};
 
     /// Runs two endpoints over a simulated network until quiescence and
@@ -216,8 +319,8 @@ mod tests {
         let a = NodeId(0);
         let b = NodeId(1);
         let mut net: SimNetwork<ReliableMsg<u32>> = SimNetwork::new(net_config);
-        let mut ep_a: ReliableEndpoint<u32> = ReliableEndpoint::new(a, 20);
-        let mut ep_b: ReliableEndpoint<u32> = ReliableEndpoint::new(b, 20);
+        let mut ep_a: ReliableEndpoint<u32> = ReliableEndpoint::new(a, RtoPolicy::Fixed(20));
+        let mut ep_b: ReliableEndpoint<u32> = ReliableEndpoint::new(b, RtoPolicy::Fixed(20));
         for (i, m) in messages.iter().enumerate() {
             ep_a.send(b, *m, 4, i as u64);
         }
@@ -287,7 +390,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_filtered() {
-        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(1), 10);
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(1), RtoPolicy::Fixed(10));
         ep.on_receive(NodeId(0), ReliableMsg::Data { seq: 0, payload: 7 }, 0);
         ep.on_receive(NodeId(0), ReliableMsg::Data { seq: 0, payload: 7 }, 1);
         let delivered = ep.take_delivered();
@@ -296,7 +399,7 @@ mod tests {
 
     #[test]
     fn out_of_order_data_is_buffered_until_gap_fills() {
-        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(1), 10);
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(1), RtoPolicy::Fixed(10));
         ep.on_receive(NodeId(0), ReliableMsg::Data { seq: 2, payload: 2 }, 0);
         ep.on_receive(NodeId(0), ReliableMsg::Data { seq: 1, payload: 1 }, 0);
         assert!(ep.take_delivered().is_empty());
@@ -307,7 +410,7 @@ mod tests {
 
     #[test]
     fn acks_are_coalesced_per_link() {
-        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(2), 10);
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(2), RtoPolicy::Fixed(10));
         for seq in 0..10 {
             ep.on_receive(NodeId(0), ReliableMsg::Data { seq, payload: 1 }, 0);
         }
@@ -335,7 +438,7 @@ mod tests {
 
     #[test]
     fn acks_clear_unacked_buffer() {
-        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(0), 10);
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(0), RtoPolicy::Fixed(10));
         ep.send(NodeId(1), 1, 4, 0);
         ep.send(NodeId(1), 2, 4, 0);
         assert_eq!(ep.unacked_len(), 2);
@@ -347,7 +450,7 @@ mod tests {
 
     #[test]
     fn tick_retransmits_only_after_timeout() {
-        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(0), 10);
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(0), RtoPolicy::Fixed(10));
         ep.send(NodeId(1), 1, 4, 0);
         ep.take_outgoing();
         ep.tick(5);
@@ -356,5 +459,77 @@ mod tests {
         let out = ep.take_outgoing();
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].msg, ReliableMsg::Data { seq: 0, .. }));
+    }
+
+    fn adaptive() -> RtoPolicy {
+        RtoPolicy::Adaptive(RttConfig {
+            initial_rto: 1_000,
+            min_rto: 100,
+            max_rto: 64_000,
+        })
+    }
+
+    #[test]
+    fn acks_feed_the_rtt_estimator() {
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(0), adaptive());
+        ep.send(NodeId(1), 1, 4, 0);
+        ep.on_receive(NodeId(1), ReliableMsg::Ack { next_expected: 1 }, 300);
+        assert_eq!(ep.srtt(NodeId(1)), Some(300));
+        // RTO follows srtt + 4·rttvar = 300 + 600, not the initial 1000.
+        assert_eq!(ep.max_rto(), 900);
+    }
+
+    #[test]
+    fn retransmitted_messages_yield_no_sample_but_back_off() {
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(0), adaptive());
+        ep.send(NodeId(1), 1, 4, 0);
+        ep.take_outgoing();
+        // Timeout fires: retransmit + exponential backoff.
+        ep.tick(1_000);
+        assert_eq!(ep.take_outgoing().len(), 1);
+        assert_eq!(ep.max_rto(), 2_000);
+        // A very late ack of the retransmitted message must not poison the
+        // estimator with the ambiguous 50_000-tick "RTT" (Karn).
+        ep.on_receive(NodeId(1), ReliableMsg::Ack { next_expected: 1 }, 50_000);
+        assert_eq!(ep.srtt(NodeId(1)), None);
+    }
+
+    #[test]
+    fn reset_peer_restarts_both_directions() {
+        let mut ep: ReliableEndpoint<u32> = ReliableEndpoint::new(NodeId(0), adaptive());
+        ep.send(NodeId(1), 7, 4, 0);
+        ep.on_receive(NodeId(1), ReliableMsg::Data { seq: 0, payload: 9 }, 0);
+        ep.on_receive(
+            NodeId(1),
+            ReliableMsg::Data {
+                seq: 1,
+                payload: 10,
+            },
+            0,
+        );
+        assert_eq!(ep.take_delivered().len(), 2);
+        assert_eq!(ep.unacked_len(), 1);
+
+        ep.reset_peer(NodeId(1));
+        assert_eq!(ep.unacked_len(), 0, "send window forgotten");
+        // No stale retransmissions or acks for the reset peer.
+        assert!(ep.take_outgoing().is_empty());
+        // The rebooted peer restarts at seq 0 and must be delivered, not
+        // dropped as a duplicate of the pre-reset link.
+        ep.on_receive(
+            NodeId(1),
+            ReliableMsg::Data {
+                seq: 0,
+                payload: 42,
+            },
+            10,
+        );
+        assert_eq!(ep.take_delivered(), vec![(NodeId(1), 42)]);
+        // Fresh sends restart at seq 0 as well.
+        ep.send(NodeId(1), 8, 4, 10);
+        let out = ep.take_outgoing();
+        assert!(out
+            .iter()
+            .any(|e| matches!(e.msg, ReliableMsg::Data { seq: 0, .. })));
     }
 }

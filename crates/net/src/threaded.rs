@@ -74,7 +74,7 @@ pub struct SharedCounters {
 }
 
 impl SharedCounters {
-    fn record(&self, bytes: usize, queue_depth: usize) {
+    pub(crate) fn record(&self, bytes: usize, queue_depth: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         self.queue_hwm
@@ -83,13 +83,13 @@ impl SharedCounters {
 
     /// Adds delivered bytes without touching message counts (batched sends
     /// count messages per envelope but bytes per bucket).
-    fn record_bytes(&self, bytes: usize) {
+    pub(crate) fn record_bytes(&self, bytes: usize) {
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Records a send that never reached an inbox (unknown peer, or the
     /// destination's node thread exited and closed its channel).
-    fn record_failed(&self, bytes: usize) {
+    pub(crate) fn record_failed(&self, bytes: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         self.dropped_messages.fetch_add(1, Ordering::Relaxed);
