@@ -1,12 +1,17 @@
 //! Command-line front end of the `chaos` binary.
 //!
 //! ```text
-//! chaos --smoke [--seed N] [--schedules N] [--tag TAG] [--out DIR]
+//! chaos --smoke [--seed N] [--schedules N] [--profile default|view-churn]
+//!       [--tag TAG] [--out DIR]
 //! chaos --full --budget-secs S [--seed N] [--tag TAG] [--out DIR]
 //! chaos --replay FILE...
 //! chaos --corpus DIR [--validate]
 //! chaos ... --inject-bug no-readmit      (validate the explorer itself)
 //! ```
+//!
+//! `--profile view-churn` biases fault victims toward the view-replica
+//! set, crashing/partitioning a minority of the membership service's own
+//! replicas while the workload churns.
 //!
 //! `--validate` turns the corpus replay into a strict gate: every file must
 //! parse at the *current* corpus format version, re-render byte-identically
@@ -27,6 +32,7 @@ use std::time::Duration;
 use zeus_bench::report::{BenchReport, ScenarioResult};
 
 use crate::explore::{explore, ExploreConfig};
+use crate::generate::Profile;
 use crate::runner::{run_schedule, RunOptions};
 use crate::schedule::Schedule;
 
@@ -43,6 +49,8 @@ pub struct Args {
     pub seed: u64,
     /// Schedule count for `--smoke`.
     pub schedules: u64,
+    /// Fault mix of the generated schedules.
+    pub profile: Profile,
     /// Report tag (`BENCH_<tag>.json`).
     pub tag: String,
     /// Output directory for the report and failure artifacts.
@@ -67,6 +75,7 @@ impl Default for Args {
             budget_secs: 60,
             seed: 42,
             schedules: 200,
+            profile: Profile::Default,
             tag: "chaos".into(),
             out: PathBuf::from("."),
             replay: Vec::new(),
@@ -77,7 +86,7 @@ impl Default for Args {
     }
 }
 
-const USAGE: &str = "usage: chaos --smoke [--seed N] [--schedules N] [--tag TAG] [--out DIR]
+const USAGE: &str = "usage: chaos --smoke [--seed N] [--schedules N] [--profile default|view-churn] [--tag TAG] [--out DIR]
        chaos --full --budget-secs S [--seed N] [--tag TAG] [--out DIR]
        chaos --replay FILE...
        chaos --corpus DIR [--validate]
@@ -113,6 +122,9 @@ impl Args {
                 }
                 "--schedules" => {
                     args.schedules = int(value(&mut it, "--schedules")?, "--schedules")?.max(1);
+                }
+                "--profile" => {
+                    args.profile = Profile::parse(&value(&mut it, "--profile")?)?;
                 }
                 "--tag" => args.tag = value(&mut it, "--tag")?,
                 "--out" => args.out = PathBuf::from(value(&mut it, "--out")?),
@@ -187,6 +199,7 @@ pub fn run_driver() -> i32 {
             schedules: args.schedules,
             time_budget: args.full.then(|| Duration::from_secs(args.budget_secs)),
             run: args.run_options(),
+            profile: args.profile,
             ..ExploreConfig::default()
         };
         let outcome = explore(&config, |index, name, passed| {
@@ -360,6 +373,14 @@ mod tests {
         let args = parse(&["--smoke", "--inject-bug", "no-readmit"]).unwrap();
         assert!(!args.run_options().readmit_suspects);
         assert!(parse(&["--smoke", "--inject-bug", "frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn parses_the_profile() {
+        let args = parse(&["--smoke", "--profile", "view-churn"]).unwrap();
+        assert_eq!(args.profile, Profile::ViewChurn);
+        assert_eq!(parse(&["--smoke"]).unwrap().profile, Profile::Default);
+        assert!(parse(&["--smoke", "--profile", "bogus"]).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use zeus_bench::report::ScenarioResult;
 
-use crate::generate::generate_schedule;
+use crate::generate::{generate_schedule_with, Profile};
 use crate::runner::{run_schedule, RunOptions, RunStats, Violation};
 use crate::schedule::Schedule;
 use crate::shrink::shrink_schedule;
@@ -27,6 +27,8 @@ pub struct ExploreConfig {
     pub time_budget: Option<Duration>,
     /// Options passed to every run.
     pub run: RunOptions,
+    /// Fault mix of the generated schedules.
+    pub profile: Profile,
     /// Predicate-invocation budget of the shrinker.
     pub shrink_budget: usize,
 }
@@ -38,6 +40,7 @@ impl Default for ExploreConfig {
             schedules: 200,
             time_budget: None,
             run: RunOptions::default(),
+            profile: Profile::default(),
             shrink_budget: 400,
         }
     }
@@ -136,7 +139,7 @@ pub fn explore(
                 }
             }
         }
-        let schedule = generate_schedule(config.seed, index);
+        let schedule = generate_schedule_with(config.seed, index, config.profile);
         let run = run_schedule(&schedule, &config.run);
         outcome.ran += 1;
         outcome.sim_ticks.push(run.stats.sim_ticks);

@@ -10,15 +10,48 @@
 //! re-admission), hot bursts create contended ownership handovers while
 //! faults are active, and crash/restart cycles exercise the rejoin reset.
 //! It respects the deployment's safety envelope: at most a minority of
-//! nodes is ever down (crashed or isolated) at once, and rejoin cycles per
-//! schedule are bounded — beyond that envelope the protocols make no
-//! guarantees (a majority of amnesiac directory replicas can lose data by
-//! design, as in the paper's f+1 fault model).
+//! nodes is ever down (crashed or isolated) at once, at most a minority of
+//! the *view-replica set* is ever down at once (a view quorum must stay
+//! live to commit membership changes), and rejoin cycles per schedule are
+//! bounded — beyond that envelope the protocols make no guarantees (a
+//! majority of amnesiac directory replicas can lose data by design, as in
+//! the paper's f+1 fault model).
+//!
+//! [`Profile::ViewChurn`] is the same generator with the fault victims
+//! biased toward the view-replica set: it deliberately crashes and
+//! isolates a minority of the nodes that *run the membership service
+//! itself* while the workload churns, which is exactly the regime the old
+//! single-acting-manager design could not survive.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::schedule::{ChaosStep, NetParams, Schedule};
+
+/// Which fault mix [`generate_schedule_with`] produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// The general mix: any live node is a fault victim.
+    #[default]
+    Default,
+    /// Bias crash/isolate victims toward the view-replica set, so most
+    /// schedules kill or partition a minority of the membership service's
+    /// own replicas while ownership churns.
+    ViewChurn,
+}
+
+impl Profile {
+    /// Parses the `--profile` CLI spelling.
+    pub fn parse(s: &str) -> Result<Profile, String> {
+        match s {
+            "default" => Ok(Profile::Default),
+            "view-churn" => Ok(Profile::ViewChurn),
+            other => Err(format!(
+                "unknown profile '{other}' (known: default, view-churn)"
+            )),
+        }
+    }
+}
 
 /// Mixes the base seed and schedule index into an RNG stream.
 fn rng_for(seed: u64, index: u64) -> StdRng {
@@ -33,6 +66,9 @@ fn rng_for(seed: u64, index: u64) -> StdRng {
 /// the safety envelope.
 struct FaultState {
     nodes: u16,
+    /// Size of the view-replica set (the first N node ids) in the cluster
+    /// the runner will build — mirrors `ZeusConfig::with_nodes`.
+    view_replicas: u16,
     crashed: Vec<u16>,
     isolated: Vec<u16>,
     rejoin_cycles: u32,
@@ -43,9 +79,46 @@ impl FaultState {
         self.crashed.len() + self.isolated.len()
     }
 
-    /// At most a minority of the cluster may be down at once.
-    fn may_take_down(&self) -> bool {
-        (self.down() + 1) * 2 < self.nodes as usize + 1
+    fn down_view(&self) -> usize {
+        self.crashed
+            .iter()
+            .chain(self.isolated.iter())
+            .filter(|&&n| n < self.view_replicas)
+            .count()
+    }
+
+    /// The safety envelope, per candidate victim: at most a minority of
+    /// the cluster down at once, and at most a minority of the
+    /// view-replica set down at once (a live view quorum must remain to
+    /// commit the very expulsions the fault provokes).
+    fn may_take_down(&self, n: u16) -> bool {
+        if (self.down() + 1) * 2 > self.nodes as usize {
+            return false;
+        }
+        n >= self.view_replicas || (self.down_view() + 1) * 2 < self.view_replicas as usize + 1
+    }
+
+    /// Picks a fault victim inside the envelope, or `None` if every live
+    /// node is envelope-protected. `ViewChurn` prefers view replicas.
+    fn victim(&self, rng: &mut StdRng, profile: Profile) -> Option<u16> {
+        let eligible: Vec<u16> = (0..self.nodes)
+            .filter(|n| !self.crashed.contains(n) && !self.isolated.contains(n))
+            .filter(|&n| self.may_take_down(n))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        if profile == Profile::ViewChurn {
+            let view: Vec<u16> = eligible
+                .iter()
+                .copied()
+                .filter(|&n| n < self.view_replicas)
+                .collect();
+            if !view.is_empty() && rng.gen_bool(0.8) {
+                return Some(view[rng.gen_range(0..view.len())]);
+            }
+        }
+        Some(eligible[rng.gen_range(0..eligible.len())])
     }
 
     fn up_nodes(&self, rng: &mut StdRng) -> u16 {
@@ -58,8 +131,14 @@ impl FaultState {
     }
 }
 
-/// Generates the `index`-th schedule of an exploration run based at `seed`.
+/// Generates the `index`-th schedule of an exploration run based at `seed`,
+/// with the [`Profile::Default`] fault mix.
 pub fn generate_schedule(seed: u64, index: u64) -> Schedule {
+    generate_schedule_with(seed, index, Profile::Default)
+}
+
+/// Generates the `index`-th schedule of an exploration run based at `seed`.
+pub fn generate_schedule_with(seed: u64, index: u64, profile: Profile) -> Schedule {
     let mut rng = rng_for(seed, index);
     let nodes: u16 = if rng.gen_bool(0.75) { 3 } else { 5 };
     let objects: u64 = rng.gen_range(2..=5);
@@ -89,6 +168,7 @@ pub fn generate_schedule(seed: u64, index: u64) -> Schedule {
 
     let mut state = FaultState {
         nodes,
+        view_replicas: 3u16.min(nodes),
         crashed: Vec::new(),
         isolated: Vec::new(),
         rejoin_cycles: 0,
@@ -133,8 +213,7 @@ pub fn generate_schedule(seed: u64, index: u64) -> Schedule {
             73..=77 => steps.push(ChaosStep::Settle { steps: 30_000 }),
             // Crash / restart (operator-handled crash-stop).
             78..=82 => {
-                if state.may_take_down() {
-                    let n = state.up_nodes(&mut rng);
+                if let Some(n) = state.victim(&mut rng, profile) {
                     state.crashed.push(n);
                     steps.push(ChaosStep::Crash { node: n });
                 }
@@ -153,8 +232,10 @@ pub fn generate_schedule(seed: u64, index: u64) -> Schedule {
             }
             // False suspicion: isolate, blow the lease, heal, re-admit.
             86..=90 => {
-                if state.may_take_down() && state.rejoin_cycles < 2 {
-                    let n = state.up_nodes(&mut rng);
+                if state.rejoin_cycles < 2 {
+                    let Some(n) = state.victim(&mut rng, profile) else {
+                        continue;
+                    };
                     state.isolated.push(n);
                     steps.push(ChaosStep::Isolate { node: n });
                     if rng.gen_bool(0.7) {
@@ -253,27 +334,89 @@ mod tests {
 
     #[test]
     fn schedules_respect_the_safety_envelope() {
-        for index in 0..100 {
-            let s = generate_schedule(99, index);
-            let mut down = 0usize;
-            let mut max_down = 0usize;
-            for step in &s.steps {
-                match step {
-                    ChaosStep::Crash { .. } | ChaosStep::Isolate { .. } => {
-                        down += 1;
-                        max_down = max_down.max(down);
+        for profile in [Profile::Default, Profile::ViewChurn] {
+            for index in 0..100 {
+                let s = generate_schedule_with(99, index, profile);
+                let view_replicas = 3u16.min(s.nodes);
+                let mut down = 0usize;
+                let mut max_down = 0usize;
+                let mut down_view = 0usize;
+                let mut max_down_view = 0usize;
+                for step in &s.steps {
+                    match step {
+                        ChaosStep::Crash { node } | ChaosStep::Isolate { node } => {
+                            down += 1;
+                            max_down = max_down.max(down);
+                            if *node < view_replicas {
+                                down_view += 1;
+                                max_down_view = max_down_view.max(down_view);
+                            }
+                        }
+                        ChaosStep::Restart { node } | ChaosStep::HealNode { node } => {
+                            down = down.saturating_sub(1);
+                            if *node < view_replicas {
+                                down_view = down_view.saturating_sub(1);
+                            }
+                        }
+                        _ => {}
                     }
-                    ChaosStep::Restart { .. } | ChaosStep::HealNode { .. } => {
-                        down = down.saturating_sub(1);
-                    }
-                    _ => {}
+                }
+                assert!(
+                    max_down * 2 < s.nodes as usize + 1,
+                    "{profile:?} index {index}: {max_down} of {} nodes down at once",
+                    s.nodes
+                );
+                assert!(
+                    max_down_view * 2 < view_replicas as usize + 1,
+                    "{profile:?} index {index}: {max_down_view} of {view_replicas} view replicas down at once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn view_churn_profile_crashes_view_replicas_during_churn() {
+        // Across a modest batch, most view-churn schedules must take down
+        // at least one view replica, and some must do so with workload
+        // steps still to run afterwards (churn while the membership
+        // service itself is degraded).
+        let mut faulted_view = 0usize;
+        let mut churned_after = 0usize;
+        for index in 0..40 {
+            let s = generate_schedule_with(7, index, Profile::ViewChurn);
+            let view_replicas = 3u16.min(s.nodes);
+            let fault_at = s.steps.iter().position(|step| {
+                matches!(step, ChaosStep::Crash { node } | ChaosStep::Isolate { node }
+                         if *node < view_replicas)
+            });
+            if let Some(at) = fault_at {
+                faulted_view += 1;
+                if s.steps[at + 1..].iter().any(|step| {
+                    matches!(
+                        step,
+                        ChaosStep::Write { .. }
+                            | ChaosStep::HotBurst { .. }
+                            | ChaosStep::Migrate { .. }
+                    )
+                }) {
+                    churned_after += 1;
                 }
             }
-            assert!(
-                max_down * 2 < s.nodes as usize + 1,
-                "index {index}: {max_down} of {} nodes down at once",
-                s.nodes
-            );
         }
+        assert!(
+            faulted_view >= 25,
+            "only {faulted_view}/40 view-churn schedules fault a view replica"
+        );
+        assert!(
+            churned_after >= 15,
+            "only {churned_after}/40 keep churning after the view-replica fault"
+        );
+    }
+
+    #[test]
+    fn profile_parsing() {
+        assert_eq!(Profile::parse("default").unwrap(), Profile::Default);
+        assert_eq!(Profile::parse("view-churn").unwrap(), Profile::ViewChurn);
+        assert!(Profile::parse("bogus").is_err());
     }
 }

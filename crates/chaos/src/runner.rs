@@ -437,14 +437,20 @@ impl<'a> Harness<'a> {
                 let live = self.schedule.nodes as usize - self.crashed.len();
                 if self.valid_node(*node) && !self.crashed.contains(node) && live > 2 {
                     self.crashed.insert(*node);
-                    self.cluster.fail_node(NodeId(*node));
+                    self.cluster
+                        .admin()
+                        .crash(NodeId(*node))
+                        .expect("crash of a validated node");
                 } else {
                     self.stats.skipped_ops += 1;
                 }
             }
             ChaosStep::Restart { node } => {
                 if self.crashed.remove(node) {
-                    self.cluster.restart_node(NodeId(*node));
+                    self.cluster
+                        .admin()
+                        .restart(NodeId(*node))
+                        .expect("restart of a crashed node");
                 } else {
                     self.stats.skipped_ops += 1;
                 }
@@ -456,7 +462,10 @@ impl<'a> Harness<'a> {
                             self.cut_pairs.insert((*node, peer));
                         }
                     }
-                    self.cluster.isolate_node(NodeId(*node));
+                    self.cluster
+                        .admin()
+                        .isolate(NodeId(*node))
+                        .expect("isolate of a validated node");
                 } else {
                     self.stats.skipped_ops += 1;
                 }
@@ -472,12 +481,15 @@ impl<'a> Harness<'a> {
             ChaosStep::HealNode { node } => {
                 self.cut_pairs.retain(|&(a, b)| a != *node && b != *node);
                 if self.valid_node(*node) {
-                    self.cluster.heal_node(NodeId(*node));
+                    self.cluster
+                        .admin()
+                        .heal(NodeId(*node))
+                        .expect("heal of a validated node");
                 }
             }
             ChaosStep::HealAll => {
                 self.cut_pairs.clear();
-                self.cluster.heal_all_links();
+                self.cluster.admin().heal_all();
             }
             ChaosStep::Spike { from, to, extra } => {
                 if self.valid_node(*from) && self.valid_node(*to) {
@@ -546,7 +558,7 @@ impl<'a> Harness<'a> {
         // Heal every link fault so pending protocol work can drain; crashed
         // nodes stay crashed (they were admin-removed).
         self.cut_pairs.clear();
-        self.cluster.heal_all_links();
+        self.cluster.admin().heal_all();
         let opts_budget = self.settle_budget();
         if !self.cluster.settle(opts_budget) {
             return Some(Violation::new(

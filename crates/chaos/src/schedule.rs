@@ -111,8 +111,8 @@ pub enum ChaosStep {
         /// Rounds of the burst.
         rounds: u32,
     },
-    /// Crash-stop `node` (the operator also removes it from the view, as
-    /// [`zeus_core::SimCluster::fail_node`] does).
+    /// Crash-stop `node` (the operator also proposes its expulsion through
+    /// the view service, as `Admin::crash` does).
     Crash {
         /// Crashed node.
         node: u16,

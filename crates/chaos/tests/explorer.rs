@@ -6,7 +6,7 @@
 //! the corpus format.
 
 use zeus_chaos::explore::ExploreConfig;
-use zeus_chaos::{explore, run_schedule, RunOptions, Schedule};
+use zeus_chaos::{explore, run_schedule, Profile, RunOptions, Schedule};
 
 #[test]
 fn exploration_is_deterministic() {
@@ -26,6 +26,34 @@ fn exploration_is_deterministic() {
     assert_eq!(
         a.to_scenario_result(42, "smoke").to_json().pretty(),
         b.to_scenario_result(42, "smoke").to_json().pretty()
+    );
+}
+
+#[test]
+fn view_churn_sweep_converges_membership() {
+    // Crash and partition a minority of the view replicas — the nodes
+    // running the membership service itself — while ownership churns. The
+    // runner's final oracles assert membership convergence (every live
+    // node settles on the same highest-epoch view), data-timestamp order
+    // and history convergence, so a green sweep means the view quorum kept
+    // committing expulsions and re-admissions throughout.
+    let config = ExploreConfig {
+        seed: 42,
+        schedules: 25,
+        profile: Profile::ViewChurn,
+        ..ExploreConfig::default()
+    };
+    let outcome = explore(&config, |_, _, _| {});
+    assert_eq!(outcome.ran, 25);
+    if let Some(failure) = &outcome.failure {
+        panic!(
+            "view-churn schedule {} violated [{}]: {}",
+            failure.schedule.name, failure.violation.kind, failure.violation.detail
+        );
+    }
+    assert!(
+        outcome.totals.committed_writes > 0,
+        "the sweep must actually commit work"
     );
 }
 

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! zeus-node --id 0 --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
-//!           [--ops 200] [--accounts 64] [--lease-us 200000] [--seed 42]
+//!           [--ops 200] [--accounts 64] [--lease-us 200000] \
+//!           [--view-replicas 3] [--seed 42]
+//! zeus-node --id 0 --config cluster.toml     # addrs/lease/view from file
 //! ```
 //!
 //! Prints `READY` once bound, waits for `GO` on stdin, runs the seeded

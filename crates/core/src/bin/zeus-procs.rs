@@ -4,11 +4,16 @@
 //! (including re-admission of the restarted node) completes.
 //!
 //! ```text
-//! zeus-procs [--nodes 3] [--ops 150] [--accounts 48] [--lease-us 200000]
-//!            [--kill 1] [--kill-after-ms 300] [--log-dir procs-logs]
+//! zeus-procs [--config cluster.toml] [--nodes 3] [--ops 150]
+//!            [--accounts 48] [--lease-us 200000] [--view-replicas 3]
+//!            [--kill 0] [--kill-after-ms 300] [--log-dir procs-logs]
 //!            [--seed 42] [--node-bin path/to/zeus-node]
 //! ```
 //!
+//! `--config` reads a `cluster.toml` (see [`zeus_core::ClusterFile`]) whose
+//! node table fixes the cluster size and addresses and whose `[cluster]`
+//! section supplies `lease_us` / `view_replicas` defaults; explicit flags
+//! override file values. Without it, ports are allocated on loopback.
 //! `--node-bin` defaults to a `zeus-node` sitting next to this executable
 //! (which is where `cargo build` puts both). Per-node logs are written to
 //! `--log-dir`; the multiprocess CI job uploads them on failure.
@@ -18,11 +23,14 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use zeus_core::procs::{run_harness, HarnessOpts};
-use zeus_core::NodeId;
+use zeus_core::{ClusterFile, NodeId};
 
 fn parse(args: impl Iterator<Item = String>) -> Result<HarnessOpts, String> {
     let mut opts = HarnessOpts::default();
     let mut node_bin: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut nodes: Option<usize> = None;
+    let mut lease_us: Option<u64> = None;
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -30,10 +38,13 @@ fn parse(args: impl Iterator<Item = String>) -> Result<HarnessOpts, String> {
                 .ok_or_else(|| format!("{flag} requires a value"))
         };
         match flag.as_str() {
+            "--config" => config_path = Some(PathBuf::from(value("--config")?)),
             "--nodes" => {
-                opts.nodes = value("--nodes")?
-                    .parse()
-                    .map_err(|e| format!("--nodes: {e}"))?
+                nodes = Some(
+                    value("--nodes")?
+                        .parse()
+                        .map_err(|e| format!("--nodes: {e}"))?,
+                )
             }
             "--ops" => opts.ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
             "--accounts" => {
@@ -42,9 +53,18 @@ fn parse(args: impl Iterator<Item = String>) -> Result<HarnessOpts, String> {
                     .map_err(|e| format!("--accounts: {e}"))?
             }
             "--lease-us" => {
-                opts.lease_us = value("--lease-us")?
-                    .parse()
-                    .map_err(|e| format!("--lease-us: {e}"))?
+                lease_us = Some(
+                    value("--lease-us")?
+                        .parse()
+                        .map_err(|e| format!("--lease-us: {e}"))?,
+                )
+            }
+            "--view-replicas" => {
+                opts.view_replicas = Some(
+                    value("--view-replicas")?
+                        .parse()
+                        .map_err(|e| format!("--view-replicas: {e}"))?,
+                )
             }
             "--kill" => {
                 opts.kill = Some(NodeId(
@@ -69,6 +89,27 @@ fn parse(args: impl Iterator<Item = String>) -> Result<HarnessOpts, String> {
             "--node-bin" => node_bin = Some(PathBuf::from(value("--node-bin")?)),
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if let Some(path) = config_path {
+        let file = ClusterFile::load(&path)?;
+        opts.nodes = file.addrs.len();
+        opts.addrs = Some(file.addrs);
+        lease_us = lease_us.or(file.lease_us);
+        opts.view_replicas = opts.view_replicas.or(file.view_replicas);
+        if let Some(n) = nodes {
+            if n != opts.nodes {
+                return Err(format!(
+                    "--nodes {n} conflicts with the {} [[node]] tables in {}",
+                    opts.nodes,
+                    path.display()
+                ));
+            }
+        }
+    } else if let Some(n) = nodes {
+        opts.nodes = n;
+    }
+    if let Some(us) = lease_us {
+        opts.lease_us = us;
     }
     opts.node_bin = match node_bin {
         Some(p) => p,

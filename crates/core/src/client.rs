@@ -434,6 +434,127 @@ pub trait Session: Clone + Send + 'static {
 }
 
 // ---------------------------------------------------------------------------
+// Admin surface
+// ---------------------------------------------------------------------------
+
+/// Error from an administrative cluster operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminError {
+    /// The node id is outside the deployment.
+    UnknownNode(NodeId),
+    /// Restart was requested for a node that is not crashed.
+    NotCrashed(NodeId),
+    /// The driver does not support this operation (e.g. process crash on a
+    /// runtime without a process model).
+    Unsupported {
+        /// The operation that was requested.
+        op: &'static str,
+    },
+    /// A migration failed in the transaction layer.
+    Migrate(TxError),
+}
+
+impl std::fmt::Display for AdminError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdminError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            AdminError::NotCrashed(n) => write!(f, "node {n:?} is not crashed"),
+            AdminError::Unsupported { op } => {
+                write!(f, "operation `{op}` is not supported by this driver")
+            }
+            AdminError::Migrate(e) => write!(f, "migration failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AdminError {}
+
+/// The administrative surface of a cluster: membership mutation, fault
+/// injection and placement migration, obtained from
+/// [`ClusterDriver::admin`].
+///
+/// Every membership-mutating operation ([`expel`](Admin::expel),
+/// [`readmit`](Admin::readmit), and the crash/restart pair) is routed
+/// through the replicated view service: the driver forwards it to every view
+/// replica, and the change commits once a majority agrees — no single
+/// "acting manager" whose death can wedge administration.
+#[derive(Debug)]
+pub struct Admin<'a, D: ClusterDriver + ?Sized> {
+    driver: &'a D,
+}
+
+impl<D: ClusterDriver + ?Sized> Admin<'_, D> {
+    fn check(&self, node: NodeId) -> Result<(), AdminError> {
+        if (node.0 as usize) < self.driver.nodes() {
+            Ok(())
+        } else {
+            Err(AdminError::UnknownNode(node))
+        }
+    }
+
+    /// Expels `node` from the membership and bans it from heartbeat
+    /// re-admission (scale-in, or evicting a misbehaving node). Committed by
+    /// a majority of view replicas.
+    pub fn expel(&self, node: NodeId) -> Result<(), AdminError> {
+        self.check(node)?;
+        self.driver.admin_expel(node)
+    }
+
+    /// Lifts the ban on `node` and proposes its re-admission. The node joins
+    /// the next committed view with a fresh admission epoch (its replica
+    /// state is discarded and re-acquired through the ownership protocol).
+    pub fn readmit(&self, node: NodeId) -> Result<(), AdminError> {
+        self.check(node)?;
+        self.driver.admin_readmit(node)
+    }
+
+    /// Crashes `node` (fail-stop: it processes nothing further until
+    /// [`restart`](Admin::restart)). The failure detector expels it once its
+    /// leases lapse.
+    pub fn crash(&self, node: NodeId) -> Result<(), AdminError> {
+        self.check(node)?;
+        self.driver.admin_crash(node)
+    }
+
+    /// Restarts a crashed `node` with empty state; its heartbeats re-admit
+    /// it through the view service.
+    pub fn restart(&self, node: NodeId) -> Result<(), AdminError> {
+        self.check(node)?;
+        self.driver.admin_restart(node)
+    }
+
+    /// Cuts every link between `node` and the rest of the cluster. The node
+    /// keeps running — it stops hearing heartbeats, fences itself after a
+    /// lease of silence ([`TxError::Fenced`]) and is eventually expelled.
+    pub fn isolate(&self, node: NodeId) -> Result<(), AdminError> {
+        self.check(node)?;
+        self.driver.fault_isolate(node);
+        Ok(())
+    }
+
+    /// Heals every link between `node` and the rest of the cluster; its next
+    /// heartbeat re-admits it (or renews its leases if it was never
+    /// expelled).
+    pub fn heal(&self, node: NodeId) -> Result<(), AdminError> {
+        self.check(node)?;
+        self.driver.fault_heal(node);
+        Ok(())
+    }
+
+    /// Heals every injected link fault at once.
+    pub fn heal_all(&self) {
+        self.driver.fault_heal_all();
+    }
+
+    /// Migrates `object` to `to` (acquire-owner), returning the observed
+    /// ownership latency in microseconds.
+    pub fn migrate(&self, object: ObjectId, to: NodeId) -> Result<u64, AdminError> {
+        self.check(to)?;
+        self.driver.migrate(object, to).map_err(AdminError::Migrate)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Cluster driver
 // ---------------------------------------------------------------------------
 
@@ -475,22 +596,60 @@ pub trait ClusterDriver {
     /// this is a no-op.
     fn quiesce(&self);
 
+    /// The administrative surface: membership mutation, fault injection and
+    /// migration, all behind one typed handle (see [`Admin`]).
+    fn admin(&self) -> Admin<'_, Self>
+    where
+        Self: Sized,
+    {
+        Admin { driver: self }
+    }
+
     // ------------------------------------------------------------------
-    // Fault hooks (the fig11-class partition scenarios)
+    // Admin SPI — reached through [`ClusterDriver::admin`], not called
+    // directly. Membership-mutating operations must route through the view
+    // service (the driver forwards them to every view replica).
     // ------------------------------------------------------------------
 
-    /// Cuts every link between `node` and the rest of the cluster. The node
-    /// keeps running — it stops hearing heartbeats, fences itself after a
-    /// lease of silence ([`TxError::Fenced`]) and is eventually expelled.
-    fn isolate_node(&self, node: NodeId);
+    /// Expels `node`: ban + view-service expulsion proposal on every view
+    /// replica.
+    fn admin_expel(&self, node: NodeId) -> Result<(), AdminError> {
+        let _ = node;
+        Err(AdminError::Unsupported { op: "expel" })
+    }
 
-    /// Heals every link between `node` and the rest of the cluster; its
-    /// next heartbeat re-admits it (or renews its leases if it was never
-    /// expelled).
-    fn heal_node(&self, node: NodeId);
+    /// Re-admits `node`: unban + view-service admission proposal on every
+    /// view replica.
+    fn admin_readmit(&self, node: NodeId) -> Result<(), AdminError> {
+        let _ = node;
+        Err(AdminError::Unsupported { op: "readmit" })
+    }
+
+    /// Fail-stops `node`.
+    fn admin_crash(&self, node: NodeId) -> Result<(), AdminError> {
+        let _ = node;
+        Err(AdminError::Unsupported { op: "crash" })
+    }
+
+    /// Restarts a crashed `node` with empty state.
+    fn admin_restart(&self, node: NodeId) -> Result<(), AdminError> {
+        let _ = node;
+        Err(AdminError::Unsupported { op: "restart" })
+    }
+
+    // ------------------------------------------------------------------
+    // Fault SPI (the fig11-class partition scenarios) — reached through
+    // [`Admin::isolate`] / [`Admin::heal`] / [`Admin::heal_all`].
+    // ------------------------------------------------------------------
+
+    /// Cuts every link between `node` and the rest of the cluster.
+    fn fault_isolate(&self, node: NodeId);
+
+    /// Heals every link between `node` and the rest of the cluster.
+    fn fault_heal(&self, node: NodeId);
 
     /// Heals every injected link fault at once.
-    fn heal_all_links(&self);
+    fn fault_heal_all(&self);
 }
 
 #[cfg(test)]

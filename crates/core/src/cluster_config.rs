@@ -1,0 +1,240 @@
+//! Cluster configuration files for the process-per-node deployment.
+//!
+//! `zeus-node` and `zeus-procs` accept `--config cluster.toml` so a real
+//! deployment describes itself once — node ids and addresses, the
+//! view-replica count, the failure-detection lease — instead of repeating
+//! an `--addrs` list on every command line. Explicit flags override file
+//! values, so a config file plus `--lease-us 50000` runs the same cluster
+//! with a shorter lease.
+//!
+//! The accepted format is the natural TOML subset (parsed by hand — the
+//! deployment carries no TOML dependency):
+//!
+//! ```toml
+//! # cluster.toml — a three-node cluster, all membership ops quorum-decided
+//! [cluster]
+//! view_replicas = 3        # first N node ids form the view-replica set
+//! lease_us = 200000        # failure-detection lease, microseconds
+//!
+//! [[node]]
+//! id = 0
+//! addr = "127.0.0.1:7000"
+//!
+//! [[node]]
+//! id = 1
+//! addr = "127.0.0.1:7001"
+//!
+//! [[node]]
+//! id = 2
+//! addr = "127.0.0.1:7002"
+//! ```
+//!
+//! Node ids must be unique and contiguous from 0; the cluster size is the
+//! number of `[[node]]` tables. Comments (`#`), blank lines and arbitrary
+//! indentation are accepted; anything else — unknown keys, unknown
+//! sections, non-integer ids — is a hard error, so a typo cannot silently
+//! misconfigure membership.
+
+use std::net::SocketAddr;
+use std::path::Path;
+
+/// A parsed cluster config file. All fields are optional except the node
+/// table; callers merge them under their command-line flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterFile {
+    /// `[cluster] view_replicas` — size of the quorum view-replica set
+    /// (the first N node ids).
+    pub view_replicas: Option<usize>,
+    /// `[cluster] lease_us` — failure-detection lease in microseconds.
+    pub lease_us: Option<u64>,
+    /// Every node's UDP address, indexed by node id (dense from 0).
+    pub addrs: Vec<SocketAddr>,
+}
+
+impl ClusterFile {
+    /// Reads and parses `path`.
+    pub fn load(path: &Path) -> Result<ClusterFile, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the config text (see the module docs for the format).
+    pub fn parse(text: &str) -> Result<ClusterFile, String> {
+        #[derive(PartialEq)]
+        enum Section {
+            Top,
+            Cluster,
+            Node,
+        }
+        let mut section = Section::Top;
+        let mut view_replicas = None;
+        let mut lease_us = None;
+        // (line, id, addr) per [[node]] table, in file order.
+        let mut nodes: Vec<(usize, Option<u16>, Option<SocketAddr>)> = Vec::new();
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = match raw.split_once('#') {
+                Some((before, _)) => before.trim(),
+                None => raw.trim(),
+            };
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                section = match header.strip_suffix(']') {
+                    Some("cluster") => Section::Cluster,
+                    Some("[node]") => {
+                        nodes.push((lineno, None, None));
+                        Section::Node
+                    }
+                    _ => return Err(format!("line {lineno}: unknown section `{line}`")),
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {lineno}: expected `key = value`, got `{line}`"
+                ));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match (&section, key) {
+                (Section::Cluster, "view_replicas") => {
+                    view_replicas = Some(parse_int::<usize>(lineno, key, value)?);
+                }
+                (Section::Cluster, "lease_us") => {
+                    lease_us = Some(parse_int::<u64>(lineno, key, value)?);
+                }
+                (Section::Node, "id") => {
+                    let node = nodes.last_mut().expect("inside a [[node]] table");
+                    node.1 = Some(parse_int::<u16>(lineno, key, value)?);
+                }
+                (Section::Node, "addr") => {
+                    let unquoted = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| format!("line {lineno}: addr must be a quoted string"))?;
+                    let addr = unquoted
+                        .parse()
+                        .map_err(|e| format!("line {lineno}: addr `{unquoted}`: {e}"))?;
+                    let node = nodes.last_mut().expect("inside a [[node]] table");
+                    node.2 = Some(addr);
+                }
+                (Section::Top, _) => {
+                    return Err(format!("line {lineno}: `{key}` outside any section"));
+                }
+                _ => return Err(format!("line {lineno}: unknown key `{key}`")),
+            }
+        }
+
+        if nodes.is_empty() {
+            return Err("no [[node]] tables".into());
+        }
+        let mut addrs: Vec<Option<SocketAddr>> = vec![None; nodes.len()];
+        for (lineno, id, addr) in nodes {
+            let id = id.ok_or(format!("[[node]] at line {lineno}: missing `id`"))?;
+            let addr = addr.ok_or(format!("[[node]] at line {lineno}: missing `addr`"))?;
+            let slot = addrs.get_mut(id as usize).ok_or(format!(
+                "node id {id} out of range: ids must be contiguous from 0"
+            ))?;
+            if slot.is_some() {
+                return Err(format!("duplicate node id {id}"));
+            }
+            *slot = Some(addr);
+        }
+        let addrs = addrs.into_iter().map(|a| a.expect("dense ids")).collect();
+        Ok(ClusterFile {
+            view_replicas,
+            lease_us,
+            addrs,
+        })
+    }
+}
+
+fn parse_int<T: std::str::FromStr>(lineno: usize, key: &str, value: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse::<T>()
+        .map_err(|e| format!("line {lineno}: {key} = `{value}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+# cluster.toml
+[cluster]
+view_replicas = 3
+lease_us = 200000   # microseconds
+
+[[node]]
+id = 0
+addr = "127.0.0.1:7000"
+
+[[node]]
+id = 2
+addr = "127.0.0.1:7002"
+
+[[node]]
+id = 1
+addr = "127.0.0.1:7001"
+"#;
+
+    #[test]
+    fn parses_the_documented_example() {
+        let file = ClusterFile::parse(EXAMPLE).unwrap();
+        assert_eq!(file.view_replicas, Some(3));
+        assert_eq!(file.lease_us, Some(200_000));
+        assert_eq!(
+            file.addrs,
+            vec![
+                "127.0.0.1:7000".parse().unwrap(),
+                "127.0.0.1:7001".parse().unwrap(),
+                "127.0.0.1:7002".parse().unwrap(),
+            ],
+            "addrs indexed by id regardless of file order"
+        );
+    }
+
+    #[test]
+    fn cluster_section_is_optional() {
+        let file = ClusterFile::parse(
+            "[[node]]\nid = 0\naddr = \"127.0.0.1:9000\"\n[[node]]\nid = 1\naddr = \"127.0.0.1:9001\"",
+        )
+        .unwrap();
+        assert_eq!(file.view_replicas, None);
+        assert_eq!(file.lease_us, None);
+        assert_eq!(file.addrs.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        for (text, needle) in [
+            ("", "no [[node]] tables"),
+            ("[cluster]\nbogus = 1", "unknown key"),
+            ("[weird]\n", "unknown section"),
+            ("view_replicas = 3", "outside any section"),
+            ("[[node]]\nid = 0", "missing `addr`"),
+            ("[[node]]\naddr = \"127.0.0.1:1\"", "missing `id`"),
+            ("[[node]]\nid = 0\naddr = 127.0.0.1:1", "quoted"),
+            (
+                "[[node]]\nid = 1\naddr = \"127.0.0.1:1\"",
+                "contiguous from 0",
+            ),
+            (
+                "[[node]]\nid = 0\naddr = \"127.0.0.1:1\"\n[[node]]\nid = 0\naddr = \"127.0.0.1:2\"",
+                "duplicate node id",
+            ),
+        ] {
+            let err = ClusterFile::parse(text).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "`{text}` should fail with `{needle}`, got `{err}`"
+            );
+        }
+    }
+}

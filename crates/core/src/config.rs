@@ -10,6 +10,12 @@ pub struct ZeusConfig {
     /// Number of directory replicas holding ownership metadata (the paper
     /// uses 3 regardless of deployment size, §4).
     pub directory_replicas: usize,
+    /// Number of replicas of the view service (`zeus-view`) agreeing on
+    /// membership epochs by majority quorum — the embedded stand-in for the
+    /// paper's external ZooKeeper-backed membership service. Three by
+    /// default (clamped to the deployment size): membership keeps moving as
+    /// long as any two of the first three nodes are alive.
+    pub view_replicas: usize,
     /// Default replication degree of objects (owner + readers). The paper's
     /// evaluation uses 3-way replication (§8).
     pub replication_degree: usize,
@@ -47,6 +53,7 @@ impl Default for ZeusConfig {
         ZeusConfig {
             nodes: 3,
             directory_replicas: 3,
+            view_replicas: 3,
             replication_degree: 3,
             store_shards: 64,
             worker_threads: 1,
@@ -73,6 +80,7 @@ impl ZeusConfig {
         ZeusConfig {
             nodes,
             directory_replicas: 3.min(nodes),
+            view_replicas: 3.min(nodes),
             replication_degree: 3.min(nodes),
             ..Default::default()
         }
@@ -95,6 +103,15 @@ impl ZeusConfig {
     /// The directory replica set: the first `directory_replicas` nodes.
     pub fn directory(&self) -> Vec<NodeId> {
         (0..self.directory_replicas.min(self.nodes) as u16)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// The view-replica set: the first `view_replicas` nodes. Static for
+    /// the deployment's lifetime — view replicas keep participating in the
+    /// agreement even while expelled from the data-plane view.
+    pub fn view_replica_set(&self) -> Vec<NodeId> {
+        (0..self.view_replicas.clamp(1, self.nodes) as u16)
             .map(NodeId)
             .collect()
     }
@@ -131,9 +148,11 @@ mod tests {
         let c = ZeusConfig::with_nodes(2);
         assert_eq!(c.directory_replicas, 2);
         assert_eq!(c.replication_degree, 2);
+        assert_eq!(c.view_replica_set(), vec![NodeId(0), NodeId(1)]);
         let c6 = ZeusConfig::with_nodes(6);
         assert_eq!(c6.directory_replicas, 3);
         assert_eq!(c6.directory(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(c6.view_replica_set(), vec![NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(c6.all_nodes().len(), 6);
     }
 

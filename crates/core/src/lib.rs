@@ -42,6 +42,7 @@
 
 pub mod balancer;
 pub mod client;
+pub mod cluster_config;
 pub mod config;
 pub mod message;
 pub mod node;
@@ -53,7 +54,8 @@ pub mod txn;
 pub mod udp_cluster;
 
 pub use balancer::LoadBalancer;
-pub use client::{ClusterDriver, RetryPolicy, Session, TxPayload, TxTicket};
+pub use client::{Admin, AdminError, ClusterDriver, RetryPolicy, Session, TxPayload, TxTicket};
+pub use cluster_config::ClusterFile;
 pub use config::ZeusConfig;
 pub use message::Message;
 pub use node::ZeusNode;

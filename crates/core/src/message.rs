@@ -1,7 +1,7 @@
 //! The top-level message type exchanged between Zeus nodes.
 
 use zeus_proto::wire::Wire;
-use zeus_proto::{CommitMsg, MembershipMsg, OwnershipMsg, ProtoError};
+use zeus_proto::{CommitMsg, MembershipMsg, OwnershipMsg, ProtoError, ViewMsg};
 
 /// Union of all protocol traffic between Zeus nodes.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,6 +12,9 @@ pub enum Message {
     Commit(CommitMsg),
     /// Membership / failure detection traffic (§3.1).
     Membership(MembershipMsg),
+    /// View-service traffic: quorum view agreement and directory metadata
+    /// sync (`zeus-view`).
+    View(ViewMsg),
 }
 
 impl Message {
@@ -22,6 +25,7 @@ impl Message {
             Message::Ownership(m) => m.encoded_len(),
             Message::Commit(m) => m.encoded_len(),
             Message::Membership(m) => m.encoded_len(),
+            Message::View(m) => m.encoded_len(),
         }
     }
 
@@ -41,6 +45,11 @@ impl Message {
             Message::Membership(MembershipMsg::ViewChange { .. }) => "view",
             Message::Membership(MembershipMsg::ViewPull { .. }) => "view-pull",
             Message::Membership(MembershipMsg::RecoveryDone { .. }) => "recovered",
+            Message::View(ViewMsg::Propose { .. }) => "view-propose",
+            Message::View(ViewMsg::Grant { .. }) => "view-grant",
+            Message::View(ViewMsg::Reject { .. }) => "view-reject",
+            Message::View(ViewMsg::DirPull { .. }) => "dir-pull",
+            Message::View(ViewMsg::DirPush { .. }) => "dir-push",
         }
     }
 }
@@ -63,6 +72,10 @@ impl Wire for Message {
                 buf.push(2);
                 m.encode(buf);
             }
+            Message::View(m) => {
+                buf.push(3);
+                m.encode(buf);
+            }
         }
     }
 
@@ -72,6 +85,7 @@ impl Wire for Message {
             0 => Message::Ownership(OwnershipMsg::decode(buf)?),
             1 => Message::Commit(CommitMsg::decode(buf)?),
             2 => Message::Membership(MembershipMsg::decode(buf)?),
+            3 => Message::View(ViewMsg::decode(buf)?),
             other => {
                 return Err(ProtoError::InvalidTag {
                     ty: "Message",
@@ -101,6 +115,12 @@ impl From<CommitMsg> for Message {
 impl From<MembershipMsg> for Message {
     fn from(m: MembershipMsg) -> Self {
         Message::Membership(m)
+    }
+}
+
+impl From<ViewMsg> for Message {
+    fn from(m: ViewMsg) -> Self {
+        Message::View(m)
     }
 }
 
@@ -157,6 +177,14 @@ mod tests {
                     zeus_proto::DataTs::default(),
                     vec![1, 2, 3],
                 )],
+            }
+            .into(),
+            zeus_proto::ViewMsg::Propose {
+                epoch: Epoch(2),
+                base: Epoch(1),
+                live: vec![NodeId(0), NodeId(2)],
+                admitted: vec![Epoch::ZERO, Epoch(2)],
+                from: NodeId(2),
             }
             .into(),
         ];

@@ -8,10 +8,11 @@ use zeus_membership::{MembershipEngine, MembershipEvent};
 use zeus_ownership::{OwnershipAction, OwnershipEngine, OwnershipHost};
 use zeus_proto::messages::NackReason;
 use zeus_proto::{
-    AccessLevel, DataTs, Epoch, NodeId, ObjectId, ObjectUpdate, OwnershipRequestKind, ReplicaSet,
-    RequestId, TState,
+    AccessLevel, DataTs, Epoch, MembershipMsg, NodeId, ObjectId, ObjectUpdate,
+    OwnershipRequestKind, ReplicaSet, RequestId, TState, ViewMsg,
 };
 use zeus_store::{LockManager, ObjectEntry, Store};
+use zeus_view::{ViewEvent, ViewReplica};
 
 use crate::config::ZeusConfig;
 use crate::message::Message;
@@ -64,6 +65,14 @@ pub struct ZeusNode {
     ownership: OwnershipEngine,
     commit: CommitEngine,
     membership: MembershipEngine,
+    /// This node's replica of the view service. Every node constructs one;
+    /// replicas outside the configured view-replica set are inert (they
+    /// neither propose nor grant), so membership decisions always go through
+    /// a majority of the first `view_replicas` nodes.
+    view: ViewReplica,
+    /// Last tick at which this node pushed its directory digest to its
+    /// directory peers (anti-entropy, heartbeat cadence).
+    last_dir_push: u64,
     outbox: Vec<(NodeId, Message)>,
     completed_reqs: HashSet<RequestId>,
     failed_reqs: HashMap<RequestId, NackReason>,
@@ -119,6 +128,16 @@ impl ZeusNode {
         let directory = config.directory();
         let mut membership = MembershipEngine::new(id, config.nodes, config.lease_ticks);
         membership.set_readmit_suspects(config.readmit_suspects);
+        // Proposal retries ride the heartbeat cadence; grants expire after a
+        // full lease so a crashed proposer cannot wedge agreement for longer
+        // than the failure detector takes to notice any other death.
+        let view = ViewReplica::new(
+            id,
+            config.view_replica_set(),
+            config.all_nodes(),
+            (config.lease_ticks / 4).max(1),
+            config.lease_ticks,
+        );
         ZeusNode {
             id,
             store: Store::new(config.store_shards),
@@ -126,6 +145,8 @@ impl ZeusNode {
             ownership: OwnershipEngine::new(id, directory, config.nodes),
             commit: CommitEngine::new(id, config.nodes),
             membership,
+            view,
+            last_dir_push: 0,
             outbox: Vec::new(),
             completed_reqs: HashSet::new(),
             failed_reqs: HashMap::new(),
@@ -529,8 +550,48 @@ impl ZeusNode {
                 self.process_commit_actions(actions);
             }
             Message::Membership(m) => {
+                if let MembershipMsg::Heartbeat { from: alive, .. } = &m {
+                    // A heartbeat proves the node is reachable again: drop
+                    // any not-yet-committed expulsion intent for it. (Its
+                    // lease renewal below stops the suspicion from being
+                    // re-asserted.)
+                    self.view.retract_expel(*alive);
+                }
                 let events = self.membership.on_message(m, self.now);
                 self.process_membership_events(events);
+            }
+            Message::View(m) => self.handle_view_message(m),
+        }
+    }
+
+    /// Handles view-service traffic: directory metadata sync at the node
+    /// level, everything else in the view replica.
+    fn handle_view_message(&mut self, msg: ViewMsg) {
+        match msg {
+            ViewMsg::DirPull { from } => {
+                let entries = self.ownership.directory_digest();
+                if !entries.is_empty() {
+                    let push = ViewMsg::DirPush {
+                        from: self.id,
+                        epoch: self.membership.epoch(),
+                        entries,
+                    };
+                    self.send(from, push);
+                }
+            }
+            ViewMsg::DirPush { epoch, entries, .. } => {
+                // Placement adoption is only sound between directory
+                // replicas agreeing on the membership epoch: entries blessed
+                // under another view may name replicas that view pruned.
+                if epoch == self.membership.epoch() && self.config.directory().contains(&self.id) {
+                    let actions = self.ownership.adopt_directory(&entries);
+                    self.process_ownership_actions(actions);
+                }
+            }
+            other => {
+                let mut events = Vec::new();
+                self.view.on_message(other, self.now, &mut events);
+                self.process_view_events(events);
             }
         }
     }
@@ -563,6 +624,35 @@ impl ZeusNode {
         self.now = now.max(self.now);
         let events = self.membership.tick(self.now);
         self.process_membership_events(events);
+        let mut view_events = Vec::new();
+        self.view.tick(self.now, &mut view_events);
+        self.process_view_events(view_events);
+        // Directory anti-entropy (heartbeat cadence): push the local
+        // placement digest to the other live directory replicas. Receivers
+        // adopt strictly newer entries, so directory replicas that diverged
+        // under partitions or replayed arbitration reconverge on the highest
+        // ownership timestamp without waiting for the next arbitration.
+        let dir_cadence = (self.config.lease_ticks / 4).max(1);
+        if self.now.saturating_sub(self.last_dir_push) >= dir_cadence {
+            self.last_dir_push = self.now;
+            // Delta digest: only entries whose placement settled since the
+            // last pushes, so the steady-state sync costs O(churn) rather
+            // than O(objects). Full digests flow on demand (DirPull from a
+            // rejoiner) and after a view change (mark_all_dirty below).
+            let entries = self.ownership.drain_dirty_digest();
+            if self.config.directory().contains(&self.id) && !entries.is_empty() {
+                for peer in self.config.directory() {
+                    if peer != self.id && self.membership.view().live.contains(&peer) {
+                        let push = ViewMsg::DirPush {
+                            from: self.id,
+                            epoch: self.membership.epoch(),
+                            entries: entries.clone(),
+                        };
+                        self.send(peer, push);
+                    }
+                }
+            }
+        }
         // Reliable-transport retransmission (§3.1) and retry back-off
         // (§6.2): periodically re-send unacknowledged R-INVs and pending
         // REQs, and re-issue retryably-NACKed requests. The interval is what
@@ -611,18 +701,25 @@ impl ZeusNode {
         }
     }
 
-    /// Administratively removes a node from the membership (only effective on
-    /// the membership manager). Used by the cluster runtimes when a crash is
-    /// injected, and by the scale-in experiment of Figure 15.
+    /// Administratively expels a node from the membership. The ban is
+    /// recorded locally (heartbeats from the node no longer re-admit it) and,
+    /// if this node is a view replica, an expulsion is proposed to the view
+    /// service — the view commits once a majority of replicas grant. The
+    /// cluster runtimes route this to every view replica, so any majority of
+    /// them being alive is enough (used when a crash is injected, and by the
+    /// scale-in experiment of Figure 15).
     pub fn admin_remove_node(&mut self, dead: NodeId) {
-        let events = self.membership.force_remove(dead, self.now);
-        self.process_membership_events(events);
+        if self.membership.admin_remove(dead) {
+            self.view.propose_expel(dead);
+        }
     }
 
-    /// Administratively adds a node (scale-out, Figure 15).
+    /// Administratively re-admits a node (scale-out, Figure 15): lifts the
+    /// local ban and, on view replicas, proposes the admission.
     pub fn admin_add_node(&mut self, node: NodeId) {
-        let events = self.membership.force_add(node, self.now);
-        self.process_membership_events(events);
+        if self.membership.admin_restore(node) {
+            self.view.propose_admit(node);
+        }
     }
 
     /// Drains the messages this node wants to send.
@@ -637,6 +734,7 @@ impl ZeusNode {
             && self.retry_queue.is_empty()
             && self.commit.outstanding_commits() == 0
             && self.ownership.pending_requests() == 0
+            && !self.view.has_pending_work()
     }
 
     fn send(&mut self, to: NodeId, msg: impl Into<Message>) {
@@ -826,7 +924,26 @@ impl ZeusNode {
             match event {
                 MembershipEvent::Broadcast(msg) => self.broadcast(Message::Membership(msg)),
                 MembershipEvent::Send { to, msg } => self.send(to, Message::Membership(msg)),
+                MembershipEvent::SuspectsExpired(dead) => {
+                    // The failure detector keeps re-asserting expired leases
+                    // every tick, so a proposal lost to a view-replica crash
+                    // or race is simply re-proposed. Inert on nodes outside
+                    // the view-replica set — their local suspicion carries no
+                    // vote; the view replicas run the same detector.
+                    for d in dead {
+                        self.view.propose_expel(d);
+                    }
+                }
+                MembershipEvent::RejoinRequested(node) => {
+                    self.view.propose_admit(node);
+                }
                 MembershipEvent::ViewInstalled { view, rejoined } => {
+                    // Keep the view replica's committed state in step with
+                    // disseminated views (followers learn commits through the
+                    // membership ViewChange broadcast, not the agreement).
+                    let admissions = self.membership.admissions();
+                    self.view
+                        .observe_committed(view.epoch, &view.live, &admissions);
                     // If *we* are among the re-admitted nodes, the cluster
                     // kept committing while we were out: every replica,
                     // ownership and commit structure we hold may be stale.
@@ -865,9 +982,49 @@ impl ZeusNode {
                         self.commit
                             .on_view_change(view.epoch, view.live.clone(), &rejoined);
                     self.process_commit_actions(actions);
+                    // Directory replicas may have diverged arbitrarily while
+                    // the membership was in flux (partitions precede most
+                    // view changes): schedule one full anti-entropy push so
+                    // peers reconverge without waiting for per-object
+                    // arbitration traffic.
+                    if self.config.directory().contains(&self.id) {
+                        self.ownership.mark_all_dirty();
+                    }
+                    // A re-admitted directory replica starts from amnesia:
+                    // pull the committed placement metadata from its peers
+                    // before arbitrating, so it cannot re-grant ownership the
+                    // cluster already moved elsewhere while it was out.
+                    if rejoined.contains(&self.id) && self.config.directory().contains(&self.id) {
+                        for peer in self.config.directory() {
+                            if peer != self.id && view.live.contains(&peer) {
+                                self.send(peer, ViewMsg::DirPull { from: self.id });
+                            }
+                        }
+                    }
                 }
                 MembershipEvent::RecoveryComplete(_epoch) => {
                     self.ownership.set_enabled(true);
+                }
+            }
+        }
+    }
+
+    fn process_view_events(&mut self, events: Vec<ViewEvent>) {
+        for event in events {
+            match event {
+                ViewEvent::Send { to, msg } => self.send(to, msg),
+                ViewEvent::Committed {
+                    epoch,
+                    live,
+                    admitted,
+                } => {
+                    let events = self
+                        .membership
+                        .install_committed(epoch, live, admitted, self.now);
+                    self.process_membership_events(events);
+                }
+                ViewEvent::NeedsSync { to } => {
+                    self.send(to, MembershipMsg::ViewPull { from: self.id });
                 }
             }
         }

@@ -58,19 +58,27 @@ pub struct NodeOpts {
     pub accounts: u64,
     /// Failure-detection lease in microseconds.
     pub lease_us: u64,
+    /// Size of the quorum view-replica set (the first N node ids); `None`
+    /// keeps the [`ZeusConfig`] default.
+    pub view_replicas: Option<usize>,
     /// Workload seed (each node decorrelates it with its id).
     pub seed: u64,
 }
 
 impl NodeOpts {
-    /// Parses `--id N --addrs a:p,b:p,... [--ops N] [--accounts N]
-    /// [--lease-us N] [--seed N]`.
+    /// Parses `--id N [--config cluster.toml] [--addrs a:p,b:p,...]
+    /// [--ops N] [--accounts N] [--lease-us N] [--view-replicas N]
+    /// [--seed N]`. The node list and cluster tunables may come from a
+    /// [`crate::cluster_config::ClusterFile`]; explicit flags override file
+    /// values.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<NodeOpts, String> {
         let mut id = None;
+        let mut config_path: Option<std::path::PathBuf> = None;
         let mut addrs: Vec<SocketAddr> = Vec::new();
         let mut ops = 200u64;
         let mut accounts = 64u64;
-        let mut lease_us = 200_000u64;
+        let mut lease_us: Option<u64> = None;
+        let mut view_replicas: Option<usize> = None;
         let mut seed = 42u64;
         let mut args = args.peekable();
         while let Some(flag) = args.next() {
@@ -86,6 +94,7 @@ impl NodeOpts {
                             .map_err(|e| format!("--id: {e}"))?,
                     )
                 }
+                "--config" => config_path = Some(PathBuf::from(value("--config")?)),
                 "--addrs" => {
                     addrs = value("--addrs")?
                         .split(',')
@@ -99,9 +108,18 @@ impl NodeOpts {
                         .map_err(|e| format!("--accounts: {e}"))?
                 }
                 "--lease-us" => {
-                    lease_us = value("--lease-us")?
-                        .parse()
-                        .map_err(|e| format!("--lease-us: {e}"))?
+                    lease_us = Some(
+                        value("--lease-us")?
+                            .parse()
+                            .map_err(|e| format!("--lease-us: {e}"))?,
+                    )
+                }
+                "--view-replicas" => {
+                    view_replicas = Some(
+                        value("--view-replicas")?
+                            .parse()
+                            .map_err(|e| format!("--view-replicas: {e}"))?,
+                    )
                 }
                 "--seed" => {
                     seed = value("--seed")?
@@ -111,9 +129,17 @@ impl NodeOpts {
                 other => return Err(format!("unknown flag {other}")),
             }
         }
+        if let Some(path) = config_path {
+            let file = crate::cluster_config::ClusterFile::load(&path)?;
+            if addrs.is_empty() {
+                addrs = file.addrs;
+            }
+            lease_us = lease_us.or(file.lease_us);
+            view_replicas = view_replicas.or(file.view_replicas);
+        }
         let id = id.ok_or("--id is required")?;
         if addrs.is_empty() {
-            return Err("--addrs is required".into());
+            return Err("--addrs or --config is required".into());
         }
         if id as usize >= addrs.len() {
             return Err(format!("--id {id} out of range for {} addrs", addrs.len()));
@@ -123,7 +149,8 @@ impl NodeOpts {
             addrs,
             ops,
             accounts,
-            lease_us,
+            lease_us: lease_us.unwrap_or(200_000),
+            view_replicas,
             seed,
         })
     }
@@ -152,6 +179,9 @@ pub fn run_node(opts: NodeOpts) -> Result<(u64, u64), String> {
     let nodes = opts.addrs.len();
     let mut config = ZeusConfig::with_nodes(nodes);
     config.lease_ticks = opts.lease_us;
+    if let Some(vr) = opts.view_replicas {
+        config.view_replicas = vr;
+    }
 
     let transport = UdpTransport::bind(UdpConfig {
         local: opts.id,
@@ -280,6 +310,12 @@ pub struct HarnessOpts {
     pub accounts: u64,
     /// Failure-detection lease in microseconds.
     pub lease_us: u64,
+    /// Size of the quorum view-replica set, forwarded to every node;
+    /// `None` keeps the node-side default.
+    pub view_replicas: Option<usize>,
+    /// Fixed node addresses (e.g. from a `cluster.toml`); `None` allocates
+    /// ephemeral loopback ports. When set, its length must equal `nodes`.
+    pub addrs: Option<Vec<SocketAddr>>,
     /// Node to `kill -9` mid-workload and then restart on the same
     /// address; `None` runs the workload undisturbed.
     pub kill: Option<NodeId>,
@@ -300,6 +336,8 @@ impl Default for HarnessOpts {
             ops: 150,
             accounts: 48,
             lease_us: 200_000,
+            view_replicas: None,
+            addrs: None,
             kill: None,
             kill_after: Duration::from_millis(300),
             log_dir: PathBuf::from("procs-logs"),
@@ -349,8 +387,8 @@ fn spawn_node(opts: &HarnessOpts, id: u16, addrs: &str) -> Result<ChildProc, Str
     let stderr_log = log
         .try_clone()
         .map_err(|e| format!("clone log handle: {e}"))?;
-    let mut child = ProcCommand::new(&opts.node_bin)
-        .arg("--id")
+    let mut cmd = ProcCommand::new(&opts.node_bin);
+    cmd.arg("--id")
         .arg(id.to_string())
         .arg("--addrs")
         .arg(addrs)
@@ -361,7 +399,11 @@ fn spawn_node(opts: &HarnessOpts, id: u16, addrs: &str) -> Result<ChildProc, Str
         .arg("--lease-us")
         .arg(opts.lease_us.to_string())
         .arg("--seed")
-        .arg(opts.seed.to_string())
+        .arg(opts.seed.to_string());
+    if let Some(vr) = opts.view_replicas {
+        cmd.arg("--view-replicas").arg(vr.to_string());
+    }
+    let mut child = cmd
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::from(stderr_log))
@@ -445,7 +487,19 @@ fn allocate_addrs(n: usize) -> Result<Vec<SocketAddr>, String> {
 pub fn run_harness(opts: &HarnessOpts) -> Result<HarnessReport, String> {
     std::fs::create_dir_all(&opts.log_dir)
         .map_err(|e| format!("create {}: {e}", opts.log_dir.display()))?;
-    let addrs = allocate_addrs(opts.nodes)?;
+    let addrs = match &opts.addrs {
+        Some(fixed) => {
+            if fixed.len() != opts.nodes {
+                return Err(format!(
+                    "config lists {} nodes but --nodes is {}",
+                    fixed.len(),
+                    opts.nodes
+                ));
+            }
+            fixed.clone()
+        }
+        None => allocate_addrs(opts.nodes)?,
+    };
     let addrs_arg = addrs
         .iter()
         .map(|a| a.to_string())

@@ -21,7 +21,9 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use zeus_net::{Envelope, LinkMsg, ProbedMailbox, RttConfig, ThreadedNet, Transport};
 use zeus_proto::{NodeId, ObjectId, OwnershipRequestKind, ReplicaSet, RequestId};
 
-use crate::client::{ClusterDriver, RetryPolicy, Session, TicketReply, TxPayload, TxTicket};
+use crate::client::{
+    AdminError, ClusterDriver, RetryPolicy, Session, TicketReply, TxPayload, TxTicket,
+};
 use crate::config::ZeusConfig;
 use crate::message::Message;
 use crate::node::{RequestState, ZeusNode};
@@ -120,6 +122,16 @@ pub(crate) enum Command {
     },
     Stats {
         reply: Sender<(NodeStats, LatencyHistogram)>,
+    },
+    /// Admin expulsion proposal: ban `node` locally and let the view service
+    /// drive the quorum view change. Sent to every live view replica so the
+    /// proposal survives any minority of replica failures.
+    AdminExpel {
+        node: NodeId,
+    },
+    /// Admin re-admission proposal (the inverse of [`Command::AdminExpel`]).
+    AdminReadmit {
+        node: NodeId,
     },
     Shutdown,
 }
@@ -365,38 +377,16 @@ impl ThreadedCluster {
         self.net.stats()
     }
 
-    // ------------------------------------------------------------------
-    // Fault injection (fig11-style partition scenarios)
-    // ------------------------------------------------------------------
-
-    /// Cuts every link between `node` and the rest of the cluster. The node
-    /// keeps running — it stops hearing heartbeats, fences itself after a
-    /// lease of silence ([`TxError::Fenced`]), and the manager eventually
-    /// expels it. Takes effect immediately for all subsequent sends.
-    pub fn isolate_node(&self, node: NodeId) {
-        for i in 0..self.config.nodes as u16 {
-            let peer = NodeId(i);
-            if peer != node {
-                self.net.faults().partition(node, peer);
+    /// Routes an admin membership proposal to every view replica except the
+    /// target itself (which learns its fate from the committed view). Any
+    /// single live replica suffices for the quorum view change to commit,
+    /// so sending to all of them tolerates a minority of replica failures.
+    fn send_admin(&self, make: impl Fn() -> Command, target: NodeId) {
+        for vr in self.config.view_replica_set() {
+            if vr != target {
+                let _ = self.commands[vr.index()].send(make());
             }
         }
-    }
-
-    /// Heals every link between `node` and the rest of the cluster; its next
-    /// heartbeat re-admits it via a view change (or renews its leases if it
-    /// was never expelled).
-    pub fn heal_node(&self, node: NodeId) {
-        for i in 0..self.config.nodes as u16 {
-            let peer = NodeId(i);
-            if peer != node {
-                self.net.faults().heal_partition(node, peer);
-            }
-        }
-    }
-
-    /// Heals every injected link fault.
-    pub fn heal_all_links(&self) {
-        self.net.faults().heal_all();
     }
 
     /// Aggregated statistics over all reachable nodes.
@@ -467,16 +457,42 @@ impl ClusterDriver for ThreadedCluster {
         // own. Nothing to drive.
     }
 
-    fn isolate_node(&self, node: NodeId) {
-        ThreadedCluster::isolate_node(self, node);
+    fn admin_expel(&self, node: NodeId) -> Result<(), AdminError> {
+        self.send_admin(|| Command::AdminExpel { node }, node);
+        Ok(())
     }
 
-    fn heal_node(&self, node: NodeId) {
-        ThreadedCluster::heal_node(self, node);
+    fn admin_readmit(&self, node: NodeId) -> Result<(), AdminError> {
+        self.send_admin(|| Command::AdminReadmit { node }, node);
+        Ok(())
     }
 
-    fn heal_all_links(&self) {
-        ThreadedCluster::heal_all_links(self);
+    fn fault_isolate(&self, node: NodeId) {
+        // Cuts every link between `node` and the rest of the cluster. The
+        // node keeps running — it stops hearing heartbeats, fences itself
+        // after a lease of silence ([`TxError::Fenced`]), and the view
+        // service eventually expels it.
+        for i in 0..self.config.nodes as u16 {
+            let peer = NodeId(i);
+            if peer != node {
+                self.net.faults().partition(node, peer);
+            }
+        }
+    }
+
+    fn fault_heal(&self, node: NodeId) {
+        // Heals every link of `node`; its next heartbeat re-admits it via a
+        // view change (or renews its leases if it was never expelled).
+        for i in 0..self.config.nodes as u16 {
+            let peer = NodeId(i);
+            if peer != node {
+                self.net.faults().heal_partition(node, peer);
+            }
+        }
+    }
+
+    fn fault_heal_all(&self) {
+        self.net.faults().heal_all();
     }
 }
 
@@ -714,6 +730,14 @@ pub(crate) fn node_loop<T: Transport<Message>>(
                 }
                 Command::Stats { reply } => {
                     let _ = reply.send((node.stats(), node.ownership_latency().clone()));
+                }
+                Command::AdminExpel { node: dead } => {
+                    did_work = true;
+                    node.admin_remove_node(dead);
+                }
+                Command::AdminReadmit { node: revived } => {
+                    did_work = true;
+                    node.admin_add_node(revived);
                 }
                 Command::Shutdown => return,
             }
@@ -1121,7 +1145,7 @@ mod tests {
         .unwrap();
 
         // Cut node 2 off and wait past its lease: it must fence itself.
-        cluster.isolate_node(NodeId(2));
+        cluster.admin().isolate(NodeId(2)).unwrap();
         std::thread::sleep(Duration::from_millis(120));
         let write = s2.write_txn(move |tx| {
             tx.write(object, Bytes::from_static(b"stale"))?;
@@ -1142,7 +1166,7 @@ mod tests {
         // Heal: the node's heartbeats re-admit it; after recovery it serves
         // again (re-acquiring state through the ownership protocol). Timing
         // on loaded machines is noisy, so poll with a deadline.
-        cluster.heal_node(NodeId(2));
+        cluster.admin().heal(NodeId(2)).unwrap();
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut recovered = false;
         while Instant::now() < deadline {
@@ -1171,7 +1195,7 @@ mod tests {
         // The satellite scenario of the session API: a client has a window
         // of submissions in flight against a node that gets isolated. Every
         // ticket must resolve — to a commit or TxError::Fenced, none wedged
-        // — the drain barrier must fall, and after heal_node the same
+        // — the drain barrier must fall, and after the heal the same
         // session serves again.
         let mut config = ZeusConfig::with_nodes(3);
         config.lease_ticks = 40_000;
@@ -1186,7 +1210,7 @@ mod tests {
         // Cut the node off, then submit a full window of writes. The
         // acquisitions cannot reach the directory; once the node fences
         // itself the loop must fail them all instead of parking forever.
-        cluster.isolate_node(NodeId(2));
+        cluster.admin().isolate(NodeId(2)).unwrap();
         let tickets: Vec<TxTicket<()>> = (0..8u64)
             .map(|i| {
                 s2.submit_write(move |tx| {
@@ -1211,7 +1235,7 @@ mod tests {
         s2.drain().unwrap();
 
         // Heal and poll: the same session must serve again.
-        cluster.heal_node(NodeId(2));
+        cluster.admin().heal(NodeId(2)).unwrap();
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut recovered = false;
         while Instant::now() < deadline {

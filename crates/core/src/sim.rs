@@ -24,7 +24,7 @@ use zeus_net::Envelope;
 use zeus_proto::messages::NackReason;
 use zeus_proto::{AccessLevel, DataTs, NodeId, ObjectId, OwnershipRequestKind, RequestId, TState};
 
-use crate::client::{ClusterDriver, RetryPolicy, Session, TxPayload, TxTicket};
+use crate::client::{AdminError, ClusterDriver, RetryPolicy, Session, TxPayload, TxTicket};
 use crate::config::ZeusConfig;
 use crate::message::Message;
 use crate::node::{RequestState, ZeusNode};
@@ -247,52 +247,14 @@ impl SimCluster {
     }
 
     // ------------------------------------------------------------------
-    // Fault injection
+    // Link-level fault primitives (the coarser faults — isolate, crash,
+    // expel — live on [`crate::client::Admin`])
     // ------------------------------------------------------------------
-
-    /// The node currently entitled to install views: the manager of the
-    /// highest-epoch view among non-crashed nodes (walking past crashed or
-    /// excluded members). Admin operations must be issued there — routing
-    /// them through an arbitrary node (e.g. one cut off behind a partition
-    /// with a stale view) would let two proposers install *different* views
-    /// under the same epoch, permanently splitting the cluster. The real
-    /// system's membership service is serial (ZooKeeper, §3.1); this picks
-    /// the node acting in that role.
-    pub fn acting_manager(&self, exclude: Option<NodeId>) -> Option<NodeId> {
-        self.lock().acting_manager(exclude)
-    }
-
-    /// Crashes `node` and triggers a membership reconfiguration on the
-    /// surviving manager.
-    pub fn fail_node(&mut self, node: NodeId) {
-        self.lock().fail_node(node)
-    }
-
-    /// Restarts a node previously crashed with [`SimCluster::fail_node`]:
-    /// the process comes back (with whatever frozen state it had — the
-    /// re-admission path wipes it) and the operator re-admits it. The
-    /// rejoining view change carries the node's admission epoch, so the
-    /// node discards its stale replica state before serving again.
-    pub fn restart_node(&mut self, node: NodeId) {
-        self.lock().restart_node(node)
-    }
 
     /// Cuts both directions between `a` and `b` (messages already in flight
     /// still deliver; new sends are dropped).
     pub fn partition_pair(&mut self, a: NodeId, b: NodeId) {
         self.lock().net.faults_mut().partition(a, b);
-    }
-
-    /// Cuts every link between `node` and the rest of the cluster — the
-    /// fault behind false suspicions: the node stays alive (and eventually
-    /// fences itself) while its heartbeats stop reaching the manager.
-    pub fn isolate_node(&self, node: NodeId) {
-        self.lock().isolate_node(node)
-    }
-
-    /// Heals every link between `node` and the rest of the cluster.
-    pub fn heal_node(&self, node: NodeId) {
-        self.lock().heal_node(node)
     }
 
     /// Adds `extra` ticks of one-way latency on `from → to`.
@@ -303,19 +265,6 @@ impl SimCluster {
     /// Drops the next `count` messages sent on `from → to`.
     pub fn drop_burst(&mut self, from: NodeId, to: NodeId, count: u64) {
         self.lock().net.faults_mut().drop_burst(from, to, count);
-    }
-
-    /// Heals every injected link fault (cuts, spikes, drop bursts) at once.
-    /// Crashed nodes stay crashed.
-    pub fn heal_all_links(&self) {
-        self.lock().net.faults_mut().heal_all();
-    }
-
-    /// Administratively removes a live node from the membership without
-    /// crashing it (operator scale-in). The removed node keeps running —
-    /// and must fence itself once it learns (or suspects) it is out.
-    pub fn admin_remove(&mut self, node: NodeId) {
-        self.lock().admin_remove(node)
     }
 
     /// Aggregated statistics over live nodes.
@@ -372,16 +321,39 @@ impl ClusterDriver for SimCluster {
         self.lock().settle(200_000);
     }
 
-    fn isolate_node(&self, node: NodeId) {
-        SimCluster::isolate_node(self, node);
+    fn admin_expel(&self, node: NodeId) -> Result<(), AdminError> {
+        self.lock().admin_remove(node);
+        Ok(())
     }
 
-    fn heal_node(&self, node: NodeId) {
-        SimCluster::heal_node(self, node);
+    fn admin_readmit(&self, node: NodeId) -> Result<(), AdminError> {
+        self.lock().admin_restore(node);
+        Ok(())
     }
 
-    fn heal_all_links(&self) {
-        SimCluster::heal_all_links(self);
+    fn admin_crash(&self, node: NodeId) -> Result<(), AdminError> {
+        self.lock().fail_node(node);
+        Ok(())
+    }
+
+    fn admin_restart(&self, node: NodeId) -> Result<(), AdminError> {
+        if self.lock().restart_node(node) {
+            Ok(())
+        } else {
+            Err(AdminError::NotCrashed(node))
+        }
+    }
+
+    fn fault_isolate(&self, node: NodeId) {
+        self.lock().isolate_node(node);
+    }
+
+    fn fault_heal(&self, node: NodeId) {
+        self.lock().heal_node(node);
+    }
+
+    fn fault_heal_all(&self) {
+        self.lock().net.faults_mut().heal_all();
     }
 }
 
@@ -800,37 +772,25 @@ impl SimInner {
     // Fault injection
     // ------------------------------------------------------------------
 
-    fn acting_manager(&self, exclude: Option<NodeId>) -> Option<NodeId> {
-        let authoritative = self
-            .live_nodes()
-            .into_iter()
-            .max_by_key(|n| self.nodes[n.index()].epoch())?;
-        let view = self.nodes[authoritative.index()].cluster_view();
-        view.live
-            .iter()
-            .copied()
-            .find(|&n| !self.crashed.contains(&n) && Some(n) != exclude)
-            .or(Some(authoritative))
-    }
-
     fn fail_node(&mut self, node: NodeId) {
         self.crashed.insert(node);
         self.net.faults_mut().crash(node);
-        // Tell the surviving membership manager to reconfigure (stand-in for
-        // lease expiry, which the lease-based path also covers in tests).
-        if let Some(manager) = self.acting_manager(Some(node)) {
-            self.nodes[manager.index()].admin_remove_node(node);
-        }
+        // Tell the view service to reconfigure (stand-in for lease expiry,
+        // which the lease-based path also covers in tests).
+        self.admin_remove(node);
     }
 
-    fn restart_node(&mut self, node: NodeId) {
+    /// Restarts a crashed node: the process comes back (with whatever frozen
+    /// state it had — the re-admission path wipes it) and its re-admission
+    /// is proposed to the view service. Returns `false` if the node was not
+    /// crashed.
+    fn restart_node(&mut self, node: NodeId) -> bool {
         if !self.crashed.remove(&node) {
-            return;
+            return false;
         }
         self.net.faults_mut().revive(node);
-        if let Some(manager) = self.acting_manager(Some(node)) {
-            self.nodes[manager.index()].admin_add_node(node);
-        }
+        self.admin_restore(node);
+        true
     }
 
     fn isolate_node(&mut self, node: NodeId) {
@@ -851,9 +811,25 @@ impl SimInner {
         }
     }
 
+    /// Routes an expulsion through the view service: every live view
+    /// replica records the ban and proposes; the change commits once a
+    /// majority of the view-replica set grants. No single node's death can
+    /// wedge this — any live majority suffices.
     fn admin_remove(&mut self, node: NodeId) {
-        if let Some(manager) = self.acting_manager(Some(node)) {
-            self.nodes[manager.index()].admin_remove_node(node);
+        for vr in self.config.view_replica_set() {
+            if vr != node && !self.crashed.contains(&vr) {
+                self.nodes[vr.index()].admin_remove_node(node);
+            }
+        }
+    }
+
+    /// Routes a re-admission through the view service (see
+    /// [`SimInner::admin_remove`]).
+    fn admin_restore(&mut self, node: NodeId) {
+        for vr in self.config.view_replica_set() {
+            if vr != node && !self.crashed.contains(&vr) {
+                self.nodes[vr.index()].admin_add_node(node);
+            }
         }
     }
 
@@ -1055,7 +1031,7 @@ mod tests {
             .unwrap();
         c.run_until_quiescent(10_000);
 
-        c.fail_node(NodeId(0));
+        c.admin().crash(NodeId(0)).unwrap();
         c.run_until_quiescent(50_000);
 
         // The data survives on the readers and a new owner can take over.
@@ -1096,9 +1072,10 @@ mod tests {
             .unwrap();
         c.run_until_quiescent(50_000);
 
-        c.isolate_node(NodeId(2));
-        // Past one lease of silence (but before the manager's expulsion
-        // threshold of lease + grace) the node must refuse to serve.
+        c.admin().isolate(NodeId(2)).unwrap();
+        // Past one lease of silence (but before the failure detector's
+        // expulsion threshold of lease + grace) the node must refuse to
+        // serve.
         c.advance_ticks(2_500);
         let write = c.execute_write(NodeId(2), |tx| tx.write(object, Bytes::from_static(b"b")));
         assert_eq!(write.unwrap_err(), TxError::Fenced);
@@ -1108,7 +1085,7 @@ mod tests {
 
         // Healing before expulsion: leases renew and the node serves again
         // without any view change.
-        c.heal_node(NodeId(2));
+        c.admin().heal(NodeId(2)).unwrap();
         c.advance_ticks(1_200);
         c.execute_write(NodeId(2), |tx| tx.write(object, Bytes::from_static(b"c")))
             .unwrap();
@@ -1126,13 +1103,13 @@ mod tests {
             .unwrap();
         c.run_until_quiescent(50_000);
 
-        // Node 2 is alive but none of its heartbeats get through: the
-        // manager expels it after lease + grace.
-        c.isolate_node(NodeId(2));
+        // Node 2 is alive but none of its heartbeats get through: the view
+        // service expels it after lease + grace.
+        c.admin().isolate(NodeId(2)).unwrap();
         c.advance_ticks(6_000);
         assert!(
             !c.node(NodeId(0)).cluster_view().is_live(NodeId(2)),
-            "manager must have expelled the silent node"
+            "the view service must have expelled the silent node"
         );
         let expelled_epoch = c.node(NodeId(0)).epoch();
         assert!(expelled_epoch > zeus_proto::Epoch::ZERO);
@@ -1142,7 +1119,7 @@ mod tests {
         c.settle(100_000);
 
         // Heal: the node's next heartbeat re-admits it via a view change.
-        c.heal_node(NodeId(2));
+        c.admin().heal(NodeId(2)).unwrap();
         c.advance_ticks(4_000);
         assert!(
             c.node(NodeId(0)).cluster_view().is_live(NodeId(2)),
@@ -1178,7 +1155,7 @@ mod tests {
         );
 
         // While node 2 is out, the value moves on.
-        c.isolate_node(NodeId(2));
+        c.admin().isolate(NodeId(2)).unwrap();
         c.advance_ticks(6_000);
         c.execute_write(NodeId(0), |tx| tx.write(object, Bytes::from_static(b"v2")))
             .unwrap();
@@ -1188,7 +1165,7 @@ mod tests {
             Bytes::from_static(b"v2")
         );
 
-        c.heal_node(NodeId(2));
+        c.admin().heal(NodeId(2)).unwrap();
         c.advance_ticks(4_000);
         c.settle(100_000);
         // The re-admitted node dropped its v1 replica: a read either fails
@@ -1207,8 +1184,14 @@ mod tests {
         let object = ObjectId(21);
         c.create_object(object, Bytes::from_static(b"d"), NodeId(0));
         // Operator scale-in: node 2 keeps running and heartbeating.
-        c.admin_remove(NodeId(2));
+        c.admin().expel(NodeId(2)).unwrap();
+        c.advance_ticks(4_000);
+        assert!(
+            !c.node(NodeId(0)).cluster_view().is_live(NodeId(2)),
+            "the view service must have committed the expulsion"
+        );
         let removal_epoch = c.node(NodeId(0)).epoch();
+        assert!(removal_epoch > zeus_proto::Epoch::ZERO);
         c.advance_ticks(10_000);
         assert!(
             !c.node(NodeId(0)).cluster_view().is_live(NodeId(2)),
@@ -1219,8 +1202,7 @@ mod tests {
         let write = c.execute_write(NodeId(2), |tx| tx.write(object, Bytes::from_static(b"z")));
         assert_eq!(write.unwrap_err(), TxError::Fenced);
         // An explicit scale-out lifts the ban and re-admits it cleanly.
-        let manager = c.live_nodes()[0];
-        c.node_mut(manager).admin_add_node(NodeId(2));
+        c.admin().readmit(NodeId(2)).unwrap();
         c.advance_ticks(4_000);
         assert!(c.node(NodeId(0)).cluster_view().is_live(NodeId(2)));
         c.execute_write(NodeId(2), |tx| tx.write(object, Bytes::from_static(b"y")))
@@ -1238,13 +1220,18 @@ mod tests {
             .unwrap();
         c.run_until_quiescent(50_000);
 
-        c.fail_node(NodeId(2));
+        c.admin().crash(NodeId(2)).unwrap();
         c.run_until_quiescent(100_000);
         c.execute_write(NodeId(1), |tx| tx.write(object, Bytes::from_static(b"v2")))
             .unwrap();
         c.run_until_quiescent(100_000);
 
-        c.restart_node(NodeId(2));
+        assert_eq!(
+            c.admin().restart(NodeId(1)),
+            Err(AdminError::NotCrashed(NodeId(1))),
+            "restart of a running node is a typed error"
+        );
+        c.admin().restart(NodeId(2)).unwrap();
         c.advance_ticks(4_000);
         c.settle(100_000);
         assert!(c.node(NodeId(0)).cluster_view().is_live(NodeId(2)));

@@ -29,7 +29,7 @@ use zeus_net::threaded::{LinkFaults, SharedCounters};
 use zeus_net::{LossyConfig, RttConfig, UdpConfig, UdpTransport};
 use zeus_proto::{NodeId, ObjectId, OwnershipRequestKind};
 
-use crate::client::{ClusterDriver, RetryPolicy};
+use crate::client::{AdminError, ClusterDriver, RetryPolicy};
 use crate::config::ZeusConfig;
 use crate::runtime::{node_loop, Command, ThreadedSession};
 use crate::stats::NodeStats;
@@ -190,7 +190,25 @@ impl ClusterDriver for UdpCluster {
         // replication drains on its own. Nothing to drive.
     }
 
-    fn isolate_node(&self, node: NodeId) {
+    fn admin_expel(&self, node: NodeId) -> Result<(), AdminError> {
+        for vr in self.config.view_replica_set() {
+            if vr != node {
+                let _ = self.commands[vr.index()].send(Command::AdminExpel { node });
+            }
+        }
+        Ok(())
+    }
+
+    fn admin_readmit(&self, node: NodeId) -> Result<(), AdminError> {
+        for vr in self.config.view_replica_set() {
+            if vr != node {
+                let _ = self.commands[vr.index()].send(Command::AdminReadmit { node });
+            }
+        }
+        Ok(())
+    }
+
+    fn fault_isolate(&self, node: NodeId) {
         for i in 0..self.config.nodes as u16 {
             let peer = NodeId(i);
             if peer != node {
@@ -199,7 +217,7 @@ impl ClusterDriver for UdpCluster {
         }
     }
 
-    fn heal_node(&self, node: NodeId) {
+    fn fault_heal(&self, node: NodeId) {
         for i in 0..self.config.nodes as u16 {
             let peer = NodeId(i);
             if peer != node {
@@ -208,7 +226,7 @@ impl ClusterDriver for UdpCluster {
         }
     }
 
-    fn heal_all_links(&self) {
+    fn fault_heal_all(&self) {
         self.faults.heal_all();
     }
 }

@@ -33,15 +33,17 @@ fn three_processes_complete_the_workload() {
 }
 
 #[test]
-fn kill9_mid_run_heals_and_readmits() {
-    // SIGKILL a non-manager node mid-workload (the lowest-id live node is
-    // the view manager and has no failover — killing it wedges the cluster;
-    // see ROADMAP). Survivors must finish their workload (lease expiry →
-    // view change → ownership recovery), and the restarted process — same
-    // id, same address, fresh boot token, empty state — must be re-admitted
-    // and complete a workload of its own.
+fn kill9_of_node_zero_mid_run_heals_and_readmits() {
+    // SIGKILL node 0 mid-workload. Node 0 is both a view replica and, under
+    // the old single-manager design, the node whose death wedged the
+    // cluster (no failover for the acting manager). With the replicated
+    // view service the surviving quorum (nodes 1 and 2) commits the
+    // expulsion view on its own: survivors must finish their workload
+    // (lease expiry → quorum view change → ownership recovery), and the
+    // restarted process — same id, same address, fresh boot token, empty
+    // state — must be re-admitted and complete a workload of its own.
     let mut opts = opts("kill9");
-    opts.kill = Some(NodeId(1));
+    opts.kill = Some(NodeId(0));
     opts.kill_after = Duration::from_millis(250);
     let report = run_harness(&opts).expect("kill -9 + restart run");
     assert_eq!(report.survivors.len(), 2, "two survivors report");

@@ -36,13 +36,29 @@ pub enum MembershipEvent {
     /// reliable commits for the current epoch; the ownership protocol may
     /// resume accepting requests (§5.1).
     RecoveryComplete(Epoch),
+    /// The leases of these live peers have been expired past the grace
+    /// period (sorted). The engine no longer expels anyone itself: the host
+    /// forwards the suspicion to its view replica (`zeus-view`), which
+    /// proposes the expulsion — nothing changes until a quorum of the view
+    /// service commits it. Re-emitted every tick while the leases stay
+    /// expired, so view-service intents survive proposal races and drops.
+    SuspectsExpired(Vec<NodeId>),
+    /// A heartbeat arrived from a non-live node that is not
+    /// administratively banned: the failure detector was wrong, or the node
+    /// restarted. The host forwards the re-admission request to its view
+    /// replica; the node rejoins when a quorum commits the admission.
+    RejoinRequested(NodeId),
 }
 
-/// The membership role of this reproduction: the lowest-id live node acts as
-/// the view manager (standing in for the paper's ZooKeeper-like service). It
-/// suspects peers whose leases expired, waits out the grace period, then
-/// installs and broadcasts the next view. Other nodes only adopt views
-/// received from the manager with a strictly larger epoch.
+/// Per-node membership state: leases, heartbeats, recovery barriers and
+/// view installation. Membership *decisions* live elsewhere: this engine
+/// detects (expired leases, heartbeats from expelled nodes) and reports via
+/// [`MembershipEvent::SuspectsExpired`] / [`MembershipEvent::RejoinRequested`];
+/// the replicated view service (`zeus-view`) agrees on the next view by
+/// majority quorum, and the host feeds the committed result back through
+/// [`MembershipEngine::install_committed`], which disseminates it as a
+/// `ViewChange` broadcast. Nodes only ever adopt views with a strictly
+/// larger epoch.
 #[derive(Debug)]
 pub struct MembershipEngine {
     local: NodeId,
@@ -154,11 +170,6 @@ impl MembershipEngine {
         self.ownership_enabled
     }
 
-    /// Whether this node currently acts as the view manager.
-    pub fn is_manager(&self) -> bool {
-        self.view.live.first() == Some(&self.local)
-    }
-
     /// Whether `node` is live in the current view.
     pub fn is_live(&self, node: NodeId) -> bool {
         self.view.is_live(node)
@@ -214,9 +225,9 @@ impl MembershipEngine {
                 }));
             }
         }
-        // A manager that is itself isolated must not expel anyone: every
-        // peer's lease looks expired from inside a partition, and an
-        // isolated minority expelling the healthy majority would invert
+        // An isolated node must not suspect anyone: every peer's lease
+        // looks expired from inside a partition, and an isolated minority
+        // proposing the expulsion of the healthy majority would invert
         // authority when the partition heals. It fences instead (see
         // `is_isolated`) and the cluster waits the partition out. Coming
         // *out* of isolation, the lease table reflects the partition, not
@@ -232,36 +243,17 @@ impl MembershipEngine {
                 }
             }
         }
-        if self.is_manager() && !self.is_isolated(now) {
+        if !self.is_isolated(now) {
             let dead: Vec<NodeId> = self
                 .leases
                 .expired(now, self.grace)
                 .into_iter()
-                .filter(|n| self.view.is_live(*n))
+                .filter(|n| self.view.is_live(*n) && *n != self.local)
                 .collect();
             if !dead.is_empty() {
-                let new_view = self.view.without(&dead);
-                // The ViewChange broadcast must precede the local
-                // ViewInstalled event: processing ViewInstalled triggers
-                // recovery traffic tagged with the new epoch, which peers
-                // would ignore if they had not yet learnt of the view.
-                events.extend(self.announce_and_install(new_view, now));
+                events.push(MembershipEvent::SuspectsExpired(dead));
             }
         }
-        events
-    }
-
-    /// Builds the ViewChange broadcast for `view` (with the authoritative
-    /// admission epochs) followed by the local install events.
-    fn announce_and_install(&mut self, view: View, now: u64) -> Vec<MembershipEvent> {
-        let admitted = self.admitted_for(&view);
-        let mut events = vec![MembershipEvent::Broadcast(MembershipMsg::ViewChange {
-            epoch: view.epoch,
-            live: view.live.clone(),
-            admitted: admitted.clone(),
-        })];
-        let pairs = view.live.iter().copied().zip(admitted).collect();
-        events.extend(self.install_view(view, pairs, now));
         events
     }
 
@@ -271,6 +263,12 @@ impl MembershipEngine {
             .iter()
             .map(|n| self.admitted_at.get(n).copied().unwrap_or(Epoch::ZERO))
             .collect()
+    }
+
+    /// Admission epochs parallel to the current view's live set — what the
+    /// view service needs to seed its committed state after an install.
+    pub fn admissions(&self) -> Vec<Epoch> {
+        self.admitted_for(&self.view)
     }
 
     /// Handles an incoming membership message.
@@ -309,19 +307,18 @@ impl MembershipEngine {
                 }
                 // A heartbeat from a node outside the view means the failure
                 // detector was wrong: the node is alive but its lease lapsed
-                // (e.g. the manager was too overloaded to process heartbeats
-                // in time). Without re-admission the cluster wedges: the
-                // expelled node keeps (re)issuing requests with its stale
-                // epoch and every peer silently drops them. Re-admit it
-                // through a regular view change; the recovery barrier then
+                // (e.g. its heartbeats sat unprocessed in an overloaded
+                // peer's inbox). Without re-admission the cluster wedges:
+                // the expelled node keeps (re)issuing requests with its
+                // stale epoch and every peer silently drops them. Ask the
+                // view service to re-admit it; the recovery barrier then
                 // resynchronises its epoch and protocol state. Nodes removed
                 // *administratively* stay out.
-                if self.is_manager()
-                    && !self.view.is_live(from)
+                if !self.view.is_live(from)
                     && !self.removed_by_admin.contains(&from)
                     && self.readmit_suspects
                 {
-                    return self.rejoin(from, now);
+                    return vec![MembershipEvent::RejoinRequested(from)];
                 }
                 Vec::new()
             }
@@ -385,34 +382,49 @@ impl MembershipEngine {
         }
     }
 
-    /// Administratively removes a node (used by tests and by the harness to
-    /// model an operator-initiated scale-in). Only meaningful on the manager.
-    pub fn force_remove(&mut self, node: NodeId, now: u64) -> Vec<MembershipEvent> {
+    /// Administratively bans `node` (operator scale-in / crash injection):
+    /// heartbeats from it no longer request re-admission. Returns whether
+    /// the node is still live in the current view — i.e. whether the caller
+    /// must also route an expulsion proposal through the view service.
+    pub fn admin_remove(&mut self, node: NodeId) -> bool {
         self.removed_by_admin.insert(node);
-        if !self.view.is_live(node) {
-            return Vec::new();
-        }
-        let new_view = self.view.without(&[node]);
-        self.admitted_at.remove(&node);
-        self.announce_and_install(new_view, now)
+        self.view.is_live(node)
     }
 
-    /// Administratively adds a node (scale-out).
-    pub fn force_add(&mut self, node: NodeId, now: u64) -> Vec<MembershipEvent> {
+    /// Lifts an administrative ban (scale-out / restart). Returns whether
+    /// the node is currently absent from the view — i.e. whether the caller
+    /// must route an admission proposal through the view service (its later
+    /// heartbeats would also re-admit it, this is just faster).
+    pub fn admin_restore(&mut self, node: NodeId) -> bool {
         self.removed_by_admin.remove(&node);
-        self.rejoin(node, now)
+        !self.view.is_live(node)
     }
 
-    /// Admits `node` into the next view (shared by scale-out and the
-    /// falsely-suspected-node heartbeat path).
-    fn rejoin(&mut self, node: NodeId, now: u64) -> Vec<MembershipEvent> {
-        if self.view.is_live(node) {
+    /// Installs a view committed by the view service and disseminates it:
+    /// the `ViewChange` broadcast (which must precede the local install —
+    /// processing `ViewInstalled` triggers recovery traffic tagged with the
+    /// new epoch, which peers would ignore if they had not yet learnt of
+    /// the view) is how *every* node, view replica or not, learns new
+    /// views. Commit echoes — epochs at or below the installed one — are
+    /// ignored.
+    pub fn install_committed(
+        &mut self,
+        epoch: Epoch,
+        live: Vec<NodeId>,
+        admitted: Vec<Epoch>,
+        now: u64,
+    ) -> Vec<MembershipEvent> {
+        if epoch <= self.view.epoch {
             return Vec::new();
         }
-        self.leases.insert(node, now);
-        let new_view = self.view.with(&[node]);
-        self.admitted_at.insert(node, new_view.epoch);
-        self.announce_and_install(new_view, now)
+        let mut events = vec![MembershipEvent::Broadcast(MembershipMsg::ViewChange {
+            epoch,
+            live: live.clone(),
+            admitted: admitted.clone(),
+        })];
+        let pairs: Vec<(NodeId, Epoch)> = live.iter().copied().zip(admitted).collect();
+        events.extend(self.install_view(View::new(epoch, live), pairs, now));
+        events
     }
 
     fn install_view(
@@ -491,6 +503,33 @@ mod tests {
         })
     }
 
+    fn suspects(events: &[MembershipEvent]) -> Option<Vec<NodeId>> {
+        events.iter().find_map(|e| match e {
+            MembershipEvent::SuspectsExpired(dead) => Some(dead.clone()),
+            _ => None,
+        })
+    }
+
+    /// Emulates the view service committing the next view with the given
+    /// live set: retained nodes keep their admission epoch, new nodes are
+    /// admitted at the committed epoch — exactly what `zeus-view` proposes.
+    fn commit_view(m: &mut MembershipEngine, live: &[NodeId], now: u64) -> Vec<MembershipEvent> {
+        let epoch = m.epoch().next();
+        let current: Vec<(NodeId, Epoch)> =
+            m.view().live.iter().copied().zip(m.admissions()).collect();
+        let admitted = live
+            .iter()
+            .map(|n| {
+                current
+                    .iter()
+                    .find(|(c, _)| c == n)
+                    .map(|(_, e)| *e)
+                    .unwrap_or(epoch)
+            })
+            .collect();
+        m.install_committed(epoch, live.to_vec(), admitted, now)
+    }
+
     #[test]
     fn heartbeats_are_emitted_periodically() {
         let mut m = MembershipEngine::new(NodeId(1), 3, 100);
@@ -500,15 +539,7 @@ mod tests {
     }
 
     #[test]
-    fn manager_is_lowest_live_node() {
-        let m0 = MembershipEngine::new(NodeId(0), 3, 100);
-        let m1 = MembershipEngine::new(NodeId(1), 3, 100);
-        assert!(m0.is_manager());
-        assert!(!m1.is_manager());
-    }
-
-    #[test]
-    fn manager_detects_failure_and_installs_view() {
+    fn expired_leases_raise_suspicion_without_installing_a_view() {
         let mut m = MembershipEngine::new(NodeId(0), 3, 100);
         // Node 2 heartbeats, node 1 stays silent.
         for t in (0..400).step_by(20) {
@@ -521,6 +552,27 @@ mod tests {
             );
         }
         let events = m.tick(400);
+        assert_eq!(
+            suspects(&events),
+            Some(vec![NodeId(1)]),
+            "expired lease is reported, not acted on"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, MembershipEvent::ViewInstalled { .. })),
+            "no node installs a view on its own authority"
+        );
+        assert!(
+            m.is_live(NodeId(1)),
+            "view untouched until a quorum commits"
+        );
+        // The suspicion is re-asserted while the lease stays expired, so
+        // the view service's intent survives dropped proposals.
+        assert_eq!(suspects(&m.tick(430)), Some(vec![NodeId(1)]));
+
+        // The view service commits the expulsion: now the view moves.
+        let events = commit_view(&mut m, &[NodeId(0), NodeId(2)], 430);
         let installed = events
             .iter()
             .find_map(|e| match e {
@@ -537,14 +589,18 @@ mod tests {
                 e,
                 MembershipEvent::Broadcast(MembershipMsg::ViewChange { .. })
             )),
-            "view change must be broadcast"
+            "the committed view must be broadcast"
         );
     }
 
     #[test]
-    fn non_manager_never_installs_view_on_its_own() {
+    fn isolated_node_suspects_nobody() {
+        // From inside a partition every peer looks dead; the node fences
+        // instead of flooding the view service with expulsion intents.
         let mut m = MembershipEngine::new(NodeId(1), 3, 100);
         let events = m.tick(10_000);
+        assert!(m.is_isolated(10_000));
+        assert_eq!(suspects(&events), None);
         assert!(!events
             .iter()
             .any(|e| matches!(e, MembershipEvent::ViewInstalled { .. })));
@@ -579,7 +635,7 @@ mod tests {
     #[test]
     fn recovery_barrier_requires_all_live_nodes() {
         let mut m = MembershipEngine::new(NodeId(0), 3, 100);
-        let events = m.force_remove(NodeId(1), 0);
+        let events = commit_view(&mut m, &[NodeId(0), NodeId(2)], 0);
         assert!(events
             .iter()
             .any(|e| matches!(e, MembershipEvent::ViewInstalled { .. })));
@@ -609,7 +665,7 @@ mod tests {
     #[test]
     fn stale_recovery_done_is_ignored() {
         let mut m = MembershipEngine::new(NodeId(0), 2, 100);
-        m.force_remove(NodeId(1), 0);
+        commit_view(&mut m, &[NodeId(0)], 0);
         let events = m.on_message(
             MembershipMsg::RecoveryDone {
                 from: NodeId(1),
@@ -622,23 +678,17 @@ mod tests {
     }
 
     #[test]
-    fn falsely_suspected_node_rejoins_on_heartbeat() {
+    fn falsely_suspected_node_requests_rejoin_on_heartbeat() {
         let mut m = MembershipEngine::new(NodeId(0), 3, 100);
-        // Node 1 misses its lease (e.g. its heartbeats sat unprocessed in an
-        // overloaded manager inbox) and gets expelled...
-        m.on_message(
-            MembershipMsg::Heartbeat {
-                from: NodeId(2),
-                epoch: Epoch::ZERO,
-            },
-            390,
-        );
-        m.tick(400);
+        // Node 1 misses its lease (e.g. its heartbeats sat unprocessed in
+        // an overloaded peer's inbox) and the view service expels it...
+        commit_view(&mut m, &[NodeId(0), NodeId(2)], 400);
         assert!(!m.is_live(NodeId(1)));
         let expelled_epoch = m.epoch();
-        // ...but it is actually alive: its next heartbeat must re-admit it,
-        // otherwise the cluster wedges (the expelled node keeps issuing
-        // requests with a stale epoch that everyone silently drops).
+        // ...but it is actually alive: its next heartbeat must raise a
+        // re-admission request, otherwise the cluster wedges (the expelled
+        // node keeps issuing requests with a stale epoch that everyone
+        // silently drops).
         let events = m.on_message(
             MembershipMsg::Heartbeat {
                 from: NodeId(1),
@@ -646,7 +696,15 @@ mod tests {
             },
             450,
         );
-        assert!(m.is_live(NodeId(1)), "heartbeating node must rejoin");
+        assert_eq!(
+            events,
+            vec![MembershipEvent::RejoinRequested(NodeId(1))],
+            "heartbeat from an expelled node asks the view service"
+        );
+        assert!(!m.is_live(NodeId(1)), "nothing rejoins until a commit");
+        // The view service commits the re-admission.
+        let events = commit_view(&mut m, &[NodeId(0), NodeId(1), NodeId(2)], 460);
+        assert!(m.is_live(NodeId(1)));
         assert!(m.epoch() > expelled_epoch);
         assert!(
             events.iter().any(|e| matches!(
@@ -660,7 +718,8 @@ mod tests {
     #[test]
     fn admin_removed_node_stays_out_despite_heartbeats() {
         let mut m = MembershipEngine::new(NodeId(0), 3, 100);
-        m.force_remove(NodeId(1), 0);
+        assert!(m.admin_remove(NodeId(1)), "live node needs a quorum expel");
+        commit_view(&mut m, &[NodeId(0), NodeId(2)], 0);
         let epoch = m.epoch();
         let events = m.on_message(
             MembershipMsg::Heartbeat {
@@ -675,36 +734,28 @@ mod tests {
         );
         assert!(!m.is_live(NodeId(1)));
         assert_eq!(m.epoch(), epoch);
-        // An explicit force_add lifts the ban.
-        m.force_add(NodeId(1), 100);
+        // An explicit restore lifts the ban; the quorum admit follows.
+        assert!(
+            m.admin_restore(NodeId(1)),
+            "absent node needs a quorum admit"
+        );
+        commit_view(&mut m, &[NodeId(0), NodeId(1), NodeId(2)], 100);
         assert!(m.is_live(NodeId(1)));
     }
 
     #[test]
-    fn force_add_rejoins_node_with_new_epoch() {
+    fn admin_remove_of_absent_node_needs_no_expulsion() {
         let mut m = MembershipEngine::new(NodeId(0), 2, 100);
-        m.force_remove(NodeId(1), 0);
-        assert_eq!(m.view().len(), 1);
-        let events = m.force_add(NodeId(1), 500);
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, MembershipEvent::ViewInstalled { .. })));
-        assert_eq!(m.epoch(), Epoch(2));
-        assert!(m.is_live(NodeId(1)));
+        commit_view(&mut m, &[NodeId(0)], 0);
+        assert!(!m.admin_remove(NodeId(1)), "already out: ban only");
+        assert!(!m.admin_restore(NodeId(0)), "already live: unban only");
     }
 
     #[test]
     fn readmission_can_be_disabled_for_fault_injection() {
         let mut m = MembershipEngine::new(NodeId(0), 3, 100);
         m.set_readmit_suspects(false);
-        m.on_message(
-            MembershipMsg::Heartbeat {
-                from: NodeId(2),
-                epoch: Epoch::ZERO,
-            },
-            390,
-        );
-        m.tick(400);
+        commit_view(&mut m, &[NodeId(0), NodeId(2)], 400);
         assert!(!m.is_live(NodeId(1)), "node 1 expelled by lease expiry");
         let events = m.on_message(
             MembershipMsg::Heartbeat {
@@ -720,22 +771,9 @@ mod tests {
     #[test]
     fn rejoin_view_change_names_the_rejoined_node() {
         let mut m = MembershipEngine::new(NodeId(0), 3, 100);
-        m.on_message(
-            MembershipMsg::Heartbeat {
-                from: NodeId(2),
-                epoch: Epoch::ZERO,
-            },
-            390,
-        );
-        m.tick(400);
+        commit_view(&mut m, &[NodeId(0), NodeId(2)], 400);
         assert!(!m.is_live(NodeId(1)));
-        let events = m.on_message(
-            MembershipMsg::Heartbeat {
-                from: NodeId(1),
-                epoch: Epoch::ZERO,
-            },
-            450,
-        );
+        let events = commit_view(&mut m, &[NodeId(0), NodeId(1), NodeId(2)], 450);
         let broadcast_admitted = events.iter().find_map(|e| match e {
             MembershipEvent::Broadcast(MembershipMsg::ViewChange { live, admitted, .. }) => {
                 Some((live.clone(), admitted.clone()))
@@ -798,7 +836,7 @@ mod tests {
     #[test]
     fn single_node_view_is_never_isolated() {
         let mut m = MembershipEngine::new(NodeId(0), 2, 100);
-        m.force_remove(NodeId(1), 0);
+        commit_view(&mut m, &[NodeId(0)], 0);
         assert!(!m.is_isolated(1_000_000));
     }
 
@@ -831,10 +869,10 @@ mod tests {
     #[test]
     fn stale_heartbeat_triggers_view_refresh() {
         let mut m = MembershipEngine::new(NodeId(0), 3, 100);
-        // Install epoch 1 by expelling nobody — use force_remove + force_add
-        // to move the epoch forward while keeping everyone live.
-        m.force_remove(NodeId(2), 0);
-        m.force_add(NodeId(2), 10);
+        // Move the epoch forward while keeping everyone live: expel node 2
+        // at epoch 1, re-admit it at epoch 2.
+        commit_view(&mut m, &[NodeId(0), NodeId(1)], 0);
+        commit_view(&mut m, &[NodeId(0), NodeId(1), NodeId(2)], 10);
         assert_eq!(m.epoch(), Epoch(2));
         // Node 1 heartbeats with epoch 0: it missed both view changes and
         // must be refreshed (it was never expelled, so no rejoin order).
@@ -913,6 +951,7 @@ mod tests {
             assert!(!events
                 .iter()
                 .any(|e| matches!(e, MembershipEvent::ViewInstalled { .. })));
+            assert_eq!(suspects(&events), None, "no suspicion at t={t}");
         }
         assert_eq!(m.epoch(), Epoch::ZERO);
     }

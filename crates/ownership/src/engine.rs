@@ -1,6 +1,6 @@
 //! The sans-io ownership state machine.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::Bytes;
 use zeus_proto::messages::NackReason;
@@ -185,6 +185,12 @@ pub struct OwnershipEngine {
     /// completes (the requester is gone), wedging the object. Bounded by
     /// (nodes x objects this node arbitrates).
     completed_seqs: HashMap<(NodeId, ObjectId), u64>,
+    /// Placement entries whose settled state changed recently, with the
+    /// number of delta pushes each still gets. Backs the anti-entropy
+    /// [`OwnershipEngine::drain_dirty_digest`]: pushing only changed entries
+    /// keeps the periodic directory sync O(churn) instead of O(objects),
+    /// and repeating each entry a few times rides out dropped pushes.
+    dirty: BTreeMap<ObjectId, u8>,
     stats: OwnershipStats,
 }
 
@@ -207,7 +213,28 @@ impl OwnershipEngine {
             inflight: HashMap::new(),
             pending: HashMap::new(),
             completed_seqs: HashMap::new(),
+            dirty: BTreeMap::new(),
             stats: OwnershipStats::new(),
+        }
+    }
+
+    /// Delta pushes a dirty placement entry receives before it is considered
+    /// disseminated. One push would suffice on a lossless link; repeating it
+    /// lets the periodic sync survive dropped pushes without acks.
+    const DIRTY_PUSHES: u8 = 4;
+
+    /// Marks `object`'s placement as changed for the anti-entropy sync.
+    fn mark_dirty(&mut self, object: ObjectId) {
+        self.dirty.insert(object, Self::DIRTY_PUSHES);
+    }
+
+    /// Marks every held placement entry dirty — called after a view change,
+    /// when peers may have diverged arbitrarily (the one remaining full
+    /// push; steady-state pushes carry only the delta).
+    pub fn mark_all_dirty(&mut self) {
+        let objects: Vec<ObjectId> = self.meta.keys().copied().collect();
+        for object in objects {
+            self.mark_dirty(object);
         }
     }
 
@@ -289,6 +316,7 @@ impl OwnershipEngine {
     pub fn reset_for_rejoin(&mut self) -> Vec<OwnershipAction> {
         self.stats.rejoin_resets += 1;
         self.meta.clear();
+        self.dirty.clear();
         self.inflight.clear();
         let mut pending: Vec<(RequestId, ObjectId)> = self
             .pending
@@ -754,6 +782,101 @@ impl OwnershipEngine {
         actions
     }
 
+    /// Snapshot of this node's placement table, sorted by object id — the
+    /// payload of a directory push (`ViewMsg::DirPush`). Exchanged among
+    /// directory replicas so a rejoiner re-learns every placement before
+    /// serving arbitration and surviving replicas reconcile divergence.
+    pub fn directory_digest(&self) -> Vec<(ObjectId, OwnershipTs, ReplicaSet)> {
+        let mut entries: Vec<(ObjectId, OwnershipTs, ReplicaSet)> = self
+            .meta
+            .iter()
+            // Only *settled* placements are shareable. A driving replica's
+            // meta carries the bumped timestamp with the OLD replica set
+            // (the arbitration may still abort, and the new placement is
+            // not decided here); pushing it would let a peer adopt the old
+            // owner at the new timestamp and then reject the real outcome
+            // forever.
+            .filter(|(_, m)| m.o_state == OState::Valid)
+            .map(|(&object, m)| (object, m.o_ts, m.replicas.clone()))
+            .collect();
+        entries.sort_unstable_by_key(|&(object, _, _)| object);
+        entries
+    }
+
+    /// The delta digest for one periodic anti-entropy push: placement
+    /// entries that changed recently (marked dirty when they settle),
+    /// sorted by object id. Each drain decrements the entries' remaining
+    /// push budget; an entry leaves the set once disseminated
+    /// `DIRTY_PUSHES` times or its metadata is dropped.
+    /// Entries mid-arbitration are held back with their budget intact —
+    /// only settled placements are shareable (see
+    /// [`OwnershipEngine::directory_digest`]) and settling re-marks them.
+    pub fn drain_dirty_digest(&mut self) -> Vec<(ObjectId, OwnershipTs, ReplicaSet)> {
+        let mut entries = Vec::new();
+        let mut done = Vec::new();
+        for (&object, pushes) in self.dirty.iter_mut() {
+            match self.meta.get(&object) {
+                Some(m) if m.o_state == OState::Valid => {
+                    entries.push((object, m.o_ts, m.replicas.clone()));
+                    *pushes -= 1;
+                    if *pushes == 0 {
+                        done.push(object);
+                    }
+                }
+                Some(_) => {}
+                None => done.push(object),
+            }
+        }
+        for object in done {
+            self.dirty.remove(&object);
+        }
+        entries
+    }
+
+    /// Adopts pushed placement entries (the receive side of the directory
+    /// sync). Per entry the newest ownership timestamp wins: an entry
+    /// strictly newer than our metadata overwrites it — unless *any*
+    /// arbitration for the object is in flight here, in which case the
+    /// entry is skipped entirely and the live protocol decides the
+    /// placement (the anti-entropy push is advisory; cancelling or
+    /// bypassing an arbitration mid-flight desynchronises this replica
+    /// from the requester/owner exchange it is part of). A replica
+    /// therefore never regresses to an older placement and never abandons
+    /// an arbitration it has started. Adopted entries are surfaced as
+    /// [`OwnershipAction::ApplyReplicaChange`] so the host store updates
+    /// its access levels.
+    pub fn adopt_directory(
+        &mut self,
+        entries: &[(ObjectId, OwnershipTs, ReplicaSet)],
+    ) -> Vec<OwnershipAction> {
+        let mut actions = Vec::new();
+        for (object, o_ts, replicas) in entries {
+            if let Some(meta) = self.meta.get(object) {
+                if meta.o_ts >= *o_ts {
+                    continue;
+                }
+            }
+            if self.inflight.contains_key(object) {
+                continue;
+            }
+            self.stats.dir_entries_adopted += 1;
+            self.meta.insert(
+                *object,
+                MetaEntry {
+                    o_ts: *o_ts,
+                    replicas: replicas.clone(),
+                    o_state: OState::Valid,
+                },
+            );
+            actions.push(OwnershipAction::ApplyReplicaChange {
+                object: *object,
+                o_ts: *o_ts,
+                new_replicas: replicas.clone(),
+            });
+        }
+        actions
+    }
+
     // ------------------------------------------------------------------
     // Driver side
     // ------------------------------------------------------------------
@@ -856,6 +979,16 @@ impl OwnershipEngine {
 
         self.stats.requests_driven += 1;
         let old_replicas = meta.replicas.clone();
+        // Trust `has_replica` only when the committed placement actually
+        // lists the requester: in-placement replicas are kept current by
+        // INV/VAL traffic, but a node outside the placement can still hold
+        // a copy — e.g. a re-admitted node whose wiped store entry was
+        // re-created by a stale in-flight follower update from before its
+        // expulsion. Treating that zombie copy as a replica would suppress
+        // the data ship and hand ownership to a stale value; forcing the
+        // ship is always safe (the requester installs by ts-compare).
+        let requester_has_replica =
+            requester_has_replica && old_replicas.level_of(requester).is_replica();
         let o_ts = meta.o_ts.bump(self.local);
         let new_replicas = Self::apply_kind(&old_replicas, kind, requester);
         let arbiters = self.arbiter_set(&old_replicas, requester);
@@ -1445,6 +1578,7 @@ impl OwnershipEngine {
                     o_state: OState::Valid,
                 },
             );
+            self.mark_dirty(object);
         } else {
             self.meta.remove(&object);
         }
@@ -1607,6 +1741,7 @@ impl OwnershipEngine {
                     o_state: OState::Valid,
                 },
             );
+            self.mark_dirty(object);
         } else {
             self.meta.remove(&object);
         }
@@ -1854,6 +1989,49 @@ mod tests {
                 Some(NodeId(1)),
                 "directory node {d} must agree"
             );
+        }
+    }
+
+    #[test]
+    fn zombie_copy_outside_the_placement_does_not_suppress_the_data_ship() {
+        // Node 2 is a directory replica but NOT in the object's placement —
+        // yet it holds a stale local copy (a re-admitted node whose wiped
+        // store entry was re-created by a delayed follower update from
+        // before its expulsion). Its acquisition reports has_replica=true,
+        // but the driver must not trust that: the committed placement does
+        // not list node 2, so the owner's fresh value must still ship and
+        // win the ts-compare at install time.
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), ReplicaSet::new(NodeId(0), []), b"fresh");
+        let fresh_ts = DataTs::new(14, OwnershipTs::new(12, NodeId(0)));
+        c.hosts[0]
+            .values
+            .insert(obj(), (fresh_ts, Bytes::from_static(b"fresh")));
+        let stale_ts = DataTs::new(6, OwnershipTs::new(5, NodeId(0)));
+        c.hosts[2]
+            .values
+            .insert(obj(), (stale_ts, Bytes::from_static(b"stale")));
+
+        c.request(NodeId(2), obj(), OwnershipRequestKind::AcquireOwner);
+        // Node 2 is itself a directory replica: its request self-routes.
+        let (to, from, msg) = c.network.pop_front().expect("self-routed REQ");
+        assert_eq!(to, NodeId(2));
+        let actions = c.engines[2].handle_message(from, msg, &c.hosts[2]);
+        c.apply(NodeId(2), actions);
+        c.run();
+
+        let done = c.completed(NodeId(2));
+        assert_eq!(done.len(), 1);
+        match done[0] {
+            OwnershipAction::Completed {
+                data, new_replicas, ..
+            } => {
+                let (ts, bytes) = data.as_ref().expect("fresh value must ship");
+                assert_eq!(*ts, fresh_ts, "shipped copy is the owner's, not the zombie");
+                assert_eq!(bytes.as_ref(), b"fresh");
+                assert_eq!(new_replicas.owner, Some(NodeId(2)));
+            }
+            _ => unreachable!(),
         }
     }
 
@@ -2216,5 +2394,80 @@ mod tests {
         assert_eq!(c.engines[1].pending_requests(), 0);
         c.run();
         assert!(c.completed(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn directory_digest_is_sorted_and_roundtrips_through_adoption() {
+        let mut c = Cluster::new(3, 3);
+        c.register(ObjectId(9), initial_replicas(), b"v9");
+        c.register(ObjectId(1), initial_replicas(), b"v1");
+        // Move object 1's ownership so its o_ts advances past the default.
+        c.request(NodeId(1), ObjectId(1), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        let digest = c.engines[0].directory_digest();
+        assert_eq!(digest.len(), 2);
+        assert!(digest[0].0 < digest[1].0, "sorted by object id");
+
+        // A wiped directory replica adopts the full digest.
+        let mut fresh = OwnershipEngine::new(NodeId(2), vec![NodeId(0), NodeId(1), NodeId(2)], 3);
+        let actions = fresh.adopt_directory(&digest);
+        assert_eq!(actions.len(), 2, "both placements adopted");
+        assert_eq!(fresh.directory_digest(), digest);
+        assert_eq!(fresh.stats().dir_entries_adopted, 2);
+    }
+
+    #[test]
+    fn adoption_never_regresses_to_an_older_placement() {
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        let before = c.engines[0].directory_digest();
+        // Ownership moves to node 1: node 0's table advances.
+        c.request(NodeId(1), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        let after = c.engines[0].directory_digest();
+        assert_ne!(before, after);
+        // Pushing the stale snapshot back changes nothing.
+        let actions = c.engines[0].adopt_directory(&before);
+        assert!(actions.is_empty(), "older o_ts must not be adopted");
+        assert_eq!(c.engines[0].directory_digest(), after);
+        // Pushing the newer snapshot into a replica holding the stale one
+        // reconciles it (newest o_ts wins) — the anti-entropy direction.
+        let mut stale = OwnershipEngine::new(NodeId(2), vec![NodeId(0), NodeId(1), NodeId(2)], 3);
+        stale.adopt_directory(&before);
+        let actions = stale.adopt_directory(&after);
+        assert_eq!(actions.len(), 1, "newer placement wins: {actions:?}");
+        assert_eq!(stale.directory_digest(), after);
+    }
+
+    #[test]
+    fn digests_exclude_mid_arbitration_placements() {
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        c.request(NodeId(1), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        // The settle marked the entry dirty on every directory replica.
+        assert_eq!(c.engines[2].drain_dirty_digest().len(), 1);
+
+        // Node 2 starts — and, being a directory replica with metadata,
+        // itself drives — the next handover. Its meta now carries the
+        // bumped timestamp with the OLD placement; leaking it would let a
+        // peer adopt the old owner at the new timestamp and then reject
+        // the settled outcome forever. Neither digest may include it, and
+        // the dirty budget must survive the hold-back.
+        c.request(NodeId(2), obj(), OwnershipRequestKind::AcquireOwner);
+        let (to, from, msg) = c.network.pop_front().expect("self-routed REQ");
+        assert_eq!(to, NodeId(2), "directory replica drives its own request");
+        let actions = c.engines[2].handle_message(from, msg, &c.hosts[2]);
+        c.apply(NodeId(2), actions);
+        assert!(c.engines[2].directory_digest().is_empty());
+        assert!(c.engines[2].drain_dirty_digest().is_empty());
+
+        // Once settled, the entry is shareable again (and the settle
+        // refreshed its dirty budget).
+        c.run();
+        let after = c.engines[2].directory_digest();
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].2.owner, Some(NodeId(2)));
+        assert_eq!(c.engines[2].drain_dirty_digest(), after);
     }
 }

@@ -36,6 +36,9 @@ pub struct OwnershipStats {
     /// surviving data-bearing arbiter while the placement proved the object
     /// was not a genuine first touch (fail-instead-of-fabricate).
     pub data_loss_aborts: u64,
+    /// Placement entries adopted from a directory push (view-service
+    /// metadata sync: rejoin catch-up or anti-entropy reconciliation).
+    pub dir_entries_adopted: u64,
 }
 
 impl OwnershipStats {
@@ -58,6 +61,7 @@ impl OwnershipStats {
         self.rejoin_resets += other.rejoin_resets;
         self.ghost_arbitrations_aborted += other.ghost_arbitrations_aborted;
         self.data_loss_aborts += other.data_loss_aborts;
+        self.dir_entries_adopted += other.dir_entries_adopted;
     }
 }
 

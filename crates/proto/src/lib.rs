@@ -48,5 +48,7 @@ pub mod wire;
 
 pub use error::ProtoError;
 pub use ids::{DataTs, Epoch, NodeId, ObjectId, OwnershipTs, PipelineId, RequestId, TxId};
-pub use messages::{CommitMsg, MembershipMsg, ObjectUpdate, OwnershipMsg, OwnershipRequestKind};
+pub use messages::{
+    CommitMsg, DirEntry, MembershipMsg, ObjectUpdate, OwnershipMsg, OwnershipRequestKind, ViewMsg,
+};
 pub use state::{AccessLevel, OState, ReplicaSet, TState};

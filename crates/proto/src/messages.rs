@@ -366,6 +366,89 @@ pub enum MembershipMsg {
     },
 }
 
+/// One entry of a directory replica's placement table: the object, the
+/// ownership timestamp of the arbitration that decided the placement, and
+/// the placement itself. Shipped by [`ViewMsg::DirPush`].
+pub type DirEntry = (ObjectId, OwnershipTs, ReplicaSet);
+
+/// View-agreement and placement-metadata traffic of the replicated view
+/// service (`zeus-view`).
+///
+/// Membership epochs are no longer decided by a single acting manager:
+/// every node of the (static) view-replica set may propose the next view,
+/// and a proposal commits once a majority of the set grants it. Grants are
+/// sticky — a replica holds at most one ungranted-to-commit proposal at a
+/// time and refuses competing ones until the grant either commits or times
+/// out — so two proposals for the same epoch can never both reach a
+/// majority. Committed views disseminate through the existing
+/// [`MembershipMsg::ViewChange`] path.
+///
+/// The same service owns the directory placement metadata: directory
+/// replicas exchange their placement tables ([`ViewMsg::DirPush`]) so a
+/// rejoining replica re-learns every placement before serving arbitration,
+/// and surviving replicas reconcile divergent tables (newest ownership
+/// timestamp wins) after a view change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ViewMsg {
+    /// A view replica proposes the next view. Only valid against the
+    /// proposer's committed `base` epoch: a granter whose committed epoch
+    /// differs refuses (and the lagging side resyncs), which keeps every
+    /// committed view derived from the latest previously committed one.
+    Propose {
+        /// Epoch of the proposed view (`base.next()`).
+        epoch: Epoch,
+        /// The committed epoch the proposal was derived from.
+        base: Epoch,
+        /// Live nodes of the proposed view.
+        live: Vec<NodeId>,
+        /// Parallel to `live`: admission epochs (see
+        /// [`MembershipMsg::ViewChange`]).
+        admitted: Vec<Epoch>,
+        /// The proposing view replica.
+        from: NodeId,
+    },
+    /// A view replica grants a proposal (and will refuse competing ones
+    /// until the grant commits or times out).
+    Grant {
+        /// Epoch of the granted proposal.
+        epoch: Epoch,
+        /// The granting view replica.
+        from: NodeId,
+    },
+    /// A view replica refuses a proposal: it is already holding a grant for
+    /// a competing proposal, or the proposer's base epoch is stale.
+    Reject {
+        /// Epoch of the refused proposal.
+        epoch: Epoch,
+        /// The rejecter's committed epoch — a proposer that sees a higher
+        /// committed epoch than its own pulls the missed views before
+        /// re-proposing.
+        committed: Epoch,
+        /// The rejecting view replica.
+        from: NodeId,
+    },
+    /// A (re-admitted) directory replica asks a live directory peer for its
+    /// full placement table.
+    DirPull {
+        /// The requesting node.
+        from: NodeId,
+    },
+    /// A directory replica's placement table (sorted by object id). The
+    /// receiver adopts every entry whose ownership timestamp is strictly
+    /// newer than what it holds — the anti-entropy pass that closes
+    /// directory amnesia after rejoin and reconciles replicas that applied
+    /// a replayed arbitration unevenly.
+    DirPush {
+        /// The sending node.
+        from: NodeId,
+        /// The sender's epoch when the table was snapshotted; receivers in
+        /// a different epoch ignore the push (a fresh one follows).
+        epoch: Epoch,
+        /// The placement table.
+        entries: Vec<DirEntry>,
+    },
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

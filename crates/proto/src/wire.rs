@@ -12,7 +12,7 @@ use bytes::Bytes;
 use crate::error::ProtoError;
 use crate::ids::{DataTs, Epoch, NodeId, ObjectId, OwnershipTs, PipelineId, RequestId, TxId};
 use crate::messages::{
-    CommitMsg, MembershipMsg, NackReason, ObjectUpdate, OwnershipMsg, OwnershipRequestKind,
+    CommitMsg, MembershipMsg, NackReason, ObjectUpdate, OwnershipMsg, OwnershipRequestKind, ViewMsg,
 };
 use crate::state::ReplicaSet;
 
@@ -205,6 +205,17 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
     fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
         Ok((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        Ok((A::decode(input)?, B::decode(input)?, C::decode(input)?))
     }
 }
 
@@ -679,6 +690,86 @@ impl Wire for MembershipMsg {
     }
 }
 
+impl Wire for ViewMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ViewMsg::Propose {
+                epoch,
+                base,
+                live,
+                admitted,
+                from,
+            } => {
+                buf.push(0);
+                epoch.encode(buf);
+                base.encode(buf);
+                live.encode(buf);
+                admitted.encode(buf);
+                from.encode(buf);
+            }
+            ViewMsg::Grant { epoch, from } => {
+                buf.push(1);
+                epoch.encode(buf);
+                from.encode(buf);
+            }
+            ViewMsg::Reject {
+                epoch,
+                committed,
+                from,
+            } => {
+                buf.push(2);
+                epoch.encode(buf);
+                committed.encode(buf);
+                from.encode(buf);
+            }
+            ViewMsg::DirPull { from } => {
+                buf.push(3);
+                from.encode(buf);
+            }
+            ViewMsg::DirPush {
+                from,
+                epoch,
+                entries,
+            } => {
+                buf.push(4);
+                from.encode(buf);
+                epoch.encode(buf);
+                entries.encode(buf);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, ProtoError> {
+        match u8::decode(input)? {
+            0 => Ok(ViewMsg::Propose {
+                epoch: Epoch::decode(input)?,
+                base: Epoch::decode(input)?,
+                live: Vec::<NodeId>::decode(input)?,
+                admitted: Vec::<Epoch>::decode(input)?,
+                from: NodeId::decode(input)?,
+            }),
+            1 => Ok(ViewMsg::Grant {
+                epoch: Epoch::decode(input)?,
+                from: NodeId::decode(input)?,
+            }),
+            2 => Ok(ViewMsg::Reject {
+                epoch: Epoch::decode(input)?,
+                committed: Epoch::decode(input)?,
+                from: NodeId::decode(input)?,
+            }),
+            3 => Ok(ViewMsg::DirPull {
+                from: NodeId::decode(input)?,
+            }),
+            4 => Ok(ViewMsg::DirPush {
+                from: NodeId::decode(input)?,
+                epoch: Epoch::decode(input)?,
+                entries: Vec::<(ObjectId, OwnershipTs, ReplicaSet)>::decode(input)?,
+            }),
+            tag => Err(ProtoError::InvalidTag { ty: "ViewMsg", tag }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -833,6 +924,68 @@ mod tests {
             seen: vec![NodeId(0), NodeId(2)],
         });
         roundtrip(MembershipMsg::ViewPull { from: NodeId(4) });
+    }
+
+    #[test]
+    fn view_messages_roundtrip() {
+        roundtrip(ViewMsg::Propose {
+            epoch: Epoch(5),
+            base: Epoch(4),
+            live: vec![NodeId(0), NodeId(2)],
+            admitted: vec![Epoch(0), Epoch(5)],
+            from: NodeId(2),
+        });
+        roundtrip(ViewMsg::Grant {
+            epoch: Epoch(5),
+            from: NodeId(1),
+        });
+        roundtrip(ViewMsg::Reject {
+            epoch: Epoch(5),
+            committed: Epoch(6),
+            from: NodeId(0),
+        });
+        roundtrip(ViewMsg::DirPull { from: NodeId(2) });
+        roundtrip(ViewMsg::DirPush {
+            from: NodeId(0),
+            epoch: Epoch(6),
+            entries: vec![
+                (
+                    ObjectId(1),
+                    OwnershipTs::new(3, NodeId(1)),
+                    ReplicaSet::new(NodeId(1), [NodeId(0), NodeId(2)]),
+                ),
+                (
+                    ObjectId(9),
+                    OwnershipTs::new(7, NodeId(2)),
+                    ReplicaSet::new(NodeId(2), [NodeId(0)]),
+                ),
+            ],
+        });
+    }
+
+    #[test]
+    fn view_truncated_buffers_error() {
+        let msg = ViewMsg::Propose {
+            epoch: Epoch(5),
+            base: Epoch(4),
+            live: vec![NodeId(0), NodeId(2)],
+            admitted: vec![Epoch(0), Epoch(5)],
+            from: NodeId(2),
+        };
+        let encoded = encode_to_vec(&msg);
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_from_slice::<ViewMsg>(&encoded[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+        assert!(matches!(
+            decode_from_slice::<ViewMsg>(&[200]),
+            Err(ProtoError::InvalidTag {
+                ty: "ViewMsg",
+                tag: 200
+            })
+        ));
     }
 
     #[test]

@@ -23,9 +23,10 @@ fn main() {
     cluster.run_until_quiescent(10_000);
     println!("10 writes committed on node 0 (owner).");
 
-    // Crash the owner. Membership reconfigures, pending commits are replayed
-    // by the surviving replicas, and the ownership protocol resumes.
-    cluster.fail_node(NodeId(0));
+    // Crash the owner — node 0 is also a view replica, but the surviving
+    // quorum commits the new view. Pending commits are replayed by the
+    // surviving replicas and the ownership protocol resumes.
+    cluster.admin().crash(NodeId(0)).unwrap();
     cluster.run_until_quiescent(100_000);
     println!(
         "node 0 crashed; epoch is now {:?}",

@@ -117,7 +117,7 @@ proptest! {
                 last_committed = i;
             }
             if i as usize == crash_after {
-                cluster.fail_node(NodeId(crash_node));
+                cluster.admin().crash(NodeId(crash_node)).unwrap();
                 cluster.settle(60_000);
             }
         }
