@@ -1,0 +1,7 @@
+//! Thin wrapper running the `phase_shift` scenario from the shared registry
+//! (see `zeus_bench::scenarios`); accepts the same flags as the unified
+//! `bench` driver and writes a `BENCH_phase_shift.json` report.
+
+fn main() {
+    std::process::exit(zeus_bench::cli::run_single("phase_shift"));
+}

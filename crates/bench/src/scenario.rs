@@ -103,7 +103,7 @@ pub struct ScenarioSpec {
 
 /// Names of all scenarios a complete report must contain (the CI perf-smoke
 /// gate fails if any is missing from `BENCH_PR.json`).
-pub const REQUIRED_SCENARIOS: [&str; 13] = [
+pub const REQUIRED_SCENARIOS: [&str; 14] = [
     "fig07_handovers",
     "fig08_smallbank",
     "fig09_tatp",
@@ -114,6 +114,7 @@ pub const REQUIRED_SCENARIOS: [&str; 13] = [
     "fig14_sctp",
     "fig15_nginx",
     "locality_analysis",
+    "phase_shift",
     "pipeline_depth",
     "saturation",
     "table2",
@@ -171,6 +172,11 @@ pub fn registry() -> Vec<ScenarioSpec> {
             name: "locality_analysis",
             about: "Remote-transaction fractions of the studied workloads",
             run: scenarios::locality::run,
+        },
+        ScenarioSpec {
+            name: "phase_shift",
+            about: "Phase-shifting hotspot: reactive vs predictive placement A/B (simulated)",
+            run: scenarios::phase_shift::run,
         },
         ScenarioSpec {
             name: "pipeline_depth",

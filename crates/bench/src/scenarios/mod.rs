@@ -16,6 +16,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod locality;
+pub mod phase_shift;
 pub mod pipeline_depth;
 pub mod saturation;
 pub mod table2;

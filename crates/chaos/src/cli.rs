@@ -1,8 +1,8 @@
 //! Command-line front end of the `chaos` binary.
 //!
 //! ```text
-//! chaos --smoke [--seed N] [--schedules N] [--profile default|view-churn]
-//!       [--tag TAG] [--out DIR]
+//! chaos --smoke [--seed N] [--schedules N]
+//!       [--profile default|view-churn|policy-churn] [--tag TAG] [--out DIR]
 //! chaos --full --budget-secs S [--seed N] [--tag TAG] [--out DIR]
 //! chaos --replay FILE...
 //! chaos --corpus DIR [--validate]
@@ -11,7 +11,11 @@
 //!
 //! `--profile view-churn` biases fault victims toward the view-replica
 //! set, crashing/partitioning a minority of the membership service's own
-//! replicas while the workload churns.
+//! replicas while the workload churns. `--profile policy-churn` keeps the
+//! default fault mix over a read-leaning workload and runs every node's
+//! predictive locality engine live, so policy-driven placement actions
+//! race the faults; with `--corpus` it also replays the corpus with the
+//! policy enabled.
 //!
 //! `--validate` turns the corpus replay into a strict gate: every file must
 //! parse at the *current* corpus format version, re-render byte-identically
@@ -30,6 +34,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use zeus_bench::report::{BenchReport, ScenarioResult};
+use zeus_proto::PolicyKind;
 
 use crate::explore::{explore, ExploreConfig};
 use crate::generate::Profile;
@@ -86,7 +91,7 @@ impl Default for Args {
     }
 }
 
-const USAGE: &str = "usage: chaos --smoke [--seed N] [--schedules N] [--profile default|view-churn] [--tag TAG] [--out DIR]
+const USAGE: &str = "usage: chaos --smoke [--seed N] [--schedules N] [--profile default|view-churn|policy-churn] [--tag TAG] [--out DIR]
        chaos --full --budget-secs S [--seed N] [--tag TAG] [--out DIR]
        chaos --replay FILE...
        chaos --corpus DIR [--validate]
@@ -157,6 +162,11 @@ impl Args {
     fn run_options(&self) -> RunOptions {
         RunOptions {
             readmit_suspects: self.inject_bug.as_deref() != Some("no-readmit"),
+            policy: if self.profile == Profile::PolicyChurn {
+                PolicyKind::Predictive
+            } else {
+                PolicyKind::Reactive
+            },
             ..RunOptions::default()
         }
     }
@@ -381,6 +391,26 @@ mod tests {
         assert_eq!(args.profile, Profile::ViewChurn);
         assert_eq!(parse(&["--smoke"]).unwrap().profile, Profile::Default);
         assert!(parse(&["--smoke", "--profile", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn policy_churn_profile_enables_the_predictive_policy() {
+        let args = parse(&["--smoke", "--profile", "policy-churn"]).unwrap();
+        assert_eq!(args.profile, Profile::PolicyChurn);
+        assert_eq!(args.run_options().policy, PolicyKind::Predictive);
+        // Every other invocation replays with the null policy, keeping the
+        // committed corpus and default sweeps bit-identical.
+        assert_eq!(
+            parse(&["--smoke"]).unwrap().run_options().policy,
+            PolicyKind::Reactive
+        );
+        assert_eq!(
+            parse(&["--corpus", "tests/chaos_corpus"])
+                .unwrap()
+                .run_options()
+                .policy,
+            PolicyKind::Reactive
+        );
     }
 
     #[test]

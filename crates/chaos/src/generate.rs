@@ -22,6 +22,12 @@
 //! isolates a minority of the nodes that *run the membership service
 //! itself* while the workload churns, which is exactly the regime the old
 //! single-acting-manager design could not survive.
+//!
+//! [`Profile::PolicyChurn`] keeps the default fault mix but leans the
+//! workload toward reads, and the runner enables the predictive locality
+//! engine — so policy-driven placement actions (widen, shrink,
+//! pre-migrate) race crashes, partitions and expulsions instead of running
+//! on a quiet cluster.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,6 +44,10 @@ pub enum Profile {
     /// schedules kill or partition a minority of the membership service's
     /// own replicas while ownership churns.
     ViewChurn,
+    /// The default fault mix over a read-leaning workload; the runner
+    /// turns the predictive locality engine on, so placement actions race
+    /// the injected faults.
+    PolicyChurn,
 }
 
 impl Profile {
@@ -46,8 +56,9 @@ impl Profile {
         match s {
             "default" => Ok(Profile::Default),
             "view-churn" => Ok(Profile::ViewChurn),
+            "policy-churn" => Ok(Profile::PolicyChurn),
             other => Err(format!(
-                "unknown profile '{other}' (known: default, view-churn)"
+                "unknown profile '{other}' (known: default, view-churn, policy-churn)"
             )),
         }
     }
@@ -179,10 +190,20 @@ pub fn generate_schedule_with(seed: u64, index: u64, profile: Profile) -> Schedu
         let roll: u32 = rng.gen_range(0..100);
         match roll {
             // Plain workload.
-            0..=29 => steps.push(ChaosStep::Write {
-                node: state.up_nodes(&mut rng),
-                object: rng.gen_range(0..objects),
-            }),
+            0..=29 => {
+                let node = state.up_nodes(&mut rng);
+                let object = rng.gen_range(0..objects);
+                // Policy churn leans the workload toward reads: remote
+                // read streaks are what the predictive engine widens on,
+                // so a write-heavy mix would leave it idle. The extra
+                // draw happens only under this profile, keeping the other
+                // profiles' RNG streams (and their schedules) unchanged.
+                if profile == Profile::PolicyChurn && rng.gen_bool(0.5) {
+                    steps.push(ChaosStep::Read { node, object });
+                } else {
+                    steps.push(ChaosStep::Write { node, object });
+                }
+            }
             30..=47 => steps.push(ChaosStep::Read {
                 node: state.up_nodes(&mut rng),
                 object: rng.gen_range(0..objects),
@@ -334,7 +355,7 @@ mod tests {
 
     #[test]
     fn schedules_respect_the_safety_envelope() {
-        for profile in [Profile::Default, Profile::ViewChurn] {
+        for profile in [Profile::Default, Profile::ViewChurn, Profile::PolicyChurn] {
             for index in 0..100 {
                 let s = generate_schedule_with(99, index, profile);
                 let view_replicas = 3u16.min(s.nodes);
@@ -417,6 +438,42 @@ mod tests {
     fn profile_parsing() {
         assert_eq!(Profile::parse("default").unwrap(), Profile::Default);
         assert_eq!(Profile::parse("view-churn").unwrap(), Profile::ViewChurn);
+        assert_eq!(
+            Profile::parse("policy-churn").unwrap(),
+            Profile::PolicyChurn
+        );
         assert!(Profile::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn policy_churn_profile_leans_toward_reads() {
+        // The default mix is write-heavy (30% writes vs 18% reads); the
+        // policy-churn rebalance must flip that so the predictive engine
+        // sees the remote read streaks it widens on. Faults must survive
+        // the rebalance — a quiet-cluster policy sweep would test nothing.
+        let mut reads = 0usize;
+        let mut writes = 0usize;
+        let mut faulted = 0usize;
+        for index in 0..40 {
+            let s = generate_schedule_with(7, index, Profile::PolicyChurn);
+            for step in &s.steps {
+                match step {
+                    ChaosStep::Read { .. } => reads += 1,
+                    ChaosStep::Write { .. } => writes += 1,
+                    ChaosStep::Crash { .. }
+                    | ChaosStep::Isolate { .. }
+                    | ChaosStep::PartitionPair { .. } => faulted += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            reads > writes,
+            "policy-churn schedules must be read-leaning ({reads} reads vs {writes} writes)"
+        );
+        assert!(
+            faulted >= 40,
+            "policy-churn schedules must keep injecting faults ({faulted} across 40 schedules)"
+        );
     }
 }

@@ -33,7 +33,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use bytes::Bytes;
 use zeus_core::{ClusterDriver, NodeId, ObjectId, Session, SimCluster, ZeusConfig};
 use zeus_net::sim::{LinkOverride, NetConfig};
-use zeus_proto::{DataTs, TState};
+use zeus_proto::{DataTs, PolicyKind, TState};
 
 use crate::schedule::{ChaosStep, Schedule};
 
@@ -46,6 +46,11 @@ pub struct RunOptions {
     pub readmit_suspects: bool,
     /// Step budget of the final (oracle) settle.
     pub settle_budget: usize,
+    /// Placement policy each node runs during the schedule. The default
+    /// (`Reactive`) keeps every existing corpus replay bit-identical; the
+    /// policy-churn profile flips this to `Predictive` so locality-engine
+    /// actions race the injected faults under the same oracles.
+    pub policy: PolicyKind,
 }
 
 impl Default for RunOptions {
@@ -53,6 +58,7 @@ impl Default for RunOptions {
         RunOptions {
             readmit_suspects: true,
             settle_budget: 150_000,
+            policy: PolicyKind::Reactive,
         }
     }
 }
@@ -179,6 +185,13 @@ impl<'a> Harness<'a> {
         // Bound per-op latency: chaos schedules tolerate failed ops, and a
         // wedged acquisition retrying 256 times would dominate the run.
         config.max_ownership_retries = 8;
+        config.policy = opts.policy;
+        if opts.policy == PolicyKind::Predictive {
+            // Tick the engine well inside a lease so placement actions and
+            // fault-driven view changes genuinely interleave.
+            config.policy_interval_ticks = (schedule.lease_ticks / 4).max(1);
+            config.policy_budget = 4;
+        }
         let net = NetConfig {
             min_delay: schedule.net.min_delay.max(1),
             max_delay: schedule.net.max_delay.max(schedule.net.min_delay.max(1)),

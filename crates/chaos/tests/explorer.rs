@@ -58,6 +58,38 @@ fn view_churn_sweep_converges_membership() {
 }
 
 #[test]
+fn policy_churn_sweep_stays_green_with_the_engine_live() {
+    // Run the predictive locality engine on every node while the default
+    // fault mix churns over a read-leaning workload. The engine's widen /
+    // shrink / pre-migrate actions go through the same ownership protocol
+    // the oracles watch, so a green sweep means policy-driven placement
+    // changes never forked a history, wedged an epoch, or broke
+    // convergence — even mid-crash, mid-partition, mid-expulsion.
+    let config = ExploreConfig {
+        seed: 42,
+        schedules: 25,
+        profile: Profile::PolicyChurn,
+        run: RunOptions {
+            policy: zeus_proto::PolicyKind::Predictive,
+            ..RunOptions::default()
+        },
+        ..ExploreConfig::default()
+    };
+    let outcome = explore(&config, |_, _, _| {});
+    assert_eq!(outcome.ran, 25);
+    if let Some(failure) = &outcome.failure {
+        panic!(
+            "policy-churn schedule {} violated [{}]: {}",
+            failure.schedule.name, failure.violation.kind, failure.violation.detail
+        );
+    }
+    assert!(
+        outcome.totals.committed_reads > 0 && outcome.totals.committed_writes > 0,
+        "the sweep must actually commit work"
+    );
+}
+
+#[test]
 fn injected_expulsion_wedge_is_caught_and_shrunk() {
     // Re-enable the pre-fix behaviour: falsely-suspected nodes are never
     // re-admitted. The explorer must catch the resulting wedge within a

@@ -29,6 +29,10 @@
 //! addr = "127.0.0.1:7002"
 //! ```
 //!
+//! `addr` accepts a literal `ip:port` or a DNS `host:port` name
+//! (`node1.cluster.local:7000`); hostnames are resolved when the process
+//! binds or connects, not at parse time (see [`NodeAddr`]).
+//!
 //! Node ids must be unique and contiguous from 0; the cluster size is the
 //! number of `[[node]]` tables. Comments (`#`), blank lines and arbitrary
 //! indentation are accepted; anything else — unknown keys, unknown
@@ -37,6 +41,73 @@
 
 use std::net::SocketAddr;
 use std::path::Path;
+
+/// A node address as written in a config file or an `--addrs` flag: either
+/// a literal `ip:port` socket address or a `host:port` DNS name
+/// (`node1.cluster.local:7000`, `localhost:7000`).
+///
+/// Hostnames are validated for shape at parse time but *resolved at
+/// bind/connect time* via [`NodeAddr::resolve`]: a config can be written
+/// once and shipped to machines whose name-to-address mapping differs or
+/// churns between runs, and a typo'd port still fails fast at parse time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeAddr(String);
+
+impl NodeAddr {
+    /// Accepts a literal socket address or a `host:port` pair with a
+    /// numeric port. No DNS query happens here.
+    pub fn parse(s: &str) -> Result<NodeAddr, String> {
+        if s.parse::<SocketAddr>().is_ok() {
+            return Ok(NodeAddr(s.to_string()));
+        }
+        match s.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+                Ok(NodeAddr(s.to_string()))
+            }
+            _ => Err(format!(
+                "`{s}` is neither an ip:port nor a host:port address"
+            )),
+        }
+    }
+
+    /// The address as written.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Resolves to a concrete socket address: literals pass through, DNS
+    /// names go through the system resolver (first result wins).
+    pub fn resolve(&self) -> Result<SocketAddr, String> {
+        if let Ok(addr) = self.0.parse() {
+            return Ok(addr);
+        }
+        use std::net::ToSocketAddrs;
+        self.0
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve `{}`: {e}", self.0))?
+            .next()
+            .ok_or_else(|| format!("`{}` resolved to no addresses", self.0))
+    }
+}
+
+impl From<SocketAddr> for NodeAddr {
+    fn from(addr: SocketAddr) -> Self {
+        NodeAddr(addr.to_string())
+    }
+}
+
+impl std::fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for NodeAddr {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        NodeAddr::parse(s)
+    }
+}
 
 /// A parsed cluster config file. All fields are optional except the node
 /// table; callers merge them under their command-line flags.
@@ -47,8 +118,9 @@ pub struct ClusterFile {
     pub view_replicas: Option<usize>,
     /// `[cluster] lease_us` — failure-detection lease in microseconds.
     pub lease_us: Option<u64>,
-    /// Every node's UDP address, indexed by node id (dense from 0).
-    pub addrs: Vec<SocketAddr>,
+    /// Every node's UDP address (literal or hostname), indexed by node id
+    /// (dense from 0).
+    pub addrs: Vec<NodeAddr>,
 }
 
 impl ClusterFile {
@@ -71,7 +143,7 @@ impl ClusterFile {
         let mut view_replicas = None;
         let mut lease_us = None;
         // (line, id, addr) per [[node]] table, in file order.
-        let mut nodes: Vec<(usize, Option<u16>, Option<SocketAddr>)> = Vec::new();
+        let mut nodes: Vec<(usize, Option<u16>, Option<NodeAddr>)> = Vec::new();
 
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
@@ -115,9 +187,8 @@ impl ClusterFile {
                         .strip_prefix('"')
                         .and_then(|v| v.strip_suffix('"'))
                         .ok_or_else(|| format!("line {lineno}: addr must be a quoted string"))?;
-                    let addr = unquoted
-                        .parse()
-                        .map_err(|e| format!("line {lineno}: addr `{unquoted}`: {e}"))?;
+                    let addr = NodeAddr::parse(unquoted)
+                        .map_err(|e| format!("line {lineno}: addr: {e}"))?;
                     let node = nodes.last_mut().expect("inside a [[node]] table");
                     node.2 = Some(addr);
                 }
@@ -131,7 +202,7 @@ impl ClusterFile {
         if nodes.is_empty() {
             return Err("no [[node]] tables".into());
         }
-        let mut addrs: Vec<Option<SocketAddr>> = vec![None; nodes.len()];
+        let mut addrs: Vec<Option<NodeAddr>> = vec![None; nodes.len()];
         for (lineno, id, addr) in nodes {
             let id = id.ok_or(format!("[[node]] at line {lineno}: missing `id`"))?;
             let addr = addr.ok_or(format!("[[node]] at line {lineno}: missing `addr`"))?;
@@ -198,6 +269,35 @@ addr = "127.0.0.1:7001"
             ],
             "addrs indexed by id regardless of file order"
         );
+    }
+
+    #[test]
+    fn accepts_and_resolves_hostnames() {
+        let file = ClusterFile::parse(
+            "[[node]]\nid = 0\naddr = \"localhost:7000\"\n[[node]]\nid = 1\naddr = \"127.0.0.1:7001\"",
+        )
+        .unwrap();
+        assert_eq!(file.addrs[0].as_str(), "localhost:7000");
+        // Resolution is deferred to bind/connect time; `localhost` is
+        // resolvable everywhere.
+        let resolved = file.addrs[0].resolve().unwrap();
+        assert_eq!(resolved.port(), 7000);
+        assert!(resolved.ip().is_loopback());
+        // A literal resolves without touching the resolver.
+        assert_eq!(
+            file.addrs[1].resolve().unwrap(),
+            "127.0.0.1:7001".parse::<SocketAddr>().unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_addresses() {
+        for bad in ["no-port", "host:", ":7000", "host:notaport"] {
+            assert!(NodeAddr::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+        for good in ["localhost:7000", "node1.cluster.local:7000", "10.0.0.1:1"] {
+            assert!(NodeAddr::parse(good).is_ok(), "`{good}` must parse");
+        }
     }
 
     #[test]

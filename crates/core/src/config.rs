@@ -1,6 +1,6 @@
 //! Cluster configuration.
 
-use zeus_proto::NodeId;
+use zeus_proto::{NodeId, PolicyKind};
 
 /// Configuration of a Zeus deployment.
 #[derive(Debug, Clone)]
@@ -46,6 +46,20 @@ pub struct ZeusConfig {
     /// executes sessions synchronously, so it always behaves like batches
     /// of one regardless of this flag.
     pub batch_commands: bool,
+    /// Placement policy run by each node's locality engine. `Reactive` (the
+    /// default) is the null policy — placements only ever move on the
+    /// critical path of an access, byte-identical to the pre-engine
+    /// behavior. `Predictive` tracks per-object access patterns and
+    /// pre-provisions replicas (migrate ownership toward the trending
+    /// writer, widen replication for read-hot objects, shrink cold ones)
+    /// off the critical path.
+    pub policy: PolicyKind,
+    /// Ticks between locality-policy planning rounds (also the tracker's
+    /// EWMA decay interval). 1 tick = 1 us in the threaded runtimes.
+    pub policy_interval_ticks: u64,
+    /// Placement actions each node may issue per policy interval (token
+    /// bucket with 2x burst); surplus candidates are deferred.
+    pub policy_budget: u32,
 }
 
 impl Default for ZeusConfig {
@@ -70,6 +84,11 @@ impl Default for ZeusConfig {
             retransmit_ticks: 64,
             readmit_suspects: true,
             batch_commands: true,
+            policy: PolicyKind::Reactive,
+            // ~10 ms between planning rounds: long enough to smooth over
+            // scheduling noise, short enough to track a migrating hotspot.
+            policy_interval_ticks: 10_000,
+            policy_budget: 8,
         }
     }
 }
@@ -97,6 +116,13 @@ impl ZeusConfig {
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.worker_threads = workers.max(1);
+        self
+    }
+
+    /// Sets the placement policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -141,6 +167,13 @@ mod tests {
         assert_eq!(c.nodes, 3);
         assert_eq!(c.directory_replicas, 3);
         assert_eq!(c.replication_degree, 3);
+        // The locality engine defaults to the null policy: existing
+        // deployments and recorded chaos runs are untouched.
+        assert_eq!(c.policy, PolicyKind::Reactive);
+        assert_eq!(
+            c.with_policy(PolicyKind::Predictive).policy,
+            PolicyKind::Predictive
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod udp_cluster;
 
 pub use balancer::LoadBalancer;
 pub use client::{Admin, AdminError, ClusterDriver, RetryPolicy, Session, TxPayload, TxTicket};
-pub use cluster_config::ClusterFile;
+pub use cluster_config::{ClusterFile, NodeAddr};
 pub use config::ZeusConfig;
 pub use message::Message;
 pub use node::ZeusNode;

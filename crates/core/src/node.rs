@@ -4,12 +4,13 @@ use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
 use zeus_commit::{CommitAction, CommitEngine};
+use zeus_locality::{AccessKind, LocalityEngine, PlacementAction};
 use zeus_membership::{MembershipEngine, MembershipEvent};
 use zeus_ownership::{OwnershipAction, OwnershipEngine, OwnershipHost};
 use zeus_proto::messages::NackReason;
 use zeus_proto::{
     AccessLevel, DataTs, Epoch, MembershipMsg, NodeId, ObjectId, ObjectUpdate,
-    OwnershipRequestKind, ReplicaSet, RequestId, TState, ViewMsg,
+    OwnershipRequestKind, PolicyKind, PolicyStats, ReplicaSet, RequestId, TState, ViewMsg,
 };
 use zeus_store::{LockManager, ObjectEntry, Store};
 use zeus_view::{ViewEvent, ViewReplica};
@@ -104,6 +105,13 @@ pub struct ZeusNode {
     /// [`ZeusNode::set_retransmit_interval`]); `None` keeps the configured
     /// fixed `retransmit_ticks`.
     retransmit_override: Option<u64>,
+    /// The adaptive locality engine (ROADMAP item 3). `None` under the
+    /// default `Reactive` policy — no tracking, no planning, byte-identical
+    /// to the pre-engine behavior.
+    locality: Option<LocalityEngine>,
+    /// Policy-issued acquisitions still in flight, keyed by request; at most
+    /// one per object, reaped by [`ZeusNode::tick`].
+    policy_reqs: HashMap<RequestId, ObjectId>,
 }
 
 /// Cap on the congestion back-off multiplier of the retransmit interval.
@@ -162,6 +170,18 @@ impl ZeusNode {
             congested: false,
             congestion_stretch: 1,
             retransmit_override: None,
+            locality: match config.policy {
+                PolicyKind::Reactive => None,
+                kind => Some(LocalityEngine::new(
+                    kind,
+                    config.policy_interval_ticks,
+                    config.policy_budget,
+                    // Per-node seed: equal-priority candidates are ordered
+                    // the same way on every run, differently per node.
+                    u64::from(id.0),
+                )),
+            },
+            policy_reqs: HashMap::new(),
             config,
         }
     }
@@ -212,6 +232,15 @@ impl ZeusNode {
     /// Commit protocol counters.
     pub fn commit_stats(&self) -> &zeus_commit::CommitStats {
         self.commit.stats()
+    }
+
+    /// Locality-policy counters (all zero under the default reactive
+    /// policy, which never plans anything).
+    pub fn policy_stats(&self) -> PolicyStats {
+        self.locality
+            .as_ref()
+            .map(|e| *e.stats())
+            .unwrap_or_default()
     }
 
     /// Latency histogram of completed ownership requests (ticks).
@@ -400,6 +429,13 @@ impl ZeusNode {
 
         if !missing.is_empty() {
             self.stats.txs_needing_ownership += 1;
+            for (object, kind) in &missing {
+                let access = match kind {
+                    OwnershipRequestKind::AcquireOwner => AccessKind::Write,
+                    _ => AccessKind::Read,
+                };
+                self.record_access(*object, access, false);
+            }
             let requests = missing
                 .into_iter()
                 .map(|(object, kind)| self.acquire(object, kind))
@@ -452,6 +488,11 @@ impl ZeusNode {
             }
         }
         self.locks.release_all(thread, &write_ids);
+        if self.locality.is_some() {
+            for object in &write_ids {
+                self.record_access(*object, AccessKind::Write, true);
+            }
+        }
 
         // Reliable commit (§3.2 step 3), pipelined.
         let (tx_id, actions) = self.commit.begin_commit(thread, updates, followers);
@@ -481,6 +522,11 @@ impl ZeusNode {
         let value = match result {
             Ok(v) => v,
             Err(error) => {
+                // A read this node cannot serve is exactly the signal the
+                // locality engine widens replication on.
+                if let TxError::NotReplicated { object } = &error {
+                    self.record_access(*object, AccessKind::Read, false);
+                }
                 self.stats.txs_aborted += 1;
                 return ReadOutcome::Aborted { error };
             }
@@ -493,6 +539,12 @@ impl ZeusNode {
                 .unwrap_or(false)
         });
         if consistent {
+            if self.locality.is_some() {
+                let objects: Vec<ObjectId> = ws.read_set().map(|(o, _)| o).collect();
+                for object in objects {
+                    self.record_access(object, AccessKind::Read, true);
+                }
+            }
             self.stats.read_txs_committed += 1;
             ReadOutcome::Committed { value }
         } else {
@@ -699,6 +751,111 @@ impl ZeusNode {
                 self.process_ownership_actions(actions);
             }
         }
+        self.tick_policy();
+    }
+
+    /// Feeds one transactional access to the locality engine (no-op under
+    /// the reactive policy).
+    fn record_access(&mut self, object: ObjectId, kind: AccessKind, served_locally: bool) {
+        if let Some(engine) = self.locality.as_mut() {
+            let level = self
+                .store
+                .with(object, |e| e.level)
+                .unwrap_or(AccessLevel::NonReplica);
+            engine.record(object, kind, level, served_locally);
+        }
+    }
+
+    /// Drives the locality engine: reaps settled policy acquisitions, plans
+    /// this interval's placement actions and issues them through the
+    /// ordinary acquisition path — off every transaction's critical path.
+    fn tick_policy(&mut self) {
+        if self.locality.is_none() {
+            return;
+        }
+        // Reap policy requests that reached a terminal state. They have no
+        // transaction waiting on them, so their terminal records are dropped
+        // here (the sets must not grow with policy traffic); completions
+        // feed the new placement back into the tracker.
+        if !self.policy_reqs.is_empty() {
+            let settled: Vec<(RequestId, ObjectId)> = self
+                .policy_reqs
+                .iter()
+                .filter(|(req, _)| {
+                    self.completed_reqs.contains(req) || self.failed_reqs.contains_key(req)
+                })
+                .map(|(&req, &object)| (req, object))
+                .collect();
+            for (req, object) in settled {
+                self.policy_reqs.remove(&req);
+                let completed = self.completed_reqs.remove(&req);
+                self.failed_reqs.remove(&req);
+                if completed {
+                    let level = self.level_of(object);
+                    if let Some(engine) = self.locality.as_mut() {
+                        engine.note_placement(object, level);
+                    }
+                }
+            }
+        }
+        // Placement changes only while this node may participate: a fenced
+        // or recovering node defers (the engine catches up on elapsed
+        // intervals at the next planning round).
+        if self.is_fenced() || !self.ownership_enabled() {
+            return;
+        }
+        let store = &self.store;
+        let policy_reqs = &self.policy_reqs;
+        let self_id = self.id;
+        let replication_floor = self.config.replication_degree.max(1);
+        let actions = self.locality.as_mut().expect("checked above").tick(
+            self.now,
+            // The veto: skip actions whose object already has a policy
+            // request in flight, or whose placement already moved (a
+            // foreground acquisition got there first) — before they cost
+            // budget or count as taken.
+            |action| {
+                let object = action.object();
+                if policy_reqs.values().any(|&o| o == object) {
+                    return false;
+                }
+                let level = store
+                    .with(object, |e| e.level)
+                    .unwrap_or(AccessLevel::NonReplica);
+                match action {
+                    PlacementAction::PreMigrate(_) => level != AccessLevel::Owner,
+                    PlacementAction::Widen(_) => level == AccessLevel::NonReplica,
+                    // A cold reader may only retire while the placement
+                    // stays at or above the configured replication degree
+                    // without it: shrinking below the degree trades the
+                    // deployment's fault tolerance for locality (a
+                    // single-copy placement loses its history to one
+                    // expulsion), and the ownership engine refuses outright
+                    // to decide an empty placement.
+                    PlacementAction::Shrink(_) => {
+                        level == AccessLevel::Reader
+                            && store
+                                .with(object, |e| {
+                                    e.replicas.replicas().filter(|&n| n != self_id).count()
+                                        >= replication_floor
+                                })
+                                .unwrap_or(false)
+                    }
+                }
+            },
+        );
+        for action in actions {
+            let object = action.object();
+            let kind = match action {
+                PlacementAction::PreMigrate(_) => OwnershipRequestKind::AcquireOwner,
+                PlacementAction::Widen(_) => OwnershipRequestKind::AcquireReader,
+                PlacementAction::Shrink(_) => {
+                    OwnershipRequestKind::RemoveReader { reader: self.id }
+                }
+            };
+            let req = self.acquire(object, kind);
+            self.policy_reqs.insert(req, object);
+        }
     }
 
     /// Administratively expels a node from the membership. The ban is
@@ -823,12 +980,12 @@ impl ZeusNode {
     ) {
         let level = new_replicas.level_of(self.id);
         if !level.is_replica() {
-            // e.g. this node asked to remove a reader; placement changed but
-            // we hold nothing new.
-            self.store.with_mut(object, |e| {
-                e.replicas = new_replicas.clone();
-                e.o_ts = o_ts;
-            });
+            // This node is not in the decided placement — it drove its own
+            // removal (a policy shrink, `RemoveReader { reader: self }`).
+            // Drop the local replica exactly as a witnessed removal would;
+            // keeping the entry at its old level would leave a ghost reader
+            // the commit protocol no longer invalidates.
+            self.store.remove(object);
             return;
         }
         let updated = self
@@ -1205,6 +1362,50 @@ mod tests {
         );
         let outcome = node.execute_read(|tx| tx.read(object));
         assert_eq!(outcome.unwrap_committed(), Bytes::from_static(b"new"));
+    }
+
+    #[test]
+    fn predictive_policy_widens_after_remote_read_misses() {
+        let mut config = ZeusConfig::with_nodes(3);
+        config.policy = PolicyKind::Predictive;
+        config.policy_interval_ticks = 100;
+        let mut node = ZeusNode::new(NodeId(2), config);
+        // Replicated on nodes 0 and 1 only; node 2 keeps failing to read it
+        // locally (strictly-local reads, §5.3).
+        node.create_object(
+            ObjectId(7),
+            Bytes::from_static(b"v"),
+            ReplicaSet::new(NodeId(0), [NodeId(1)]),
+        );
+        for _ in 0..8 {
+            let out = node.execute_read(|tx| tx.read(ObjectId(7)));
+            assert!(!out.is_committed());
+        }
+        node.tick(100);
+        assert_eq!(node.policy_stats().widens, 1);
+        assert_eq!(node.policy_stats().premigrations, 0);
+        // The widen left as an ordinary ownership REQ, off the read path.
+        let ownership_msgs = node
+            .drain_outbox()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, Message::Ownership(_)))
+            .count();
+        assert!(ownership_msgs >= 1, "AcquireReader must be on the wire");
+        // One in-flight policy request per object: the next interval plans
+        // the same widen but does not issue a duplicate.
+        node.tick(200);
+        assert_eq!(node.policy_stats().widens, 1);
+    }
+
+    #[test]
+    fn reactive_policy_tracks_and_issues_nothing() {
+        let mut node = single_node();
+        node.create_object(ObjectId(1), Bytes::new(), ReplicaSet::new(NodeId(0), []));
+        for t in 0..5u64 {
+            let _ = node.execute_write(0, |tx| tx.write(ObjectId(1), Bytes::from_static(b"x")));
+            node.tick(t * 10_000);
+        }
+        assert_eq!(node.policy_stats(), PolicyStats::default());
     }
 
     #[test]

@@ -35,6 +35,7 @@ use zeus_net::{RttConfig, UdpConfig, UdpTransport};
 use zeus_proto::NodeId;
 
 use crate::client::{RetryPolicy, Session};
+use crate::cluster_config::NodeAddr;
 use crate::config::ZeusConfig;
 use crate::runtime::{node_loop, Command, ThreadedSession};
 use crate::txn::TxError;
@@ -49,8 +50,9 @@ use crate::{ObjectId, ZeusNode};
 pub struct NodeOpts {
     /// This node's id; `addrs[id]` must be its own address.
     pub id: NodeId,
-    /// Every node's UDP address, indexed by node id.
-    pub addrs: Vec<SocketAddr>,
+    /// Every node's UDP address (literal or `host:port` DNS name, resolved
+    /// at bind time), indexed by node id.
+    pub addrs: Vec<NodeAddr>,
     /// Transfer operations this node executes once released with `GO`.
     pub ops: u64,
     /// Number of account objects (shared by all nodes; object `i` is homed
@@ -74,7 +76,7 @@ impl NodeOpts {
     pub fn parse(args: impl Iterator<Item = String>) -> Result<NodeOpts, String> {
         let mut id = None;
         let mut config_path: Option<std::path::PathBuf> = None;
-        let mut addrs: Vec<SocketAddr> = Vec::new();
+        let mut addrs: Vec<NodeAddr> = Vec::new();
         let mut ops = 200u64;
         let mut accounts = 64u64;
         let mut lease_us: Option<u64> = None;
@@ -98,7 +100,7 @@ impl NodeOpts {
                 "--addrs" => {
                     addrs = value("--addrs")?
                         .split(',')
-                        .map(|a| a.parse().map_err(|e| format!("--addrs '{a}': {e}")))
+                        .map(|a| NodeAddr::parse(a).map_err(|e| format!("--addrs: {e}")))
                         .collect::<Result<_, String>>()?;
                 }
                 "--ops" => ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
@@ -183,9 +185,17 @@ pub fn run_node(opts: NodeOpts) -> Result<(u64, u64), String> {
         config.view_replicas = vr;
     }
 
+    // Resolve every peer (DNS names included) now, at bind/connect time:
+    // the config may have been written on a machine with a different
+    // name-to-address view than the one this process runs on.
+    let peers: Vec<SocketAddr> = opts
+        .addrs
+        .iter()
+        .map(NodeAddr::resolve)
+        .collect::<Result<_, String>>()?;
     let transport = UdpTransport::bind(UdpConfig {
         local: opts.id,
-        peers: opts.addrs.clone(),
+        peers,
         rtt: RttConfig::udp_default(),
         loss: None,
     })
@@ -313,9 +323,10 @@ pub struct HarnessOpts {
     /// Size of the quorum view-replica set, forwarded to every node;
     /// `None` keeps the node-side default.
     pub view_replicas: Option<usize>,
-    /// Fixed node addresses (e.g. from a `cluster.toml`); `None` allocates
-    /// ephemeral loopback ports. When set, its length must equal `nodes`.
-    pub addrs: Option<Vec<SocketAddr>>,
+    /// Fixed node addresses (e.g. from a `cluster.toml`, hostnames
+    /// allowed); `None` allocates ephemeral loopback ports. When set, its
+    /// length must equal `nodes`.
+    pub addrs: Option<Vec<NodeAddr>>,
     /// Node to `kill -9` mid-workload and then restart on the same
     /// address; `None` runs the workload undisturbed.
     pub kill: Option<NodeId>,
@@ -498,7 +509,10 @@ pub fn run_harness(opts: &HarnessOpts) -> Result<HarnessReport, String> {
             }
             fixed.clone()
         }
-        None => allocate_addrs(opts.nodes)?,
+        None => allocate_addrs(opts.nodes)?
+            .into_iter()
+            .map(NodeAddr::from)
+            .collect(),
     };
     let addrs_arg = addrs
         .iter()

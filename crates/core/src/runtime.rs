@@ -522,6 +522,17 @@ const IDLE_WAIT: Duration = Duration::from_micros(20);
 /// stranded by dead peers.
 const COMMIT_BACKPRESSURE_HWM: usize = 2_048;
 
+/// Bounds of the adaptive command-drain cap (batched mode). The cap tracks
+/// 2x the recent batch-occupancy high-water mark: a lightly loaded node
+/// drains small batches (each batch delays its first command until the
+/// single outbox flush of step 6, so over-draining costs latency), a
+/// saturated one widens toward the max so channel lock round-trips and
+/// flushes amortize over more commands. The floor keeps headroom to
+/// *discover* rising load — occupancy can only grow past the HWM if the
+/// drain allows more than the HWM.
+const DRAIN_CAP_MIN: usize = 16;
+const DRAIN_CAP_MAX: usize = 256;
+
 /// The per-node event loop, generic over how bytes move ([`Transport`]):
 /// in-process channels for [`ThreadedCluster`], UDP sockets for the
 /// process-per-node deployments.
@@ -551,6 +562,9 @@ pub(crate) fn node_loop<T: Transport<Message>>(
     let mut cmd_buf: Vec<Command> = Vec::new();
     let mut scratch_buf: Vec<Command> = Vec::new();
     let mut hold_buf: Vec<Command> = Vec::new();
+    // Decaying high-water mark of recent batch occupancy, driving the
+    // adaptive drain cap (see DRAIN_CAP_MIN/MAX).
+    let mut drain_hwm: usize = 0;
     loop {
         let mut did_work = false;
 
@@ -609,7 +623,7 @@ pub(crate) fn node_loop<T: Transport<Message>>(
         let want = if node.outstanding_commits() >= COMMIT_BACKPRESSURE_HWM {
             0
         } else if batched {
-            64
+            (drain_hwm * 2).clamp(DRAIN_CAP_MIN, DRAIN_CAP_MAX)
         } else {
             1usize.saturating_sub(cmd_buf.len())
         };
@@ -617,6 +631,10 @@ pub(crate) fn node_loop<T: Transport<Message>>(
         if !cmd_buf.is_empty() {
             node.note_command_batch(cmd_buf.len());
         }
+        // Raise the HWM to this batch, then decay it a step so a past burst
+        // stops inflating the cap once the load drops.
+        drain_hwm = drain_hwm.max(cmd_buf.len());
+        drain_hwm -= (1 + drain_hwm / 32).min(drain_hwm);
         if batched && cmd_buf.len() > 1 {
             std::mem::swap(&mut cmd_buf, &mut scratch_buf);
             for command in scratch_buf.drain(..) {

@@ -1,0 +1,67 @@
+//! The placement-action budget.
+//!
+//! Policy actions ride the same ownership protocol as foreground commits;
+//! an unbounded policy could starve them. Each node therefore draws every
+//! action from a token bucket refilled once per decay interval — bursts up
+//! to the bucket's capacity are fine, the sustained rate is capped.
+
+/// A deterministic token bucket: integer tokens, refilled by explicit
+/// [`TokenBucket::refill`] calls (the engine calls it once per decay
+/// interval), drawn one token per action.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: u32,
+    refill: u32,
+    tokens: u32,
+}
+
+impl TokenBucket {
+    /// A bucket holding at most `capacity` tokens, starting full, gaining
+    /// `refill` tokens per [`TokenBucket::refill`] call.
+    pub fn new(capacity: u32, refill: u32) -> Self {
+        let capacity = capacity.max(1);
+        TokenBucket {
+            capacity,
+            refill,
+            tokens: capacity,
+        }
+    }
+
+    /// Adds one interval's tokens, saturating at capacity.
+    pub fn refill(&mut self) {
+        self.tokens = self.tokens.saturating_add(self.refill).min(self.capacity);
+    }
+
+    /// Takes one token if available.
+    pub fn try_take(&mut self) -> bool {
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn available(&self) -> u32 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_caps_at_capacity_and_refills() {
+        let mut b = TokenBucket::new(2, 1);
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(!b.try_take(), "empty bucket refuses");
+        b.refill();
+        assert_eq!(b.available(), 1);
+        b.refill();
+        b.refill();
+        assert_eq!(b.available(), 2, "refill saturates at capacity");
+    }
+}

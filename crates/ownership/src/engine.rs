@@ -125,6 +125,13 @@ struct MetaEntry {
     o_ts: OwnershipTs,
     replicas: ReplicaSet,
     o_state: OState,
+    /// A view change pruned this placement to *empty*: every replica died
+    /// or rejoined wiped, so the committed history is provably gone. The
+    /// flag keeps the loss observable — without it an empty placement is
+    /// indistinguishable from a never-created object, and the next
+    /// acquisition would silently first-touch the object back to an empty
+    /// version 0 instead of surfacing DataLoss.
+    lost: bool,
 }
 
 /// An in-flight arbitration observed by this node as an arbiter.
@@ -345,6 +352,7 @@ impl OwnershipEngine {
                 o_ts: OwnershipTs::default(),
                 replicas,
                 o_state: OState::Valid,
+                lost: false,
             });
         }
     }
@@ -712,9 +720,16 @@ impl OwnershipEngine {
 
         let mut actions = Vec::new();
         for meta in self.meta.values_mut() {
+            let had_replicas = !meta.replicas.is_empty();
             meta.replicas.retain_live(&self.live);
             for &r in rejoined {
                 meta.replicas.remove_node(r);
+            }
+            // Pruned to empty: the last copy died with its holder(s). Mark
+            // the loss so later acquisitions abort instead of re-creating
+            // the object empty as a bogus "first touch".
+            if had_replicas && meta.replicas.is_empty() {
+                meta.lost = true;
             }
         }
         // Arbitrations whose requester rejoined (wiped) are NOT dropped:
@@ -866,6 +881,7 @@ impl OwnershipEngine {
                     o_ts: *o_ts,
                     replicas: replicas.clone(),
                     o_state: OState::Valid,
+                    lost: false,
                 },
             );
             actions.push(OwnershipAction::ApplyReplicaChange {
@@ -961,6 +977,7 @@ impl OwnershipEngine {
                     o_ts: OwnershipTs::default(),
                     replicas: ReplicaSet::default(),
                     o_state: OState::Valid,
+                    lost: false,
                 });
             } else {
                 return nack(NackReason::UnknownObject);
@@ -968,6 +985,12 @@ impl OwnershipEngine {
         }
 
         let meta = self.meta.get(&object).expect("meta exists");
+        // A placement a view change pruned to empty is not a first touch:
+        // the committed history died with its last replica. Fail the
+        // acquisition instead of fabricating an empty version 0 over it.
+        if meta.lost {
+            return nack(NackReason::DataLoss);
+        }
         if meta.o_state != OState::Valid {
             return nack(NackReason::LostArbitration);
         }
@@ -975,6 +998,16 @@ impl OwnershipEngine {
         // pending-commit rule here.
         if meta.replicas.owner == Some(self.local) && host.has_pending_commits(object) {
             return nack(NackReason::PendingCommit);
+        }
+        // The last replica of an object may never remove itself: deciding
+        // an empty placement discards the only surviving copy, and the
+        // next acquisition would first-touch the object back to an empty
+        // version 0 — silent data loss reachable by merely shrinking a
+        // cold object. NACK instead; the requester keeps its copy.
+        if matches!(kind, OwnershipRequestKind::RemoveReader { .. })
+            && Self::apply_kind(&meta.replicas, kind, requester).is_empty()
+        {
+            return nack(NackReason::DataLoss);
         }
 
         self.stats.requests_driven += 1;
@@ -1172,6 +1205,7 @@ impl OwnershipEngine {
             o_ts: OwnershipTs::default(),
             replicas: old_replicas.clone(),
             o_state: OState::Valid,
+            lost: false,
         });
 
         // The current owner rejects migrations of objects with commits still
@@ -1555,10 +1589,45 @@ impl OwnershipEngine {
         // while the acquisition was in flight can have removed the local
         // copy (so shipping was skipped on a promise the store no longer
         // keeps), and completing without data would fabricate version 0.
-        let data_loss = pending.kind.requester_needs_data()
+        let mut data_loss = pending.kind.requester_needs_data()
             && pending.data.is_none()
             && host.object_value(object).is_none()
             && pending.first_touch == Some(false);
+        // Reset-to-first-touch for provably-empty objects: an acquisition
+        // against a placement whose only replica is a data-less owner (an
+        // earlier DataLoss abort, or a sole owner wiped by crash+restart
+        // while the directory kept the placement) would otherwise wedge the
+        // object forever — every later acquisition sees a non-empty
+        // placement, receives no data, and aborts. The shape is provable at
+        // the requester: promoting it over an owner-only (or sole-reader
+        // ownerless) placement decides a set with exactly one other member,
+        // and that member — as old owner or sole surviving reader — is an
+        // arbiter that ships its value whenever it has one. If it ACKed
+        // this very arbitration without data, no copy of the object
+        // survives anywhere (dead replicas wipe before re-admission), so
+        // completing as a fresh first touch restores liveness without
+        // fabricating next to a surviving copy. Placements with more
+        // members stay conservative: a reader shadowed by a live owner
+        // ACKs without shipping even when it holds data, so its silence
+        // proves nothing. Only the ACK path qualifies (a decided-duplicate
+        // RESP proves nothing), and only full ownership acquisitions reset
+        // — handing a reader an empty value under a data-less owner would
+        // not unwedge anything.
+        if data_loss && matches!(pending.kind, OwnershipRequestKind::AcquireOwner) {
+            let decided = pending
+                .new_replicas
+                .as_ref()
+                .expect("completed request has replica set");
+            let others: Vec<NodeId> = decided.replicas().filter(|n| *n != self.local).collect();
+            let provably_empty = match others.as_slice() {
+                [holder] => pending.acks.contains(holder),
+                _ => false,
+            };
+            if provably_empty {
+                data_loss = false;
+                self.stats.empty_placement_resets += 1;
+            }
+        }
         let o_ts = pending.o_ts.expect("completed request has o_ts");
         let mut new_replicas = pending
             .new_replicas
@@ -1576,6 +1645,7 @@ impl OwnershipEngine {
                     o_ts,
                     replicas: new_replicas.clone(),
                     o_state: OState::Valid,
+                    lost: false,
                 },
             );
             self.mark_dirty(object);
@@ -1739,6 +1809,7 @@ impl OwnershipEngine {
                     o_ts: inf.o_ts,
                     replicas: new_replicas.clone(),
                     o_state: OState::Valid,
+                    lost: false,
                 },
             );
             self.mark_dirty(object);
@@ -2469,5 +2540,145 @@ mod tests {
         assert_eq!(after.len(), 1);
         assert_eq!(after[0].2.owner, Some(NodeId(2)));
         assert_eq!(c.engines[2].drain_dirty_digest(), after);
+    }
+
+    #[test]
+    fn data_less_sole_owner_placement_resets_to_first_touch() {
+        // The wedge: the directory still lists node 0 as the object's only
+        // replica, but node 0's store was wiped (crash + restart while the
+        // placement survived). Without the reset, every acquisition would
+        // see a non-empty placement, receive no data, and abort with
+        // DataLoss forever.
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), ReplicaSet::new(NodeId(0), []), b"v");
+        c.hosts[0].values.remove(&obj());
+
+        c.request(NodeId(1), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        let done = c.completed(NodeId(1));
+        assert_eq!(done.len(), 1, "reset must complete, not abort");
+        match done[0] {
+            OwnershipAction::Completed {
+                new_replicas, data, ..
+            } => {
+                assert_eq!(new_replicas.owner, Some(NodeId(1)));
+                assert!(data.is_none(), "a reset ships nothing: fresh first touch");
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(c.engines[1].stats().empty_placement_resets, 1);
+        assert_eq!(c.engines[1].stats().data_loss_aborts, 0);
+
+        // Liveness is restored: the runtime installs the fresh (ts 0,
+        // empty) entry on completion-without-data; mirror that here, then a
+        // later acquisition from a third node proceeds normally.
+        c.hosts[1]
+            .values
+            .insert(obj(), (DataTs::ZERO, Bytes::new()));
+        c.request(NodeId(2), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        let done = c.completed(NodeId(2));
+        assert_eq!(done.len(), 1, "object is unwedged after the reset");
+        assert_eq!(c.engines[2].stats().empty_placement_resets, 0);
+    }
+
+    #[test]
+    fn reader_shadowed_by_a_data_less_owner_keeps_the_conservative_abort() {
+        // Placement {0 owner, 1 reader}; the owner's store was wiped but
+        // the reader still holds the committed value. The reader ACKs
+        // without shipping (a live owner is expected to ship), so its
+        // silence proves nothing — the acquisition must keep the DataLoss
+        // abort instead of fabricating version 0 next to a surviving copy.
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), initial_replicas(), b"v");
+        c.hosts[0].values.remove(&obj());
+
+        c.request(NodeId(2), obj(), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        assert!(c.completed(NodeId(2)).is_empty());
+        let failed = c.events[2].iter().any(|a| {
+            matches!(
+                a,
+                OwnershipAction::Failed {
+                    reason: NackReason::DataLoss,
+                    ..
+                }
+            )
+        });
+        assert!(failed, "must abort with DataLoss");
+        assert_eq!(c.engines[2].stats().data_loss_aborts, 1);
+        assert_eq!(c.engines[2].stats().empty_placement_resets, 0);
+        // The surviving copy is untouched.
+        assert_eq!(c.hosts[1].values[&obj()].1.as_ref(), b"v");
+    }
+
+    #[test]
+    fn placement_pruned_to_empty_fails_acquisitions_instead_of_first_touching() {
+        // Sole owner node 0 dies; the view change prunes the placement to
+        // empty. An empty placement must NOT read as a first touch — the
+        // committed history died with node 0, and re-creating the object
+        // as an empty version 0 would be silent data loss.
+        let mut c = Cluster::new(3, 3);
+        c.register(obj(), ReplicaSet::new(NodeId(0), []), b"v");
+        c.crash(NodeId(0));
+        c.view_change();
+
+        for (node, kind) in [
+            (NodeId(1), OwnershipRequestKind::AcquireOwner),
+            (NodeId(2), OwnershipRequestKind::AcquireReader),
+        ] {
+            c.request(node, obj(), kind);
+            c.run();
+            assert!(
+                c.completed(node).is_empty(),
+                "{node:?} must not resurrect the lost object"
+            );
+            let failed = c.events[node.index()].iter().any(|a| {
+                matches!(
+                    a,
+                    OwnershipAction::Failed {
+                        reason: NackReason::DataLoss,
+                        ..
+                    }
+                )
+            });
+            assert!(failed, "{node:?} must surface the loss as DataLoss");
+        }
+        // A genuinely new object still first-touch-creates normally.
+        c.request(NodeId(1), ObjectId(777), OwnershipRequestKind::AcquireOwner);
+        c.run();
+        assert_eq!(c.completed(NodeId(1)).len(), 1);
+    }
+
+    #[test]
+    fn last_replica_cannot_remove_itself() {
+        // Ownerless placement with a single surviving reader (its owner
+        // died earlier): a RemoveReader that would decide an empty
+        // placement is refused — it would discard the only copy and leave
+        // the object to be first-touched back empty.
+        let mut c = Cluster::new(3, 3);
+        let mut placement = ReplicaSet::new(NodeId(0), [NodeId(1)]);
+        placement.remove_node(NodeId(0));
+        c.register(obj(), placement, b"v");
+
+        c.request(
+            NodeId(1),
+            obj(),
+            OwnershipRequestKind::RemoveReader { reader: NodeId(1) },
+        );
+        c.run();
+        assert!(c.completed(NodeId(1)).is_empty());
+        let failed = c.events[1].iter().any(|a| {
+            matches!(
+                a,
+                OwnershipAction::Failed {
+                    reason: NackReason::DataLoss,
+                    ..
+                }
+            )
+        });
+        assert!(failed, "the shrink must be refused with DataLoss");
+        // The copy survives.
+        assert_eq!(c.hosts[1].values[&obj()].1.as_ref(), b"v");
     }
 }

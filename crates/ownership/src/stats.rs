@@ -36,6 +36,12 @@ pub struct OwnershipStats {
     /// surviving data-bearing arbiter while the placement proved the object
     /// was not a genuine first touch (fail-instead-of-fabricate).
     pub data_loss_aborts: u64,
+    /// Would-be `DataLoss` aborts completed as a reset-to-first-touch
+    /// instead, because every other replica of the decided placement
+    /// arbitrated the request and ACKed without data — the object provably
+    /// holds no surviving copy anywhere (e.g. its only replica was a
+    /// data-less owner), so refusing to install would wedge it forever.
+    pub empty_placement_resets: u64,
     /// Placement entries adopted from a directory push (view-service
     /// metadata sync: rejoin catch-up or anti-entropy reconciliation).
     pub dir_entries_adopted: u64,
@@ -61,6 +67,7 @@ impl OwnershipStats {
         self.rejoin_resets += other.rejoin_resets;
         self.ghost_arbitrations_aborted += other.ghost_arbitrations_aborted;
         self.data_loss_aborts += other.data_loss_aborts;
+        self.empty_placement_resets += other.empty_placement_resets;
         self.dir_entries_adopted += other.dir_entries_adopted;
     }
 }

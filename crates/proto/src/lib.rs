@@ -43,6 +43,7 @@
 pub mod error;
 pub mod ids;
 pub mod messages;
+pub mod policy;
 pub mod state;
 pub mod wire;
 
@@ -51,4 +52,5 @@ pub use ids::{DataTs, Epoch, NodeId, ObjectId, OwnershipTs, PipelineId, RequestI
 pub use messages::{
     CommitMsg, DirEntry, MembershipMsg, ObjectUpdate, OwnershipMsg, OwnershipRequestKind, ViewMsg,
 };
+pub use policy::{PolicyKind, PolicyStats};
 pub use state::{AccessLevel, OState, ReplicaSet, TState};

@@ -1,0 +1,103 @@
+//! Placement-policy identifiers and counters.
+//!
+//! The locality engine (`zeus-locality`) periodically inspects each node's
+//! access pattern and may reshape object placements — pre-migrating
+//! ownership toward a trending accessor, widening replication for read-hot
+//! objects, shrinking it for cold ones. Which policy runs is part of the
+//! deployment configuration, so the identifier lives here next to the other
+//! cross-crate protocol vocabulary; the counters travel with node stats so
+//! benchmarks can report policy traffic alongside protocol traffic.
+
+/// Which placement policy a deployment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// The null policy: objects move only when an access pays the handover
+    /// (the paper's baseline behavior). The policy engine never runs.
+    #[default]
+    Reactive,
+    /// The Lion-style predictive policy: track per-object access rates and
+    /// pre-provision placements off the critical path.
+    Predictive,
+}
+
+impl PolicyKind {
+    /// Parses the spelling used by CLI flags and config keys.
+    pub fn parse(s: &str) -> Result<PolicyKind, String> {
+        match s {
+            "reactive" => Ok(PolicyKind::Reactive),
+            "predictive" => Ok(PolicyKind::Predictive),
+            other => Err(format!(
+                "unknown policy '{other}' (expected reactive|predictive)"
+            )),
+        }
+    }
+
+    /// The CLI/config spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Reactive => "reactive",
+            PolicyKind::Predictive => "predictive",
+        }
+    }
+}
+
+/// Counters describing what a node's policy engine did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Placement actions issued (pre-migrations, widens, shrinks).
+    pub actions_taken: u64,
+    /// Actions the policy wanted but deferred for lack of budget tokens.
+    pub actions_deferred: u64,
+    /// Pre-migrations of ownership toward this node.
+    pub premigrations: u64,
+    /// Replication widenings (this node added itself as a reader).
+    pub widens: u64,
+    /// Replication shrinks (this node removed itself as a reader).
+    pub shrinks: u64,
+}
+
+impl PolicyStats {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &PolicyStats) {
+        self.actions_taken += other.actions_taken;
+        self.actions_deferred += other.actions_deferred;
+        self.premigrations += other.premigrations;
+        self.widens += other.widens;
+        self.shrinks += other.shrinks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_spellings() {
+        assert_eq!(PolicyKind::parse("reactive"), Ok(PolicyKind::Reactive));
+        assert_eq!(PolicyKind::parse("predictive"), Ok(PolicyKind::Predictive));
+        assert!(PolicyKind::parse("clairvoyant").is_err());
+        assert_eq!(PolicyKind::Predictive.name(), "predictive");
+    }
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let mut a = PolicyStats {
+            actions_taken: 2,
+            widens: 1,
+            ..Default::default()
+        };
+        let b = PolicyStats {
+            actions_taken: 3,
+            actions_deferred: 4,
+            premigrations: 1,
+            widens: 1,
+            shrinks: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.actions_taken, 5);
+        assert_eq!(a.actions_deferred, 4);
+        assert_eq!(a.premigrations, 1);
+        assert_eq!(a.widens, 2);
+        assert_eq!(a.shrinks, 2);
+    }
+}
